@@ -1,0 +1,186 @@
+(* Benchmark harness: regenerates every table and figure of the paper and
+   then times the computational kernel behind each one with Bechamel.
+
+   - The regeneration pass prints the actual tables (simulator-backed
+     experiments at full size; the QAT-training experiments in `fast` mode
+     so the whole run stays within minutes — use `bin/main.exe run tab2
+     tab3` for the paper-scale training sweep).
+   - The Bechamel pass registers one Test.make per table/figure whose
+     workload is that experiment's core kernel at a reduced size, plus
+     micro-benchmarks of the central library kernels. *)
+
+open Bechamel
+open Toolkit
+module T = Twq.Winograd.Transform
+module Tensor = Twq.Tensor
+module Ops = Twq.Ops
+module Zoo = Twq.Nn.Zoo
+module Op = Twq.Sim.Operator
+module Arch = Twq.Sim.Arch
+module NR = Twq.Sim.Network_runner
+module Registry = Twq_experiments.Registry
+
+(* ------------------------------------------------------- table printing *)
+
+let training_experiments = [ "tab2"; "tab3" ]
+
+let print_all_tables () =
+  List.iter
+    (fun e ->
+      let fast = List.mem e.Registry.name training_experiments in
+      Printf.printf "==== %s — %s%s ====\n%!" e.Registry.name
+        e.Registry.description
+        (if fast then " [fast mode]" else "");
+      print_string (e.Registry.run ~fast ());
+      print_newline ())
+    Registry.all
+
+(* ----------------------------------------------------- bechamel kernels *)
+
+let rng = Twq.Rng.create 2024
+let x_small = Tensor.rand_gaussian rng [| 1; 8; 16; 16 |] ~mu:0.0 ~sigma:1.0
+let w_small = Tensor.rand_gaussian rng [| 8; 8; 3; 3 |] ~mu:0.0 ~sigma:0.3
+
+let tapwise_layer =
+  Twq.Quant.Tapwise.calibrate
+    ~config:(Twq.Quant.Tapwise.default_config T.F4)
+    ~w:w_small ~sample_inputs:[ x_small ] ~pad:1 ()
+
+let x_int =
+  Twq.Quant.Quantizer.quantize_tensor ~bits:8
+    ~scale:tapwise_layer.Twq.Quant.Tapwise.s_x x_small
+
+let synthetic_layer =
+  { Zoo.name = "bench"; cin = 128; cout = 128; out_h = 32; out_w = 32; k = 3;
+    stride = 1; repeat = 1 }
+
+let weight_ensemble =
+  Twq_experiments.Exp_common.resnet_like_weight_ensemble ~seed:77 ~layers:2
+
+let qat_step =
+  (* One training step of the tap-wise WA model — the Table II/III kernel. *)
+  let data = Twq_experiments.Exp_common.dataset ~fast:true in
+  let model =
+    Twq.Nn.Qat_model.create
+      { (Twq.Nn.Qat_model.default_config
+           (Twq.Nn.Qat_model.Wa
+              { Twq.Nn.Qat_model.variant = T.F4; wino_bits = 8; tapwise = true;
+                pow2 = true; learned = true }))
+        with Twq.Nn.Qat_model.classes = data.Twq.Dataset.Synth_images.classes }
+      ~seed:5
+  in
+  let batch, labels =
+    Twq.Dataset.Synth_images.batch data data.Twq.Dataset.Synth_images.train
+      (Array.init 8 Fun.id)
+  in
+  fun () ->
+    let logits = Twq.Nn.Qat_model.forward model batch in
+    let loss = Twq.Autodiff.Fn.softmax_cross_entropy ~logits ~labels in
+    Twq.Autodiff.Var.backward loss;
+    Twq.Autodiff.Optim.zero_grads (Twq.Nn.Qat_model.params model)
+
+let tests =
+  [
+    Test.make ~name:"fig1-weight-transform-sweep"
+      (Staged.stage (fun () ->
+           List.iter
+             (fun w ->
+               let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+               for co = 0 to cout - 1 do
+                 for ci = 0 to cin - 1 do
+                   let f =
+                     Tensor.init [| 3; 3 |] (fun i ->
+                         Tensor.get4 w co ci i.(0) i.(1))
+                   in
+                   ignore (T.weight_tile T.F4 f)
+                 done
+               done)
+             weight_ensemble));
+    Test.make ~name:"tab1-dfg-cse"
+      (Staged.stage (fun () ->
+           ignore (Twq.Hw.Dfg.apply_cse (Twq.Hw.Dfg.of_matrix (T.bt_rat T.F4)))));
+    Test.make ~name:"tab2-qat-train-step" (Staged.stage qat_step);
+    Test.make ~name:"tab3-qat-eval-forward"
+      (Staged.stage (fun () -> ignore (Twq.Quant.Tapwise.forward tapwise_layer x_small)));
+    Test.make ~name:"fig4-tap-error-analysis"
+      (Staged.stage (fun () ->
+           ignore
+             (Twq.Quant.Error_analysis.winograd_error ~bits:8 ~variant:T.F4
+                ~strategy:Twq.Quant.Error_analysis.W_tap
+                (List.hd weight_ensemble))));
+    Test.make ~name:"tab4-operator-sim"
+      (Staged.stage (fun () ->
+           ignore (Op.run Arch.default Op.Im2col synthetic_layer ~batch:1);
+           ignore (Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1)));
+    Test.make ~name:"tab5-area-power-model"
+      (Staged.stage (fun () ->
+           ignore (Twq.Hw.Area_power.engine_area_mm2 Twq.Hw.Area_power.input_engine);
+           ignore (Twq.Hw.Area_power.cube_tops_per_watt ~winograd:true)));
+    Test.make ~name:"fig5-breakdown-sim"
+      (Staged.stage (fun () ->
+           let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
+           ignore r.Op.busy));
+    Test.make ~name:"tab6-nvdla-model"
+      (Staged.stage (fun () ->
+           let cfg = Twq.Nvdla.default ~bandwidth_words_per_s:42.7e9 in
+           ignore (Twq.Nvdla.best cfg synthetic_layer ~batch:8)));
+    Test.make ~name:"tab7-network-sim-resnet34"
+      (Staged.stage (fun () ->
+           ignore (NR.run Arch.default (NR.P_winograd T.F4) (Zoo.resnet34 ()) ~batch:1)));
+    Test.make ~name:"fig6-energy-accounting"
+      (Staged.stage (fun () ->
+           let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
+           ignore r.Op.energy));
+    Test.make ~name:"kernel-winograd-f4-conv-fp32"
+      (Staged.stage (fun () ->
+           ignore
+             (Twq.Winograd.Conv.conv2d ~variant:T.F4 ~pad:1 ~x:x_small ~w:w_small ())));
+    Test.make ~name:"kernel-tapwise-int8-forward"
+      (Staged.stage (fun () ->
+           ignore (Twq.Quant.Tapwise.forward_int tapwise_layer x_int)));
+    Test.make ~name:"kernel-im2col-conv-fp32"
+      (Staged.stage (fun () ->
+           ignore (Ops.conv2d_im2col ~stride:1 ~pad:1 ~x:x_small ~w:w_small ())));
+    Test.make ~name:"ext-graph-quantize-resnet20"
+      (Staged.stage
+         (let g =
+            Twq.Nn.Passes.fold_bn
+              (Twq.Nn.Gmodels.resnet20 ~rng:(Twq.Rng.create 12) ~width_div:4 ())
+          in
+          let cal = Tensor.rand_gaussian rng [| 1; 3; 16; 16 |] ~mu:0.0 ~sigma:1.0 in
+          fun () -> ignore (Twq.Nn.Int_graph.quantize g ~calibration:cal ())));
+    Test.make ~name:"ext-trace-export"
+      (Staged.stage (fun () ->
+           let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
+           ignore (Twq.Sim.Trace.to_chrome_json r)));
+  ]
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let grouped = Test.make_grouped ~name:"twq" ~fmt:"%s/%s" tests in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = List.map (fun i -> Analyze.all ols i raw) instances in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "%-40s %18s\n" "benchmark" "ns/run";
+  Printf.printf "%s\n" (String.make 60 '-');
+  Hashtbl.iter
+    (fun _instance tbl ->
+      let rows = Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl [] in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "%-40s %18.0f\n" name est
+          | _ -> Printf.printf "%-40s %18s\n" name "n/a")
+        (List.sort compare rows))
+    merged
+
+let () =
+  print_all_tables ();
+  print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";
+  benchmark ()

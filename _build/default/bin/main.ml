@@ -1,0 +1,143 @@
+(* twq — command-line driver for the paper-reproduction experiments.
+
+   Usage:
+     twq list                 # show available experiments
+     twq run tab4 fig5        # regenerate specific tables/figures
+     twq run --fast all       # quick pass over everything *)
+
+open Cmdliner
+module Registry = Twq_experiments.Registry
+
+let list_cmd =
+  let doc = "List the available experiments (one per paper table/figure)." in
+  let run () =
+    List.iter
+      (fun e -> Printf.printf "%-6s %s\n" e.Registry.name e.Registry.description)
+      Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let run_cmd =
+  let doc = "Run experiments and print their tables." in
+  let fast =
+    Arg.(value & flag & info [ "fast" ] ~doc:"Use reduced problem sizes.")
+  in
+  let names =
+    Arg.(value & pos_all string [ "all" ] & info [] ~docv:"EXPERIMENT")
+  in
+  let run fast names =
+    let selected =
+      if List.mem "all" names then Registry.all
+      else
+        List.map
+          (fun n ->
+            match Registry.find n with
+            | Some e -> e
+            | None ->
+                Printf.eprintf "unknown experiment %S; try `twq list`\n" n;
+                exit 2)
+          names
+    in
+    List.iter
+      (fun e ->
+        Printf.printf "==== %s — %s ====\n%!" e.Registry.name e.Registry.description;
+        print_string (e.Registry.run ~fast ());
+        print_newline ())
+      selected
+  in
+  Cmd.v (Cmd.info "run" ~doc) Term.(const run $ fast $ names)
+
+let trace_cmd =
+  let doc =
+    "Simulate one Conv2D layer and dump its execution trace (Chrome \
+     trace-event JSON, loadable in chrome://tracing or Perfetto)."
+  in
+  let kind =
+    Arg.(value & opt string "f4" & info [ "kernel" ] ~doc:"im2col, f2 or f4.")
+  in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"Batch size.") in
+  let cin = Arg.(value & opt int 256 & info [ "cin" ] ~doc:"Input channels.") in
+  let cout = Arg.(value & opt int 256 & info [ "cout" ] ~doc:"Output channels.") in
+  let hw = Arg.(value & opt int 32 & info [ "hw" ] ~doc:"Output H = W.") in
+  let out =
+    Arg.(value & opt string "trace.json" & info [ "o" ] ~doc:"Output path.")
+  in
+  let run kind batch cin cout hw out =
+    let module Sim = Twq_sim in
+    let module T = Twq_winograd.Transform in
+    let k =
+      match String.lowercase_ascii kind with
+      | "im2col" -> Sim.Operator.Im2col
+      | "f2" -> Sim.Operator.Winograd T.F2
+      | "f4" -> Sim.Operator.Winograd T.F4
+      | s ->
+          Printf.eprintf "unknown kernel %S (im2col | f2 | f4)\n" s;
+          exit 2
+    in
+    let layer =
+      { Twq_nn.Zoo.name = "trace"; cin; cout; out_h = hw; out_w = hw; k = 3;
+        stride = 1; repeat = 1 }
+    in
+    let r = Sim.Operator.run Sim.Arch.default k layer ~batch in
+    Sim.Trace.save_chrome_json r out;
+    Printf.printf "%s: %.0f cycles; trace with %d resources written to %s\n"
+      (Sim.Operator.kind_name k) r.Sim.Operator.cycles
+      (List.length r.Sim.Operator.trace)
+      out;
+    print_string (Sim.Trace.to_text ~max_events:20 r)
+  in
+  Cmd.v (Cmd.info "trace" ~doc)
+    Term.(const run $ kind $ batch $ cin $ cout $ hw $ out)
+
+let layers_cmd =
+  let doc =
+    "Per-layer simulation of a zoo network: chosen kernel, cycles, energy."
+  in
+  let network =
+    Arg.(value & pos 0 string "resnet34" & info [] ~docv:"NETWORK")
+  in
+  let batch = Arg.(value & opt int 1 & info [ "batch" ] ~doc:"Batch size.") in
+  let resolution =
+    Arg.(value & opt (some int) None & info [ "res" ] ~doc:"Input resolution.")
+  in
+  let run network batch resolution =
+    let module Sim = Twq_sim in
+    let module Zoo = Twq_nn.Zoo in
+    match List.assoc_opt network Zoo.all with
+    | None ->
+        Printf.eprintf "unknown network %S; options: %s\n" network
+          (String.concat ", " (List.map fst Zoo.all));
+        exit 2
+    | Some build ->
+        let net = build ?resolution () in
+        let r =
+          Sim.Network_runner.run Sim.Arch.default
+            (Sim.Network_runner.P_winograd Twq_winograd.Transform.F4)
+            net ~batch
+        in
+        Printf.printf
+          "%s @%d batch %d — %.1f imgs/s, %.2f mJ/inference under the F4 policy\n\n"
+          net.Zoo.net_name net.Zoo.resolution batch
+          r.Sim.Network_runner.throughput_imgs_per_s
+          (r.Sim.Network_runner.energy_pj /. 1e9 /. float_of_int batch);
+        Printf.printf "%-16s %-22s %-12s %12s %10s\n" "layer" "shape" "kernel"
+          "cycles" "uJ";
+        List.iter
+          (fun c ->
+            let l = c.Sim.Network_runner.layer in
+            Printf.printf "%-16s %-22s %-12s %12.0f %10.1f\n" l.Zoo.name
+              (Printf.sprintf "%dx%d %d->%d k%d s%d (x%d)" l.Zoo.out_h
+                 l.Zoo.out_w l.Zoo.cin l.Zoo.cout l.Zoo.k l.Zoo.stride
+                 l.Zoo.repeat)
+              (Sim.Operator.kind_name c.Sim.Network_runner.chosen)
+              c.Sim.Network_runner.result.Sim.Operator.cycles
+              (c.Sim.Network_runner.result.Sim.Operator.energy.Sim.Operator.e_total
+              /. 1e6))
+          r.Sim.Network_runner.layers
+  in
+  Cmd.v (Cmd.info "layers" ~doc) Term.(const run $ network $ batch $ resolution)
+
+let () =
+  let doc = "Tap-wise quantized Winograd F4 — paper reproduction driver" in
+  let info = Cmd.info "twq" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; layers_cmd ]))

@@ -1,0 +1,1 @@
+examples/accelerator_sim.ml: Float List Nn Printf Sim Twq Winograd

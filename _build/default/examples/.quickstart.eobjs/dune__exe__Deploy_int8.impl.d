@@ -1,0 +1,1 @@
+examples/deploy_int8.ml: Array Dataset Fun Itensor List Nn Printf Pruning Quant Twq Winograd

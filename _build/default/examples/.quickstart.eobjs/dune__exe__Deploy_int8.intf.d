@@ -1,0 +1,1 @@
+examples/deploy_int8.mli:

@@ -1,0 +1,1 @@
+examples/engine_explorer.ml: Hw List Printf Table Twq Winograd

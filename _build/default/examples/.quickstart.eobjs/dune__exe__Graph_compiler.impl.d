@@ -1,0 +1,1 @@
+examples/graph_compiler.ml: List Nn Printf Rng Sim Table Tensor Twq

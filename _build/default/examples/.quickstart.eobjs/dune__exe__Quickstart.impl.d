@@ -1,0 +1,1 @@
+examples/quickstart.ml: Itensor Ops Printf Quant Rng Shape Tensor Twq Winograd

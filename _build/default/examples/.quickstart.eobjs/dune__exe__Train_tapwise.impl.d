@@ -1,0 +1,1 @@
+examples/train_tapwise.ml: Array Dataset Nn Printf String Twq Winograd

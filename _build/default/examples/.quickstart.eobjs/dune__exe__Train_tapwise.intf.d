@@ -1,0 +1,1 @@
+examples/train_tapwise.mli:

@@ -1,0 +1,60 @@
+(* Simulating a full CNN on the Winograd-enhanced accelerator.
+
+   Runs ResNet-34 and UNet through the dual-core DSA model under the three
+   operator policies (im2col, Winograd F2, Winograd F4), prints per-layer
+   kernel choices for the most interesting layers and the end-to-end
+   throughput/energy comparison.
+
+   Run with: dune exec examples/accelerator_sim.exe *)
+
+open Twq
+module Zoo = Nn.Zoo
+module NR = Sim.Network_runner
+module Op = Sim.Operator
+
+let show_network name net batch =
+  let arch = Sim.Arch.default in
+  Printf.printf "== %s (batch %d, %dx%d input) ==\n" name batch
+    net.Zoo.resolution net.Zoo.resolution;
+  let im2col = NR.run arch NR.P_im2col net ~batch in
+  let f2 = NR.run arch (NR.P_winograd Winograd.Transform.F2) net ~batch in
+  let f4 = NR.run arch (NR.P_winograd Winograd.Transform.F4) net ~batch in
+  Printf.printf "  im2col: %7.1f imgs/s\n" im2col.NR.throughput_imgs_per_s;
+  Printf.printf "  F2:     %7.1f imgs/s (%.2fx)\n" f2.NR.throughput_imgs_per_s
+    (f2.NR.throughput_imgs_per_s /. im2col.NR.throughput_imgs_per_s);
+  Printf.printf "  F4:     %7.1f imgs/s (%.2fx), energy efficiency %.2fx\n"
+    f4.NR.throughput_imgs_per_s
+    (f4.NR.throughput_imgs_per_s /. im2col.NR.throughput_imgs_per_s)
+    (f4.NR.inferences_per_joule /. im2col.NR.inferences_per_joule);
+  (* Per-layer choices: how the compiler maps layers to kernels. *)
+  let wino = ref 0 and direct = ref 0 in
+  List.iter
+    (fun c ->
+      match c.NR.chosen with
+      | Op.Winograd _ -> incr wino
+      | Op.Im2col -> incr direct)
+    f4.NR.layers;
+  Printf.printf "  F4 policy: %d layers on Winograd, %d on im2col\n" !wino !direct;
+  print_endline "  slowest five layers under the F4 policy:";
+  let by_cycles =
+    List.sort
+      (fun a b -> Float.compare b.NR.result.Op.cycles a.NR.result.Op.cycles)
+      f4.NR.layers
+  in
+  List.iteri
+    (fun i c ->
+      if i < 5 then
+        Printf.printf "    %-14s %4dx%-4d %4d->%-4d k%d s%d  %-11s %10.0f cycles\n"
+          c.NR.layer.Zoo.name c.NR.layer.Zoo.out_h c.NR.layer.Zoo.out_w
+          c.NR.layer.Zoo.cin c.NR.layer.Zoo.cout c.NR.layer.Zoo.k
+          c.NR.layer.Zoo.stride
+          (Op.kind_name c.NR.chosen)
+          c.NR.result.Op.cycles)
+    by_cycles;
+  print_newline ()
+
+let () =
+  show_network "ResNet-34" (Zoo.resnet34 ()) 1;
+  show_network "ResNet-34" (Zoo.resnet34 ()) 16;
+  show_network "UNet" (Zoo.unet ()) 1;
+  show_network "YOLOv3" (Zoo.yolov3 ~resolution:416 ()) 1

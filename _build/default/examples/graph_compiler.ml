@@ -1,0 +1,59 @@
+(* The full compiler flow on a residual network.
+
+   Builds an executable ResNet-20 graph (residual connections, stride-2
+   downsampling, 1x1 projections), folds its batch norms, lets the
+   simulator pick the best kernel per convolution (im2col / Winograd F2 /
+   F4 — the per-layer selection the paper describes in Sec. V-B5), and
+   quantizes the whole graph to integers, residual adds included.
+
+   Run with: dune exec examples/graph_compiler.exe *)
+
+open Twq
+module Graph = Nn.Graph
+module GC = Sim.Graph_compiler
+
+let () =
+  let rng = Rng.create 2026 in
+  print_endline "== Graph compiler: ResNet-20 ==\n";
+  let g = Nn.Gmodels.resnet20 ~rng ~classes:10 () in
+  Printf.printf "built graph: %d convolutions, %d batch norms\n"
+    (Graph.conv_count g) (Nn.Passes.bn_count g);
+
+  let folded = Nn.Passes.fold_bn g in
+  let x = Tensor.rand_gaussian rng [| 1; 3; 32; 32 |] ~mu:0.0 ~sigma:1.0 in
+  Printf.printf "after BN folding: %d batch norms, max |diff| = %.2e\n\n"
+    (Nn.Passes.bn_count folded)
+    (Tensor.max_abs (Tensor.sub (Graph.run g x) (Graph.run folded x)));
+
+  print_endline "per-layer kernel selection (CIFAR input 32x32, batch 1):";
+  let choices = GC.select Sim.Arch.default folded ~input:[| 1; 3; 32; 32 |] () in
+  let tbl =
+    Table.create [ "layer"; "shape"; "k"; "s"; "kernel"; "cycles"; "vs im2col" ]
+  in
+  List.iter
+    (fun c ->
+      let spec = c.GC.spec in
+      Table.add_row tbl
+        [
+          spec.Nn.Zoo.name;
+          Printf.sprintf "%dx%d %d->%d" spec.Nn.Zoo.out_h spec.Nn.Zoo.out_w
+            spec.Nn.Zoo.cin spec.Nn.Zoo.cout;
+          string_of_int spec.Nn.Zoo.k;
+          string_of_int spec.Nn.Zoo.stride;
+          Sim.Operator.kind_name c.GC.kind;
+          Printf.sprintf "%.0f" c.GC.cycles;
+          Table.cell_speedup (c.GC.im2col_cycles /. c.GC.cycles);
+        ])
+    choices;
+  Table.print tbl;
+  Printf.printf "\nnetwork conv speed-up vs all-im2col: %.2fx\n\n"
+    (GC.speedup_vs_im2col choices);
+
+  print_endline "quantizing the graph to integers (tap-wise F4, pow2 scales):";
+  let iq = Nn.Int_graph.quantize folded ~calibration:x () in
+  Printf.printf "  %d Winograd layers, %d spatial int8 layers\n"
+    (Nn.Int_graph.winograd_layer_count iq)
+    (Nn.Int_graph.spatial_layer_count iq);
+  Printf.printf "  integer-vs-float logits relative RMS: %.4f\n"
+    (Nn.Int_graph.noise_vs_float iq folded x);
+  print_endline "\nDone."

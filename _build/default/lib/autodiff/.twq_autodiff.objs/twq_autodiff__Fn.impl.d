@@ -1,0 +1,1 @@
+lib/autodiff/fn.ml: Array Option Twq_tensor Var

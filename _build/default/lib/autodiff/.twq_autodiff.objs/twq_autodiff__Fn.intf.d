@@ -1,0 +1,1 @@
+lib/autodiff/fn.mli: Twq_tensor Var

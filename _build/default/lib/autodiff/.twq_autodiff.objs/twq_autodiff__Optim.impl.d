@@ -1,0 +1,1 @@
+lib/autodiff/optim.ml: Array Hashtbl List Twq_tensor Var

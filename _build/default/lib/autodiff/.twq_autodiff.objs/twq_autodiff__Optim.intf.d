@@ -1,0 +1,1 @@
+lib/autodiff/optim.mli: Var

@@ -1,0 +1,1 @@
+lib/autodiff/quant_ops.ml: Twq_quant Twq_tensor Var

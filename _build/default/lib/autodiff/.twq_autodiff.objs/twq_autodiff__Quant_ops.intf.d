@@ -1,0 +1,1 @@
+lib/autodiff/quant_ops.mli: Twq_quant Var

@@ -1,0 +1,1 @@
+lib/autodiff/scale_param.mli:

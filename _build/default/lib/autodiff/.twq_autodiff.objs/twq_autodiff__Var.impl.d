@@ -1,0 +1,1 @@
+lib/autodiff/var.ml: Array Hashtbl List Twq_tensor

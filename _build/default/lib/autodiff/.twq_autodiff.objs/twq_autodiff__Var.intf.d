@@ -1,0 +1,1 @@
+lib/autodiff/var.mli: Twq_tensor

@@ -1,0 +1,1 @@
+lib/autodiff/wa_conv.ml: Array Float Scale_param Twq_quant Twq_tensor Twq_winograd Var

@@ -1,0 +1,1 @@
+lib/autodiff/wa_conv.mli: Scale_param Twq_winograd Var

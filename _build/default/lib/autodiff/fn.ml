@@ -1,0 +1,353 @@
+module Tensor = Twq_tensor.Tensor
+module Ops = Twq_tensor.Ops
+module Shape = Twq_tensor.Shape
+
+type v = Var.t
+
+let const t =
+  (* A leaf: gradients accumulate into it but nobody reads them. *)
+  Var.of_tensor t
+
+let add a b =
+  Var.make ~data:(Tensor.add a.Var.data b.Var.data) ~parents:[ a; b ]
+    ~backward:(fun node ->
+      Var.accumulate a node.Var.grad;
+      Var.accumulate b node.Var.grad)
+
+let sub a b =
+  Var.make ~data:(Tensor.sub a.Var.data b.Var.data) ~parents:[ a; b ]
+    ~backward:(fun node ->
+      Var.accumulate a node.Var.grad;
+      Var.accumulate b (Tensor.neg node.Var.grad))
+
+let mul a b =
+  Var.make ~data:(Tensor.mul a.Var.data b.Var.data) ~parents:[ a; b ]
+    ~backward:(fun node ->
+      Var.accumulate a (Tensor.mul node.Var.grad b.Var.data);
+      Var.accumulate b (Tensor.mul node.Var.grad a.Var.data))
+
+let scale k a =
+  Var.make ~data:(Tensor.scale k a.Var.data) ~parents:[ a ]
+    ~backward:(fun node -> Var.accumulate a (Tensor.scale k node.Var.grad))
+
+let neg a = scale (-1.0) a
+
+let reshape a shape =
+  let original = a.Var.data.Tensor.shape in
+  Var.make ~data:(Tensor.reshape (Tensor.copy a.Var.data) shape) ~parents:[ a ]
+    ~backward:(fun node ->
+      Var.accumulate a (Tensor.reshape (Tensor.copy node.Var.grad) original))
+
+let matmul a b =
+  Var.make ~data:(Ops.matmul a.Var.data b.Var.data) ~parents:[ a; b ]
+    ~backward:(fun node ->
+      let g = node.Var.grad in
+      Var.accumulate a (Ops.matmul g (Ops.transpose b.Var.data));
+      Var.accumulate b (Ops.matmul (Ops.transpose a.Var.data) g))
+
+let linear ~x ~w ~b =
+  let y = matmul x (Var.make ~data:(Ops.transpose w.Var.data) ~parents:[ w ]
+                      ~backward:(fun node ->
+                        Var.accumulate w (Ops.transpose node.Var.grad))) in
+  match b with
+  | None -> y
+  | Some b ->
+      Var.make
+        ~data:
+          (let out = Tensor.copy y.Var.data in
+           let n = Tensor.dim out 0 and f = Tensor.dim out 1 in
+           for i = 0 to n - 1 do
+             for j = 0 to f - 1 do
+               Tensor.set2 out i j (Tensor.get2 out i j +. b.Var.data.Tensor.data.(j))
+             done
+           done;
+           out)
+        ~parents:[ y; b ]
+        ~backward:(fun node ->
+          Var.accumulate y node.Var.grad;
+          let n = Tensor.dim node.Var.grad 0 and f = Tensor.dim node.Var.grad 1 in
+          let gb = Tensor.zeros [| f |] in
+          for i = 0 to n - 1 do
+            for j = 0 to f - 1 do
+              gb.Tensor.data.(j) <- gb.Tensor.data.(j) +. Tensor.get2 node.Var.grad i j
+            done
+          done;
+          Var.accumulate b gb)
+
+let conv2d ?(stride = 1) ?(pad = 0) ~x ~w ~b () =
+  let data = Ops.conv2d ~stride ~pad ~x:x.Var.data ~w:w.Var.data
+      ?b:(Option.map (fun b -> b.Var.data) b) () in
+  let parents = match b with None -> [ x; w ] | Some b -> [ x; w; b ] in
+  Var.make ~data ~parents ~backward:(fun node ->
+      let dy = node.Var.grad in
+      let xt = x.Var.data and wt = w.Var.data in
+      let n = Tensor.dim xt 0 and cin = Tensor.dim xt 1 in
+      let h = Tensor.dim xt 2 and wd = Tensor.dim xt 3 in
+      let cout = Tensor.dim wt 0 in
+      let kh = Tensor.dim wt 2 and kw = Tensor.dim wt 3 in
+      let ho = Tensor.dim dy 2 and wo = Tensor.dim dy 3 in
+      let xp = Ops.pad2d xt pad in
+      let dxp = Tensor.zeros xp.Tensor.shape in
+      let dw = Tensor.zeros wt.Tensor.shape in
+      for ni = 0 to n - 1 do
+        for co = 0 to cout - 1 do
+          for oh = 0 to ho - 1 do
+            for ow = 0 to wo - 1 do
+              let g = Tensor.get4 dy ni co oh ow in
+              if g <> 0.0 then
+                for ci = 0 to cin - 1 do
+                  for ki = 0 to kh - 1 do
+                    for kj = 0 to kw - 1 do
+                      let ih = (oh * stride) + ki and iw = (ow * stride) + kj in
+                      Tensor.set4 dxp ni ci ih iw
+                        (Tensor.get4 dxp ni ci ih iw +. (g *. Tensor.get4 wt co ci ki kj));
+                      Tensor.set4 dw co ci ki kj
+                        (Tensor.get4 dw co ci ki kj +. (g *. Tensor.get4 xp ni ci ih iw))
+                    done
+                  done
+                done
+            done
+          done
+        done
+      done;
+      (* Crop padding from dx. *)
+      let dx = Tensor.zeros xt.Tensor.shape in
+      for ni = 0 to n - 1 do
+        for ci = 0 to cin - 1 do
+          for hi = 0 to h - 1 do
+            for wi = 0 to wd - 1 do
+              Tensor.set4 dx ni ci hi wi (Tensor.get4 dxp ni ci (hi + pad) (wi + pad))
+            done
+          done
+        done
+      done;
+      Var.accumulate x dx;
+      Var.accumulate w dw;
+      match b with
+      | None -> ()
+      | Some bias ->
+          let gb = Tensor.zeros [| cout |] in
+          for ni = 0 to n - 1 do
+            for co = 0 to cout - 1 do
+              for oh = 0 to ho - 1 do
+                for ow = 0 to wo - 1 do
+                  gb.Tensor.data.(co) <- gb.Tensor.data.(co) +. Tensor.get4 dy ni co oh ow
+                done
+              done
+            done
+          done;
+          Var.accumulate bias gb)
+
+let relu a =
+  Var.make ~data:(Ops.relu a.Var.data) ~parents:[ a ]
+    ~backward:(fun node ->
+      let g =
+        Tensor.map2
+          (fun x gy -> if x > 0.0 then gy else 0.0)
+          a.Var.data node.Var.grad
+      in
+      Var.accumulate a g)
+
+let avg_pool2d ~k ~stride a =
+  let data = Ops.avg_pool2d ~k ~stride a.Var.data in
+  Var.make ~data ~parents:[ a ] ~backward:(fun node ->
+      let dy = node.Var.grad in
+      let dx = Tensor.zeros a.Var.data.Tensor.shape in
+      let n = Tensor.dim dy 0 and c = Tensor.dim dy 1 in
+      let ho = Tensor.dim dy 2 and wo = Tensor.dim dy 3 in
+      let inv = 1.0 /. float_of_int (k * k) in
+      for ni = 0 to n - 1 do
+        for ci = 0 to c - 1 do
+          for oh = 0 to ho - 1 do
+            for ow = 0 to wo - 1 do
+              let g = Tensor.get4 dy ni ci oh ow *. inv in
+              for ki = 0 to k - 1 do
+                for kj = 0 to k - 1 do
+                  let ih = (oh * stride) + ki and iw = (ow * stride) + kj in
+                  Tensor.set4 dx ni ci ih iw (Tensor.get4 dx ni ci ih iw +. g)
+                done
+              done
+            done
+          done
+        done
+      done;
+      Var.accumulate a dx)
+
+let max_pool2d ~k ~stride a =
+  let data = Ops.max_pool2d ~k ~stride a.Var.data in
+  Var.make ~data ~parents:[ a ] ~backward:(fun node ->
+      let dy = node.Var.grad in
+      let xd = a.Var.data in
+      let dx = Tensor.zeros xd.Tensor.shape in
+      let n = Tensor.dim dy 0 and c = Tensor.dim dy 1 in
+      let ho = Tensor.dim dy 2 and wo = Tensor.dim dy 3 in
+      for ni = 0 to n - 1 do
+        for ci = 0 to c - 1 do
+          for oh = 0 to ho - 1 do
+            for ow = 0 to wo - 1 do
+              (* Route the gradient to the (first) argmax of the window. *)
+              let best_i = ref (oh * stride) and best_j = ref (ow * stride) in
+              for ki = 0 to k - 1 do
+                for kj = 0 to k - 1 do
+                  let ih = (oh * stride) + ki and iw = (ow * stride) + kj in
+                  if Tensor.get4 xd ni ci ih iw > Tensor.get4 xd ni ci !best_i !best_j
+                  then begin
+                    best_i := ih;
+                    best_j := iw
+                  end
+                done
+              done;
+              Tensor.set4 dx ni ci !best_i !best_j
+                (Tensor.get4 dx ni ci !best_i !best_j +. Tensor.get4 dy ni ci oh ow)
+            done
+          done
+        done
+      done;
+      Var.accumulate a dx)
+
+let global_avg_pool a =
+  let data = Ops.global_avg_pool a.Var.data in
+  Var.make ~data ~parents:[ a ] ~backward:(fun node ->
+      let dy = node.Var.grad in
+      let xd = a.Var.data in
+      let h = Tensor.dim xd 2 and w = Tensor.dim xd 3 in
+      let inv = 1.0 /. float_of_int (h * w) in
+      let dx =
+        Tensor.init xd.Tensor.shape (fun idx ->
+            Tensor.get2 dy idx.(0) idx.(1) *. inv)
+      in
+      Var.accumulate a dx)
+
+let add_channel_bias x b =
+  let data =
+    Tensor.init x.Var.data.Tensor.shape (fun idx ->
+        Tensor.get x.Var.data idx +. b.Var.data.Tensor.data.(idx.(1)))
+  in
+  Var.make ~data ~parents:[ x; b ] ~backward:(fun node ->
+      Var.accumulate x node.Var.grad;
+      let c = Tensor.dim x.Var.data 1 in
+      let gb = Tensor.zeros [| c |] in
+      let dy = node.Var.grad in
+      let n = Tensor.dim dy 0 and h = Tensor.dim dy 2 and w = Tensor.dim dy 3 in
+      for ni = 0 to n - 1 do
+        for ci = 0 to c - 1 do
+          for hi = 0 to h - 1 do
+            for wi = 0 to w - 1 do
+              gb.Tensor.data.(ci) <- gb.Tensor.data.(ci) +. Tensor.get4 dy ni ci hi wi
+            done
+          done
+        done
+      done;
+      Var.accumulate b gb)
+
+let batch_norm_frozen ~x ~gamma ~beta ~eps =
+  let xd = x.Var.data in
+  let n = Tensor.dim xd 0 and c = Tensor.dim xd 1 in
+  let h = Tensor.dim xd 2 and w = Tensor.dim xd 3 in
+  let count = float_of_int (n * h * w) in
+  (* Batch statistics, treated as constants in the backward pass. *)
+  let mean = Array.make c 0.0 and var = Array.make c 0.0 in
+  for ci = 0 to c - 1 do
+    let s = ref 0.0 in
+    for ni = 0 to n - 1 do
+      for hi = 0 to h - 1 do
+        for wi = 0 to w - 1 do
+          s := !s +. Tensor.get4 xd ni ci hi wi
+        done
+      done
+    done;
+    mean.(ci) <- !s /. count;
+    let sq = ref 0.0 in
+    for ni = 0 to n - 1 do
+      for hi = 0 to h - 1 do
+        for wi = 0 to w - 1 do
+          let d = Tensor.get4 xd ni ci hi wi -. mean.(ci) in
+          sq := !sq +. (d *. d)
+        done
+      done
+    done;
+    var.(ci) <- !sq /. count
+  done;
+  let inv_std = Array.map (fun v -> 1.0 /. sqrt (v +. eps)) var in
+  let data =
+    Tensor.init xd.Tensor.shape (fun idx ->
+        let ci = idx.(1) in
+        ((Tensor.get xd idx -. mean.(ci)) *. inv_std.(ci)
+         *. gamma.Var.data.Tensor.data.(ci))
+        +. beta.Var.data.Tensor.data.(ci))
+  in
+  Var.make ~data ~parents:[ x; gamma; beta ] ~backward:(fun node ->
+      let dy = node.Var.grad in
+      let dx =
+        Tensor.init xd.Tensor.shape (fun idx ->
+            Tensor.get dy idx *. inv_std.(idx.(1)) *. gamma.Var.data.Tensor.data.(idx.(1)))
+      in
+      Var.accumulate x dx;
+      let dgamma = Tensor.zeros [| c |] and dbeta = Tensor.zeros [| c |] in
+      for ni = 0 to n - 1 do
+        for ci = 0 to c - 1 do
+          for hi = 0 to h - 1 do
+            for wi = 0 to w - 1 do
+              let g = Tensor.get4 dy ni ci hi wi in
+              let xhat = (Tensor.get4 xd ni ci hi wi -. mean.(ci)) *. inv_std.(ci) in
+              dgamma.Tensor.data.(ci) <- dgamma.Tensor.data.(ci) +. (g *. xhat);
+              dbeta.Tensor.data.(ci) <- dbeta.Tensor.data.(ci) +. g
+            done
+          done
+        done
+      done;
+      Var.accumulate gamma dgamma;
+      Var.accumulate beta dbeta)
+
+let softmax_cross_entropy ~logits ~labels =
+  let p = Ops.softmax logits.Var.data in
+  let n = Tensor.dim p 0 in
+  if Array.length labels <> n then
+    invalid_arg "Fn.softmax_cross_entropy: label count mismatch";
+  let loss = ref 0.0 in
+  let log_p = Ops.log_softmax logits.Var.data in
+  for i = 0 to n - 1 do
+    loss := !loss -. Tensor.get2 log_p i labels.(i)
+  done;
+  let data = Tensor.scalar (!loss /. float_of_int n) in
+  Var.make ~data ~parents:[ logits ] ~backward:(fun node ->
+      let g0 = node.Var.grad.Tensor.data.(0) /. float_of_int n in
+      let dl =
+        Tensor.init p.Tensor.shape (fun idx ->
+            let indicator = if idx.(1) = labels.(idx.(0)) then 1.0 else 0.0 in
+            g0 *. (Tensor.get2 p idx.(0) idx.(1) -. indicator))
+      in
+      Var.accumulate logits dl)
+
+let kl_distillation ~student ~teacher ~temperature =
+  let tt = temperature in
+  let n = Tensor.dim teacher 0 in
+  let p_teacher = Ops.softmax (Tensor.scale (1.0 /. tt) teacher) in
+  let scaled_student = Tensor.scale (1.0 /. tt) student.Var.data in
+  let log_q = Ops.log_softmax scaled_student in
+  let q = Ops.softmax scaled_student in
+  let classes = Tensor.dim teacher 1 in
+  let loss = ref 0.0 in
+  for i = 0 to n - 1 do
+    for j = 0 to classes - 1 do
+      let pt = Tensor.get2 p_teacher i j in
+      if pt > 0.0 then
+        loss := !loss +. (pt *. (log pt -. Tensor.get2 log_q i j))
+    done
+  done;
+  (* T² keeps gradient magnitudes comparable to the hard loss. *)
+  let data = Tensor.scalar (!loss *. tt *. tt /. float_of_int n) in
+  Var.make ~data ~parents:[ student ] ~backward:(fun node ->
+      let g0 = node.Var.grad.Tensor.data.(0) *. tt /. float_of_int n in
+      let dl =
+        Tensor.init student.Var.data.Tensor.shape (fun idx ->
+            g0 *. (Tensor.get2 q idx.(0) idx.(1) -. Tensor.get2 p_teacher idx.(0) idx.(1)))
+      in
+      Var.accumulate student dl)
+
+let mean_all a =
+  let n = Tensor.numel a.Var.data in
+  let data = Tensor.scalar (Tensor.sum a.Var.data /. float_of_int n) in
+  Var.make ~data ~parents:[ a ] ~backward:(fun node ->
+      let g = node.Var.grad.Tensor.data.(0) /. float_of_int n in
+      Var.accumulate a (Tensor.create a.Var.data.Tensor.shape g))

@@ -1,0 +1,44 @@
+(** Differentiable tensor operations recorded on the {!Var} tape. *)
+
+type v = Var.t
+
+val const : Twq_tensor.Tensor.t -> v
+(** Leaf whose gradient is discarded (no parameters behind it). *)
+
+val add : v -> v -> v
+val sub : v -> v -> v
+val mul : v -> v -> v
+val scale : float -> v -> v
+val neg : v -> v
+val reshape : v -> Twq_tensor.Shape.t -> v
+
+val matmul : v -> v -> v
+val linear : x:v -> w:v -> b:v option -> v
+(** [x : n×k], [w : out×k]. *)
+
+val conv2d : ?stride:int -> ?pad:int -> x:v -> w:v -> b:v option -> unit -> v
+(** Direct convolution with exact gradients w.r.t. [x], [w] and [b]. *)
+
+val relu : v -> v
+val avg_pool2d : k:int -> stride:int -> v -> v
+val max_pool2d : k:int -> stride:int -> v -> v
+val global_avg_pool : v -> v
+
+val add_channel_bias : v -> v -> v
+(** [add_channel_bias x b] — NCHW plus per-channel bias [\[|c|\]]. *)
+
+val batch_norm_frozen : x:v -> gamma:v -> beta:v -> eps:float -> v
+(** Batch normalisation using the current batch statistics, with the
+    statistics treated as constants in the backward pass (stop-gradient
+    through mean/var).  Standard shortcut for small-scale QAT studies; the
+    approximation is documented in DESIGN.md. *)
+
+val softmax_cross_entropy : logits:v -> labels:int array -> v
+(** Mean cross-entropy over the batch; [logits : n×classes]. *)
+
+val kl_distillation : student:v -> teacher:Twq_tensor.Tensor.t -> temperature:float -> v
+(** Tempered-softmax Kullback–Leibler distillation loss (Hinton et al.),
+    scaled by [T²]; the teacher is a constant. *)
+
+val mean_all : v -> v
+(** Scalar mean of all elements. *)

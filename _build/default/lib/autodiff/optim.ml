@@ -1,0 +1,54 @@
+module Tensor = Twq_tensor.Tensor
+
+type sgd = {
+  mutable lr : float;
+  momentum : float;
+  weight_decay : float;
+  params : Var.t list;
+  velocity : (int, float array) Hashtbl.t;
+}
+
+let sgd ?(momentum = 0.0) ?(weight_decay = 0.0) ~lr params =
+  let velocity = Hashtbl.create (List.length params) in
+  List.iter
+    (fun p ->
+      Hashtbl.replace velocity p.Var.id
+        (Array.make (Tensor.numel p.Var.data) 0.0))
+    params;
+  { lr; momentum; weight_decay; params; velocity }
+
+let set_lr o lr = o.lr <- lr
+
+let sgd_step o =
+  List.iter
+    (fun p ->
+      let v = Hashtbl.find o.velocity p.Var.id in
+      let data = p.Var.data.Tensor.data and grad = p.Var.grad.Tensor.data in
+      for i = 0 to Array.length data - 1 do
+        let g = grad.(i) +. (o.weight_decay *. data.(i)) in
+        v.(i) <- (o.momentum *. v.(i)) +. g;
+        data.(i) <- data.(i) -. (o.lr *. v.(i))
+      done;
+      Var.zero_grad p)
+    o.params
+
+let zero_grads params = List.iter Var.zero_grad params
+
+let grad_norm params =
+  let acc =
+    List.fold_left (fun a p -> a +. Tensor.sumsq p.Var.grad) 0.0 params
+  in
+  sqrt acc
+
+let clip_grad_norm params ~max_norm =
+  let n = grad_norm params in
+  if n > max_norm && n > 0.0 then begin
+    let k = max_norm /. n in
+    List.iter
+      (fun p ->
+        let g = p.Var.grad.Tensor.data in
+        for i = 0 to Array.length g - 1 do
+          g.(i) <- g.(i) *. k
+        done)
+      params
+  end

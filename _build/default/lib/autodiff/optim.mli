@@ -1,0 +1,22 @@
+(** Optimizers.
+
+    Following the paper's training recipe: plain SGD (with optional momentum
+    and weight decay) for the network parameters, Adam for the quantization
+    scale parameters ({!Scale_param.adam_step}). *)
+
+type sgd
+
+val sgd : ?momentum:float -> ?weight_decay:float -> lr:float -> Var.t list -> sgd
+(** The parameter list is fixed at creation (momentum buffers attach to it). *)
+
+val sgd_step : sgd -> unit
+(** Apply one update from the accumulated gradients, then zero them. *)
+
+val set_lr : sgd -> float -> unit
+
+val zero_grads : Var.t list -> unit
+
+val grad_norm : Var.t list -> float
+(** Global L2 norm of all parameter gradients (diagnostics). *)
+
+val clip_grad_norm : Var.t list -> max_norm:float -> unit

@@ -1,0 +1,27 @@
+module Tensor = Twq_tensor.Tensor
+module Quantizer = Twq_quant.Quantizer
+module Calibration = Twq_quant.Calibration
+
+let fake_quant_ste ~bits ~scale x =
+  let lo = float_of_int (Quantizer.qmin ~bits) in
+  let hi = float_of_int (Quantizer.qmax ~bits) in
+  let data = Quantizer.fake_quant_tensor ~bits ~scale x.Var.data in
+  Var.make ~data ~parents:[ x ] ~backward:(fun node ->
+      let g =
+        Tensor.map2
+          (fun v gy ->
+            let r = v /. scale in
+            (* TQT-style pass-through: include the rail value 2^(b-1),
+               with a relative tolerance for scale round-trip error. *)
+            if r >= (lo -. 0.5) *. 1.000000001 && r <= (hi +. 1.0) *. 1.000000001
+            then gy
+            else 0.0)
+          x.Var.data node.Var.grad
+      in
+      Var.accumulate x g)
+
+let quantize_act ~observer ~bits ~pow2 x =
+  Calibration.observe_tensor observer x.Var.data;
+  let scale = Quantizer.scale_for ~bits ~max_abs:(Calibration.value observer) in
+  let scale = if pow2 then Quantizer.pow2_round_up scale else scale in
+  fake_quant_ste ~bits ~scale x

@@ -1,0 +1,11 @@
+(** Straight-through-estimator quantization nodes for QAT. *)
+
+val fake_quant_ste : bits:int -> scale:float -> Var.t -> Var.t
+(** Forward: [s·clamp(⌊x/s⌉)].  Backward: clipped straight-through — the
+    gradient passes unchanged where [x/s] lies inside the representable
+    range and is zeroed outside (the value is stuck at the clamp rail). *)
+
+val quantize_act : observer:Twq_quant.Calibration.t -> bits:int -> pow2:bool -> Var.t -> Var.t
+(** Spatial-domain activation fake-quantization with running-max
+    calibration: observes [max|x|] (EMA) each forward and quantizes with the
+    calibrated scale. *)

@@ -1,0 +1,37 @@
+type t = {
+  mutable theta : float;  (* log2 t *)
+  pow2 : bool;
+  learnable : bool;
+  mutable g : float;
+  mutable m : float;
+  mutable v : float;
+  mutable steps : int;
+}
+
+let create ?(learnable = true) ~pow2 ~init () =
+  if init <= 0.0 then invalid_arg "Scale_param.create: non-positive scale";
+  { theta = Float.log2 init; pow2; learnable; g = 0.0; m = 0.0; v = 0.0; steps = 0 }
+
+let value p =
+  if p.pow2 then Float.pow 2.0 (Float.ceil p.theta) else Float.pow 2.0 p.theta
+
+let set_from_calibration p s =
+  if s <= 0.0 then invalid_arg "Scale_param.set_from_calibration: non-positive scale";
+  p.theta <- Float.log2 s
+
+let learnable p = p.learnable
+let accumulate_grad p g = p.g <- p.g +. g
+let zero_grad p = p.g <- 0.0
+let grad p = p.g
+let log2_t p = p.theta
+
+let adam_step ?(lr = 0.01) ?(beta1 = 0.9) ?(beta2 = 0.99) ?(eps = 1e-8) p =
+  if p.learnable then begin
+    p.steps <- p.steps + 1;
+    p.m <- (beta1 *. p.m) +. ((1.0 -. beta1) *. p.g);
+    p.v <- (beta2 *. p.v) +. ((1.0 -. beta2) *. p.g *. p.g);
+    let m_hat = p.m /. (1.0 -. Float.pow beta1 (float_of_int p.steps)) in
+    let v_hat = p.v /. (1.0 -. Float.pow beta2 (float_of_int p.steps)) in
+    p.theta <- p.theta -. (lr *. m_hat /. (sqrt v_hat +. eps));
+    p.g <- 0.0
+  end

@@ -1,0 +1,33 @@
+(** Learnable quantization scale parameter (Sec. III-B of the paper).
+
+    The underlying parameter is [θ = log2 t]; the effective scale is
+    [s = 2^⌈θ⌉] when [pow2] is set (hardware-friendly) or [2^θ] otherwise.
+    Gradients arrive through Eq. (3):
+    [∂q/∂θ = s·ln 2 · clamp(⌊x/s⌉ − x/s, qmin, qmax)] and are applied with
+    the parameter's private Adam state (β₁ = 0.9, β₂ = 0.99), matching the
+    paper's optimizer split (SGD for weights, Adam for scales). *)
+
+type t
+
+val create : ?learnable:bool -> pow2:bool -> init:float -> unit -> t
+(** [init] is the initial scale [s] (not its log). *)
+
+val value : t -> float
+(** Effective scale used by the forward pass. *)
+
+val set_from_calibration : t -> float -> unit
+(** Overwrite [θ] from a calibrated scale; used in static (non-learned)
+    mode where the observer drives the scale. *)
+
+val learnable : t -> bool
+
+val accumulate_grad : t -> float -> unit
+(** Add a contribution to [∂L/∂θ]. *)
+
+val zero_grad : t -> unit
+val grad : t -> float
+
+val adam_step : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> t -> unit
+(** One Adam update of [θ] (no-op for non-learnable scales). *)
+
+val log2_t : t -> float

@@ -1,0 +1,60 @@
+module Tensor = Twq_tensor.Tensor
+
+type t = {
+  id : int;
+  data : Tensor.t;
+  grad : Tensor.t;
+  parents : t list;
+  backward : unit -> unit;
+}
+
+let counter = ref 0
+
+let next_id () =
+  incr counter;
+  !counter
+
+let of_tensor data =
+  {
+    id = next_id ();
+    data;
+    grad = Tensor.zeros data.Tensor.shape;
+    parents = [];
+    backward = (fun () -> ());
+  }
+
+let make ~data ~parents ~backward =
+  let rec node =
+    {
+      id = next_id ();
+      data;
+      grad = Tensor.zeros data.Tensor.shape;
+      parents;
+      backward = (fun () -> backward node);
+    }
+  in
+  node
+
+let value v = v.data
+let grad v = v.grad
+let zero_grad v = Tensor.fill v.grad 0.0
+
+let accumulate v g =
+  if not (Twq_tensor.Shape.equal g.Tensor.shape v.grad.Tensor.shape) then
+    invalid_arg "Var.accumulate: gradient shape mismatch";
+  Array.iteri (fun i x -> v.grad.Tensor.data.(i) <- v.grad.Tensor.data.(i) +. x) g.Tensor.data
+
+let backward root =
+  (* Topological order via DFS, then reverse. *)
+  let visited = Hashtbl.create 64 in
+  let order = ref [] in
+  let rec visit v =
+    if not (Hashtbl.mem visited v.id) then begin
+      Hashtbl.add visited v.id ();
+      List.iter visit v.parents;
+      order := v :: !order
+    end
+  in
+  visit root;
+  Tensor.fill root.grad 1.0;
+  List.iter (fun v -> v.backward ()) !order

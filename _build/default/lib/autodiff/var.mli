@@ -1,0 +1,35 @@
+(** Reverse-mode automatic differentiation on tensors (dynamic tape).
+
+    A {!t} wraps a value tensor and its gradient accumulator; operations in
+    {!Fn} record backward closures.  Calling {!backward} on a scalar loss
+    topologically sorts the tape and accumulates gradients into every
+    reachable node.  This is the training substrate for the Winograd-aware /
+    tap-wise quantization-aware experiments. *)
+
+type t = {
+  id : int;
+  data : Twq_tensor.Tensor.t;
+  grad : Twq_tensor.Tensor.t;  (** same shape as [data]; accumulated *)
+  parents : t list;
+  backward : unit -> unit;     (** pushes [grad] into the parents *)
+}
+
+val of_tensor : Twq_tensor.Tensor.t -> t
+(** A leaf node (parameter or input). *)
+
+val make : data:Twq_tensor.Tensor.t -> parents:t list -> backward:(t -> unit) -> t
+(** Internal node; [backward] receives the node itself (so the closure can
+    read its accumulated gradient). *)
+
+val value : t -> Twq_tensor.Tensor.t
+val grad : t -> Twq_tensor.Tensor.t
+
+val zero_grad : t -> unit
+(** Reset this node's gradient accumulator. *)
+
+val backward : t -> unit
+(** Seed the node's gradient with ones and back-propagate through the tape.
+    Usually called on a scalar (1-element) loss. *)
+
+val accumulate : t -> Twq_tensor.Tensor.t -> unit
+(** [accumulate v g] adds [g] into [v.grad] (shape-checked). *)

@@ -1,0 +1,308 @@
+module Tensor = Twq_tensor.Tensor
+module Shape = Twq_tensor.Shape
+module Transform = Twq_winograd.Transform
+module Quantizer = Twq_quant.Quantizer
+
+type mode = Static | Learned
+
+type t = {
+  variant : Transform.variant;
+  wino_bits : int;
+  pow2 : bool;
+  tapwise : bool;
+  mode : mode;
+  pad : int;
+  sb : Scale_param.t array array;
+  sg : Scale_param.t array array;
+  mutable initialized : bool;
+  mutable frozen : bool;
+  momentum : float;  (* EMA momentum of static running-max calibration *)
+  b_max : float array array;  (* running per-tap maxima *)
+  g_max : float array array;
+}
+
+let create ~variant ?(wino_bits = 8) ?(pow2 = true) ?(tapwise = true)
+    ?(mode = Static) ~pad () =
+  let t = Transform.t variant in
+  let learnable = mode = Learned in
+  let mk () =
+    Array.init t (fun _ ->
+        Array.init t (fun _ -> Scale_param.create ~learnable ~pow2 ~init:1.0 ()))
+  in
+  {
+    variant;
+    wino_bits;
+    pow2;
+    tapwise;
+    mode;
+    pad;
+    sb = mk ();
+    sg = mk ();
+    initialized = false;
+    frozen = false;
+    momentum = 0.9;
+    b_max = Array.make_matrix t t 0.0;
+    g_max = Array.make_matrix t t 0.0;
+  }
+
+let set_frozen l b = l.frozen <- b
+
+let scale_at l grid i j = if l.tapwise then grid.(i).(j) else grid.(0).(0)
+
+let scales l =
+  let t = Transform.t l.variant in
+  let acc = ref [] in
+  for i = t - 1 downto 0 do
+    for j = t - 1 downto 0 do
+      if l.tapwise || (i = 0 && j = 0) then
+        acc := scale_at l l.sb i j :: scale_at l l.sg i j :: !acc
+    done
+  done;
+  !acc
+
+let grid_values l grid =
+  let t = Transform.t l.variant in
+  Array.init t (fun i ->
+      Array.init t (fun j -> Scale_param.value (scale_at l grid i j)))
+
+let input_scale_grid l = grid_values l l.sb
+let weight_scale_grid l = grid_values l l.sg
+
+(* Fold this forward's observed per-tap maxima into the EMA and refresh the
+   scale parameters (static calibration). *)
+let update_static_scales l ~batch_b ~batch_g =
+  let t = Transform.t l.variant in
+  let fold running batch =
+    for i = 0 to t - 1 do
+      for j = 0 to t - 1 do
+        running.(i).(j) <-
+          (if l.initialized then
+             (l.momentum *. running.(i).(j)) +. ((1.0 -. l.momentum) *. batch.(i).(j))
+           else batch.(i).(j))
+      done
+    done
+  in
+  fold l.b_max batch_b;
+  fold l.g_max batch_g;
+  let global m =
+    Array.fold_left (fun a row -> Array.fold_left Float.max a row) 0.0 m
+  in
+  let apply grid running =
+    for i = 0 to t - 1 do
+      for j = 0 to t - 1 do
+        let mx = if l.tapwise then running.(i).(j) else global running in
+        let s = Quantizer.scale_for ~bits:l.wino_bits ~max_abs:mx in
+        Scale_param.set_from_calibration grid.(i).(j) s
+      done
+    done
+  in
+  apply l.sb l.b_max;
+  apply l.sg l.g_max;
+  l.initialized <- true
+
+(* 2-D sandwich p · s · qᵀ on t×t float matrices given as flat tensors. *)
+let sandwich (p : Tensor.t) (s : Tensor.t) (q : Tensor.t) =
+  Twq_tensor.Ops.(matmul (matmul p s) (transpose q))
+
+let forward l ~x ~w =
+  let variant = l.variant in
+  let m = Transform.m variant and t = Transform.t variant in
+  let bits = l.wino_bits in
+  let qlo = float_of_int (Quantizer.qmin ~bits) in
+  let qhi = float_of_int (Quantizer.qmax ~bits) in
+  let bt = Transform.bt variant and g = Transform.g variant and at = Transform.at variant in
+  let xd = x.Var.data and wd = w.Var.data in
+  let n = Tensor.dim xd 0 and cin = Tensor.dim xd 1 in
+  let h = Tensor.dim xd 2 and wdt = Tensor.dim xd 3 in
+  let cout = Tensor.dim wd 0 in
+  if Tensor.dim wd 1 <> cin then invalid_arg "Wa_conv.forward: channel mismatch";
+  if Tensor.dim wd 2 <> 3 || Tensor.dim wd 3 <> 3 then
+    invalid_arg "Wa_conv.forward: 3x3 kernels required";
+  let pad = l.pad in
+  let ho, wo = Shape.conv2d_out ~h ~w:wdt ~kh:3 ~kw:3 ~stride:1 ~pad in
+  let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
+  (* ---- raw Winograd-domain weights. *)
+  let w_raw =
+    Array.init cout (fun co ->
+        Array.init cin (fun ci ->
+            let f = Tensor.init [| 3; 3 |] (fun i -> Tensor.get4 wd co ci i.(0) i.(1)) in
+            sandwich g f g))
+  in
+  (* ---- raw input tiles. *)
+  let x_raw =
+    Array.init n (fun ni ->
+        Array.init (n_th * n_tw) (fun tile_idx ->
+            let th = tile_idx / n_tw and tw = tile_idx mod n_tw in
+            Array.init cin (fun ci ->
+                let tile =
+                  Tensor.init [| t; t |] (fun idx ->
+                      let hi = (th * m) + idx.(0) - pad
+                      and wi = (tw * m) + idx.(1) - pad in
+                      if hi < 0 || hi >= h || wi < 0 || wi >= wdt then 0.0
+                      else Tensor.get4 xd ni ci hi wi)
+                in
+                sandwich bt tile bt)))
+  in
+  (* ---- static calibration from this forward's maxima (also used as the
+     one-shot initialisation of learned scales). *)
+  let observe_tile_maxima acc (tile : Tensor.t) =
+    for i = 0 to t - 1 do
+      for j = 0 to t - 1 do
+        acc.(i).(j) <- Float.max acc.(i).(j) (Float.abs (Tensor.get2 tile i j))
+      done
+    done
+  in
+  let needs_calibration =
+    (l.mode = Static && not l.frozen) || not l.initialized
+  in
+  if needs_calibration then begin
+    let batch_b = Array.make_matrix t t 0.0 and batch_g = Array.make_matrix t t 0.0 in
+    Array.iter
+      (fun per_tile ->
+        Array.iter (fun per_ci -> Array.iter (observe_tile_maxima batch_b) per_ci) per_tile)
+      x_raw;
+    Array.iter (fun per_co -> Array.iter (observe_tile_maxima batch_g) per_co) w_raw;
+    update_static_scales l ~batch_b ~batch_g
+  end;
+  let sb = grid_values l l.sb and sg = grid_values l l.sg in
+  (* ---- fake-quantize weights and inputs in the Winograd domain. *)
+  let fq (raw : Tensor.t) scales =
+    Tensor.init [| t; t |] (fun idx ->
+        let s = scales.(idx.(0)).(idx.(1)) in
+        let r = Tensor.get2 raw idx.(0) idx.(1) /. s in
+        let q = Float.max qlo (Float.min qhi (Float.round r)) in
+        s *. q)
+  in
+  let w_fq = Array.map (Array.map (fun raw -> fq raw sg)) w_raw in
+  let x_fq = Array.map (Array.map (Array.map (fun raw -> fq raw sb))) x_raw in
+  (* ---- elementwise multiply, accumulate, back-transform. *)
+  let out = Tensor.zeros [| n; cout; ho; wo |] in
+  for ni = 0 to n - 1 do
+    for tile_idx = 0 to (n_th * n_tw) - 1 do
+      let th = tile_idx / n_tw and tw = tile_idx mod n_tw in
+      for co = 0 to cout - 1 do
+        let z = Tensor.zeros [| t; t |] in
+        for ci = 0 to cin - 1 do
+          let xf = x_fq.(ni).(tile_idx).(ci) and wf = w_fq.(co).(ci) in
+          for i = 0 to t - 1 do
+            for j = 0 to t - 1 do
+              Tensor.set2 z i j
+                (Tensor.get2 z i j +. (Tensor.get2 xf i j *. Tensor.get2 wf i j))
+            done
+          done
+        done;
+        let y = sandwich at z at in
+        for dy = 0 to m - 1 do
+          for dx = 0 to m - 1 do
+            let oh = (th * m) + dy and ow = (tw * m) + dx in
+            if oh < ho && ow < wo then Tensor.set4 out ni co oh ow (Tensor.get2 y dy dx)
+          done
+        done
+      done
+    done
+  done;
+  (* ---- the fused backward. *)
+  let backward node =
+    let dy = node.Var.grad in
+    let a = Twq_tensor.Ops.transpose at in
+    (* A (m×t)ᵀ: we need dZ = A · dy_tile · Aᵀ where Y = Aᵀ Z A. *)
+    let dx_total = Tensor.zeros xd.Tensor.shape in
+    let dw_fq = Array.init cout (fun _ -> Array.init cin (fun _ -> Tensor.zeros [| t; t |])) in
+    let b = Twq_tensor.Ops.transpose bt in
+    let ln2 = Float.log 2.0 in
+    let rail_tol = 1.0 +. 1e-9 in
+    for ni = 0 to n - 1 do
+      for tile_idx = 0 to (n_th * n_tw) - 1 do
+        let th = tile_idx / n_tw and tw = tile_idx mod n_tw in
+        let dx_fq = Array.init cin (fun _ -> Tensor.zeros [| t; t |]) in
+        for co = 0 to cout - 1 do
+          let dy_tile =
+            Tensor.init [| m; m |] (fun idx ->
+                let oh = (th * m) + idx.(0) and ow = (tw * m) + idx.(1) in
+                if oh < ho && ow < wo then Tensor.get4 dy ni co oh ow else 0.0)
+          in
+          let dz = sandwich a dy_tile a in
+          for ci = 0 to cin - 1 do
+            let xf = x_fq.(ni).(tile_idx).(ci) and wf = w_fq.(co).(ci) in
+            let dwf = dw_fq.(co).(ci) and dxf = dx_fq.(ci) in
+            for i = 0 to t - 1 do
+              for j = 0 to t - 1 do
+                let d = Tensor.get2 dz i j in
+                Tensor.set2 dxf i j (Tensor.get2 dxf i j +. (d *. Tensor.get2 wf i j));
+                Tensor.set2 dwf i j (Tensor.get2 dwf i j +. (d *. Tensor.get2 xf i j))
+              done
+            done
+          done
+        done;
+        (* back through the input fake-quant (STE + Eq. 3) and Bᵀ·B. *)
+        for ci = 0 to cin - 1 do
+          let raw = x_raw.(ni).(tile_idx).(ci) in
+          let dxf = dx_fq.(ci) in
+          let d_raw = Tensor.zeros [| t; t |] in
+          for i = 0 to t - 1 do
+            for j = 0 to t - 1 do
+              let s = sb.(i).(j) in
+              let r = Tensor.get2 raw i j /. s in
+              let up = Tensor.get2 dxf i j in
+              (* Pass-through inside the calibrated threshold |x| <= s*2^(b-1)
+                 (TQT convention): the rail value 2^(b-1) still gets grads.
+                 The bounds carry a relative epsilon because the scale
+                 round-trips through 2^(log2 s). *)
+              if r >= (qlo -. 0.5) *. rail_tol && r <= (qhi +. 1.0) *. rail_tol then
+                Tensor.set2 d_raw i j up;
+              if l.mode = Learned then begin
+                let q_clamped = Float.max qlo (Float.min qhi (Float.round r)) in
+                let diff = Float.max qlo (Float.min qhi (q_clamped -. r)) in
+                Scale_param.accumulate_grad (scale_at l l.sb i j)
+                  (up *. s *. ln2 *. diff)
+              end
+            done
+          done;
+          let dx_tile = sandwich b d_raw b in
+          for i = 0 to t - 1 do
+            for j = 0 to t - 1 do
+              let hi = (th * m) + i - pad and wi = (tw * m) + j - pad in
+              if hi >= 0 && hi < h && wi >= 0 && wi < wdt then
+                Tensor.set4 dx_total ni ci hi wi
+                  (Tensor.get4 dx_total ni ci hi wi +. Tensor.get2 dx_tile i j)
+            done
+          done
+        done
+      done
+    done;
+    (* back through the weight fake-quant and G·Gᵀ. *)
+    let gt = Twq_tensor.Ops.transpose g in
+    let dw_total = Tensor.zeros wd.Tensor.shape in
+    for co = 0 to cout - 1 do
+      for ci = 0 to cin - 1 do
+        let raw = w_raw.(co).(ci) in
+        let dwf = dw_fq.(co).(ci) in
+        let d_raw = Tensor.zeros [| t; t |] in
+        for i = 0 to t - 1 do
+          for j = 0 to t - 1 do
+            let s = sg.(i).(j) in
+            let r = Tensor.get2 raw i j /. s in
+            let up = Tensor.get2 dwf i j in
+            if r >= (qlo -. 0.5) *. rail_tol && r <= (qhi +. 1.0) *. rail_tol then
+              Tensor.set2 d_raw i j up;
+            if l.mode = Learned then begin
+              let q_clamped = Float.max qlo (Float.min qhi (Float.round r)) in
+              let diff = Float.max qlo (Float.min qhi (q_clamped -. r)) in
+              Scale_param.accumulate_grad (scale_at l l.sg i j)
+                (up *. s *. ln2 *. diff)
+            end
+          done
+        done;
+        let dk = sandwich gt d_raw gt in
+        (* dk is 3×3: W = G f Gᵀ ⇒ df = Gᵀ dW G. *)
+        for i = 0 to 2 do
+          for j = 0 to 2 do
+            Tensor.set4 dw_total co ci i j (Tensor.get2 dk i j)
+          done
+        done
+      done
+    done;
+    Var.accumulate x dx_total;
+    Var.accumulate w dw_total
+  in
+  Var.make ~data:out ~parents:[ x; w ] ~backward

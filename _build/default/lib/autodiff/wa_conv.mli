@@ -1,0 +1,51 @@
+(** Fused Winograd-aware, tap-wise quantized convolution layer (training).
+
+    Implements the paper's quantization scheme as a single autodiff node
+    with a hand-written backward pass:
+
+    {v
+      y = Aᵀ ( Σ_cin  s_B·⌊Bᵀ x B ⊘ s_B⌉ ⊙ s_G·⌊G w Gᵀ ⊘ s_G⌉ ) A
+    v}
+
+    - gradients to [x] and [w] use the clipped straight-through estimator
+      propagated through the (linear, constant) transform matrices — the
+      "static" Winograd-aware training of Fernandez et al. extended with
+      tap-wise quantization;
+    - gradients to the tap scales use Eq. (3) on [θ = log2 t];
+    - in [Static] mode the scales instead follow running-max calibration
+      each forward (the "straight-forward" power-of-two rows of Table II).
+
+    Stride is fixed to 1 and kernels to 3×3 — the layers the Winograd
+    operator supports. *)
+
+type mode = Static | Learned
+
+type t
+
+val create :
+  variant:Twq_winograd.Transform.variant ->
+  ?wino_bits:int ->
+  ?pow2:bool ->
+  ?tapwise:bool ->
+  ?mode:mode ->
+  pad:int ->
+  unit ->
+  t
+
+val forward : t -> x:Var.t -> w:Var.t -> Var.t
+(** [x] NCHW (already activation-quantized upstream), [w] the (already
+    spatially fake-quantized) weights.  Output spatial dims follow a
+    stride-1 3×3 convolution with the layer's padding. *)
+
+val scales : t -> Scale_param.t list
+(** All scale parameters (for the Adam step); empty in [Static] mode
+    filtering is the caller's concern — non-learnable scales no-op. *)
+
+val input_scale_grid : t -> float array array
+(** Current effective [S_B] (t×t). *)
+
+val weight_scale_grid : t -> float array array
+(** Current effective [S_G]. *)
+
+val set_frozen : t -> bool -> unit
+(** Freeze calibration (evaluation mode): static scales stop updating. *)

@@ -1,0 +1,1 @@
+lib/dataset/synth_images.ml: Array Fun List Twq_tensor Twq_util

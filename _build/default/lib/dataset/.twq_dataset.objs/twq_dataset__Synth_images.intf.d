@@ -1,0 +1,1 @@
+lib/dataset/synth_images.mli: Twq_tensor Twq_util

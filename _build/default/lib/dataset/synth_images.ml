@@ -1,0 +1,146 @@
+module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
+
+type sample = { image : Tensor.t; label : int }
+
+type t = {
+  classes : int;
+  channels : int;
+  size : int;
+  train : sample array;
+  valid : sample array;
+  test : sample array;
+}
+
+type spec = {
+  classes : int;
+  channels : int;
+  size : int;
+  n_train : int;
+  n_valid : int;
+  n_test : int;
+  noise : float;
+  jitter : int;
+}
+
+let default_spec =
+  {
+    classes = 4;
+    channels = 3;
+    size = 12;
+    n_train = 256;
+    n_valid = 64;
+    n_test = 128;
+    noise = 0.25;
+    jitter = 1;
+  }
+
+type blob = { cx : float; cy : float; sigma : float; amp : float }
+
+(* A class template is a handful of Gaussian blobs per channel; smooth
+   structure makes classes separable yet sensitive to conv-weight noise. *)
+let make_template rng ~channels ~size =
+  Array.init channels (fun _ ->
+      let n_blobs = 2 + Rng.int rng 3 in
+      Array.init n_blobs (fun _ ->
+          {
+            cx = Rng.float rng (float_of_int size);
+            cy = Rng.float rng (float_of_int size);
+            sigma = 1.0 +. Rng.float rng (float_of_int size /. 3.0);
+            amp = Rng.float rng 2.0 -. 1.0;
+          }))
+
+let render_template blobs ~size ~dx ~dy ~flip =
+  Tensor.init [| size; size |] (fun idx ->
+      let y = float_of_int idx.(0) +. dy in
+      let x0 = if flip then size - 1 - idx.(1) else idx.(1) in
+      let x = float_of_int x0 +. dx in
+      Array.fold_left
+        (fun acc b ->
+          let d2 =
+            (((x -. b.cx) ** 2.0) +. ((y -. b.cy) ** 2.0)) /. (2.0 *. b.sigma *. b.sigma)
+          in
+          acc +. (b.amp *. exp (-.d2)))
+        0.0 blobs)
+
+let make_sample rng templates ~spec label =
+  let { channels; size; noise; jitter; _ } = spec in
+  let dx = float_of_int (Rng.int rng ((2 * jitter) + 1) - jitter) in
+  let dy = float_of_int (Rng.int rng ((2 * jitter) + 1) - jitter) in
+  let flip = Rng.bool rng in
+  let image =
+    Tensor.init [| channels; size; size |] (fun idx ->
+        ignore idx;
+        0.0)
+  in
+  for c = 0 to channels - 1 do
+    let plane = render_template templates.(label).(c) ~size ~dx ~dy ~flip in
+    for i = 0 to size - 1 do
+      for j = 0 to size - 1 do
+        Tensor.set image [| c; i; j |]
+          (Tensor.get2 plane i j +. Rng.gaussian rng ~mu:0.0 ~sigma:noise)
+      done
+    done
+  done;
+  { image; label }
+
+let generate ?(spec = default_spec) ~seed () =
+  let rng = Rng.create seed in
+  let templates =
+    Array.init spec.classes (fun _ ->
+        make_template rng ~channels:spec.channels ~size:spec.size)
+  in
+  let split n =
+    Array.init n (fun i -> make_sample rng templates ~spec (i mod spec.classes))
+  in
+  let train = split spec.n_train in
+  let valid = split spec.n_valid in
+  let test = split spec.n_test in
+  Rng.shuffle rng train;
+  { classes = spec.classes; channels = spec.channels; size = spec.size;
+    train; valid; test }
+
+let batch (t : t) split indices =
+  let n = Array.length indices in
+  if n = 0 then invalid_arg "Synth_images.batch: empty batch";
+  let x = Tensor.zeros [| n; t.channels; t.size; t.size |] in
+  let labels = Array.make n 0 in
+  Array.iteri
+    (fun bi si ->
+      let s = split.(si) in
+      labels.(bi) <- s.label;
+      for c = 0 to t.channels - 1 do
+        for i = 0 to t.size - 1 do
+          for j = 0 to t.size - 1 do
+            Tensor.set4 x bi c i j (Tensor.get s.image [| c; i; j |])
+          done
+        done
+      done)
+    indices;
+  (x, labels)
+
+let shuffled_batches ~rng ~batch_size split =
+  let n = Array.length split in
+  let order = Array.init n Fun.id in
+  Rng.shuffle rng order;
+  let n_batches = n / batch_size in
+  List.init n_batches (fun b ->
+      let indices = Array.sub order (b * batch_size) batch_size in
+      (* Re-stack using a dummy container sharing metadata of the split. *)
+      let channels = Tensor.dim split.(0).image 0 in
+      let size = Tensor.dim split.(0).image 1 in
+      let x = Tensor.zeros [| batch_size; channels; size; size |] in
+      let labels = Array.make batch_size 0 in
+      Array.iteri
+        (fun bi si ->
+          let s = split.(si) in
+          labels.(bi) <- s.label;
+          for c = 0 to channels - 1 do
+            for i = 0 to size - 1 do
+              for j = 0 to size - 1 do
+                Tensor.set4 x bi c i j (Tensor.get s.image [| c; i; j |])
+              done
+            done
+          done)
+        indices;
+      (x, labels))

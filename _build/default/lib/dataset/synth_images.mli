@@ -1,0 +1,43 @@
+(** SynthImages — the procedurally-generated classification dataset that
+    substitutes CIFAR-10/ImageNet in this reproduction (see DESIGN.md).
+
+    Each class is defined by a smooth multi-blob template per channel;
+    samples are jittered (sub-pixel shift), optionally horizontally flipped
+    (the paper's CIFAR augmentation) and perturbed with Gaussian noise.
+    The dataset is split train/valid/test exactly like the paper splits its
+    sets (90%/10% of train + held-out test). *)
+
+type sample = { image : Twq_tensor.Tensor.t;  (** [\[|c; h; w|\]] *) label : int }
+
+type t = {
+  classes : int;
+  channels : int;
+  size : int;
+  train : sample array;
+  valid : sample array;
+  test : sample array;
+}
+
+type spec = {
+  classes : int;
+  channels : int;
+  size : int;
+  n_train : int;
+  n_valid : int;
+  n_test : int;
+  noise : float;        (** Gaussian noise σ *)
+  jitter : int;         (** max |shift| in pixels *)
+}
+
+val default_spec : spec
+(** 4 classes, 3×12×12, 256/64/128 samples, σ = 0.25, jitter 1. *)
+
+val generate : ?spec:spec -> seed:int -> unit -> t
+
+val batch : t -> sample array -> int array -> Twq_tensor.Tensor.t * int array
+(** [batch t split indices] — stack the given samples into an NCHW batch. *)
+
+val shuffled_batches :
+  rng:Twq_util.Rng.t -> batch_size:int -> sample array ->
+  (Twq_tensor.Tensor.t * int array) list
+(** Shuffle a split and cut it into full batches (remainder dropped). *)

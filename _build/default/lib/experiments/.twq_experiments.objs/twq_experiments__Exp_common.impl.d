@@ -1,0 +1,1 @@
+lib/experiments/exp_common.ml: Array Buffer Format Hashtbl List Twq_dataset Twq_nn Twq_tensor Twq_util

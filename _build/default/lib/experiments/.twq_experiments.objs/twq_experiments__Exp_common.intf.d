@@ -1,0 +1,1 @@
+lib/experiments/exp_common.mli: Format Twq_dataset Twq_nn Twq_tensor

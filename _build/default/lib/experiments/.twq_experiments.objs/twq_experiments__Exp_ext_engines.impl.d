@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_engines.ml: Buffer List Printf Twq_hw Twq_util Twq_winograd

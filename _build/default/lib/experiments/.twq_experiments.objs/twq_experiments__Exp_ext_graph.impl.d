@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_graph.ml: Arch Buffer List Operator Printf Twq_nn Twq_sim Twq_tensor Twq_util Twq_winograd

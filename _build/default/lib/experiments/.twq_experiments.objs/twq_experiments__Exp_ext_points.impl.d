@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_points.ml: Array Float List Printf Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_sparse.ml: List Printf Twq_quant Twq_tensor Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_sparsity.ml: Array Float Printf Twq_tensor Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_stride.ml: Printf Twq_tensor Twq_util Twq_winograd

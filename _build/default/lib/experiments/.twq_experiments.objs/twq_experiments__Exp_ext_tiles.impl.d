@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_tiles.ml: Arch List Operator Printf Twq_hw Twq_nn Twq_quant Twq_sim Twq_tensor Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_validate.ml: Arch Float List Operator Printf Twq_nn Twq_sim Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_ext_zoo.ml: List Printf Twq_nn Twq_util

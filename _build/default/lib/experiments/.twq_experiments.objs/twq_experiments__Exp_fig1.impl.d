@@ -1,0 +1,1 @@
+lib/experiments/exp_fig1.ml: Array Buffer Exp_common Float Format List Printf Twq_tensor Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig4.ml: Array Exp_common Float List Printf Twq_quant Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_fig5.ml: Arch Buffer List Operator Option Printf Twq_nn Twq_sim Twq_util Twq_winograd

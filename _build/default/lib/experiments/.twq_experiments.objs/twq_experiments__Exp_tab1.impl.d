@@ -1,0 +1,1 @@
+lib/experiments/exp_tab1.ml: Buffer Printf Twq_hw Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab2.ml: Exp_common List Twq_nn Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab3.ml: Exp_common List Printf Twq_nn Twq_util Twq_winograd

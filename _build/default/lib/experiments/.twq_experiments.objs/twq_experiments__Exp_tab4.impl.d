@@ -1,0 +1,1 @@
+lib/experiments/exp_tab4.ml: Arch Buffer List Operator Printf Twq_nn Twq_sim Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab6.ml: Arch List Operator Printf String Twq_hw Twq_nn Twq_nvdla Twq_sim Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/experiments/exp_tab7.ml: Arch List Network_runner Printf Twq_nn Twq_sim Twq_util Twq_winograd

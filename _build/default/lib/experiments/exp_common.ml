@@ -1,0 +1,99 @@
+module Synth = Twq_dataset.Synth_images
+module Qat_model = Twq_nn.Qat_model
+module Trainer = Twq_nn.Trainer
+module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
+
+let buf_print f =
+  let buf = Buffer.create 1024 in
+  let ppf = Format.formatter_of_buffer buf in
+  f ppf;
+  Format.pp_print_flush ppf ();
+  Buffer.contents buf
+
+let spec ~fast =
+  if fast then
+    { Synth.default_spec with
+      Synth.classes = 8; noise = 0.8; n_train = 256; n_valid = 48; n_test = 128 }
+  else
+    { Synth.default_spec with
+      Synth.classes = 8; noise = 0.8; n_train = 320; n_valid = 64; n_test = 160 }
+
+let dataset_cache : (bool, Synth.t) Hashtbl.t = Hashtbl.create 2
+
+let dataset ~fast =
+  match Hashtbl.find_opt dataset_cache fast with
+  | Some d -> d
+  | None ->
+      let d = Synth.generate ~spec:(spec ~fast) ~seed:20260705 () in
+      Hashtbl.add dataset_cache fast d;
+      d
+
+let train_options ~fast =
+  if fast then { Trainer.default_options with Trainer.epochs = 4 }
+  else { Trainer.default_options with Trainer.epochs = 6 }
+
+let resnet_like_weight_ensemble ~seed ~layers =
+  let rng = Rng.create seed in
+  List.init layers (fun li ->
+      (* Channel counts sweep the ResNet-34 range, scaled down. *)
+      let cout = 8 * (1 + (li mod 4)) and cin = 8 * (1 + ((li + 1) mod 4)) in
+      Tensor.init [| cout; cin; 3; 3 |] (fun idx ->
+          let channel_sigma =
+            0.08 +. (0.35 *. float_of_int (idx.(0) mod 7) /. 7.0)
+          in
+          Rng.gaussian rng ~mu:0.0 ~sigma:channel_sigma))
+
+let model_config ~fast mode =
+  let cfg = Qat_model.default_config mode in
+  { cfg with Qat_model.classes = (spec ~fast).Synth.classes }
+
+let teacher_cache : (bool, Qat_model.t) Hashtbl.t = Hashtbl.create 2
+
+let trained_teacher ~fast =
+  match Hashtbl.find_opt teacher_cache fast with
+  | Some t -> t
+  | None ->
+      let model = Qat_model.create (model_config ~fast Qat_model.Fp32) ~seed:41 in
+      let (_ : Trainer.history) =
+        Trainer.train model (dataset ~fast) (train_options ~fast)
+      in
+      Hashtbl.add teacher_cache fast model;
+      model
+
+let train_once ~fast ~mode ~kd ~seed =
+  let data = dataset ~fast in
+  let model = Qat_model.create (model_config ~fast mode) ~seed in
+  let opts = train_options ~fast in
+  let opts =
+    if kd then
+      { opts with
+        Trainer.kd =
+          Some { Trainer.teacher = trained_teacher ~fast; temperature = 4.0; alpha = 0.5 } }
+    else opts
+  in
+  let (_ : Trainer.history) = Trainer.train model data opts in
+  Trainer.evaluate model data.Synth.test
+
+(* The synthetic benchmark is small, so single runs carry ±2% seed noise;
+   paper-scale mode averages three seeds. *)
+let train_and_eval ~fast ~mode ?(kd = false) ?(seed = 42) () =
+  if fast then train_once ~fast ~mode ~kd ~seed
+  else
+    Twq_util.Stats.mean
+      (Array.of_list
+         (List.map (fun ds -> train_once ~fast ~mode ~kd ~seed:(seed + ds)) [ 0; 1; 2 ]))
+
+let fp32_cache : (bool, float) Hashtbl.t = Hashtbl.create 2
+
+let fp32_reference ~fast =
+  match Hashtbl.find_opt fp32_cache fast with
+  | Some v -> v
+  | None ->
+      let teacher = trained_teacher ~fast in
+      let acc = Trainer.evaluate teacher (dataset ~fast).Synth.test in
+      Hashtbl.add fp32_cache fast acc;
+      acc
+
+let trained_conv_weights () =
+  Qat_model.conv_weights (trained_teacher ~fast:true)

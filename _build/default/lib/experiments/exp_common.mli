@@ -1,0 +1,36 @@
+(** Shared plumbing for the experiment harnesses.
+
+    [fast:true] shrinks datasets/epochs so a full experiment sweep stays in
+    the tens of seconds (used by the test-suite and the Bechamel bench);
+    [fast:false] runs the paper-scale configuration. *)
+
+val buf_print : (Format.formatter -> unit) -> string
+(** Render into a string via a formatter. *)
+
+val dataset : fast:bool -> Twq_dataset.Synth_images.t
+(** The SynthImages instance standing in for CIFAR-10/ImageNet (seeded). *)
+
+val train_options : fast:bool -> Twq_nn.Trainer.options
+
+val resnet_like_weight_ensemble :
+  seed:int -> layers:int -> Twq_tensor.Tensor.t list
+(** 3×3 conv weight tensors with per-channel spread mimicking a trained
+    ResNet-34 (the Fig. 1 / Fig. 4 substitution; see DESIGN.md). *)
+
+val train_and_eval :
+  fast:bool ->
+  mode:Twq_nn.Qat_model.conv_mode ->
+  ?kd:bool ->
+  ?seed:int ->
+  unit ->
+  float
+(** Train one model configuration on the shared dataset and return its
+    top-1 test accuracy.  With [kd:true] a freshly-trained FP32 teacher
+    (cached per fast-level) distills into the student. *)
+
+val fp32_reference : fast:bool -> float
+(** Test accuracy of the FP32 baseline (cached). *)
+
+val trained_conv_weights : unit -> Twq_tensor.Tensor.t list
+(** 3×3 conv kernels of an actually trained FP32 model (cheap/fast-level
+    teacher) — mixed into the Fig. 1 / Fig. 4 weight ensembles. *)

@@ -1,0 +1,62 @@
+(** Extension — ablation of the system-level design choices of Sec. IV-B2.
+
+    The paper motivates three dataflow optimisations (iFM broadcast between
+    the cores, decoupled/prefetched buffering, on-the-fly weight
+    transformation) and one deployment lever (DDR5-class bandwidth).  This
+    ablation removes each one and reports the impact on the F4 operator. *)
+
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+module Zoo = Twq_nn.Zoo
+open Twq_sim
+
+let name = "ext-ablation"
+let description = "Extension: ablation of broadcast / buffering / bandwidth"
+
+let layer = { Zoo.name = "abl"; cin = 256; cout = 512; out_h = 32; out_w = 32;
+              k = 3; stride = 1; repeat = 1 }
+
+let sweep = [ (1, 32, 32, 256, 512); (8, 32, 32, 256, 512); (8, 64, 64, 256, 256) ]
+
+let run ?(fast = false) () =
+  let sweep = if fast then [ List.hd sweep ] else sweep in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (batch, h, w, cin, cout) ->
+      let layer = { layer with Zoo.out_h = h; out_w = w; cin; cout } in
+      let base = Arch.default in
+      let variants =
+        [
+          ("baseline (paper config)", base);
+          ("no iFM broadcast", { base with Arch.broadcast = false });
+          ("single AI core", { base with Arch.n_cores = 1; broadcast = false });
+          ("double buffering only (depth 2)", { base with Arch.buffer_depth = 2 });
+          ("no overlap (depth 1)", { base with Arch.buffer_depth = 1 });
+          ("DDR5-class bandwidth (1.5x)", Arch.scale_bandwidth base 1.5);
+          ("half bandwidth", Arch.scale_bandwidth base 0.5);
+        ]
+      in
+      let tbl =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Ablation — F4 operator, B=%d %dx%d Cin=%d Cout=%d" batch h w cin cout)
+          [ "configuration"; "cycles"; "vs baseline"; "SU vs im2col" ]
+      in
+      let baseline_w = Operator.run base (Operator.Winograd Transform.F4) layer ~batch in
+      List.iter
+        (fun (label, arch) ->
+          let wino = Operator.run arch (Operator.Winograd Transform.F4) layer ~batch in
+          let im2col = Operator.run arch Operator.Im2col layer ~batch in
+          Table.add_row tbl
+            [
+              label;
+              Printf.sprintf "%.0f" wino.Operator.cycles;
+              Table.cell_speedup (baseline_w.Operator.cycles /. wino.Operator.cycles);
+              Table.cell_speedup (Operator.speedup ~baseline:im2col wino);
+            ])
+        variants;
+      Buffer.add_string buf (Table.render tbl);
+      Buffer.add_char buf '\n')
+    sweep;
+  Buffer.contents buf

@@ -1,0 +1,72 @@
+(** Extension — transformation-engine design-space table.
+
+    The registry-facing version of the [engine_explorer] example: the
+    area/throughput Pareto of the three engines across styles and
+    replication factors (the Sec. IV-B1 exploration), with the paper's
+    chosen design points marked. *)
+
+module Engine = Twq_hw.Engine
+module AP = Twq_hw.Area_power
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+
+let name = "ext-engines"
+let description = "Extension: engine design-space exploration (Sec. IV-B1)"
+
+let chosen = [ AP.input_engine; AP.weight_engine; AP.output_engine ]
+
+let run ?(fast = false) () =
+  let buf = Buffer.create 4096 in
+  let explore transform label =
+    let tbl =
+      Table.create
+        ~title:(Printf.sprintf "%s engine (F4)" label)
+        [ "style"; "Pc"; "Ps"; "Pt"; "xf/cyc"; "area mm^2"; "mW";
+          "mm^2 per xf/cyc"; "paper's pick" ]
+    in
+    let candidates =
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun pc ->
+              List.map
+                (fun pt ->
+                  { Engine.kind; variant = Transform.F4; transform;
+                    pc; ps = (if transform = Engine.Input && pc = 32 then 2 else 1);
+                    pt })
+                (if kind = Engine.Tap_by_tap then [ 8; 16 ] else [ 1 ]))
+            (if fast then [ 16; 64 ] else [ 8; 16; 32; 64 ]))
+        [ Engine.Row_by_row_slow; Engine.Row_by_row_fast; Engine.Tap_by_tap ]
+    in
+    List.iter
+      (fun cfg ->
+        let style =
+          match cfg.Engine.kind with
+          | Engine.Row_by_row_slow -> "row slow"
+          | Engine.Row_by_row_fast -> "row fast"
+          | Engine.Tap_by_tap -> "tap-by-tap"
+        in
+        let rate = Engine.throughput_xforms_per_cycle cfg in
+        let area = AP.engine_area_mm2 cfg in
+        Table.add_row tbl
+          [
+            style;
+            string_of_int cfg.Engine.pc;
+            string_of_int cfg.Engine.ps;
+            string_of_int cfg.Engine.pt;
+            Printf.sprintf "%.2f" rate;
+            Printf.sprintf "%.3f" area;
+            Printf.sprintf "%.0f" (AP.engine_power_mw cfg);
+            Printf.sprintf "%.3f" (area /. rate);
+            (if List.mem cfg chosen then "<-- paper" else "");
+          ])
+      candidates;
+    Buffer.add_string buf (Table.render tbl);
+    Buffer.add_char buf '\n'
+  in
+  explore Engine.Input "input (B^T x B)";
+  if not fast then begin
+    explore Engine.Weight "weight (G f G^T)";
+    explore Engine.Output "output (A^T Y A)"
+  end;
+  Buffer.contents buf

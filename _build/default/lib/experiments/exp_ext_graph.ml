@@ -1,0 +1,67 @@
+(** Extension — end-to-end graph compilation of a residual network.
+
+    Exercises the full downstream-user flow on an executable ResNet-20
+    graph: BN folding, per-layer kernel selection against the simulator
+    (Sec. V-B5's compiler), and whole-graph integer quantization including
+    the residual adds.  Reports the kernel mix, the conv-level speed-up and
+    the integer-vs-float logit noise. *)
+
+module Graph = Twq_nn.Graph
+module Gmodels = Twq_nn.Gmodels
+module Passes = Twq_nn.Passes
+module Int_graph = Twq_nn.Int_graph
+module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
+module Table = Twq_util.Table
+module GC = Twq_sim.Graph_compiler
+module Zoo = Twq_nn.Zoo
+open Twq_sim
+
+let name = "ext-graph"
+let description = "Extension: graph compiler on ResNet-20 (fold BN, select kernels, quantize)"
+
+let run ?(fast = false) () =
+  let rng = Rng.create 7777 in
+  let width_div = if fast then 4 else 1 in
+  let res = if fast then 16 else 32 in
+  let g = Gmodels.resnet20 ~rng ~classes:10 ~width_div () in
+  let folded = Passes.fold_bn g in
+  let x = Tensor.rand_gaussian rng [| 1; 3; res; res |] ~mu:0.0 ~sigma:1.0 in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "ResNet-20 graph: %d convs, %d BNs -> folded to %d BNs (max err %.1e)\n\n"
+       (Graph.conv_count g) (Passes.bn_count g) (Passes.bn_count folded)
+       (Tensor.max_abs (Tensor.sub (Graph.run g x) (Graph.run folded x))));
+  (* Kernel selection across batch sizes. *)
+  let tbl =
+    Table.create ~title:"per-layer kernel mix under the simulator's compiler"
+      [ "batch"; "im2col"; "F2"; "F4"; "conv speed-up vs all-im2col" ]
+  in
+  List.iter
+    (fun batch ->
+      let choices =
+        GC.select Arch.default folded ~input:[| batch; 3; res; res |] ()
+      in
+      let count k =
+        List.length (List.filter (fun c -> c.GC.kind = k) choices)
+      in
+      Table.add_row tbl
+        [
+          string_of_int batch;
+          string_of_int (count Operator.Im2col);
+          string_of_int (count (Operator.Winograd Twq_winograd.Transform.F2));
+          string_of_int (count (Operator.Winograd Twq_winograd.Transform.F4));
+          Table.cell_speedup (GC.speedup_vs_im2col choices);
+        ])
+    (if fast then [ 1 ] else [ 1; 8; 16 ]);
+  Buffer.add_string buf (Table.render tbl);
+  (* Integer quantization of the whole graph. *)
+  let iq = Int_graph.quantize folded ~calibration:x () in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nint8 graph: %d Winograd + %d spatial layers; logits noise vs float: %.4f\n"
+       (Int_graph.winograd_layer_count iq)
+       (Int_graph.spatial_layer_count iq)
+       (Int_graph.noise_vs_float iq folded x));
+  Buffer.contents buf

@@ -1,0 +1,75 @@
+(** Extension — sparse Winograd combined with tap-wise quantization.
+
+    The paper names "combining pruning with tap-wise quantization" as
+    future work (Sec. VI).  This experiment prunes the tap-wise quantized
+    Winograd-domain weights at several densities and reports the accuracy
+    proxy (RMS noise vs FP32) against the remaining MAC fraction — the
+    operating curve a sparse Winograd accelerator would exploit. *)
+
+module Tensor = Twq_tensor.Tensor
+module Transform = Twq_winograd.Transform
+module Tapwise = Twq_quant.Tapwise
+module Pruning = Twq_quant.Pruning
+module Table = Twq_util.Table
+module Rng = Twq_util.Rng
+
+let name = "ext-sparse"
+let description = "Extension: Winograd-domain pruning on top of tap-wise int8"
+
+let densities = [ 1.0; 0.75; 0.5; 0.4; 0.3; 0.2; 0.1 ]
+
+(* Structured results, consumed by the tests: for each density, the noise
+   of the int8 tap-wise pruned layer and of a pruning-only reference (the
+   same pipeline at 20 Winograd-domain bits, where quantization noise is
+   negligible). *)
+let curve ?(fast = false) () =
+  let rng = Rng.create 9090 in
+  let chans = if fast then 4 else 12 in
+  let hw = if fast then 12 else 24 in
+  let x = Tensor.rand_gaussian rng [| 1; chans; hw; hw |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| chans; chans; 3; 3 |] ~mu:0.0 ~sigma:0.3 in
+  let layer =
+    Tapwise.calibrate
+      ~config:(Tapwise.default_config Transform.F4)
+      ~w ~sample_inputs:[ x ] ~pad:1 ()
+  in
+  let hi_prec =
+    Tapwise.calibrate
+      ~config:{ (Tapwise.default_config Transform.F4) with Tapwise.wino_bits = 20 }
+      ~w ~sample_inputs:[ x ] ~pad:1 ()
+  in
+  List.map
+    (fun d ->
+      let pruned = Pruning.prune_layer layer ~density:d in
+      let pruned_ref = Pruning.prune_layer hi_prec ~density:d in
+      ( d,
+        Pruning.effective_macs_fraction pruned,
+        Tapwise.quantization_noise pruned x ~w,
+        Tapwise.quantization_noise pruned_ref x ~w ))
+    densities
+
+let run ?(fast = false) () =
+  let rows = curve ~fast () in
+  let tbl =
+    Table.create
+      ~title:"Extension — sparse + tap-wise Winograd F4 (int8, pow2 scales)"
+      [ "density"; "winograd MACs kept"; "rms noise int8+prune";
+        "rms noise prune only" ]
+  in
+  List.iter
+    (fun (d, actual, noise, noise_ref) ->
+      Table.add_row tbl
+        [
+          Printf.sprintf "%.0f%%" (100.0 *. d);
+          Printf.sprintf "%.1f%%" (100.0 *. actual);
+          Table.cell_fx 4 noise;
+          Table.cell_fx 4 noise_ref;
+        ])
+    rows;
+  Table.render tbl
+  ^ "\nWithout the retraining flow of Liu et al., unstructured pruning of the\n\
+     (dense, Gaussian-like) Winograd-domain weights degrades quickly; the\n\
+     int8 tap-wise quantization adds almost nothing on top of the pruning\n\
+     error at any density — the two techniques compose, but the sparsity\n\
+     itself has to come from sparsity-aware training (the paper's stated\n\
+     future work).\n"

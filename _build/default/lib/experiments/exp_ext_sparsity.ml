@@ -1,0 +1,102 @@
+(** Extension — activation/weight sparsity across domains.
+
+    Sec. V-B2 of the paper explains the higher Winograd-kernel switching
+    power by "the lower sparsity of activations and weights in the Winograd
+    domain".  This experiment measures it: the zero/near-zero fraction of
+    post-ReLU activations and of trained-like weights, before and after the
+    [Bᵀ·B] / [G·Gᵀ] transforms, for F2 and F4. *)
+
+module Tensor = Twq_tensor.Tensor
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+module Rng = Twq_util.Rng
+module Ops = Twq_tensor.Ops
+
+let name = "ext-sparsity"
+let description = "Extension: sparsity in spatial vs Winograd domain (Sec. V-B2 power claim)"
+
+let density ?(eps = 1e-6) (t : Tensor.t) =
+  let nz =
+    Array.fold_left
+      (fun a v -> if Float.abs v > eps then a + 1 else a)
+      0 t.Tensor.data
+  in
+  float_of_int nz /. float_of_int (Tensor.numel t)
+
+let tile_density variant ~transform x =
+  (* Density of the transformed t×t tiles covering the map. *)
+  let t = Transform.t variant and m = Transform.m variant in
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let nz = ref 0 and total = ref 0 in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      let th = (h + m - 1) / m and tw = (w + m - 1) / m in
+      for a = 0 to th - 1 do
+        for b = 0 to tw - 1 do
+          let tile =
+            Tensor.init [| t; t |] (fun idx ->
+                let hi = (a * m) + idx.(0) - 1 and wi = (b * m) + idx.(1) - 1 in
+                if hi < 0 || hi >= h || wi < 0 || wi >= w then 0.0
+                else Tensor.get4 x ni ci hi wi)
+          in
+          let xt = transform variant tile in
+          Tensor.iteri_flat
+            (fun _ v ->
+              incr total;
+              if Float.abs v > 1e-6 then incr nz)
+            xt
+        done
+      done
+    done
+  done;
+  float_of_int !nz /. float_of_int !total
+
+let run ?(fast = false) () =
+  let rng = Rng.create 6060 in
+  let chans = if fast then 4 else 16 in
+  let hw = if fast then 12 else 32 in
+  (* Post-ReLU activations: about half the entries are exactly zero. *)
+  let acts = Ops.relu (Tensor.rand_gaussian rng [| 1; chans; hw; hw |] ~mu:0.0 ~sigma:1.0) in
+  (* Trained-like weights with a mild magnitude-pruned tail. *)
+  let w =
+    Tensor.map
+      (fun v -> if Float.abs v < 0.05 then 0.0 else v)
+      (Tensor.rand_gaussian rng [| chans; chans; 3; 3 |] ~mu:0.0 ~sigma:0.2)
+  in
+  let weight_density variant =
+    let nz = ref 0 and total = ref 0 in
+    for co = 0 to chans - 1 do
+      for ci = 0 to chans - 1 do
+        let f = Tensor.init [| 3; 3 |] (fun i -> Tensor.get4 w co ci i.(0) i.(1)) in
+        let wt = Transform.weight_tile variant f in
+        Tensor.iteri_flat
+          (fun _ v ->
+            incr total;
+            if Float.abs v > 1e-6 then incr nz)
+          wt
+      done
+    done;
+    float_of_int !nz /. float_of_int !total
+  in
+  let tbl =
+    Table.create
+      ~title:"non-zero density (higher density = more switching activity)"
+      [ "tensor"; "spatial"; "winograd F2"; "winograd F4" ]
+  in
+  Table.add_row tbl
+    [ "post-ReLU activations";
+      Printf.sprintf "%.0f%%" (100.0 *. density acts);
+      Printf.sprintf "%.0f%%"
+        (100.0 *. tile_density Transform.F2 ~transform:Transform.input_tile acts);
+      Printf.sprintf "%.0f%%"
+        (100.0 *. tile_density Transform.F4 ~transform:Transform.input_tile acts) ];
+  Table.add_row tbl
+    [ "weights (5% pruned tail)";
+      Printf.sprintf "%.0f%%" (100.0 *. density w);
+      Printf.sprintf "%.0f%%" (100.0 *. weight_density Transform.F2);
+      Printf.sprintf "%.0f%%" (100.0 *. weight_density Transform.F4) ];
+  Table.render tbl
+  ^ "\nThe transforms densify both operands (zeros mix into every tap),\n\
+     which is why the paper measures 1.26x higher Cube switching power for\n\
+     the Winograd kernel despite 4x fewer active cycles (Sec. V-B2).\n"

@@ -1,0 +1,56 @@
+(** Fig. 5 — cycle-usage breakdown of im2col vs Winograd F4 on selected
+    workloads (per-resource busy cycles, normalised to the im2col
+    end-to-end time). *)
+
+module Zoo = Twq_nn.Zoo
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+open Twq_sim
+
+let name = "fig5"
+let description = "Fig. 5: cycle breakdown, im2col vs Winograd F4"
+
+let workloads =
+  [ (1, 256, 256, 32); (1, 512, 512, 32); (8, 256, 256, 32); (8, 512, 512, 64) ]
+
+let layer cin cout hw =
+  { Zoo.name = "w"; cin; cout; out_h = hw; out_w = hw; k = 3; stride = 1; repeat = 1 }
+
+let run ?(fast = false) () =
+  let workloads = if fast then [ List.hd workloads ] else workloads in
+  let arch = Arch.default in
+  let buf = Buffer.create 2048 in
+  List.iter
+    (fun (batch, cin, cout, hw) ->
+      let l = layer cin cout hw in
+      let i = Operator.run arch Operator.Im2col l ~batch in
+      let w = Operator.run arch (Operator.Winograd Transform.F4) l ~batch in
+      let tbl =
+        Table.create
+          ~title:
+            (Printf.sprintf
+               "Fig. 5 — B=%d %dx%d Cin=%d Cout=%d (busy cycles, %% of im2col time)"
+               batch hw hw cin cout)
+          [ "resource"; "im2col"; "winograd F4" ]
+      in
+      let norm = i.Operator.cycles in
+      let lookup r busy = Option.value ~default:0.0 (List.assoc_opt r busy) in
+      List.iter
+        (fun r ->
+          Table.add_row tbl
+            [
+              r;
+              Printf.sprintf "%.1f%%" (100.0 *. lookup r i.Operator.busy /. norm);
+              Printf.sprintf "%.1f%%" (100.0 *. lookup r w.Operator.busy /. norm);
+            ])
+        [ "dram"; "wt-xform"; "in-xform"; "cube"; "out-xform"; "vector" ];
+      Table.add_sep tbl;
+      Table.add_row tbl
+        [ "total time"; "100.0%";
+          Printf.sprintf "%.1f%% (%.2fx speed-up)"
+            (100.0 *. w.Operator.cycles /. norm)
+            (norm /. w.Operator.cycles) ];
+      Buffer.add_string buf (Table.render tbl);
+      Buffer.add_char buf '\n')
+    workloads;
+  Buffer.contents buf

@@ -1,0 +1,77 @@
+(** Fig. 6 — memory accesses and energy breakdown of the Winograd F4
+    operator, normalised to im2col, averaged over the Winograd layers of
+    the evaluation networks. *)
+
+module Zoo = Twq_nn.Zoo
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+open Twq_sim
+
+let name = "fig6"
+let description = "Fig. 6: memory accesses and energy of F4 vs im2col"
+
+let networks ~fast : (?resolution:int -> unit -> Zoo.network) list =
+  if fast then [ Zoo.resnet34 ]
+  else [ Zoo.resnet34; Zoo.ssd_vgg16; Zoo.yolov3; Zoo.unet ]
+
+let run ?(fast = false) () =
+  let arch = Arch.default in
+  let acc_i = ref [] and acc_w = ref [] in
+  List.iter
+    (fun build ->
+      let net = build ?resolution:None () in
+      List.iter
+        (fun l ->
+          if Zoo.winograd_eligible l then begin
+            acc_i := Operator.run arch Operator.Im2col l ~batch:1 :: !acc_i;
+            acc_w :=
+              Operator.run arch (Operator.Winograd Transform.F4) l ~batch:1 :: !acc_w
+          end)
+        net.Zoo.layers)
+    (networks ~fast);
+  let sum f rs = List.fold_left (fun a r -> a +. f r) 0.0 rs in
+  let ratio_cell f =
+    let base = sum f !acc_i in
+    if base < 1.0 then "n/a (im2col: 0)"
+    else Twq_util.Table.cell_f (sum f !acc_w /. base)
+  in
+  let ratio f = sum f !acc_w /. Float.max 1.0 (sum f !acc_i) in
+  let t f = fun (r : Operator.result) -> f r.Operator.traffic in
+  let tbl =
+    Table.create ~title:"Fig. 6 (left) — memory accesses of F4, normalised to im2col"
+      [ "traffic"; "F4 / im2col" ]
+  in
+  List.iter
+    (fun (label, f) -> Table.add_row tbl [ label; ratio_cell f ])
+    [
+      ("GM rd iFM", t (fun x -> x.Operator.gm_rd_ifm));
+      ("GM rd weights", t (fun x -> x.Operator.gm_rd_wt));
+      ("GM wr oFM", t (fun x -> x.Operator.gm_wr_ofm));
+      ("L1 wr iFM", t (fun x -> x.Operator.l1_wr_ifm));
+      ("L1 rd iFM", t (fun x -> x.Operator.l1_rd_ifm));
+      ("L1 rd+wr weights", t (fun x -> x.Operator.l1_rd_wt +. x.Operator.l1_wr_wt));
+      ("L0A wr", t (fun x -> x.Operator.l0a_wr));
+      ("L0A rd", t (fun x -> x.Operator.l0a_rd));
+      ("L0B rd+wr", t (fun x -> x.Operator.l0b_rd +. x.Operator.l0b_wr));
+      ("L0C wr", t (fun x -> x.Operator.l0c_wr));
+      ("L0C rd (FixPipe)", t (fun x -> x.Operator.l0c_rd_fixpipe));
+    ];
+  let e f = fun (r : Operator.result) -> f r.Operator.energy in
+  let tbl2 =
+    Table.create ~title:"Fig. 6 (right) — energy of F4, normalised to im2col"
+      [ "component"; "F4 / im2col" ]
+  in
+  List.iter
+    (fun (label, f) -> Table.add_row tbl2 [ label; Table.cell_f (ratio f) ])
+    [
+      ("Cube", e (fun x -> x.Operator.e_cube));
+      ("xform engines", e (fun x -> x.Operator.e_engines));
+      ("Vector", e (fun x -> x.Operator.e_vector));
+      ("SRAM", e (fun x -> x.Operator.e_sram));
+      ("DRAM", e (fun x -> x.Operator.e_dram));
+      ("total", e (fun x -> x.Operator.e_total));
+    ];
+  Table.render tbl ^ "\n" ^ Table.render tbl2
+  ^ Printf.sprintf
+      "\ntotal F4 energy on Winograd layers: %.2fx of im2col (paper: >2x reduction)\n"
+      (ratio (e (fun x -> x.Operator.e_total)))

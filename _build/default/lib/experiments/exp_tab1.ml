@@ -1,0 +1,55 @@
+(** Table I — performance/bandwidth model of the transformation engines. *)
+
+module Engine = Twq_hw.Engine
+module Dfg = Twq_hw.Dfg
+module Table = Twq_util.Table
+module Transform = Twq_winograd.Transform
+
+let name = "tab1"
+let description = "Table I: cycles and bandwidth of the transformation engines"
+
+let run ?(fast = false) () =
+  ignore fast;
+  let tbl =
+    Table.create ~title:"Table I — Winograd transformation engines (F4)"
+      [ "engine"; "style"; "cyc/xform"; "parallel"; "RD B/cyc"; "WR B/cyc";
+        "adders"; "shifters" ]
+  in
+  let row label cfg style =
+    let r = Engine.resources cfg in
+    Table.add_row tbl
+      [
+        label;
+        style;
+        string_of_int (Engine.cycles_per_xform cfg);
+        string_of_int (Engine.parallel_xforms cfg);
+        string_of_int (Engine.read_bw cfg);
+        string_of_int (Engine.write_bw cfg);
+        string_of_int r.Engine.adders;
+        string_of_int r.Engine.shifters;
+      ]
+  in
+  let base transform pc ps =
+    { Engine.kind = Engine.Row_by_row_slow; variant = Transform.F4; transform; pc; ps; pt = 1 }
+  in
+  row "input (32x2)" (base Engine.Input 32 2) "row-by-row slow";
+  row "input (32x2)" { (base Engine.Input 32 2) with Engine.kind = Engine.Row_by_row_fast } "row-by-row fast";
+  row "output (16x1)" (base Engine.Output 16 1) "row-by-row slow";
+  row "output (16x1)" { (base Engine.Output 16 1) with Engine.kind = Engine.Row_by_row_fast } "row-by-row fast";
+  row "weight (64x16)"
+    { Engine.kind = Engine.Tap_by_tap; variant = Transform.F4;
+      transform = Engine.Weight; pc = 64; ps = 1; pt = 16 }
+    "tap-by-tap";
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Table.render tbl);
+  (* CSE statistics behind the "T dependent" tap-by-tap cycle count. *)
+  let pass =
+    Engine.dfg_pass
+      { Engine.kind = Engine.Tap_by_tap; variant = Transform.F4;
+        transform = Engine.Weight; pc = 1; ps = 1; pt = 1 }
+  in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "\nweight 1-D pass DFG: %d ops, %d adders after CSE, depth %d\n"
+       (Dfg.op_count pass) (Dfg.adder_count pass) (Dfg.depth pass));
+  Buffer.contents buf

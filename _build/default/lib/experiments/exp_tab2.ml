@@ -1,0 +1,120 @@
+(** Table II — ablation study of tap-wise quantization.
+
+    The paper trains ResNet-34 on ImageNet; this reproduction trains the
+    stand-in CNN on SynthImages (see DESIGN.md).  Rows follow the paper:
+    algorithm (im2col/F2/F4), tap-wise on/off, power-of-two scales on/off,
+    log2-gradient scale learning, knowledge distillation, and int8 vs
+    int8/10 in the Winograd domain.  Absolute accuracies differ from the
+    paper; the *ordering* of configurations is the reproduced result. *)
+
+module Qat_model = Twq_nn.Qat_model
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+
+let name = "tab2"
+let description = "Table II: ablation of tap-wise quantization (QAT on SynthImages)"
+
+type row = {
+  alg : string;
+  tapwise : bool;
+  pow2 : bool;
+  log2_grad : bool;
+  kd : bool;
+  bits : string;
+  mode : Qat_model.conv_mode option;  (* None = FP32 baseline *)
+}
+
+let wa variant ~wino_bits ~tapwise ~pow2 ~learned =
+  Qat_model.Wa { Qat_model.variant; wino_bits; tapwise; pow2; learned }
+
+let rows =
+  [
+    { alg = "im2col"; tapwise = false; pow2 = false; log2_grad = false; kd = false;
+      bits = "FP32"; mode = None };
+    { alg = "im2col"; tapwise = false; pow2 = false; log2_grad = false; kd = false;
+      bits = "8"; mode = Some Qat_model.Int8_spatial };
+    { alg = "F2"; tapwise = false; pow2 = false; log2_grad = false; kd = false;
+      bits = "8";
+      mode = Some (wa Transform.F2 ~wino_bits:8 ~tapwise:false ~pow2:false ~learned:false) };
+    { alg = "F2"; tapwise = false; pow2 = false; log2_grad = false; kd = false;
+      bits = "8/10";
+      mode = Some (wa Transform.F2 ~wino_bits:10 ~tapwise:false ~pow2:false ~learned:false) };
+    { alg = "F4"; tapwise = false; pow2 = false; log2_grad = false; kd = true;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:false ~pow2:false ~learned:false) };
+    { alg = "F4"; tapwise = false; pow2 = false; log2_grad = false; kd = true;
+      bits = "8/10";
+      mode = Some (wa Transform.F4 ~wino_bits:10 ~tapwise:false ~pow2:false ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = false; log2_grad = false; kd = false;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:true ~pow2:false ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = false; log2_grad = false; kd = false;
+      bits = "8/10";
+      mode = Some (wa Transform.F4 ~wino_bits:10 ~tapwise:true ~pow2:false ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = false; log2_grad = false; kd = true;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:true ~pow2:false ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = false; kd = false;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:true ~pow2:true ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = false; kd = false;
+      bits = "8/10";
+      mode = Some (wa Transform.F4 ~wino_bits:10 ~tapwise:true ~pow2:true ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = true; kd = false;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:true ~pow2:true ~learned:true) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = true; kd = false;
+      bits = "8/10";
+      mode = Some (wa Transform.F4 ~wino_bits:10 ~tapwise:true ~pow2:true ~learned:true) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = false; kd = true;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:true ~pow2:true ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = false; kd = true;
+      bits = "8/10";
+      mode = Some (wa Transform.F4 ~wino_bits:10 ~tapwise:true ~pow2:true ~learned:false) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = true; kd = true;
+      bits = "8";
+      mode = Some (wa Transform.F4 ~wino_bits:8 ~tapwise:true ~pow2:true ~learned:true) };
+    { alg = "F4"; tapwise = true; pow2 = true; log2_grad = true; kd = true;
+      bits = "8/10";
+      mode = Some (wa Transform.F4 ~wino_bits:10 ~tapwise:true ~pow2:true ~learned:true) };
+  ]
+
+let check b = if b then "x" else ""
+
+(* Structured result, also consumed by the integration tests. *)
+let accuracies ?(fast = false) () =
+  let ref_acc = Exp_common.fp32_reference ~fast in
+  List.map
+    (fun r ->
+      let acc =
+        match r.mode with
+        | None -> ref_acc
+        | Some mode -> Exp_common.train_and_eval ~fast ~mode ~kd:r.kd ()
+      in
+      (r, acc))
+    rows
+
+let run ?(fast = false) () =
+  let results = accuracies ~fast () in
+  let ref_acc = Exp_common.fp32_reference ~fast in
+  let tbl =
+    Table.create
+      ~title:"Table II — ablation (stand-in CNN on SynthImages; top-1 %)"
+      [ "Alg."; "tap"; "2^x"; "log2-grad"; "KD"; "intn"; "Top-1"; "delta" ]
+  in
+  List.iter
+    (fun (r, acc) ->
+      Table.add_row tbl
+        [
+          r.alg;
+          check r.tapwise;
+          check r.pow2;
+          check r.log2_grad;
+          check r.kd;
+          r.bits;
+          Table.cell_fx 1 (100.0 *. acc);
+          Table.cell_fx 1 (100.0 *. (acc -. ref_acc));
+        ])
+    results;
+  Table.render tbl

@@ -1,0 +1,78 @@
+(** Table IV — throughput of the Winograd operator vs im2col over the
+    63-layer synthetic 3×3 Conv2D suite. *)
+
+module Zoo = Twq_nn.Zoo
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+open Twq_sim
+
+let name = "tab4"
+let description =
+  "Table IV: Winograd/im2col speed-up over the synthetic Conv2D suite \
+   (+ F6 extension grid)"
+
+let channel_pairs =
+  [ (64, 64); (64, 128); (128, 128); (128, 192); (128, 256); (192, 384);
+    (256, 256); (256, 512); (512, 512) ]
+
+let resolutions = [ 16; 32; 64; 128 ]
+let batches = [ 1; 8 ]
+
+let layer cin cout hw =
+  { Zoo.name = "synthetic"; cin; cout; out_h = hw; out_w = hw; k = 3;
+    stride = 1; repeat = 1 }
+
+let speedup arch variant ~batch ~cin ~cout ~hw =
+  let l = layer cin cout hw in
+  let i = Operator.run arch Operator.Im2col l ~batch in
+  let w = Operator.run arch (Operator.Winograd variant) l ~batch in
+  Operator.speedup ~baseline:i w
+
+(* Grid consumed by the tests as well. *)
+let grid ?(fast = false) ?(variant = Transform.F4) () =
+  let resolutions = if fast then [ 16; 32 ] else resolutions in
+  let pairs = if fast then [ (64, 64); (256, 256) ] else channel_pairs in
+  let arch = Arch.default in
+  List.map
+    (fun batch ->
+      ( batch,
+        List.map
+          (fun hw ->
+            (hw, List.map (fun (cin, cout) ->
+                     ((cin, cout), speedup arch variant ~batch ~cin ~cout ~hw))
+                   pairs) )
+          resolutions ))
+    batches
+
+let run ?(fast = false) () =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun variant ->
+      let g = grid ~fast ~variant () in
+      List.iter
+        (fun (batch, per_res) ->
+          let _, first_row = List.hd per_res in
+          let headers =
+            "H,W"
+            :: List.map (fun ((cin, cout), _) -> Printf.sprintf "%d/%d" cin cout) first_row
+          in
+          let tbl =
+            Table.create
+              ~title:
+                (Printf.sprintf
+                   "Table IV — %s vs im2col speed-up (B=%d; cols are Cin/Cout)"
+                   (Transform.name variant) batch)
+              headers
+          in
+          List.iter
+            (fun (hw, cells) ->
+              Table.add_row tbl
+                (string_of_int hw
+                :: List.map (fun (_, su) -> Table.cell_f su) cells))
+            per_res;
+          Buffer.add_string buf (Table.render tbl);
+          Buffer.add_char buf '\n')
+        g)
+    (if fast then [ Transform.F4 ]
+     else [ Transform.F4; Transform.F2; Transform.F6 ]);
+  Buffer.contents buf

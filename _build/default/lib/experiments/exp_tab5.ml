@@ -1,0 +1,59 @@
+(** Table V — AI-core area and power breakdown. *)
+
+module AP = Twq_hw.Area_power
+module Engine = Twq_hw.Engine
+module Table = Twq_util.Table
+
+let name = "tab5"
+let description = "Table V: AI-core area/power breakdown and TOp/s/W"
+
+let run ?(fast = false) () =
+  ignore fast;
+  let total = AP.core_area_mm2 in
+  let pct a = Printf.sprintf "%.1f%%" (100.0 *. a /. total) in
+  let tbl =
+    Table.create ~title:"Table V — AI core breakdown (0.8 V, 500 MHz)"
+      [ "unit"; "area mm^2"; "share"; "peak power mW" ]
+  in
+  Table.add_row tbl
+    [ "Cube"; Table.cell_f AP.cube_area_mm2; pct AP.cube_area_mm2;
+      Printf.sprintf "%.0f (im2col) / %.0f (F4)" AP.cube_power_mw_im2col
+        AP.cube_power_mw_winograd ];
+  Table.add_row tbl
+    [ "MTE1 im2col"; Table.cell_f AP.im2col_engine_area_mm2;
+      pct AP.im2col_engine_area_mm2; Table.cell_fx 0 AP.im2col_engine_power_mw ];
+  let engine label cfg =
+    Table.add_row tbl
+      [ label; Table.cell_f (AP.engine_area_mm2 cfg); pct (AP.engine_area_mm2 cfg);
+        Table.cell_fx 0 (AP.engine_power_mw cfg) ]
+  in
+  engine "MTE1 IN_XFORM" AP.input_engine;
+  engine "MTE1 WT_XFORM" AP.weight_engine;
+  engine "FIX_PIPE OUT_XFORM" AP.output_engine;
+  Table.add_sep tbl;
+  let mem label m =
+    match (AP.mem_size_kb m, AP.mem_area_mm2 m) with
+    | Some kb, Some a ->
+        Table.add_row tbl
+          [ Printf.sprintf "%s (%d kB)" label kb; Table.cell_f a; pct a;
+            Printf.sprintf "rd %.2f / wr %.2f pJ/B" (AP.rd_pj_per_byte m)
+              (AP.wr_pj_per_byte m) ]
+    | _ -> ()
+  in
+  mem "L0A" AP.L0A;
+  mem "L0B" AP.L0B;
+  mem "L0C" AP.L0C_portA;
+  mem "L1" AP.L1;
+  mem "UB" AP.UB;
+  let engines_total =
+    AP.engine_area_mm2 AP.input_engine +. AP.engine_area_mm2 AP.weight_engine
+    +. AP.engine_area_mm2 AP.output_engine
+  in
+  Table.render tbl
+  ^ Printf.sprintf
+      "\nWinograd engines: %.2f mm^2 = %.1f%% of the core (paper: 6.1%%)\n\
+       Cube TOp/s/W: %.2f (im2col) / %.2f (F4 spatial-equivalent; paper: 5.39 / 17.04)\n"
+      engines_total
+      (100.0 *. engines_total /. total)
+      (AP.cube_tops_per_watt ~winograd:false)
+      (AP.cube_tops_per_watt ~winograd:true)

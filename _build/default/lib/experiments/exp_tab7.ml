@@ -1,0 +1,99 @@
+(** Table VII — full-network throughput and energy efficiency across the
+    seven evaluation CNNs, including the DDR5 (1.5× bandwidth) study. *)
+
+module Zoo = Twq_nn.Zoo
+module Transform = Twq_winograd.Transform
+module Table = Twq_util.Table
+open Twq_sim
+
+let name = "tab7"
+let description = "Table VII: end-to-end throughput and energy efficiency"
+
+let configs : (string * (?resolution:int -> unit -> Zoo.network) * int * int option) list =
+  [
+    ("ResNet-34", Zoo.resnet34, 1, Some 224);
+    ("ResNet-50", Zoo.resnet50, 1, Some 224);
+    ("RetinaNet-R-50", Zoo.retinanet_r50, 1, Some 800);
+    ("SSD-VGG-16", Zoo.ssd_vgg16, 1, Some 300);
+    ("UNet", Zoo.unet, 1, Some 572);
+    ("YOLOv3", Zoo.yolov3, 1, Some 256);
+    ("YOLOv3", Zoo.yolov3, 1, Some 416);
+    ("SSD-VGG-16", Zoo.ssd_vgg16, 8, Some 300);
+    ("YOLOv3", Zoo.yolov3, 8, Some 256);
+    ("ResNet-34", Zoo.resnet34, 16, Some 224);
+    ("ResNet-50", Zoo.resnet50, 16, Some 224);
+    ("YOLOv3", Zoo.yolov3, 16, Some 256);
+  ]
+
+type row = {
+  label : string;
+  batch : int;
+  resolution : int;
+  im2col : Network_runner.run;
+  f2 : Network_runner.run;
+  f4 : Network_runner.run;
+  f4_ddr5_gain : float;  (** F4 vs im2col with 1.5× bandwidth *)
+  f2_ddr5_gain : float;
+  layer_su_f2 : float;
+  layer_su_f4 : float;
+}
+
+let evaluate ?(fast = false) () =
+  let configs = if fast then [ List.nth configs 0; List.nth configs 5 ] else configs in
+  let arch = Arch.default in
+  let ddr5 = Arch.scale_bandwidth arch 1.5 in
+  List.map
+    (fun (label, build, batch, resolution) ->
+      let net = build ?resolution () in
+      let im2col = Network_runner.run arch Network_runner.P_im2col net ~batch in
+      let f2 = Network_runner.run arch (Network_runner.P_winograd Transform.F2) net ~batch in
+      let f4 = Network_runner.run arch (Network_runner.P_winograd Transform.F4) net ~batch in
+      let i5 = Network_runner.run ddr5 Network_runner.P_im2col net ~batch in
+      let f45 = Network_runner.run ddr5 (Network_runner.P_winograd Transform.F4) net ~batch in
+      let f25 = Network_runner.run ddr5 (Network_runner.P_winograd Transform.F2) net ~batch in
+      {
+        label;
+        batch;
+        resolution = net.Zoo.resolution;
+        im2col;
+        f2;
+        f4;
+        f4_ddr5_gain =
+          f45.Network_runner.throughput_imgs_per_s /. i5.Network_runner.throughput_imgs_per_s;
+        f2_ddr5_gain =
+          f25.Network_runner.throughput_imgs_per_s /. i5.Network_runner.throughput_imgs_per_s;
+        layer_su_f2 = Network_runner.winograd_layer_speedup arch Transform.F2 net ~batch;
+        layer_su_f4 = Network_runner.winograd_layer_speedup arch Transform.F4 net ~batch;
+      })
+    configs
+
+let run ?(fast = false) () =
+  let rows = evaluate ~fast () in
+  let tbl =
+    Table.create
+      ~title:
+        "Table VII — throughput [imgs/s] and gains (parenthesised: Winograd layers only)"
+      [ "network"; "B"; "res"; "im2col"; "F2"; "F4"; "F2 vs i2c"; "F4 vs i2c";
+        "F4 vs F2"; "*F4 vs i2c (DDR5)"; "Eff F4 vs i2c" ]
+  in
+  List.iter
+    (fun r ->
+      let th run = run.Network_runner.throughput_imgs_per_s in
+      Table.add_row tbl
+        [
+          r.label;
+          string_of_int r.batch;
+          string_of_int r.resolution;
+          Table.cell_fx 0 (th r.im2col);
+          Table.cell_fx 0 (th r.f2);
+          Table.cell_fx 0 (th r.f4);
+          Printf.sprintf "%.2fx (%.2fx)" (th r.f2 /. th r.im2col) r.layer_su_f2;
+          Printf.sprintf "%.2fx (%.2fx)" (th r.f4 /. th r.im2col) r.layer_su_f4;
+          Table.cell_speedup (th r.f4 /. th r.f2);
+          Table.cell_speedup r.f4_ddr5_gain;
+          Table.cell_speedup
+            (r.f4.Network_runner.inferences_per_joule
+            /. r.im2col.Network_runner.inferences_per_joule);
+        ])
+    rows;
+  Table.render tbl

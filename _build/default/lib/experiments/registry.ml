@@ -1,0 +1,32 @@
+type t = {
+  name : string;
+  description : string;
+  run : ?fast:bool -> unit -> string;
+}
+
+let all =
+  [
+    { name = Exp_fig1.name; description = Exp_fig1.description; run = Exp_fig1.run };
+    { name = Exp_tab1.name; description = Exp_tab1.description; run = Exp_tab1.run };
+    { name = Exp_tab2.name; description = Exp_tab2.description; run = Exp_tab2.run };
+    { name = Exp_tab3.name; description = Exp_tab3.description; run = Exp_tab3.run };
+    { name = Exp_fig4.name; description = Exp_fig4.description; run = Exp_fig4.run };
+    { name = Exp_tab4.name; description = Exp_tab4.description; run = Exp_tab4.run };
+    { name = Exp_tab5.name; description = Exp_tab5.description; run = Exp_tab5.run };
+    { name = Exp_fig5.name; description = Exp_fig5.description; run = Exp_fig5.run };
+    { name = Exp_tab6.name; description = Exp_tab6.description; run = Exp_tab6.run };
+    { name = Exp_tab7.name; description = Exp_tab7.description; run = Exp_tab7.run };
+    { name = Exp_fig6.name; description = Exp_fig6.description; run = Exp_fig6.run };
+    { name = Exp_ext_tiles.name; description = Exp_ext_tiles.description; run = Exp_ext_tiles.run };
+    { name = Exp_ext_stride.name; description = Exp_ext_stride.description; run = Exp_ext_stride.run };
+    { name = Exp_ext_sparse.name; description = Exp_ext_sparse.description; run = Exp_ext_sparse.run };
+    { name = Exp_ext_ablation.name; description = Exp_ext_ablation.description; run = Exp_ext_ablation.run };
+    { name = Exp_ext_points.name; description = Exp_ext_points.description; run = Exp_ext_points.run };
+    { name = Exp_ext_graph.name; description = Exp_ext_graph.description; run = Exp_ext_graph.run };
+    { name = Exp_ext_validate.name; description = Exp_ext_validate.description; run = Exp_ext_validate.run };
+    { name = Exp_ext_zoo.name; description = Exp_ext_zoo.description; run = Exp_ext_zoo.run };
+    { name = Exp_ext_engines.name; description = Exp_ext_engines.description; run = Exp_ext_engines.run };
+    { name = Exp_ext_sparsity.name; description = Exp_ext_sparsity.description; run = Exp_ext_sparsity.run };
+  ]
+
+let find name = List.find_opt (fun e -> e.name = name) all

@@ -1,0 +1,11 @@
+(** Registry of all experiment harnesses (one per paper table/figure). *)
+
+type t = {
+  name : string;         (** e.g. ["tab4"] *)
+  description : string;
+  run : ?fast:bool -> unit -> string;
+}
+
+val all : t list
+
+val find : string -> t option

@@ -1,0 +1,1 @@
+lib/hw/area_power.ml: Engine Twq_winograd

@@ -1,0 +1,1 @@
+lib/hw/area_power.mli: Engine

@@ -1,0 +1,1 @@
+lib/hw/dfg.ml: Array Float Hashtbl List Option Stdlib Twq_util

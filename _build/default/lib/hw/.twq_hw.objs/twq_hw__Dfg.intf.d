@@ -1,0 +1,1 @@
+lib/hw/dfg.mli: Twq_util

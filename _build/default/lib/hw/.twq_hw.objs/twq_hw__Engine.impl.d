@@ -1,0 +1,1 @@
+lib/hw/engine.ml: Dfg Twq_util Twq_winograd

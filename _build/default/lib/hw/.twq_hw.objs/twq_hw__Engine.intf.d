@@ -1,0 +1,1 @@
+lib/hw/engine.mli: Dfg Twq_util Twq_winograd

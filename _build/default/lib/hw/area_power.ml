@@ -1,0 +1,100 @@
+module Transform = Twq_winograd.Transform
+
+let clock_hz = 500e6
+
+let input_engine =
+  { Engine.kind = Engine.Row_by_row_fast; variant = Transform.F4;
+    transform = Engine.Input; pc = 32; ps = 2; pt = 1 }
+
+let weight_engine =
+  { Engine.kind = Engine.Tap_by_tap; variant = Transform.F4;
+    transform = Engine.Weight; pc = 64; ps = 1; pt = 16 }
+
+let output_engine =
+  { Engine.kind = Engine.Row_by_row_fast; variant = Transform.F4;
+    transform = Engine.Output; pc = 16; ps = 1; pt = 1 }
+
+(* Post-place-and-route anchors from Table V: (area mm², power mW). *)
+let anchor_of = function
+  | Engine.Input -> (input_engine, 0.23, 145.0)
+  | Engine.Weight -> (weight_engine, 0.32, 228.0)
+  | Engine.Output -> (output_engine, 0.10, 114.0)
+
+(* Weighted resource count: adders dominate, registers next, hardwired
+   shifters are nearly free. *)
+let resource_weight (r : Engine.resources) =
+  float_of_int r.Engine.adders +. (0.5 *. float_of_int r.Engine.registers)
+  +. (0.1 *. float_of_int r.Engine.shifters)
+
+let scale_to_anchor cfg =
+  let anchor_cfg, area, power = anchor_of cfg.Engine.transform in
+  let ratio =
+    resource_weight (Engine.resources cfg)
+    /. resource_weight (Engine.resources anchor_cfg)
+  in
+  (area *. ratio, power *. ratio)
+
+let engine_area_mm2 cfg = fst (scale_to_anchor cfg)
+let engine_power_mw cfg = snd (scale_to_anchor cfg)
+
+let cube_area_mm2 = 2.04
+let cube_power_mw_im2col = 1521.0
+let cube_power_mw_winograd = 1923.0
+let im2col_engine_area_mm2 = 0.03
+let im2col_engine_power_mw = 30.0
+
+(* Not reported in Table V; estimated at roughly 1/5 of the Cube for a
+   256-B SIMD datapath at the same node. *)
+let vector_power_mw = 300.0
+
+(* Cube is 19.2% of the core. *)
+let core_area_mm2 = cube_area_mm2 /. 0.192
+
+type mem = L0A | L0B | L0C_portA | L0C_portB_im2col | L0C_portB_winograd | L1 | UB | GM
+
+let mem_size_kb = function
+  | L0A | L0B -> Some 64
+  | L0C_portA | L0C_portB_im2col | L0C_portB_winograd -> Some 288
+  | L1 -> Some 1024
+  | UB -> Some 256
+  | GM -> None
+
+let mem_area_mm2 = function
+  | L0A | L0B -> Some 0.32
+  | L0C_portA | L0C_portB_im2col | L0C_portB_winograd -> Some 0.61
+  | L1 -> Some 1.24
+  | UB -> Some 0.55
+  | GM -> None
+
+let rd_pj_per_byte = function
+  | L0A -> 0.22
+  | L0B -> 0.22
+  | L0C_portA -> 0.23
+  | L0C_portB_im2col -> 0.31
+  | L0C_portB_winograd -> 0.69
+  (* ~3× the L0B cost (Sec. V-B5), including bank-conflict logic. *)
+  | L1 -> 0.66
+  | UB -> 0.30
+  (* LPDDR4x access energy, controller + IO included. *)
+  | GM -> 20.0
+
+let wr_pj_per_byte = function
+  | L0A -> 0.24
+  | L0B -> 0.24
+  | L0C_portA -> 0.29
+  | L0C_portB_im2col -> 0.31
+  | L0C_portB_winograd -> 0.69
+  | L1 -> 0.72
+  | UB -> 0.32
+  | GM -> 20.0
+
+let energy_pj_of_cycles ~power_mw cycles =
+  (* P[mW] × cycles / f[Hz] = mJ·cycles/Hz → pJ: ×1e9. *)
+  power_mw *. cycles /. clock_hz *. 1e9
+
+let cube_tops_per_watt ~winograd =
+  (* The Cube performs 2·16·16·32 int8 ops per cycle. *)
+  let ops_per_cycle = 2.0 *. 16.0 *. 16.0 *. 32.0 in
+  let raw_tops = ops_per_cycle *. clock_hz /. 1e12 in
+  if winograd then 4.0 *. raw_tops /. (cube_power_mw_winograd /. 1e3)
+  else raw_tops /. (cube_power_mw_im2col /. 1e3)

@@ -1,0 +1,51 @@
+(** Area / power / energy model of the AI core (Table V of the paper).
+
+    The model is anchor-calibrated: the three default engine
+    configurations (input 32×2 fast row-by-row, weight 64×8 tap-by-tap,
+    output 16×1 fast row-by-row — the design points of Sec. IV-B2) are
+    pinned to the paper's post-P&R area and power numbers, and any other
+    configuration is scaled by its weighted resource count relative to its
+    anchor.  Memory access energies come straight from Table V; DRAM and
+    Vector-Unit constants are estimated (documented in DESIGN.md). *)
+
+val clock_hz : float
+(** 500 MHz. *)
+
+(** {2 Default engine design points (Sec. IV-B2)} *)
+
+val input_engine : Engine.config
+val weight_engine : Engine.config
+val output_engine : Engine.config
+
+val engine_area_mm2 : Engine.config -> float
+val engine_power_mw : Engine.config -> float
+
+(** {2 Fixed blocks} *)
+
+val cube_area_mm2 : float
+val cube_power_mw_im2col : float
+val cube_power_mw_winograd : float
+val im2col_engine_area_mm2 : float
+val im2col_engine_power_mw : float
+val vector_power_mw : float
+val core_area_mm2 : float
+(** Whole AI core (so Table V percentages can be reproduced). *)
+
+(** {2 Memory model} *)
+
+type mem = L0A | L0B | L0C_portA | L0C_portB_im2col | L0C_portB_winograd | L1 | UB | GM
+
+val mem_size_kb : mem -> int option
+val mem_area_mm2 : mem -> float option
+val rd_pj_per_byte : mem -> float
+val wr_pj_per_byte : mem -> float
+
+(** {2 Energy helpers} *)
+
+val energy_pj_of_cycles : power_mw:float -> float -> float
+(** [power × cycles / f] in pJ. *)
+
+val cube_tops_per_watt : winograd:bool -> float
+(** Peak TOp/s/W of the Cube Unit; the Winograd figure uses
+    spatial-equivalent operations (4× the raw cube throughput), as in
+    Table V. *)

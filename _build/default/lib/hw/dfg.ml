@@ -1,0 +1,334 @@
+module Rat = Twq_util.Rat
+module Rmat = Twq_util.Rmat
+module Interval = Twq_util.Interval
+
+type term = { src : int; shift : int; negate : bool }
+
+type t = {
+  n_inputs : int;
+  frac_bits : int;
+  outputs : term list array;
+  cse_nodes : (term * term) array;
+}
+
+(* Canonical signed-digit decomposition of an integer: minimal number of
+   non-zero digits in {-1, 0, +1} base-2 representation. *)
+let csd n =
+  let digits = ref [] in
+  let v = ref (abs n) in
+  let sign = if n < 0 then -1 else 1 in
+  let pos = ref 0 in
+  while !v <> 0 do
+    if !v land 1 = 1 then begin
+      (* Look at the next bit to decide between +1 and -1 (carry). *)
+      let mod4 = !v land 3 in
+      if mod4 = 3 then begin
+        digits := (!pos, -sign) :: !digits;
+        v := !v + 1
+      end
+      else begin
+        digits := (!pos, sign) :: !digits;
+        v := !v - 1
+      end
+    end;
+    v := !v asr 1;
+    incr pos
+  done;
+  List.rev !digits
+
+let rec ilog2 n = if n <= 1 then 0 else 1 + ilog2 (n / 2)
+
+(* Shift-add digits of a rational coefficient: exact for dyadic
+   denominators, [frac_bits]-bit fixed point otherwise. *)
+let coeff_digits ~frac_bits c =
+  let den = Rat.den c in
+  if den land (den - 1) = 0 then
+    let d = ilog2 den in
+    List.map (fun (s, sg) -> (s - d, sg)) (csd (Rat.num c))
+  else begin
+    let v = int_of_float (Float.round (Rat.to_float c *. float_of_int (1 lsl frac_bits))) in
+    List.map (fun (s, sg) -> (s - frac_bits, sg)) (csd v)
+  end
+
+let of_matrix ?(frac_bits = 8) (m : Rmat.t) =
+  let rows = Rmat.rows m and cols = Rmat.cols m in
+  let outputs =
+    Array.init rows (fun i ->
+        List.concat
+          (List.init cols (fun j ->
+               let c = m.(i).(j) in
+               if Rat.is_zero c then []
+               else
+                 List.map
+                   (fun (shift, sign) -> { src = j; shift; negate = sign < 0 })
+                   (coeff_digits ~frac_bits c))))
+  in
+  { n_inputs = cols; frac_bits; outputs; cse_nodes = [||] }
+
+(* A canonical key for an unordered pair of terms, normalised so that a
+   shared shift and a global sign flip do not hide a match. *)
+let pair_key t1 t2 =
+  let a, b =
+    if (t1.src, t1.shift, t1.negate) <= (t2.src, t2.shift, t2.negate) then (t1, t2)
+    else (t2, t1)
+  in
+  let base = Stdlib.min a.shift b.shift in
+  let a = { a with shift = a.shift - base } in
+  let b = { b with shift = b.shift - base } in
+  let flip = a.negate in
+  let a = { a with negate = false } in
+  let b = { b with negate = b.negate <> flip } in
+  ((a, b), base, flip)
+
+let apply_cse dfg =
+  let outputs = Array.map Array.of_list dfg.outputs in
+  let cse = ref (Array.to_list dfg.cse_nodes) in
+  let n_cse = ref (Array.length dfg.cse_nodes) in
+  let continue = ref true in
+  while !continue do
+    (* Count disjoint pair occurrences across all outputs. *)
+    let counts = Hashtbl.create 64 in
+    Array.iter
+      (fun terms ->
+        let n = Array.length terms in
+        let used = Array.make n false in
+        for i = 0 to n - 1 do
+          if not used.(i) then
+            for j = i + 1 to n - 1 do
+              if (not used.(i)) && not used.(j) then begin
+                let key, _, _ = pair_key terms.(i) terms.(j) in
+                let c = Option.value ~default:0 (Hashtbl.find_opt counts key) in
+                Hashtbl.replace counts key (c + 1)
+              end
+            done
+        done)
+      outputs;
+    let best =
+      Hashtbl.fold
+        (fun key c acc ->
+          match acc with
+          | Some (_, bc) when bc >= c -> acc
+          | _ -> if c >= 2 then Some (key, c) else acc)
+        counts None
+    in
+    match best with
+    | None -> continue := false
+    | Some ((ka, kb), _) ->
+        let node_idx = dfg.n_inputs + !n_cse in
+        cse := !cse @ [ (ka, kb) ];
+        incr n_cse;
+        (* Substitute disjoint occurrences in every output. *)
+        Array.iteri
+          (fun oi terms ->
+            let n = Array.length terms in
+            let used = Array.make n false in
+            let extra = ref [] in
+            for i = 0 to n - 1 do
+              if not used.(i) then begin
+                let found = ref false in
+                for j = i + 1 to n - 1 do
+                  if (not !found) && not used.(j) then begin
+                    let (a, b), base, flip = pair_key terms.(i) terms.(j) in
+                    if a = ka && b = kb then begin
+                      used.(i) <- true;
+                      used.(j) <- true;
+                      found := true;
+                      extra := { src = node_idx; shift = base; negate = flip } :: !extra
+                    end
+                  end
+                done
+              end
+            done;
+            let kept = ref [] in
+            for i = n - 1 downto 0 do
+              if not used.(i) then kept := terms.(i) :: !kept
+            done;
+            outputs.(oi) <- Array.of_list (!kept @ !extra))
+          outputs
+  done;
+  {
+    dfg with
+    outputs = Array.map Array.to_list outputs;
+    cse_nodes = Array.of_list !cse;
+  }
+
+let adder_count dfg =
+  let out_adds =
+    Array.fold_left
+      (fun acc terms -> acc + Stdlib.max 0 (List.length terms - 1))
+      0 dfg.outputs
+  in
+  out_adds + Array.length dfg.cse_nodes
+
+let shifter_count dfg =
+  let count_terms acc terms =
+    List.fold_left (fun a t -> if t.shift <> 0 then a + 1 else a) acc terms
+  in
+  let from_outputs = Array.fold_left count_terms 0 dfg.outputs in
+  Array.fold_left
+    (fun acc (a, b) -> count_terms acc [ a; b ])
+    from_outputs dfg.cse_nodes
+
+let op_count dfg =
+  Array.fold_left (fun acc terms -> acc + List.length terms) 0 dfg.outputs
+  + (2 * Array.length dfg.cse_nodes)
+
+let rec node_value dfg (x : float array) cache k =
+  match cache.(k) with
+  | Some v -> v
+  | None ->
+      let a, b = dfg.cse_nodes.(k - dfg.n_inputs) in
+      let v = term_value dfg x cache a +. term_value dfg x cache b in
+      cache.(k) <- Some v;
+      v
+
+and term_value dfg x cache t =
+  let base =
+    if t.src < dfg.n_inputs then x.(t.src) else node_value dfg x cache t.src
+  in
+  let scaled = base *. Float.pow 2.0 (float_of_int t.shift) in
+  if t.negate then -.scaled else scaled
+
+let eval dfg x =
+  if Array.length x <> dfg.n_inputs then invalid_arg "Dfg.eval: input size mismatch";
+  let cache = Array.make (dfg.n_inputs + Array.length dfg.cse_nodes) None in
+  Array.map
+    (fun terms -> List.fold_left (fun acc t -> acc +. term_value dfg x cache t) 0.0 terms)
+    dfg.outputs
+
+let rec node_depth dfg cache k =
+  match cache.(k) with
+  | Some d -> d
+  | None ->
+      let a, b = dfg.cse_nodes.(k - dfg.n_inputs) in
+      let d = 1 + Stdlib.max (term_depth dfg cache a) (term_depth dfg cache b) in
+      cache.(k) <- Some d;
+      d
+
+and term_depth dfg cache t =
+  if t.src < dfg.n_inputs then 0 else node_depth dfg cache t.src
+
+let depth dfg =
+  let cache = Array.make (dfg.n_inputs + Array.length dfg.cse_nodes) None in
+  let ceil_log2 n =
+    let rec loop acc v = if v >= n then acc else loop (acc + 1) (v * 2) in
+    loop 0 1
+  in
+  Array.fold_left
+    (fun acc terms ->
+      let base = List.fold_left (fun a t -> Stdlib.max a (term_depth dfg cache t)) 0 terms in
+      Stdlib.max acc (base + ceil_log2 (Stdlib.max 1 (List.length terms))))
+    0 dfg.outputs
+
+let max_bits dfg ~input_bits =
+  (* Track value intervals in units of 2^-frac_bits so right shifts stay
+     integral. *)
+  let scale t = t.shift + dfg.frac_bits in
+  let input = Interval.of_signed_bits input_bits in
+  let n_nodes = dfg.n_inputs + Array.length dfg.cse_nodes in
+  let cache : Interval.t option array = Array.make n_nodes None in
+  let rec node_iv k =
+    match cache.(k) with
+    | Some iv -> iv
+    | None ->
+        let a, b = dfg.cse_nodes.(k - dfg.n_inputs) in
+        let iv = Interval.add (term_iv a) (term_iv b) in
+        cache.(k) <- Some iv;
+        iv
+  and term_iv t =
+    let base = if t.src < dfg.n_inputs then Interval.shift_left input dfg.frac_bits else node_iv t.src in
+    (* base is in 2^-frac units; apply the term shift relative to that. *)
+    let s = scale t - dfg.frac_bits in
+    let shifted =
+      if s >= 0 then Interval.shift_left base s else Interval.shift_right base (-s)
+    in
+    if t.negate then Interval.neg shifted else shifted
+  in
+  let worst = ref 0 in
+  Array.iter
+    (fun terms ->
+      let iv =
+        List.fold_left (fun acc t -> Interval.add acc (term_iv t)) (Interval.point 0) terms
+      in
+      worst := Stdlib.max !worst (Interval.signed_bits iv))
+    dfg.outputs;
+  for k = dfg.n_inputs to n_nodes - 1 do
+    worst := Stdlib.max !worst (Interval.signed_bits (node_iv k))
+  done;
+  Stdlib.max 1 (!worst - dfg.frac_bits)
+
+(* ------------------------------------------------------- list scheduling *)
+
+(* Lower the DFG to two-input micro-adds: each CSE node is one add; each
+   output with k terms becomes a balanced tree of k-1 adds.  Dependencies
+   follow node references; shifts are hardwired (free). *)
+type micro_op = { deps : int list (* indices of micro-ops *); level_hint : int }
+
+let micro_ops dfg =
+  let ops = ref [] in
+  let n_ops = ref 0 in
+  let push deps hint =
+    ops := { deps; level_hint = hint } :: !ops;
+    incr n_ops;
+    !n_ops - 1
+  in
+  (* The micro-op computing each CSE node's value. *)
+  let node_op = Array.make (Array.length dfg.cse_nodes) (-1) in
+  let term_dep t =
+    if t.src < dfg.n_inputs then [] else [ node_op.(t.src - dfg.n_inputs) ]
+  in
+  Array.iteri
+    (fun k (a, b) ->
+      (* CSE nodes reference only earlier nodes, so node_op is filled. *)
+      node_op.(k) <- push (term_dep a @ term_dep b) 0)
+    dfg.cse_nodes;
+  (* Balanced reduction tree per output. *)
+  Array.iter
+    (fun terms ->
+      let leaves = List.map (fun t -> (term_dep t, 0)) terms in
+      let rec reduce = function
+        | [] | [ _ ] -> ()
+        | items ->
+            let rec pair = function
+              | (d1, h1) :: (d2, h2) :: rest ->
+                  let id = push (d1 @ d2) (Stdlib.max h1 h2 + 1) in
+                  ([ id ], Stdlib.max h1 h2 + 1) :: pair rest
+              | [ x ] -> [ x ]
+              | [] -> []
+            in
+            reduce (pair items)
+      in
+      reduce leaves)
+    dfg.outputs;
+  Array.of_list (List.rev !ops)
+
+let schedule_cycles dfg ~adders =
+  if adders <= 0 then invalid_arg "Dfg.schedule_cycles: adders must be positive";
+  let ops = micro_ops dfg in
+  let n = Array.length ops in
+  if n = 0 then 0
+  else begin
+    let done_at = Array.make n max_int in
+    let remaining = ref n in
+    let cycle = ref 0 in
+    while !remaining > 0 do
+      incr cycle;
+      (* Greedy: issue up to [adders] ready ops this cycle. *)
+      let issued = ref 0 in
+      let i = ref 0 in
+      while !issued < adders && !i < n do
+        if done_at.(!i) = max_int
+           && List.for_all (fun d -> done_at.(d) < !cycle) ops.(!i).deps
+        then begin
+          done_at.(!i) <- !cycle;
+          incr issued;
+          decr remaining
+        end;
+        incr i
+      done;
+      if !issued = 0 && !remaining > 0 then
+        (* Should be impossible on a DAG; guard against livelock. *)
+        failwith "Dfg.schedule_cycles: deadlock"
+    done;
+    !cycle
+  end

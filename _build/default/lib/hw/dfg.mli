@@ -1,0 +1,66 @@
+(** Flat data-flow graphs for the 1-D Winograd transformation passes.
+
+    The hardware section of the paper (IV-B1) builds the transformation
+    engines by unrolling [sw = Tᵀ·s·T] into a DFG, decomposing every
+    constant multiplication into shifts and adds (no multipliers), applying
+    common sub-expression elimination, and keeping the minimal bitwidth per
+    intermediate.  This module implements that flow for a single 1-D pass
+    ([y = M·x] with a constant matrix [M]); the 2-D transform is two such
+    passes (see {!Engine}).
+
+    Constant decomposition uses the canonical signed-digit (CSD) form of the
+    fixed-point coefficient; non-dyadic rationals (the 1/3 factors inside
+    [G]) are approximated with [frac_bits] fractional bits, exactly as a
+    shift-add hardware implementation would. *)
+
+type term = {
+  src : int;    (** input index, or a CSE node index offset by [n_inputs] *)
+  shift : int;  (** left shift if positive, right shift if negative *)
+  negate : bool;
+}
+
+type t = {
+  n_inputs : int;
+  frac_bits : int;
+  outputs : term list array;  (** each output is a sum of terms *)
+  cse_nodes : (term * term) array;
+      (** node [k] (referenced as [src = n_inputs + k]) is the sum of its
+          two terms *)
+}
+
+val of_matrix : ?frac_bits:int -> Twq_util.Rmat.t -> t
+(** Shift-add DFG of [y = M·x], one expression per row, no sharing yet. *)
+
+val apply_cse : t -> t
+(** Greedy common-pair extraction across outputs (classic multiplier-block
+    CSE): repeatedly hoists the most frequent signed term pair into a shared
+    node.  Never changes {!eval}'s result. *)
+
+val adder_count : t -> int
+(** Two-input adders needed for a fully spatial implementation. *)
+
+val shifter_count : t -> int
+(** Non-zero-shift term count (hardwired shifters are free area-wise but we
+    track them for reporting). *)
+
+val op_count : t -> int
+(** Total primitive accumulate operations — the cycle count of a
+    one-op-per-cycle (tap-by-tap) PE evaluating all outputs. *)
+
+val depth : t -> int
+(** Longest add chain (spatial latency in adder levels). *)
+
+val eval : t -> float array -> float array
+(** Reference evaluation; equals [M·x] exactly for dyadic matrices and to
+    [2^-frac_bits] precision otherwise. *)
+
+val schedule_cycles : t -> adders:int -> int
+(** List-schedule the DFG onto [adders] two-input adders (the "scheduling
+    and resource allocation ... exploring different area-throughput
+    trade-offs" step of Sec. IV-B1): cycles to evaluate all outputs.
+    [adders = 1] gives the fully time-unrolled (tap-by-tap-style) latency;
+    large [adders] converges to the critical-path {!depth}. *)
+
+val max_bits : t -> input_bits:int -> int
+(** Worst-case signed bitwidth of any node given [input_bits] inputs
+    (interval propagation, as used to size the datapath). *)

@@ -1,0 +1,93 @@
+module Transform = Twq_winograd.Transform
+module Rmat = Twq_util.Rmat
+
+type transform = Input | Weight | Output
+
+type kind = Row_by_row_slow | Row_by_row_fast | Tap_by_tap
+
+type config = {
+  kind : kind;
+  variant : Transform.variant;
+  transform : transform;
+  pc : int;
+  ps : int;
+  pt : int;
+}
+
+(* T is the right-hand matrix of Tᵀ·s·T: B (t×t) for inputs, G viewed as
+   (t×3)ᵀ for weights — the weight transform is G·f·Gᵀ, i.e. T = Gᵀ (3×t)
+   transposed into our convention — and A (t×m) for outputs. *)
+let t_matrix cfg =
+  match cfg.transform with
+  | Input -> Rmat.transpose (Transform.bt_rat cfg.variant)
+  | Weight -> Rmat.transpose (Transform.g_rat cfg.variant)
+  | Output -> Rmat.transpose (Transform.at_rat cfg.variant)
+
+let h_t cfg = Rmat.rows (t_matrix cfg)
+let w_t cfg = Rmat.cols (t_matrix cfg)
+
+let dfg_pass cfg =
+  (* One 1-D pass computes y = Tᵀ·x (w_T outputs from h_T inputs). *)
+  Dfg.apply_cse (Dfg.of_matrix (Rmat.transpose (t_matrix cfg)))
+
+let taps_per_xform cfg = w_t cfg * w_t cfg
+
+let cycles_per_xform cfg =
+  match cfg.kind with
+  | Row_by_row_slow -> h_t cfg + w_t cfg
+  | Row_by_row_fast -> h_t cfg
+  | Tap_by_tap ->
+      (* Both 1-D passes fully unrolled in time with CSE: pass 1 runs h_T
+         1-D transforms, pass 2 runs w_T. *)
+      let ops = Dfg.op_count (dfg_pass cfg) in
+      let total = ops * (h_t cfg + w_t cfg) in
+      (total + cfg.pt - 1) / cfg.pt
+
+let parallel_xforms cfg =
+  match cfg.kind with
+  | Row_by_row_slow | Row_by_row_fast -> cfg.pc * cfg.ps
+  | Tap_by_tap -> cfg.pc * cfg.ps
+
+let throughput_xforms_per_cycle cfg =
+  float_of_int (parallel_xforms cfg) /. float_of_int (cycles_per_xform cfg)
+
+let throughput_bytes_per_cycle cfg ~element_bytes =
+  throughput_xforms_per_cycle cfg
+  *. float_of_int (taps_per_xform cfg * element_bytes)
+
+let read_bw cfg =
+  match cfg.kind with
+  | Row_by_row_slow | Row_by_row_fast -> cfg.pc * cfg.ps * h_t cfg
+  | Tap_by_tap -> cfg.pc * cfg.ps
+
+let write_bw cfg =
+  match cfg.kind with
+  | Row_by_row_slow -> cfg.pc * cfg.ps * h_t cfg
+  | Row_by_row_fast -> cfg.pc * cfg.ps * w_t cfg * w_t cfg
+  | Tap_by_tap -> cfg.pc * cfg.ps
+
+type resources = { adders : int; shifters : int; registers : int }
+
+let resources cfg =
+  let pass = dfg_pass cfg in
+  let pes = cfg.pc * cfg.ps in
+  match cfg.kind with
+  | Row_by_row_slow ->
+      (* One spatial 1-D datapath + h_T·w_T intermediate registers. *)
+      {
+        adders = pes * Dfg.adder_count pass;
+        shifters = pes * Dfg.shifter_count pass;
+        registers = pes * (h_t cfg * w_t cfg);
+      }
+  | Row_by_row_fast ->
+      (* Extra w_T·w_T output-stationary accumulator lanes. *)
+      {
+        adders = pes * (Dfg.adder_count pass + (w_t cfg * w_t cfg));
+        shifters = pes * Dfg.shifter_count pass;
+        registers = pes * (w_t cfg * w_t cfg);
+      }
+  | Tap_by_tap ->
+      (* One shifter + adder + accumulator per tap lane, plus the
+         quantization stage (shifter + rounder ≈ adder) per lane. *)
+      let lanes = pes * cfg.pt in
+      { adders = lanes * 2; shifters = lanes * 2; registers = lanes * 2 }

@@ -1,0 +1,57 @@
+(** Winograd transformation-engine micro-architecture models (Sec. IV-B1,
+    Table I of the paper).
+
+    Three implementation styles:
+    - {e row-by-row slow}: one spatial 1-D transform datapath per PE,
+      reused for both passes — [h_T + w_T] cycles per transform;
+    - {e row-by-row fast}: adds [w_T·w_T] output-stationary lanes —
+      [h_T] cycles per transform;
+    - {e tap-by-tap}: a single shift-add-accumulate ALU per tap lane,
+      fully time-unrolled — cycle count is [T]-dependent (from the DFG,
+      with CSE in time).
+
+    [P_c], [P_s] (and [P_t] for tap-by-tap) replicate PEs along channels,
+    spatial tiles and taps. *)
+
+type transform = Input | Weight | Output
+
+type kind = Row_by_row_slow | Row_by_row_fast | Tap_by_tap
+
+type config = {
+  kind : kind;
+  variant : Twq_winograd.Transform.variant;
+  transform : transform;
+  pc : int;
+  ps : int;
+  pt : int;  (** only meaningful for tap-by-tap *)
+}
+
+val t_matrix : config -> Twq_util.Rmat.t
+(** The [T] of [Tᵀ·s·T] for this transform ([B], [G] or [A]). *)
+
+val h_t : config -> int
+val w_t : config -> int
+
+val dfg_pass : config -> Dfg.t
+(** CSE-optimised DFG of one 1-D pass ([y = Tᵀ x]). *)
+
+val cycles_per_xform : config -> int
+(** Cycles to transform one tile in one PE (Table I row 1; for tap-by-tap
+    this is the CSE-reduced op count of both passes divided by [P_t]). *)
+
+val parallel_xforms : config -> int
+
+val throughput_xforms_per_cycle : config -> float
+
+val throughput_bytes_per_cycle : config -> element_bytes:int -> float
+(** Output-side production rate: [taps-per-xform × rate × element size]. *)
+
+val read_bw : config -> int
+(** Bytes/cycle of input bandwidth required (Table I). *)
+
+val write_bw : config -> int
+
+type resources = { adders : int; shifters : int; registers : int }
+
+val resources : config -> resources
+(** Spatial resource count of the whole engine (all PEs). *)

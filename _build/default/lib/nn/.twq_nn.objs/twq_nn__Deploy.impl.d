@@ -1,0 +1,1 @@
+lib/nn/deploy.ml: Array Buffer Float Fun List Option Printf Qat_model Scanf Stdlib Twq_dataset Twq_quant Twq_tensor Twq_winograd

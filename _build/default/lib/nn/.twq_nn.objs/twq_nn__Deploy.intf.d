@@ -1,0 +1,1 @@
+lib/nn/deploy.mli: Qat_model Twq_dataset Twq_quant Twq_tensor Twq_winograd

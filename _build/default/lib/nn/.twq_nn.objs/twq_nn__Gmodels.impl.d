@@ -1,0 +1,1 @@
+lib/nn/gmodels.ml: Graph List Stdlib Twq_tensor Twq_util

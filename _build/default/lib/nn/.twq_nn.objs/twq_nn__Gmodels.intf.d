@@ -1,0 +1,1 @@
+lib/nn/gmodels.mli: Graph Twq_util

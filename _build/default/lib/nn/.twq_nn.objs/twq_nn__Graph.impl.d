@@ -1,0 +1,1 @@
+lib/nn/graph.ml: Array Float List Twq_tensor

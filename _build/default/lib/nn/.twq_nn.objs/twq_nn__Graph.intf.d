@@ -1,0 +1,1 @@
+lib/nn/graph.mli: Twq_tensor

@@ -1,0 +1,1 @@
+lib/nn/int_graph.ml: Array Buffer Float Fun Graph List Option Printf Scanf Stdlib Twq_quant Twq_tensor Twq_winograd

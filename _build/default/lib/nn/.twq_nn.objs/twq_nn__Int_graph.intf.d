@@ -1,0 +1,1 @@
+lib/nn/int_graph.mli: Graph Twq_tensor Twq_winograd

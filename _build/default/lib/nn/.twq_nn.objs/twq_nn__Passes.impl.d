@@ -1,0 +1,1 @@
+lib/nn/passes.ml: Array Graph Hashtbl List Option Twq_tensor

@@ -1,0 +1,1 @@
+lib/nn/passes.mli: Graph

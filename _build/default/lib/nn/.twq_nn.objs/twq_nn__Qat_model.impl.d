@@ -1,0 +1,1 @@
+lib/nn/qat_model.ml: Array Float Fn Graph List Option Quant_ops Scale_param Twq_autodiff Twq_quant Twq_tensor Twq_util Twq_winograd Var Wa_conv

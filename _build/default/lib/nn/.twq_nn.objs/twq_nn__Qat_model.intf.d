@@ -1,0 +1,1 @@
+lib/nn/qat_model.mli: Graph Twq_autodiff Twq_tensor Twq_winograd

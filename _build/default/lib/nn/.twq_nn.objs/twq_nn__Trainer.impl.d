@@ -1,0 +1,1 @@
+lib/nn/trainer.ml: Array Float Fn List Optim Qat_model Scale_param Stdlib Twq_autodiff Twq_dataset Twq_tensor Twq_util Var

@@ -1,0 +1,1 @@
+lib/nn/trainer.mli: Qat_model Twq_dataset Twq_tensor

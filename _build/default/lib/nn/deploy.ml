@@ -1,0 +1,239 @@
+module Tensor = Twq_tensor.Tensor
+module Itensor = Twq_tensor.Itensor
+module Ops = Twq_tensor.Ops
+module Transform = Twq_winograd.Transform
+module Tapwise = Twq_quant.Tapwise
+module Quantizer = Twq_quant.Quantizer
+module Synth = Twq_dataset.Synth_images
+
+type op =
+  | Conv of Tapwise.layer
+  | Relu
+  | Avg_pool2  (* 2×2, stride 2, int round-shift by 2 *)
+
+type t = {
+  ops : op list;
+  input_scale : float;
+  output_scale : float;  (* s_y of the last conv (relu/pool preserve it) *)
+  fc_w : Tensor.t;
+  fc_b : Tensor.t;
+}
+
+(* Fold batch-norm statistics (from the calibration activations) into the
+   conv weights and bias: y = γ(conv(x) − μ)/σ + β. *)
+let fold_bn ~w ~gamma ~beta ~y_cal =
+  let cout = Tensor.dim w 0 in
+  let n = Tensor.dim y_cal 0 and h = Tensor.dim y_cal 2 and wd = Tensor.dim y_cal 3 in
+  let count = float_of_int (n * h * wd) in
+  let max_scale = ref 0.0 in
+  let w' = Tensor.copy w and bias = Tensor.zeros [| cout |] in
+  for co = 0 to cout - 1 do
+    let sum = ref 0.0 and sq = ref 0.0 in
+    for ni = 0 to n - 1 do
+      for hi = 0 to h - 1 do
+        for wi = 0 to wd - 1 do
+          let v = Tensor.get4 y_cal ni co hi wi in
+          sum := !sum +. v;
+          sq := !sq +. (v *. v)
+        done
+      done
+    done;
+    let mu = !sum /. count in
+    let var = Float.max 0.0 ((!sq /. count) -. (mu *. mu)) in
+    let scale = gamma.Tensor.data.(co) /. sqrt (var +. 1e-5) in
+    max_scale := Float.max !max_scale (Float.abs scale);
+    let cin = Tensor.dim w 1 in
+    for ci = 0 to cin - 1 do
+      for ki = 0 to 2 do
+        for kj = 0 to 2 do
+          Tensor.set4 w' co ci ki kj (Tensor.get4 w co ci ki kj *. scale)
+        done
+      done
+    done;
+    bias.Tensor.data.(co) <- beta.Tensor.data.(co) -. (mu *. scale)
+  done;
+  (w', bias, !max_scale)
+
+let int_relu = Itensor.map (fun v -> Stdlib.max 0 v)
+
+let int_avg_pool2 x =
+  let n = Itensor.dim x 0 and c = Itensor.dim x 1 in
+  let h = Itensor.dim x 2 and w = Itensor.dim x 3 in
+  Itensor.init [| n; c; h / 2; w / 2 |] (fun idx ->
+      let s = ref 0 in
+      for di = 0 to 1 do
+        for dj = 0 to 1 do
+          s := !s + Itensor.get4 x idx.(0) idx.(1) ((2 * idx.(2)) + di) ((2 * idx.(3)) + dj)
+        done
+      done;
+      Itensor.round_shift !s 2)
+
+let float_avg_pool2 = Ops.avg_pool2d ~k:2 ~stride:2
+
+let export model ~calibration ?(variant = Transform.F4) ?(wino_bits = 8) () =
+  let cfg = Qat_model.config model in
+  let stages =
+    match cfg.Qat_model.arch with
+    | Qat_model.Vgg_mini stages -> stages
+    | Qat_model.Resnet_mini _ ->
+        invalid_arg "Deploy.export: only Vgg_mini architectures are exportable"
+  in
+  let conv_params = Array.of_list (Qat_model.conv_bn_params model) in
+  let scale_grids = Array.of_list (Qat_model.learned_scale_grids model) in
+  let config =
+    { (Tapwise.default_config variant) with Tapwise.wino_bits }
+  in
+  let x_cal = ref calibration in
+  let prev_scale = ref None in
+  let ops = ref [] in
+  let input_scale = ref 0.0 in
+  let last_out_scale = ref 1.0 in
+  List.iteri
+    (fun stage_idx _ ->
+      for k = 0 to 1 do
+        let w, gamma, beta = conv_params.((2 * stage_idx) + k) in
+        let y = Ops.conv2d ~stride:1 ~pad:1 ~x:!x_cal ~w () in
+        let w', bias, bn_gain = fold_bn ~w ~gamma ~beta ~y_cal:y in
+        (* BN folding rescales each output channel, which rescales the
+           Winograd weight taps per channel; widen the learned weight-tap
+           scales by the largest folded gain so no channel clips. *)
+        let grids =
+          Option.map
+            (fun (sb, sg) ->
+              (sb, Array.map (Array.map (fun s -> s *. Float.max 1.0 bn_gain)) sg))
+            scale_grids.((2 * stage_idx) + k)
+        in
+        let layer =
+          Tapwise.calibrate ~config ~w:w' ~bias ?input_scale:!prev_scale
+            ?scale_grids:grids ~sample_inputs:[ !x_cal ] ~pad:1 ()
+        in
+        if !prev_scale = None then input_scale := layer.Tapwise.s_x;
+        prev_scale := Some layer.Tapwise.s_y;
+        last_out_scale := layer.Tapwise.s_y;
+        ops := Relu :: Conv layer :: !ops;
+        x_cal := Ops.relu (Ops.conv2d ~stride:1 ~pad:1 ~x:!x_cal ~w:w' ~b:bias ())
+      done;
+      ops := Avg_pool2 :: !ops;
+      x_cal := float_avg_pool2 !x_cal)
+    stages;
+  let fc_w, fc_b = Qat_model.head_params model in
+  {
+    ops = List.rev !ops;
+    input_scale = !input_scale;
+    output_scale = !last_out_scale;
+    fc_w = Tensor.copy fc_w;
+    fc_b = Tensor.copy fc_b;
+  }
+
+let forward net x =
+  let x_int = ref (Quantizer.quantize_tensor ~bits:8 ~scale:net.input_scale x) in
+  List.iter
+    (fun op ->
+      x_int :=
+        match op with
+        | Conv layer -> Tapwise.forward_int layer !x_int
+        | Relu -> int_relu !x_int
+        | Avg_pool2 -> int_avg_pool2 !x_int)
+    net.ops;
+  (* Only the tiny head runs in float. *)
+  let feat = Quantizer.dequantize_tensor ~scale:net.output_scale !x_int in
+  let pooled = Ops.global_avg_pool feat in
+  Ops.linear ~x:pooled ~w:net.fc_w ~b:net.fc_b ()
+
+let accuracy net split =
+  let n = Array.length split in
+  let correct = ref 0 in
+  let batch = 32 in
+  let i = ref 0 in
+  while !i < n do
+    let size = Stdlib.min batch (n - !i) in
+    let channels = Tensor.dim split.(0).Synth.image 0 in
+    let sz = Tensor.dim split.(0).Synth.image 1 in
+    let xb = Tensor.zeros [| size; channels; sz; sz |] in
+    for bi = 0 to size - 1 do
+      let s = split.(!i + bi) in
+      for c = 0 to channels - 1 do
+        for a = 0 to sz - 1 do
+          for b = 0 to sz - 1 do
+            Tensor.set4 xb bi c a b (Tensor.get s.Synth.image [| c; a; b |])
+          done
+        done
+      done
+    done;
+    let out = forward net xb in
+    for bi = 0 to size - 1 do
+      if Ops.argmax_row out bi = split.(!i + bi).Synth.label then incr correct
+    done;
+    i := !i + size
+  done;
+  float_of_int !correct /. float_of_int n
+
+let layers net =
+  List.filter_map (function Conv l -> Some l | Relu | Avg_pool2 -> None) net.ops
+
+(* ------------------------------------------------------------- file I/O *)
+
+module Serialize = Twq_quant.Serialize
+
+let to_string net =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "twq-int8-net v1
+";
+  Buffer.add_string buf
+    (Printf.sprintf "scales %h %h
+" net.input_scale net.output_scale);
+  Serialize.write_tensor buf net.fc_w;
+  Serialize.write_tensor buf net.fc_b;
+  Buffer.add_string buf (Printf.sprintf "ops %d
+" (List.length net.ops));
+  List.iter
+    (fun op ->
+      match op with
+      | Relu -> Buffer.add_string buf "relu
+"
+      | Avg_pool2 -> Buffer.add_string buf "avg-pool2
+"
+      | Conv layer ->
+          Buffer.add_string buf "conv
+";
+          Buffer.add_string buf (Serialize.layer_to_string layer))
+    net.ops;
+  Buffer.contents buf
+
+let of_string s =
+  (* The conv payloads are parsed with the layer parser, so split on our own
+     headers rather than scanning the whole string linearly. *)
+  let ic = Scanf.Scanning.from_string s in
+  Scanf.bscanf ic " twq-int8-net v1 " ();
+  let input_scale, output_scale =
+    Scanf.bscanf ic " scales %h %h" (fun a b -> (a, b))
+  in
+  let fc_w = Serialize.read_tensor ic in
+  let fc_b = Serialize.read_tensor ic in
+  let n_ops = Scanf.bscanf ic " ops %d" Fun.id in
+  let ops =
+    List.init n_ops (fun _ ->
+        match Scanf.bscanf ic " %s" Fun.id with
+        | "relu" -> Relu
+        | "avg-pool2" -> Avg_pool2
+        | "conv" ->
+            (* Re-parse the embedded layer with the shared reader. *)
+            Scanf.bscanf ic " tapwise-layer v1 " ();
+            Conv (Serialize.read_layer_body ic)
+        | tag -> failwith ("Deploy.of_string: unknown op " ^ tag))
+  in
+  { ops; input_scale; output_scale; fc_w; fc_b }
+
+let save net path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string net))
+
+let load path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      of_string (really_input_string ic n))

@@ -1,0 +1,210 @@
+module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
+
+let he_conv rng cin cout k =
+  let sigma = sqrt (2.0 /. float_of_int (cin * k * k)) in
+  Tensor.rand_gaussian rng [| cout; cin; k; k |] ~mu:0.0 ~sigma
+
+(* Inference-mode BN with near-identity running statistics and mildly
+   varied gains — enough structure to make folding and quantization
+   non-trivial. *)
+let bn_node rng c =
+  Graph.Bn
+    {
+      gamma = Tensor.rand_uniform rng [| c |] ~lo:0.8 ~hi:1.2;
+      beta = Tensor.rand_uniform rng [| c |] ~lo:(-0.1) ~hi:0.1;
+      mean = Tensor.rand_uniform rng [| c |] ~lo:(-0.05) ~hi:0.05;
+      var = Tensor.rand_uniform rng [| c |] ~lo:0.9 ~hi:1.1;
+    }
+
+let conv_bn_relu g rng x cin cout ~stride =
+  let c = Graph.add g (Graph.Conv { w = he_conv rng cin cout 3; bias = None; stride; pad = 1 }) [ x ] in
+  let b = Graph.add g (bn_node rng cout) [ c ] in
+  Graph.add g Graph.Relu [ b ]
+
+let resnet20 ~rng ?(classes = 10) ?(in_channels = 3) ?(width_div = 1) () =
+  let g = Graph.create () in
+  let x = Graph.input g in
+  let w0 = Stdlib.max 1 (16 / width_div) in
+  let stem = conv_bn_relu g rng x in_channels w0 ~stride:1 in
+  let basic_block x cin cout ~stride =
+    let c1 =
+      Graph.add g
+        (Graph.Conv { w = he_conv rng cin cout 3; bias = None; stride; pad = 1 })
+        [ x ]
+    in
+    let b1 = Graph.add g (bn_node rng cout) [ c1 ] in
+    let r1 = Graph.add g Graph.Relu [ b1 ] in
+    let c2 =
+      Graph.add g
+        (Graph.Conv { w = he_conv rng cout cout 3; bias = None; stride = 1; pad = 1 })
+        [ r1 ]
+    in
+    let b2 = Graph.add g (bn_node rng cout) [ c2 ] in
+    let skip =
+      if stride = 1 && cin = cout then x
+      else begin
+        (* 1×1 projection shortcut. *)
+        let p =
+          Graph.add g
+            (Graph.Conv { w = he_conv rng cin cout 1; bias = None; stride; pad = 0 })
+            [ x ]
+        in
+        Graph.add g (bn_node rng cout) [ p ]
+      end
+    in
+    let s = Graph.add g Graph.Add [ b2; skip ] in
+    Graph.add g Graph.Relu [ s ]
+  in
+  let stage x cin cout ~first_stride n =
+    let x = ref (basic_block x cin cout ~stride:first_stride) in
+    for _ = 2 to n do
+      x := basic_block !x cout cout ~stride:1
+    done;
+    !x
+  in
+  let s1 = stage stem w0 w0 ~first_stride:1 3 in
+  let s2 = stage s1 w0 (2 * w0) ~first_stride:2 3 in
+  let s3 = stage s2 (2 * w0) (4 * w0) ~first_stride:2 3 in
+  let gap = Graph.add g Graph.Global_avg_pool [ s3 ] in
+  let fc =
+    Graph.add g
+      (Graph.Linear
+         {
+           w =
+             Tensor.rand_gaussian rng [| classes; 4 * w0 |] ~mu:0.0
+               ~sigma:(sqrt (2.0 /. float_of_int (4 * w0)));
+           bias = Some (Tensor.zeros [| classes |]);
+         })
+      [ gap ]
+  in
+  Graph.set_output g fc;
+  g
+
+let vgg_nagadomi ~rng ?(classes = 10) ?(in_channels = 3) ?(width_div = 1) () =
+  let g = Graph.create () in
+  let x = Graph.input g in
+  let ( / ) a b = Stdlib.max 1 (a / b) in
+  let stage x cin couts =
+    let x = ref x and cin = ref cin in
+    List.iter
+      (fun c ->
+        x := conv_bn_relu g rng !x !cin c ~stride:1;
+        cin := c)
+      couts;
+    (Graph.add g (Graph.Max_pool { k = 2; stride = 2 }) [ !x ], !cin)
+  in
+  let p1, c1 = stage x in_channels [ 64 / width_div; 64 / width_div ] in
+  let p2, c2 = stage p1 c1 [ 128 / width_div; 128 / width_div ] in
+  let p3, c3 =
+    stage p2 c2
+      [ 256 / width_div; 256 / width_div; 256 / width_div; 256 / width_div ]
+  in
+  ignore c3;
+  let gap = Graph.add g Graph.Global_avg_pool [ p3 ] in
+  let fc =
+    Graph.add g
+      (Graph.Linear
+         {
+           w =
+             Tensor.rand_gaussian rng [| classes; 256 / width_div |] ~mu:0.0
+               ~sigma:(sqrt (2.0 /. float_of_int (256 / width_div)));
+           bias = Some (Tensor.zeros [| classes |]);
+         })
+      [ gap ]
+  in
+  Graph.set_output g fc;
+  g
+
+let unet_mini ~rng ?(classes = 2) ?(in_channels = 3) ?(width_div = 4) () =
+  (* A same-padded miniature U-Net: two encoder levels, bottleneck, two
+     decoder levels with upsample + channel-concat skips, 1x1 head mapped
+     through GAP for a classification-style output (keeps the quantizer's
+     head convention). *)
+  let g = Graph.create () in
+  let ( / ) a b = Stdlib.max 1 (a / b) in
+  let c0 = 16 / width_div and c1 = 32 / width_div and c2 = 64 / width_div in
+  let x = Graph.input g in
+  let e1 = conv_bn_relu g rng x in_channels c0 ~stride:1 in
+  let e1b = conv_bn_relu g rng e1 c0 c0 ~stride:1 in
+  let p1 = Graph.add g (Graph.Max_pool { k = 2; stride = 2 }) [ e1b ] in
+  let e2 = conv_bn_relu g rng p1 c0 c1 ~stride:1 in
+  let e2b = conv_bn_relu g rng e2 c1 c1 ~stride:1 in
+  let p2 = Graph.add g (Graph.Max_pool { k = 2; stride = 2 }) [ e2b ] in
+  let b1 = conv_bn_relu g rng p2 c1 c2 ~stride:1 in
+  let b2 = conv_bn_relu g rng b1 c2 c2 ~stride:1 in
+  let u2 = Graph.add g (Graph.Upsample 2) [ b2 ] in
+  let cat2 = Graph.add g Graph.Concat [ u2; e2b ] in
+  let d2 = conv_bn_relu g rng cat2 (c2 + c1) c1 ~stride:1 in
+  let d2b = conv_bn_relu g rng d2 c1 c1 ~stride:1 in
+  let u1 = Graph.add g (Graph.Upsample 2) [ d2b ] in
+  let cat1 = Graph.add g Graph.Concat [ u1; e1b ] in
+  let d1 = conv_bn_relu g rng cat1 (c1 + c0) c0 ~stride:1 in
+  let d1b = conv_bn_relu g rng d1 c0 c0 ~stride:1 in
+  let gap = Graph.add g Graph.Global_avg_pool [ d1b ] in
+  let fc =
+    Graph.add g
+      (Graph.Linear
+         {
+           w =
+             Tensor.rand_gaussian rng [| classes; c0 |] ~mu:0.0
+               ~sigma:(sqrt (2.0 /. float_of_int c0));
+           bias = Some (Tensor.zeros [| classes |]);
+         })
+      [ gap ]
+  in
+  Graph.set_output g fc;
+  g
+
+let conv_bn_leaky g rng x cin cout ~stride =
+  let c =
+    Graph.add g
+      (Graph.Conv { w = he_conv rng cin cout 3; bias = None; stride; pad = 1 })
+      [ x ]
+  in
+  let b = Graph.add g (bn_node rng cout) [ c ] in
+  (* Slope 1/8: the closest pow2 to Darknet's 0.1. *)
+  Graph.add g (Graph.Leaky_relu 3) [ b ]
+
+let yolo_mini ~rng ?(classes = 10) ?(in_channels = 3) ?(width_div = 4) () =
+  (* Darknet-53-style miniature: leaky-ReLU conv stacks, stride-2
+     downsampling convs, 1x1/3x3 residual bottlenecks. *)
+  let g = Graph.create () in
+  let ( / ) a b = Stdlib.max 1 (a / b) in
+  let c0 = 32 / width_div in
+  let x = Graph.input g in
+  let stem = conv_bn_leaky g rng x in_channels c0 ~stride:1 in
+  let residual x c =
+    (* 1x1 squeeze, 3x3 expand, add. *)
+    let s =
+      Graph.add g
+        (Graph.Conv { w = he_conv rng c (Stdlib.max 1 (c / 2)) 1; bias = None;
+                      stride = 1; pad = 0 })
+        [ x ]
+    in
+    let sb = Graph.add g (bn_node rng (Stdlib.max 1 (c / 2))) [ s ] in
+    let sl = Graph.add g (Graph.Leaky_relu 3) [ sb ] in
+    let e = conv_bn_leaky g rng sl (Stdlib.max 1 (c / 2)) c ~stride:1 in
+    Graph.add g Graph.Add [ e; x ]
+  in
+  let down x cin cout = conv_bn_leaky g rng x cin cout ~stride:2 in
+  let b1 = residual stem c0 in
+  let d1 = down b1 c0 (2 * c0) in
+  let b2 = residual d1 (2 * c0) in
+  let b2b = residual b2 (2 * c0) in
+  let d2 = down b2b (2 * c0) (4 * c0) in
+  let b3 = residual d2 (4 * c0) in
+  let gap = Graph.add g Graph.Global_avg_pool [ b3 ] in
+  let fc =
+    Graph.add g
+      (Graph.Linear
+         {
+           w =
+             Tensor.rand_gaussian rng [| classes; 4 * c0 |] ~mu:0.0
+               ~sigma:(sqrt (2.0 /. float_of_int (4 * c0)));
+           bias = Some (Tensor.zeros [| classes |]);
+         })
+      [ gap ]
+  in
+  Graph.set_output g fc;
+  g

@@ -1,0 +1,47 @@
+(** Executable graph models (randomly initialised, real shapes).
+
+    These build runnable {!Graph.t} instances of the papers' CIFAR-scale
+    evaluation networks — including the residual connections that the
+    sequential {!Qat_model} cannot express — for exercising the compiler
+    passes ({!Passes}) end-to-end.  An optional [width] divisor shrinks the
+    channel counts so the tests stay fast. *)
+
+val resnet20 :
+  rng:Twq_util.Rng.t ->
+  ?classes:int ->
+  ?in_channels:int ->
+  ?width_div:int ->
+  unit ->
+  Graph.t
+(** CIFAR ResNet-20: stem + 3 stages × 3 basic blocks (residual adds,
+    stride-2 downsampling with 1×1 projections) + GAP + FC. *)
+
+val vgg_nagadomi :
+  rng:Twq_util.Rng.t ->
+  ?classes:int ->
+  ?in_channels:int ->
+  ?width_div:int ->
+  unit ->
+  Graph.t
+(** The lightweight VGG used by the paper's Table III (conv/BN/ReLU
+    stacks with max pooling). *)
+
+val unet_mini :
+  rng:Twq_util.Rng.t ->
+  ?classes:int ->
+  ?in_channels:int ->
+  ?width_div:int ->
+  unit ->
+  Graph.t
+(** Miniature same-padded U-Net with upsample + channel-concat skip
+    connections — exercises the quantizer's [Concat] scale alignment. *)
+
+val yolo_mini :
+  rng:Twq_util.Rng.t ->
+  ?classes:int ->
+  ?in_channels:int ->
+  ?width_div:int ->
+  unit ->
+  Graph.t
+(** Darknet-53-style miniature (leaky-ReLU stacks, stride-2 downsampling,
+    1×1/3×3 residual bottlenecks) — the YOLOv3 building block. *)

@@ -1,0 +1,164 @@
+module Tensor = Twq_tensor.Tensor
+module Ops = Twq_tensor.Ops
+module Shape = Twq_tensor.Shape
+
+type id = int
+
+type op =
+  | Input
+  | Conv of {
+      w : Tensor.t;
+      bias : Tensor.t option;
+      stride : int;
+      pad : int;
+    }
+  | Bn of {
+      gamma : Tensor.t;
+      beta : Tensor.t;
+      mean : Tensor.t;
+      var : Tensor.t;
+    }
+  | Relu
+  | Leaky_relu of int  (* negative slope = 2^-k (hardware-shift friendly) *)
+  | Max_pool of { k : int; stride : int }
+  | Avg_pool of { k : int; stride : int }
+  | Global_avg_pool
+  | Linear of { w : Tensor.t; bias : Tensor.t option }
+  | Add
+  | Concat  (* channel concatenation of two NCHW tensors *)
+  | Upsample of int
+
+type node = { op : op; inputs : id list }
+
+type t = {
+  mutable node_list : node list;  (* reversed *)
+  mutable n : int;
+  mutable out : id option;
+  mutable has_input : bool;
+}
+
+let create () = { node_list = []; n = 0; out = None; has_input = false }
+
+let arity = function
+  | Input -> 0
+  | Add | Concat -> 2
+  | Conv _ | Bn _ | Relu | Leaky_relu _ | Max_pool _ | Avg_pool _
+  | Global_avg_pool | Linear _ | Upsample _ ->
+      1
+
+let add g op inputs =
+  if List.length inputs <> arity op then
+    invalid_arg "Graph.add: arity mismatch";
+  List.iter
+    (fun i -> if i < 0 || i >= g.n then invalid_arg "Graph.add: undefined input")
+    inputs;
+  g.node_list <- { op; inputs } :: g.node_list;
+  g.n <- g.n + 1;
+  g.n - 1
+
+let input g =
+  if g.has_input then invalid_arg "Graph.input: input already defined";
+  g.has_input <- true;
+  add g Input []
+
+let set_output g id =
+  if id < 0 || id >= g.n then invalid_arg "Graph.set_output: undefined node";
+  g.out <- Some id
+
+let output g =
+  match g.out with
+  | Some id -> id
+  | None -> invalid_arg "Graph.output: no output set"
+
+let nodes g = List.mapi (fun i n -> (i, n)) (List.rev g.node_list)
+
+let node g id =
+  match List.assoc_opt id (nodes g) with
+  | Some n -> n
+  | None -> invalid_arg "Graph.node: undefined node"
+
+let conv_count g =
+  List.fold_left
+    (fun acc (_, n) -> match n.op with Conv _ -> acc + 1 | _ -> acc)
+    0 (nodes g)
+
+let apply op (args : Tensor.t list) =
+  match (op, args) with
+  | Input, _ -> invalid_arg "Graph.apply: input node has no computation"
+  | Conv { w; bias; stride; pad }, [ x ] ->
+      Ops.conv2d ~stride ~pad ~x ~w ?b:bias ()
+  | Bn { gamma; beta; mean; var }, [ x ] ->
+      Ops.batch_norm ~x ~gamma ~beta ~mean ~var ~eps:1e-5
+  | Relu, [ x ] -> Ops.relu x
+  | Leaky_relu k, [ x ] -> Ops.leaky_relu (Float.pow 2.0 (float_of_int (-k))) x
+  | Max_pool { k; stride }, [ x ] -> Ops.max_pool2d ~k ~stride x
+  | Avg_pool { k; stride }, [ x ] -> Ops.avg_pool2d ~k ~stride x
+  | Global_avg_pool, [ x ] -> Ops.global_avg_pool x
+  | Linear { w; bias }, [ x ] -> Ops.linear ~x ~w ?b:bias ()
+  | Add, [ a; b ] -> Tensor.add a b
+  | Concat, [ a; b ] -> Ops.concat_channels a b
+  | Upsample f, [ x ] -> Ops.upsample_nearest f x
+  | _ -> invalid_arg "Graph.apply: arity mismatch"
+
+let run_all g x =
+  let values = Array.make g.n None in
+  List.iter
+    (fun (i, { op; inputs }) ->
+      let v =
+        match op with
+        | Input -> x
+        | _ ->
+            apply op
+              (List.map
+                 (fun j ->
+                   match values.(j) with
+                   | Some v -> v
+                   | None -> invalid_arg "Graph.run: forward reference")
+                 inputs)
+      in
+      values.(i) <- Some v)
+    (nodes g);
+  Array.map (function Some v -> v | None -> assert false) values
+
+let run g x = (run_all g x).(output g)
+
+let op_shape op (args : Shape.t list) =
+  match (op, args) with
+  | Conv { w; stride; pad; _ }, [ s ] ->
+      let ho, wo =
+        Shape.conv2d_out ~h:s.(2) ~w:s.(3) ~kh:(Tensor.dim w 2)
+          ~kw:(Tensor.dim w 3) ~stride ~pad
+      in
+      [| s.(0); Tensor.dim w 0; ho; wo |]
+  | (Bn _ | Relu | Leaky_relu _), [ s ] -> s
+  | (Max_pool { k; stride } | Avg_pool { k; stride }), [ s ] ->
+      let ho, wo = Shape.pool_out ~h:s.(2) ~w:s.(3) ~k ~stride in
+      [| s.(0); s.(1); ho; wo |]
+  | Global_avg_pool, [ s ] -> [| s.(0); s.(1) |]
+  | Linear { w; _ }, [ s ] -> [| s.(0); Tensor.dim w 0 |]
+  | Add, [ a; b ] ->
+      if not (Shape.equal a b) then invalid_arg "Graph: Add shape mismatch";
+      a
+  | Concat, [ a; b ] ->
+      if a.(0) <> b.(0) || a.(2) <> b.(2) || a.(3) <> b.(3) then
+        invalid_arg "Graph: Concat shape mismatch";
+      [| a.(0); a.(1) + b.(1); a.(2); a.(3) |]
+  | Upsample f, [ s ] -> [| s.(0); s.(1); s.(2) * f; s.(3) * f |]
+  | Input, _ | _ -> invalid_arg "Graph.op_shape: bad op/args"
+
+let infer_shapes g ~input =
+  let shapes = Array.make g.n None in
+  List.map
+    (fun (i, { op; inputs }) ->
+      let s =
+        match op with
+        | Input -> input
+        | _ ->
+            op_shape op
+              (List.map
+                 (fun j -> match shapes.(j) with Some s -> s | None -> assert false)
+                 inputs)
+      in
+      shapes.(i) <- Some s;
+      (i, s))
+    (nodes g)

@@ -1,0 +1,66 @@
+(** Dataflow-graph IR for CNN inference.
+
+    A small SSA-style graph: each node applies one operation to previously
+    defined values.  This is the representation the compiler passes work
+    on ({!Passes}): batch-norm folding, shape inference, per-layer operator
+    selection (im2col vs Winograd — "the compiler can select the best
+    computational kernel for each layer", Sec. V-B5) and int8 quantization
+    including residual connections. *)
+
+type id = private int
+
+type op =
+  | Input
+  | Conv of {
+      w : Twq_tensor.Tensor.t;          (** [cout; cin; k; k] *)
+      bias : Twq_tensor.Tensor.t option;
+      stride : int;
+      pad : int;
+    }
+  | Bn of {
+      gamma : Twq_tensor.Tensor.t;
+      beta : Twq_tensor.Tensor.t;
+      mean : Twq_tensor.Tensor.t;
+      var : Twq_tensor.Tensor.t;
+    }  (** inference-mode batch norm with stored statistics *)
+  | Relu
+  | Leaky_relu of int
+      (** negative slope [2^-k] — hardware-shift friendly (YOLO-style) *)
+  | Max_pool of { k : int; stride : int }
+  | Avg_pool of { k : int; stride : int }
+  | Global_avg_pool  (** NCHW → [n; c] *)
+  | Linear of { w : Twq_tensor.Tensor.t; bias : Twq_tensor.Tensor.t option }
+  | Add            (** two inputs (residual connection) *)
+  | Concat         (** channel concatenation (skip connections à la U-Net) *)
+  | Upsample of int
+
+type node = { op : op; inputs : id list }
+
+type t
+
+val create : unit -> t
+val input : t -> id
+(** The (single) graph input; callable once. *)
+
+val add : t -> op -> id list -> id
+(** Append a node. @raise Invalid_argument on arity mismatch or undefined
+    inputs. *)
+
+val set_output : t -> id -> unit
+val output : t -> id
+val nodes : t -> (id * node) list
+(** In topological (definition) order. *)
+
+val node : t -> id -> node
+
+val run : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Interpret the graph on an NCHW batch. *)
+
+val run_all : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t array
+(** Interpret and return every node's value (indexable by [id :> int];
+    used by the quantization pass for calibration). *)
+
+val infer_shapes : t -> input:Twq_tensor.Shape.t -> (id * Twq_tensor.Shape.t) list
+(** Static shape of every node's result for a given input shape. *)
+
+val conv_count : t -> int

@@ -1,0 +1,51 @@
+(** Post-training quantization of a {!Graph.t} into an integer-only graph.
+
+    Generalises {!Deploy} to arbitrary graphs, including the residual
+    connections of ResNet-style models:
+
+    - 3×3 stride-1 convolutions become tap-wise Winograd layers
+      ({!Twq_quant.Tapwise});
+    - all other convolutions become int8 spatial layers
+      ({!Twq_quant.Qconv});
+    - ReLU / max-pool / 2×2 avg-pool / upsample run directly on int8;
+    - residual [Add] aligns its two operands' power-of-two scales with
+      hardware round-shifts, adds, and saturates back to int8;
+    - the global-average-pool + linear head runs in float.
+
+    Every inter-node tensor carries a power-of-two scale, so all the
+    rescaling in the integer graph is shift-based — the same property the
+    paper's FixPipe exploits.
+
+    Run {!Passes.fold_bn} first: [quantize] rejects graphs that still
+    contain batch-norm nodes. *)
+
+type t
+
+val quantize :
+  Graph.t ->
+  calibration:Twq_tensor.Tensor.t ->
+  ?variant:Twq_winograd.Transform.variant ->
+  ?wino_bits:int ->
+  unit ->
+  t
+(** @raise Invalid_argument on BN nodes or unsupported pooling sizes. *)
+
+val run : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Float in (quantized at the input scale), logits out. *)
+
+val noise_vs_float : t -> Graph.t -> Twq_tensor.Tensor.t -> float
+(** Relative RMS error of the integer graph's logits against the float
+    graph's, on a given batch. *)
+
+val winograd_layer_count : t -> int
+val spatial_layer_count : t -> int
+
+(** {2 File I/O} *)
+
+val to_string : t -> string
+val of_string : string -> t
+(** Exact round-trip (hex-float scales): a reloaded graph produces
+    bit-identical integer activations. *)
+
+val save : t -> string -> unit
+val load : string -> t

@@ -1,0 +1,91 @@
+module Tensor = Twq_tensor.Tensor
+
+let bn_count g =
+  List.fold_left
+    (fun acc (_, n) -> match n.Graph.op with Graph.Bn _ -> acc + 1 | _ -> acc)
+    0 (Graph.nodes g)
+
+(* y = γ(conv(x) + b − μ)/σ + β  ⇒  w' = w·γ/σ, b' = (b − μ)·γ/σ + β. *)
+let fold_conv_bn ~w ~bias ~gamma ~beta ~mean ~var =
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  let kh = Tensor.dim w 2 and kw = Tensor.dim w 3 in
+  let w' = Tensor.copy w in
+  let b' = Tensor.zeros [| cout |] in
+  for co = 0 to cout - 1 do
+    let scale =
+      gamma.Tensor.data.(co) /. sqrt (var.Tensor.data.(co) +. 1e-5)
+    in
+    for ci = 0 to cin - 1 do
+      for i = 0 to kh - 1 do
+        for j = 0 to kw - 1 do
+          Tensor.set4 w' co ci i j (Tensor.get4 w co ci i j *. scale)
+        done
+      done
+    done;
+    let b0 = match bias with Some b -> b.Tensor.data.(co) | None -> 0.0 in
+    b'.Tensor.data.(co) <-
+      ((b0 -. mean.Tensor.data.(co)) *. scale) +. beta.Tensor.data.(co)
+  done;
+  (w', b')
+
+let fold_bn g =
+  let nodes = Graph.nodes g in
+  (* Use counts, to only fold convs consumed exclusively by their BN. *)
+  let uses = Hashtbl.create 64 in
+  List.iter
+    (fun (_, n) ->
+      List.iter
+        (fun i ->
+          Hashtbl.replace uses i (1 + Option.value ~default:0 (Hashtbl.find_opt uses i)))
+        n.Graph.inputs)
+    nodes;
+  let out = Graph.output g in
+  let single_use i =
+    Hashtbl.find_opt uses i = Some 1 && i <> out
+  in
+  (* BN nodes to fold: bn_id -> conv_id. *)
+  let foldable = Hashtbl.create 16 in
+  List.iter
+    (fun (id, n) ->
+      match n.Graph.op with
+      | Graph.Bn _ -> (
+          match n.Graph.inputs with
+          | [ src ] -> (
+              match (Graph.node g src).Graph.op with
+              | Graph.Conv _ when single_use src -> Hashtbl.replace foldable id src
+              | _ -> ())
+          | _ -> ())
+      | _ -> ())
+    nodes;
+  let folded_convs = Hashtbl.create 16 in
+  Hashtbl.iter (fun _ conv -> Hashtbl.replace folded_convs conv ()) foldable;
+  (* Rebuild with remapped ids. *)
+  let g' = Graph.create () in
+  let remap = Hashtbl.create 64 in
+  List.iter
+    (fun (id, n) ->
+      if Hashtbl.mem folded_convs id then () (* emitted with its BN *)
+      else begin
+        let new_id =
+          match n.Graph.op with
+          | Graph.Input -> Graph.input g'
+          | Graph.Bn { gamma; beta; mean; var } when Hashtbl.mem foldable id ->
+              let conv_id = Hashtbl.find foldable id in
+              let conv = Graph.node g conv_id in
+              let w, bias, stride, pad =
+                match conv.Graph.op with
+                | Graph.Conv { w; bias; stride; pad } -> (w, bias, stride, pad)
+                | _ -> assert false
+              in
+              let w', b' = fold_conv_bn ~w ~bias ~gamma ~beta ~mean ~var in
+              let conv_input = Hashtbl.find remap (List.hd conv.Graph.inputs) in
+              Graph.add g'
+                (Graph.Conv { w = w'; bias = Some b'; stride; pad })
+                [ conv_input ]
+          | op -> Graph.add g' op (List.map (Hashtbl.find remap) n.Graph.inputs)
+        in
+        Hashtbl.replace remap id new_id
+      end)
+    nodes;
+  Graph.set_output g' (Hashtbl.find remap out);
+  g'

@@ -1,0 +1,8 @@
+(** Graph rewriting passes. *)
+
+val fold_bn : Graph.t -> Graph.t
+(** Fold every batch-norm whose producer is a convolution used only by that
+    batch-norm into the convolution's weights/bias.  Numerically exact (up
+    to FP rounding); the standard pre-quantization step. *)
+
+val bn_count : Graph.t -> int

@@ -1,0 +1,284 @@
+module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
+module Transform = Twq_winograd.Transform
+module Calibration = Twq_quant.Calibration
+module Quantizer = Twq_quant.Quantizer
+open Twq_autodiff
+
+type wa_spec = {
+  variant : Transform.variant;
+  wino_bits : int;
+  tapwise : bool;
+  pow2 : bool;
+  learned : bool;
+}
+
+type conv_mode = Fp32 | Int8_spatial | Wa of wa_spec
+
+type arch =
+  | Vgg_mini of int list
+  | Resnet_mini of { width : int; blocks : int }
+
+type config = {
+  mode : conv_mode;
+  arch : arch;
+  in_channels : int;
+  classes : int;
+  act_bits : int;
+}
+
+let default_config mode =
+  { mode; arch = Vgg_mini [ 8; 16 ]; in_channels = 3; classes = 4; act_bits = 8 }
+
+type conv_layer = {
+  w : Var.t;
+  gamma : Var.t;
+  beta : Var.t;
+  act_obs : Calibration.t;
+  wa : Wa_conv.t option;
+  mutable frozen : bool;
+}
+
+type head = { fc_w : Var.t; fc_b : Var.t }
+
+type t = {
+  cfg : config;
+  convs : conv_layer array;
+  (* residual wiring: for Resnet_mini, convs are [stem; b1c1; b1c2; ...] *)
+  head : head;
+}
+
+(* He-style initialisation for 3×3 convs. *)
+let init_conv rng cin cout =
+  let sigma = sqrt (2.0 /. float_of_int (cin * 9)) in
+  Var.of_tensor (Tensor.rand_gaussian rng [| cout; cin; 3; 3 |] ~mu:0.0 ~sigma)
+
+let make_conv_layer cfg rng cin cout =
+  let wa =
+    match cfg.mode with
+    | Wa s ->
+        Some
+          (Wa_conv.create ~variant:s.variant ~wino_bits:s.wino_bits
+             ~pow2:s.pow2 ~tapwise:s.tapwise
+             ~mode:(if s.learned then Wa_conv.Learned else Wa_conv.Static)
+             ~pad:1 ())
+    | Fp32 | Int8_spatial -> None
+  in
+  {
+    w = init_conv rng cin cout;
+    gamma = Var.of_tensor (Tensor.ones [| cout |]);
+    beta = Var.of_tensor (Tensor.zeros [| cout |]);
+    act_obs = Calibration.create ();
+    wa;
+    frozen = false;
+  }
+
+let conv_channel_pairs cfg =
+  match cfg.arch with
+  | Vgg_mini stages ->
+      let rec loop cin = function
+        | [] -> []
+        | c :: rest -> (cin, c) :: (c, c) :: loop c rest
+      in
+      loop cfg.in_channels stages
+  | Resnet_mini { width; blocks } ->
+      (cfg.in_channels, width)
+      :: List.concat (List.init blocks (fun _ -> [ (width, width); (width, width) ]))
+
+let last_width cfg =
+  match cfg.arch with
+  | Vgg_mini stages -> List.nth stages (List.length stages - 1)
+  | Resnet_mini { width; _ } -> width
+
+let create cfg ~seed =
+  let rng = Rng.create seed in
+  let convs =
+    Array.of_list
+      (List.map (fun (cin, cout) -> make_conv_layer cfg rng cin cout)
+         (conv_channel_pairs cfg))
+  in
+  let w_last = last_width cfg in
+  let sigma = sqrt (2.0 /. float_of_int w_last) in
+  let head =
+    {
+      fc_w = Var.of_tensor (Tensor.rand_gaussian rng [| cfg.classes; w_last |] ~mu:0.0 ~sigma);
+      fc_b = Var.of_tensor (Tensor.zeros [| cfg.classes |]);
+    }
+  in
+  { cfg; convs; head }
+
+(* Weight scale follows the live weight maximum (standard QAT). *)
+let spatial_weight_quant ~bits w =
+  let max_abs = Tensor.max_abs w.Var.data in
+  let scale = Quantizer.scale_for ~bits ~max_abs in
+  Quant_ops.fake_quant_ste ~bits ~scale w
+
+let apply_conv cfg layer x =
+  match cfg.mode with
+  | Fp32 -> Fn.conv2d ~stride:1 ~pad:1 ~x ~w:layer.w ~b:None ()
+  | Int8_spatial ->
+      let xq =
+        if layer.frozen && not (Calibration.is_calibrated layer.act_obs) then x
+        else Quant_ops.quantize_act ~observer:layer.act_obs ~bits:cfg.act_bits ~pow2:false x
+      in
+      let wq = spatial_weight_quant ~bits:cfg.act_bits layer.w in
+      Fn.conv2d ~stride:1 ~pad:1 ~x:xq ~w:wq ~b:None ()
+  | Wa _ ->
+      let xq =
+        Quant_ops.quantize_act ~observer:layer.act_obs ~bits:cfg.act_bits ~pow2:false x
+      in
+      let wq = spatial_weight_quant ~bits:cfg.act_bits layer.w in
+      let wa = Option.get layer.wa in
+      Wa_conv.forward wa ~x:xq ~w:wq
+
+let conv_bn_relu cfg layer x =
+  let y = apply_conv cfg layer x in
+  let y = Fn.batch_norm_frozen ~x:y ~gamma:layer.gamma ~beta:layer.beta ~eps:1e-5 in
+  Fn.relu y
+
+let forward t x_batch =
+  let cfg = t.cfg in
+  let x = Var.of_tensor x_batch in
+  let feat =
+    match cfg.arch with
+    | Vgg_mini stages ->
+        let n_stages = List.length stages in
+        let x = ref x in
+        for s = 0 to n_stages - 1 do
+          x := conv_bn_relu cfg t.convs.((2 * s) + 0) !x;
+          x := conv_bn_relu cfg t.convs.((2 * s) + 1) !x;
+          x := Fn.avg_pool2d ~k:2 ~stride:2 !x
+        done;
+        !x
+    | Resnet_mini { blocks; _ } ->
+        let x = ref (conv_bn_relu cfg t.convs.(0) x) in
+        for b = 0 to blocks - 1 do
+          let skip = !x in
+          let y = conv_bn_relu cfg t.convs.((2 * b) + 1) !x in
+          let l2 = t.convs.((2 * b) + 2) in
+          let y = apply_conv cfg l2 y in
+          let y = Fn.batch_norm_frozen ~x:y ~gamma:l2.gamma ~beta:l2.beta ~eps:1e-5 in
+          x := Fn.relu (Fn.add y skip)
+        done;
+        !x
+  in
+  let pooled = Fn.global_avg_pool feat in
+  Fn.linear ~x:pooled ~w:t.head.fc_w ~b:(Some t.head.fc_b)
+
+let params t =
+  let conv_params =
+    Array.to_list t.convs
+    |> List.concat_map (fun l -> [ l.w; l.gamma; l.beta ])
+  in
+  conv_params @ [ t.head.fc_w; t.head.fc_b ]
+
+let scale_params t =
+  Array.to_list t.convs
+  |> List.concat_map (fun l ->
+         match l.wa with
+         | Some wa -> List.filter Scale_param.learnable (Wa_conv.scales wa)
+         | None -> [])
+
+let set_frozen t b =
+  Array.iter
+    (fun l ->
+      l.frozen <- b;
+      match l.wa with Some wa -> Wa_conv.set_frozen wa b | None -> ())
+    t.convs
+
+let config t = t.cfg
+
+let num_parameters t =
+  List.fold_left (fun a p -> a + Tensor.numel p.Var.data) 0 (params t)
+
+let conv_weights t =
+  Array.to_list t.convs |> List.map (fun l -> l.w.Var.data)
+
+let conv_bn_params t =
+  Array.to_list t.convs
+  |> List.map (fun l -> (l.w.Var.data, l.gamma.Var.data, l.beta.Var.data))
+
+let learned_scale_grids t =
+  Array.to_list t.convs
+  |> List.map (fun l ->
+         match l.wa with
+         | Some wa ->
+             Some (Wa_conv.input_scale_grid wa, Wa_conv.weight_scale_grid wa)
+         | None -> None)
+
+let head_params t = (t.head.fc_w.Var.data, t.head.fc_b.Var.data)
+
+(* Bridge to the graph IR: rebuild the (Vgg_mini) model as a Graph.t with
+   batch-norm statistics taken from a calibration batch, so the graph
+   passes (fold_bn, Int_graph.quantize, Graph_compiler.select) apply to
+   trained models.  The graph is numerically equivalent to this model's
+   FP32 evaluation on batches with the same statistics. *)
+let to_graph t ~calibration =
+  let stages =
+    match t.cfg.arch with
+    | Vgg_mini stages -> stages
+    | Resnet_mini _ ->
+        invalid_arg "Qat_model.to_graph: only Vgg_mini architectures"
+  in
+  let g = Graph.create () in
+  let x_graph = Graph.input g in
+  let x_cal = ref calibration in
+  let node = ref x_graph in
+  List.iteri
+    (fun stage_idx _ ->
+      for k = 0 to 1 do
+        let layer = t.convs.((2 * stage_idx) + k) in
+        let w = Tensor.copy layer.w.Var.data in
+        let conv_out =
+          Twq_tensor.Ops.conv2d ~stride:1 ~pad:1 ~x:!x_cal ~w ()
+        in
+        (* Batch statistics of the calibration activations become the
+           graph BN's stored statistics. *)
+        let c = Tensor.dim conv_out 1 in
+        let n = Tensor.dim conv_out 0 in
+        let h = Tensor.dim conv_out 2 and wd = Tensor.dim conv_out 3 in
+        let count = float_of_int (n * h * wd) in
+        let mean = Tensor.zeros [| c |] and var = Tensor.zeros [| c |] in
+        for ci = 0 to c - 1 do
+          let sum = ref 0.0 and sq = ref 0.0 in
+          for ni = 0 to n - 1 do
+            for hi = 0 to h - 1 do
+              for wi = 0 to wd - 1 do
+                let v = Tensor.get4 conv_out ni ci hi wi in
+                sum := !sum +. v;
+                sq := !sq +. (v *. v)
+              done
+            done
+          done;
+          mean.Tensor.data.(ci) <- !sum /. count;
+          var.Tensor.data.(ci) <-
+            Float.max 0.0 ((!sq /. count) -. (mean.Tensor.data.(ci) ** 2.0))
+        done;
+        let cid = Graph.add g (Graph.Conv { w; bias = None; stride = 1; pad = 1 }) [ !node ] in
+        let bid =
+          Graph.add g
+            (Graph.Bn
+               { gamma = Tensor.copy layer.gamma.Var.data;
+                 beta = Tensor.copy layer.beta.Var.data; mean; var })
+            [ cid ]
+        in
+        node := Graph.add g Graph.Relu [ bid ];
+        x_cal :=
+          Twq_tensor.Ops.relu
+            (Twq_tensor.Ops.batch_norm ~x:conv_out
+               ~gamma:layer.gamma.Var.data ~beta:layer.beta.Var.data ~mean ~var
+               ~eps:1e-5)
+      done;
+      node := Graph.add g (Graph.Avg_pool { k = 2; stride = 2 }) [ !node ];
+      x_cal := Twq_tensor.Ops.avg_pool2d ~k:2 ~stride:2 !x_cal)
+    stages;
+  let gap = Graph.add g Graph.Global_avg_pool [ !node ] in
+  let fc =
+    Graph.add g
+      (Graph.Linear
+         { w = Tensor.copy t.head.fc_w.Var.data;
+           bias = Some (Tensor.copy t.head.fc_b.Var.data) })
+      [ gap ]
+  in
+  Graph.set_output g fc;
+  g

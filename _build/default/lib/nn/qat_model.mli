@@ -1,0 +1,81 @@
+(** Trainable CNN models with switchable convolution back-ends.
+
+    Every 3×3 stride-1 convolution of the model can run as:
+    - [Fp32] — the floating-point baseline (the paper's im2col/FP32 row);
+    - [Int8_spatial] — int8 fake-quant activations/weights, standard conv
+      (the im2col/int8 row);
+    - [Wa _] — Winograd-aware quantized conv ({!Twq_autodiff.Wa_conv}) in
+      any of the paper's Table-II configurations (F2/F4, single-scale or
+      tap-wise, float or pow2 scales, static calibration or learned
+      log2-gradient scales, 8/9/10 Winograd-domain bits).
+
+    The fully-connected head stays FP32 in all modes (its cost is marginal
+    and the paper's Winograd operator only covers 3×3 s1 convolutions). *)
+
+type wa_spec = {
+  variant : Twq_winograd.Transform.variant;
+  wino_bits : int;
+  tapwise : bool;
+  pow2 : bool;
+  learned : bool;
+}
+
+type conv_mode = Fp32 | Int8_spatial | Wa of wa_spec
+
+type arch =
+  | Vgg_mini of int list
+      (** channel progression; two convs + one 2×2 avg-pool per stage *)
+  | Resnet_mini of { width : int; blocks : int }
+      (** stem + [blocks] residual basic blocks at constant width *)
+
+type config = {
+  mode : conv_mode;
+  arch : arch;
+  in_channels : int;
+  classes : int;
+  act_bits : int;
+}
+
+val default_config : conv_mode -> config
+(** [Vgg_mini \[8; 16\]], 3 input channels, 4 classes, 8-bit activations. *)
+
+type t
+
+val create : config -> seed:int -> t
+
+val forward : t -> Twq_tensor.Tensor.t -> Twq_autodiff.Var.t
+(** Build the autodiff graph for a batch; returns the logits node. *)
+
+val params : t -> Twq_autodiff.Var.t list
+(** Weight/bias/BN parameters (for the SGD step). *)
+
+val scale_params : t -> Twq_autodiff.Scale_param.t list
+(** Learnable quantization scales (for the Adam step); empty unless the
+    mode uses learned scales. *)
+
+val set_frozen : t -> bool -> unit
+(** Freeze all running-max calibration (switch to evaluation). *)
+
+val config : t -> config
+
+val num_parameters : t -> int
+
+val conv_weights : t -> Twq_tensor.Tensor.t list
+(** Current 3×3 conv weight tensors (used by analysis experiments). *)
+
+val conv_bn_params : t -> (Twq_tensor.Tensor.t * Twq_tensor.Tensor.t * Twq_tensor.Tensor.t) list
+(** Per conv layer: (weights, bn gamma, bn beta) — consumed by {!Deploy}. *)
+
+val head_params : t -> Twq_tensor.Tensor.t * Twq_tensor.Tensor.t
+(** Fully-connected head (w, b). *)
+
+val learned_scale_grids : t -> (float array array * float array array) option list
+(** Per conv layer, the (S_B, S_G) grids of its Winograd-aware layer (from
+    calibration or log2-gradient learning); [None] for non-Winograd modes.
+    Consumed by {!Deploy} so trained scales survive into deployment. *)
+
+val to_graph : t -> calibration:Twq_tensor.Tensor.t -> Graph.t
+(** Rebuild the trained ([Vgg_mini]) model as a {!Graph.t}: BN statistics
+    are taken from the calibration batch, after which all graph passes
+    (folding, operator selection, {!Int_graph.quantize}) apply.
+    @raise Invalid_argument for residual architectures. *)

@@ -1,0 +1,155 @@
+module Tensor = Twq_tensor.Tensor
+module Ops = Twq_tensor.Ops
+module Rng = Twq_util.Rng
+module Synth = Twq_dataset.Synth_images
+open Twq_autodiff
+
+type kd = { teacher : Qat_model.t; temperature : float; alpha : float }
+
+type options = {
+  epochs : int;
+  batch_size : int;
+  lr : float;
+  momentum : float;
+  weight_decay : float;
+  scale_lr : float;
+  kd : kd option;
+  grad_clip : float;
+  seed : int;
+}
+
+let default_options =
+  {
+    epochs = 8;
+    batch_size = 16;
+    lr = 0.05;
+    momentum = 0.9;
+    weight_decay = 1e-4;
+    scale_lr = 0.002;
+    kd = None;
+    grad_clip = 5.0;
+    seed = 7;
+  }
+
+type history = { train_loss : float array; valid_acc : float array }
+
+let logits model x =
+  let node = Qat_model.forward model x in
+  Var.value node
+
+let evaluate_topk ~k model split =
+  Qat_model.set_frozen model true;
+  let n = Array.length split in
+  let batch = 32 in
+  let correct = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let size = Stdlib.min batch (n - !i) in
+    let channels = Tensor.dim split.(0).Synth.image 0 in
+    let sz = Tensor.dim split.(0).Synth.image 1 in
+    let xb = Tensor.zeros [| size; channels; sz; sz |] in
+    for bi = 0 to size - 1 do
+      let s = split.(!i + bi) in
+      for c = 0 to channels - 1 do
+        for a = 0 to sz - 1 do
+          for b = 0 to sz - 1 do
+            Tensor.set4 xb bi c a b (Tensor.get s.Synth.image [| c; a; b |])
+          done
+        done
+      done
+    done;
+    let out = logits model xb in
+    for bi = 0 to size - 1 do
+      if List.mem split.(!i + bi).Synth.label (Ops.top_k_row out bi k) then
+        incr correct
+    done;
+    i := !i + size
+  done;
+  Qat_model.set_frozen model false;
+  float_of_int !correct /. float_of_int n
+
+let evaluate model split =
+  Qat_model.set_frozen model true;
+  let n = Array.length split in
+  let batch = 32 in
+  let correct = ref 0 in
+  let i = ref 0 in
+  while !i < n do
+    let size = Stdlib.min batch (n - !i) in
+    let indices = Array.init size (fun k -> !i + k) in
+    let x, labels =
+      (* Re-stack directly from the split. *)
+      let channels = Tensor.dim split.(0).Synth.image 0 in
+      let sz = Tensor.dim split.(0).Synth.image 1 in
+      let xb = Tensor.zeros [| size; channels; sz; sz |] in
+      let lb = Array.make size 0 in
+      Array.iteri
+        (fun bi si ->
+          let s = split.(si) in
+          lb.(bi) <- s.Synth.label;
+          for c = 0 to channels - 1 do
+            for a = 0 to sz - 1 do
+              for b = 0 to sz - 1 do
+                Tensor.set4 xb bi c a b (Tensor.get s.Synth.image [| c; a; b |])
+              done
+            done
+          done)
+        indices;
+      (xb, lb)
+    in
+    let out = logits model x in
+    Array.iteri
+      (fun bi label -> if Ops.argmax_row out bi = label then incr correct)
+      labels;
+    i := !i + size
+  done;
+  Qat_model.set_frozen model false;
+  float_of_int !correct /. float_of_int n
+
+let train model dataset options =
+  let rng = Rng.create options.seed in
+  let params = Qat_model.params model in
+  let opt =
+    Optim.sgd ~momentum:options.momentum ~weight_decay:options.weight_decay
+      ~lr:options.lr params
+  in
+  let scale_params = Qat_model.scale_params model in
+  let train_loss = Array.make options.epochs 0.0 in
+  let valid_acc = Array.make options.epochs 0.0 in
+  (match options.kd with
+  | Some kd -> Qat_model.set_frozen kd.teacher true
+  | None -> ());
+  for epoch = 0 to options.epochs - 1 do
+    (* Simple step decay, as a stand-in for the paper's LR scheduler. *)
+    let lr = options.lr *. Float.pow 0.5 (float_of_int (epoch / 3)) in
+    Optim.set_lr opt lr;
+    let batches =
+      Synth.shuffled_batches ~rng ~batch_size:options.batch_size dataset.Synth.train
+    in
+    let total = ref 0.0 and count = ref 0 in
+    List.iter
+      (fun (x, labels) ->
+        let out = Qat_model.forward model x in
+        let ce = Fn.softmax_cross_entropy ~logits:out ~labels in
+        let loss =
+          match options.kd with
+          | None -> ce
+          | Some kd ->
+              let teacher_logits = logits kd.teacher x in
+              let kl =
+                Fn.kl_distillation ~student:out ~teacher:teacher_logits
+                  ~temperature:kd.temperature
+              in
+              Fn.add (Fn.scale (1.0 -. kd.alpha) ce) (Fn.scale kd.alpha kl)
+        in
+        Var.backward loss;
+        Optim.clip_grad_norm params ~max_norm:options.grad_clip;
+        Optim.sgd_step opt;
+        List.iter (Scale_param.adam_step ~lr:options.scale_lr) scale_params;
+        total := !total +. (Var.value loss).Tensor.data.(0);
+        incr count)
+      batches;
+    train_loss.(epoch) <- (if !count = 0 then 0.0 else !total /. float_of_int !count);
+    valid_acc.(epoch) <- evaluate model dataset.Synth.valid
+  done;
+  { train_loss; valid_acc }

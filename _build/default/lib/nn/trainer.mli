@@ -1,0 +1,41 @@
+(** Training and evaluation loops for {!Qat_model}.
+
+    Reproduces the paper's recipe: SGD (momentum) on network weights, Adam
+    on the learnable quantization scales, optional knowledge distillation
+    from an FP32 teacher with the tempered-softmax KL loss. *)
+
+type options = {
+  epochs : int;
+  batch_size : int;
+  lr : float;
+  momentum : float;
+  weight_decay : float;
+  scale_lr : float;        (** Adam lr for the quantization scales *)
+  kd : kd option;
+  grad_clip : float;
+  seed : int;
+}
+
+and kd = { teacher : Qat_model.t; temperature : float; alpha : float }
+(** Loss = (1−α)·CE + α·KL(teacher ∥ student) at temperature T. *)
+
+val default_options : options
+(** 8 epochs, batch 16, lr 0.05, momentum 0.9, scale-lr 0.002, no KD,
+    clip 5.0. *)
+
+type history = {
+  train_loss : float array;  (** mean loss per epoch *)
+  valid_acc : float array;   (** top-1 on the validation split per epoch *)
+}
+
+val train : Qat_model.t -> Twq_dataset.Synth_images.t -> options -> history
+
+val evaluate : Qat_model.t -> Twq_dataset.Synth_images.sample array -> float
+(** Top-1 accuracy (in [\[0,1\]]) on a split; calibration is frozen for the
+    duration of the evaluation. *)
+
+val evaluate_topk : k:int -> Qat_model.t -> Twq_dataset.Synth_images.sample array -> float
+(** Top-k accuracy (the paper reports Top-5 alongside Top-1). *)
+
+val logits : Qat_model.t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Inference logits for a batch (no gradient bookkeeping kept). *)

@@ -1,0 +1,301 @@
+type conv_spec = {
+  name : string;
+  cin : int;
+  cout : int;
+  out_h : int;
+  out_w : int;
+  k : int;
+  stride : int;
+  repeat : int;
+}
+
+type network = { net_name : string; resolution : int; layers : conv_spec list }
+
+let winograd_eligible l = l.k = 3 && l.stride = 1
+
+let macs ~batch l =
+  float_of_int batch *. float_of_int l.repeat *. float_of_int l.out_h
+  *. float_of_int l.out_w *. float_of_int l.cin *. float_of_int l.cout
+  *. float_of_int (l.k * l.k)
+
+let total_macs ~batch n =
+  List.fold_left (fun a l -> a +. macs ~batch l) 0.0 n.layers
+
+let winograd_macs_fraction ~batch n =
+  let wino =
+    List.fold_left
+      (fun a l -> if winograd_eligible l then a +. macs ~batch l else a)
+      0.0 n.layers
+  in
+  wino /. total_macs ~batch n
+
+let conv ?(repeat = 1) ?(stride = 1) name cin cout k hw =
+  { name; cin; cout; out_h = hw; out_w = hw; k; stride; repeat }
+
+let conv_hw ?(repeat = 1) ?(stride = 1) name cin cout k h w =
+  { name; cin; cout; out_h = h; out_w = w; k; stride; repeat }
+
+(* ----------------------------------------------------------- CIFAR nets *)
+
+let resnet20 ?(resolution = 32) () =
+  let r = resolution in
+  let stage name cin c hw first_stride n =
+    conv ~stride:first_stride (name ^ ".0a") cin c 3 hw
+    :: conv (name ^ ".0b") c c 3 hw
+    :: List.concat
+         (List.init (n - 1) (fun i ->
+              [
+                conv (Printf.sprintf "%s.%da" name (i + 1)) c c 3 hw;
+                conv (Printf.sprintf "%s.%db" name (i + 1)) c c 3 hw;
+              ]))
+  in
+  {
+    net_name = "ResNet-20";
+    resolution;
+    layers =
+      (conv "stem" 3 16 3 r :: stage "s1" 16 16 r 1 3)
+      @ stage "s2" 16 32 (r / 2) 2 3
+      @ stage "s3" 32 64 (r / 4) 2 3;
+  }
+
+let vgg_nagadomi ?(resolution = 32) () =
+  let r = resolution in
+  {
+    net_name = "VGG-nagadomi";
+    resolution;
+    layers =
+      [
+        conv "c1a" 3 64 3 r;
+        conv "c1b" 64 64 3 r;
+        conv "c2a" 64 128 3 (r / 2);
+        conv "c2b" 128 128 3 (r / 2);
+        conv "c3a" 128 256 3 (r / 4);
+        conv "c3b" 256 256 3 (r / 4);
+        conv "c3c" 256 256 3 (r / 4);
+        conv "c3d" 256 256 3 (r / 4);
+      ];
+  }
+
+(* -------------------------------------------------------- ImageNet nets *)
+
+let resnet_basic_stage name cin c hw blocks ~downsample =
+  let first =
+    if downsample then
+      [
+        conv ~stride:2 (name ^ ".0a") cin c 3 hw;
+        conv (name ^ ".0b") c c 3 hw;
+        conv ~stride:2 (name ^ ".0ds") cin c 1 hw;
+      ]
+    else
+      [ conv (name ^ ".0a") cin c 3 hw; conv (name ^ ".0b") c c 3 hw ]
+  in
+  first
+  @ List.concat
+      (List.init (blocks - 1) (fun i ->
+           [
+             conv (Printf.sprintf "%s.%da" name (i + 1)) c c 3 hw;
+             conv (Printf.sprintf "%s.%db" name (i + 1)) c c 3 hw;
+           ]))
+
+let resnet34 ?(resolution = 224) () =
+  let r = resolution in
+  let r2 = r / 2 and r4 = r / 4 and r8 = r / 8 and r16 = r / 16 and r32 = r / 32 in
+  {
+    net_name = "ResNet-34";
+    resolution;
+    layers =
+      (conv ~stride:2 "conv1" 3 64 7 r2
+      :: resnet_basic_stage "l1" 64 64 r4 3 ~downsample:false)
+      @ resnet_basic_stage "l2" 64 128 r8 4 ~downsample:true
+      @ resnet_basic_stage "l3" 128 256 r16 6 ~downsample:true
+      @ resnet_basic_stage "l4" 256 512 r32 3 ~downsample:true;
+  }
+
+let resnet_bottleneck_stage name cin c hw blocks ~first_stride =
+  let out = 4 * c in
+  let block i in_ch stride =
+    [
+      conv ~stride (Printf.sprintf "%s.%d.1" name i) in_ch c 1 hw;
+      conv (Printf.sprintf "%s.%d.2" name i) c c 3 hw;
+      conv (Printf.sprintf "%s.%d.3" name i) c out 1 hw;
+    ]
+  in
+  let first =
+    block 0 cin first_stride
+    @ [ conv ~stride:first_stride (name ^ ".0.ds") cin out 1 hw ]
+  in
+  first @ List.concat (List.init (blocks - 1) (fun i -> block (i + 1) out 1))
+
+let resnet50 ?(resolution = 224) () =
+  let r = resolution in
+  let r2 = r / 2 and r4 = r / 4 and r8 = r / 8 and r16 = r / 16 and r32 = r / 32 in
+  {
+    net_name = "ResNet-50";
+    resolution;
+    layers =
+      (conv ~stride:2 "conv1" 3 64 7 r2
+      :: resnet_bottleneck_stage "l1" 64 64 r4 3 ~first_stride:1)
+      @ resnet_bottleneck_stage "l2" 256 128 r8 4 ~first_stride:2
+      @ resnet_bottleneck_stage "l3" 512 256 r16 6 ~first_stride:2
+      @ resnet_bottleneck_stage "l4" 1024 512 r32 3 ~first_stride:2;
+  }
+
+let ssd_vgg16 ?(resolution = 300) () =
+  let r = resolution in
+  let r2 = r / 2 and r4 = r / 4 in
+  let r8 = (r4 + 1) / 2 in         (* 38 for SSD-300 (ceil pooling) *)
+  let r16 = r8 / 2 in              (* 19 *)
+  let r32 = (r16 + 1) / 2 in       (* 10 *)
+  let r64 = r32 / 2 in             (* 5 *)
+  let heads hw cin boxes =
+    [
+      conv_hw "head.cls" cin (boxes * 21) 3 hw hw;
+      conv_hw "head.box" cin (boxes * 4) 3 hw hw;
+    ]
+  in
+  {
+    net_name = "SSD-VGG-16";
+    resolution;
+    layers =
+      [
+        conv "c1a" 3 64 3 r;
+        conv "c1b" 64 64 3 r;
+        conv "c2a" 64 128 3 r2;
+        conv "c2b" 128 128 3 r2;
+        conv "c3a" 128 256 3 r4;
+        conv ~repeat:2 "c3bc" 256 256 3 r4;
+        conv "c4a" 256 512 3 r8;
+        conv ~repeat:2 "c4bc" 512 512 3 r8;
+        conv ~repeat:3 "c5" 512 512 3 r16;
+        conv "fc6" 512 1024 3 r16;
+        conv "fc7" 1024 1024 1 r16;
+        conv "c8.1" 1024 256 1 r16;
+        conv ~stride:2 "c8.2" 256 512 3 r32;
+        conv "c9.1" 512 128 1 r32;
+        conv ~stride:2 "c9.2" 128 256 3 r64;
+        conv "c10.1" 256 128 1 r64;
+        conv "c10.2" 128 256 3 (Stdlib.max 1 (r64 - 2));
+        conv "c11.1" 256 128 1 (Stdlib.max 1 (r64 - 2));
+        conv "c11.2" 128 256 3 (Stdlib.max 1 (r64 - 4));
+      ]
+      @ heads r8 512 4 @ heads r16 1024 6 @ heads r32 512 6
+      @ heads r64 256 6
+      @ heads (Stdlib.max 1 (r64 - 2)) 256 4
+      @ heads (Stdlib.max 1 (r64 - 4)) 256 4;
+  }
+
+let yolov3 ?(resolution = 416) () =
+  let r = resolution in
+  let r2 = r / 2 and r4 = r / 4 and r8 = r / 8 and r16 = r / 16 and r32 = r / 32 in
+  let residual name c hw n =
+    List.concat
+      (List.init n (fun i ->
+           [
+             conv (Printf.sprintf "%s.%d.1x1" name i) c (c / 2) 1 hw;
+             conv (Printf.sprintf "%s.%d.3x3" name i) (c / 2) c 3 hw;
+           ]))
+  in
+  let head name cin mid hw =
+    [
+      conv (name ^ ".1") cin mid 1 hw;
+      conv (name ^ ".2") mid (2 * mid) 3 hw;
+      conv (name ^ ".3") (2 * mid) mid 1 hw;
+      conv (name ^ ".4") mid (2 * mid) 3 hw;
+      conv (name ^ ".5") (2 * mid) mid 1 hw;
+      conv (name ^ ".6") mid (2 * mid) 3 hw;
+      conv (name ^ ".out") (2 * mid) 255 1 hw;
+    ]
+  in
+  {
+    net_name = "YOLOv3";
+    resolution;
+    layers =
+      [ conv "stem" 3 32 3 r; conv ~stride:2 "d1" 32 64 3 r2 ]
+      @ residual "r1" 64 r2 1
+      @ [ conv ~stride:2 "d2" 64 128 3 r4 ]
+      @ residual "r2" 128 r4 2
+      @ [ conv ~stride:2 "d3" 128 256 3 r8 ]
+      @ residual "r3" 256 r8 8
+      @ [ conv ~stride:2 "d4" 256 512 3 r16 ]
+      @ residual "r4" 512 r16 8
+      @ [ conv ~stride:2 "d5" 512 1024 3 r32 ]
+      @ residual "r5" 1024 r32 4
+      @ head "h32" 1024 512 r32
+      @ [ conv "up16.lat" 512 256 1 r32 ]
+      @ head "h16" (256 + 512) 256 r16
+      @ [ conv "up8.lat" 256 128 1 r16 ]
+      @ head "h8" (128 + 256) 128 r8;
+  }
+
+let unet ?(resolution = 572) () =
+  let r = resolution in
+  (* Classic valid-padded U-Net: every 3×3 conv shrinks the map by 2. *)
+  let enc name cin c hw = [ conv (name ^ "a") cin c 3 (hw - 2); conv (name ^ "b") c c 3 (hw - 4) ] in
+  let e1 = r in
+  let e2 = (r - 4) / 2 in
+  let e3 = (e2 - 4) / 2 in
+  let e4 = (e3 - 4) / 2 in
+  let e5 = (e4 - 4) / 2 in
+  let d4 = (e5 - 4) * 2 in
+  let d3 = (d4 - 4) * 2 in
+  let d2 = (d3 - 4) * 2 in
+  let d1 = (d2 - 4) * 2 in
+  {
+    net_name = "UNet";
+    resolution;
+    layers =
+      enc "e1" 3 64 e1 @ enc "e2" 64 128 e2 @ enc "e3" 128 256 e3
+      @ enc "e4" 256 512 e4 @ enc "e5" 512 1024 e5
+      @ [ conv "u4.up" 1024 512 1 d4 ]
+      @ enc "d4" 1024 512 d4
+      @ [ conv "u3.up" 512 256 1 d3 ]
+      @ enc "d3" 512 256 d3
+      @ [ conv "u2.up" 256 128 1 d2 ]
+      @ enc "d2" 256 128 d2
+      @ [ conv "u1.up" 128 64 1 d1 ]
+      @ enc "d1" 128 64 d1
+      @ [ conv "out" 64 2 1 (d1 - 4) ];
+  }
+
+let retinanet_r50 ?(resolution = 800) () =
+  let r = resolution in
+  let p3 = r / 8 and p4 = r / 16 and p5 = r / 32 in
+  let p6 = p5 / 2 in
+  let p7 = p6 / 2 in
+  let backbone = (resnet50 ~resolution ()).layers in
+  let fpn =
+    [
+      conv "fpn.lat5" 2048 256 1 p5;
+      conv "fpn.lat4" 1024 256 1 p4;
+      conv "fpn.lat3" 512 256 1 p3;
+      conv "fpn.smooth5" 256 256 3 p5;
+      conv "fpn.smooth4" 256 256 3 p4;
+      conv "fpn.smooth3" 256 256 3 p3;
+      conv ~stride:2 "fpn.p6" 2048 256 3 p6;
+      conv ~stride:2 "fpn.p7" 256 256 3 p7;
+    ]
+  in
+  let head hw =
+    [
+      conv ~repeat:8 (Printf.sprintf "head%d.tower" hw) 256 256 3 hw;
+      conv (Printf.sprintf "head%d.cls" hw) 256 (9 * 80) 3 hw;
+      conv (Printf.sprintf "head%d.box" hw) 256 (9 * 4) 3 hw;
+    ]
+  in
+  {
+    net_name = "RetinaNet-R-50";
+    resolution;
+    layers = backbone @ fpn @ head p3 @ head p4 @ head p5 @ head p6 @ head p7;
+  }
+
+let all =
+  [
+    ("resnet20", resnet20);
+    ("vgg-nagadomi", vgg_nagadomi);
+    ("resnet34", resnet34);
+    ("resnet50", resnet50);
+    ("ssd-vgg16", ssd_vgg16);
+    ("yolov3", yolov3);
+    ("unet", unet);
+    ("retinanet-r50", retinanet_r50);
+  ]

@@ -1,0 +1,47 @@
+(** Convolution-layer inventories of the paper's evaluation networks.
+
+    The accelerator simulator consumes these shape lists to produce the
+    full-network results of Table VII / Fig. 6.  Only convolutions matter
+    for the operator-level model (they dominate >95% of the compute in all
+    seven networks); pooling/activation costs ride along in the Vector Unit
+    which is never the bottleneck in the modelled dataflow. *)
+
+type conv_spec = {
+  name : string;
+  cin : int;
+  cout : int;
+  out_h : int;   (** output feature-map height *)
+  out_w : int;
+  k : int;       (** square kernel size *)
+  stride : int;
+  repeat : int;  (** how many times this exact layer occurs *)
+}
+
+type network = {
+  net_name : string;
+  resolution : int;
+  layers : conv_spec list;
+}
+
+val winograd_eligible : conv_spec -> bool
+(** 3×3, stride 1 — the layers the paper maps to the Winograd operator. *)
+
+val macs : batch:int -> conv_spec -> float
+(** Multiply–accumulates of one layer instance ([repeat] included). *)
+
+val total_macs : batch:int -> network -> float
+val winograd_macs_fraction : batch:int -> network -> float
+
+val resnet20 : ?resolution:int -> unit -> network
+(** CIFAR-style ResNet-20 (the Table-III benchmark). *)
+
+val vgg_nagadomi : ?resolution:int -> unit -> network
+
+val resnet34 : ?resolution:int -> unit -> network
+val resnet50 : ?resolution:int -> unit -> network
+val ssd_vgg16 : ?resolution:int -> unit -> network
+val yolov3 : ?resolution:int -> unit -> network
+val unet : ?resolution:int -> unit -> network
+val retinanet_r50 : ?resolution:int -> unit -> network
+
+val all : (string * (?resolution:int -> unit -> network)) list

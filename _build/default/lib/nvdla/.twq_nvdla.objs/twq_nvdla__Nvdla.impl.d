@@ -1,0 +1,1 @@
+lib/nvdla/nvdla.ml: Float Twq_nn

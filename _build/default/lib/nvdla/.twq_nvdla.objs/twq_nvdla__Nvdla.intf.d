@@ -1,0 +1,1 @@
+lib/nvdla/nvdla.mli: Twq_nn

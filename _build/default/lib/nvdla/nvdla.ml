@@ -1,0 +1,83 @@
+module Zoo = Twq_nn.Zoo
+
+type config = {
+  n_engines : int;
+  macs_per_s_per_engine : float;
+  cb_bytes : int;
+  word_bytes : int;
+  bandwidth_words_per_s : float;
+  wino_util : float;
+  direct_util : float;
+}
+
+let default ~bandwidth_words_per_s =
+  {
+    n_engines = 8;
+    macs_per_s_per_engine = 1e12;
+    cb_bytes = 512 * 1024;
+    word_bytes = 2;
+    bandwidth_words_per_s;
+    wino_util = 0.9;
+    direct_util = 0.95;
+  }
+
+type kernel = Direct | Winograd_f2
+
+type estimate = {
+  kernel : kernel;
+  compute_s : float;
+  memory_s : float;
+  time_s : float;
+  weight_refetch : float;
+  traffic_words : float;
+}
+
+let run cfg kernel (l : Zoo.conv_spec) ~batch =
+  if kernel = Winograd_f2 && not (Zoo.winograd_eligible l) then
+    invalid_arg "Nvdla.run: Winograd F2 requires 3x3 stride-1 layers";
+  let macs = Zoo.macs ~batch l in
+  let peak = float_of_int cfg.n_engines *. cfg.macs_per_s_per_engine in
+  let compute_s =
+    match kernel with
+    | Direct -> macs /. (peak *. cfg.direct_util)
+    | Winograd_f2 -> macs /. 2.25 /. (peak *. cfg.wino_util)
+  in
+  let in_h = ((l.Zoo.out_h - 1) * l.Zoo.stride) + l.Zoo.k in
+  let in_w = ((l.Zoo.out_w - 1) * l.Zoo.stride) + l.Zoo.k in
+  let ifm_words_img = float_of_int (in_h * in_w * l.Zoo.cin) in
+  let ifm_bytes_img = ifm_words_img *. float_of_int cfg.word_bytes in
+  (* CB spill: chunked iFM forces full weight re-fetches per chunk. *)
+  let weight_refetch =
+    if ifm_bytes_img > float_of_int cfg.cb_bytes then
+      2.0 *. Float.ceil (ifm_bytes_img /. float_of_int cfg.cb_bytes)
+    else 1.0
+  in
+  let wt_words =
+    let base = float_of_int (l.Zoo.cin * l.Zoo.cout * l.Zoo.k * l.Zoo.k) in
+    match kernel with
+    | Direct -> base
+    | Winograd_f2 -> base *. 16.0 /. 9.0  (* offline-transformed weights *)
+  in
+  let ofm_words = float_of_int (batch * l.Zoo.out_h * l.Zoo.out_w * l.Zoo.cout) in
+  let traffic_words =
+    (wt_words *. float_of_int cfg.n_engines *. weight_refetch)
+    +. (ifm_words_img *. float_of_int batch)
+    +. ofm_words
+  in
+  let memory_s = traffic_words /. cfg.bandwidth_words_per_s in
+  {
+    kernel;
+    compute_s;
+    memory_s;
+    time_s = Float.max compute_s memory_s;
+    weight_refetch;
+    traffic_words = traffic_words *. float_of_int l.Zoo.repeat;
+  }
+
+let best cfg l ~batch =
+  let direct = run cfg Direct l ~batch in
+  if Zoo.winograd_eligible l then begin
+    let wino = run cfg Winograd_f2 l ~batch in
+    if wino.time_s < direct.time_s then wino else direct
+  end
+  else direct

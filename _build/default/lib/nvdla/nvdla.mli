@@ -1,0 +1,45 @@
+(** Analytical performance model of an NVDLA-v1 multi-engine system
+    (the Table VI comparator).
+
+    Eight independent NVDLA engines (1 TOp/s each at 1 GHz, 512 kB
+    convolution buffer per engine) running either the direct convolution or
+    the Winograd F(2,3) kernel in FP16.  Key modelled behaviours, from the
+    paper's Sec. V-B4:
+
+    - Winograd weights are transformed {e offline}, inflating weight
+      traffic by [4²/3² ≈ 1.78×];
+    - when a layer's input feature map exceeds the convolution buffer it is
+      processed in chunks and the (large, transformed) weights are
+      re-fetched per chunk, which can make Winograd slower than direct
+      convolution under a realistic bandwidth;
+    - each engine works on its own batch slice and fetches its own weight
+      copy. *)
+
+type config = {
+  n_engines : int;
+  macs_per_s_per_engine : float;   (** 1e12 ("1 TOp/s", op = MAC) *)
+  cb_bytes : int;                  (** convolution buffer per engine *)
+  word_bytes : int;                (** 2 (FP16) *)
+  bandwidth_words_per_s : float;
+  wino_util : float;               (** Winograd datapath utilisation *)
+  direct_util : float;
+}
+
+val default : bandwidth_words_per_s:float -> config
+(** 8 engines, 1 TMAC/s each, 512 kB CB, FP16. *)
+
+type kernel = Direct | Winograd_f2
+
+type estimate = {
+  kernel : kernel;
+  compute_s : float;
+  memory_s : float;
+  time_s : float;           (** max of the two (roofline) *)
+  weight_refetch : float;   (** weight re-read factor due to CB spills *)
+  traffic_words : float;
+}
+
+val run : config -> kernel -> Twq_nn.Zoo.conv_spec -> batch:int -> estimate
+
+val best : config -> Twq_nn.Zoo.conv_spec -> batch:int -> estimate
+(** The better of the two kernels (NVDLA's compiler picks per layer). *)

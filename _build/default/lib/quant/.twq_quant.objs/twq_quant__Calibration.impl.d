@@ -1,0 +1,1 @@
+lib/quant/calibration.ml: Array Float Twq_tensor Twq_util

@@ -1,0 +1,1 @@
+lib/quant/calibration.mli: Twq_tensor

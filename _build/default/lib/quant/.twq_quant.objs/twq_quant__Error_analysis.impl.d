@@ -1,0 +1,1 @@
+lib/quant/error_analysis.ml: Array Float Quantizer Twq_tensor Twq_util Twq_winograd

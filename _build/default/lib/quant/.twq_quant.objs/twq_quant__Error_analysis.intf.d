@@ -1,0 +1,1 @@
+lib/quant/error_analysis.mli: Twq_tensor Twq_winograd

@@ -1,0 +1,1 @@
+lib/quant/pruning.ml: Array Float Tapwise Twq_tensor

@@ -1,0 +1,1 @@
+lib/quant/pruning.mli: Tapwise Twq_tensor

@@ -1,0 +1,1 @@
+lib/quant/qconv.ml: Array Float List Quantizer Twq_tensor

@@ -1,0 +1,1 @@
+lib/quant/qconv.mli: Twq_tensor

@@ -1,0 +1,1 @@
+lib/quant/quantizer.ml: Array Float Twq_tensor

@@ -1,0 +1,1 @@
+lib/quant/quantizer.mli: Twq_tensor

@@ -1,0 +1,1 @@
+lib/quant/serialize.ml: Array Buffer Fun Printf Qconv Scanf Tapwise Twq_tensor Twq_winograd

@@ -1,0 +1,1 @@
+lib/quant/serialize.mli: Buffer Qconv Scanf Tapwise Twq_tensor

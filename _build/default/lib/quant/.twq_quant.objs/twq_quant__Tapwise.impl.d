@@ -1,0 +1,1 @@
+lib/quant/tapwise.ml: Array Float List Quantizer Twq_tensor Twq_winograd

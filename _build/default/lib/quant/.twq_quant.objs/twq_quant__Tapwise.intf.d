@@ -1,0 +1,1 @@
+lib/quant/tapwise.mli: Twq_tensor Twq_winograd

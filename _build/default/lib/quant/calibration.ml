@@ -1,0 +1,75 @@
+module Tensor = Twq_tensor.Tensor
+
+type t = { momentum : float; mutable value : float; mutable seen : bool }
+
+let create ?(momentum = 0.9) () = { momentum; value = 0.0; seen = false }
+
+let observe o batch_max =
+  let batch_max = Float.abs batch_max in
+  if o.seen then o.value <- (o.momentum *. o.value) +. ((1.0 -. o.momentum) *. batch_max)
+  else begin
+    o.value <- batch_max;
+    o.seen <- true
+  end
+
+let observe_tensor o t = observe o (Tensor.max_abs t)
+
+let value o =
+  if not o.seen then failwith "Calibration.value: no observations";
+  o.value
+
+let is_calibrated o = o.seen
+
+type taps = {
+  observers : t array array;
+  pending : float array array;  (* per-batch running max, folded on flush *)
+  mutable dirty : bool;
+}
+
+let create_taps ?momentum ~t () =
+  {
+    observers = Array.init t (fun _ -> Array.init t (fun _ -> create ?momentum ()));
+    pending = Array.make_matrix t t 0.0;
+    dirty = false;
+  }
+
+let observe_tile taps tile =
+  let t = Array.length taps.observers in
+  if Tensor.dim tile 0 <> t || Tensor.dim tile 1 <> t then
+    invalid_arg "Calibration.observe_tile: tile size mismatch";
+  for i = 0 to t - 1 do
+    for j = 0 to t - 1 do
+      taps.pending.(i).(j) <-
+        Float.max taps.pending.(i).(j) (Float.abs (Tensor.get2 tile i j))
+    done
+  done;
+  taps.dirty <- true
+
+let flush_batch taps =
+  if taps.dirty then begin
+    Array.iteri
+      (fun i row ->
+        Array.iteri
+          (fun j o ->
+            observe o taps.pending.(i).(j);
+            taps.pending.(i).(j) <- 0.0)
+          row)
+      taps.observers;
+    taps.dirty <- false
+  end
+
+let tap_values taps =
+  flush_batch taps;
+  Array.map (Array.map value) taps.observers
+
+(* Percentile calibration: clip to the p-th percentile of |x| instead of
+   the absolute maximum — robust to activation outliers (Krishnamoorthi,
+   arXiv:1806.08342, cited by the paper). *)
+let percentile_max ~percentile xs =
+  if percentile <= 0.0 || percentile > 100.0 then
+    invalid_arg "Calibration.percentile_max: percentile out of (0, 100]";
+  let mags = Array.map Float.abs xs in
+  Twq_util.Stats.percentile mags percentile
+
+let percentile_max_tensor ~percentile (t : Tensor.t) =
+  percentile_max ~percentile t.Tensor.data

@@ -1,0 +1,48 @@
+(** Running-max calibration of quantization thresholds.
+
+    The paper calibrates [x_max] "by calculating a running average of the
+    maximum values obtained during the training of the full network"
+    (Sec. III).  An [Observer] tracks an exponential moving average of
+    per-batch maxima; tap observers track one maximum per Winograd tap. *)
+
+type t
+
+val create : ?momentum:float -> unit -> t
+(** EMA observer; [momentum] defaults to 0.9 (new = 0.9·old + 0.1·batch). *)
+
+val observe : t -> float -> unit
+(** Feed one batch maximum. *)
+
+val observe_tensor : t -> Twq_tensor.Tensor.t -> unit
+(** Feed [max |x|] of a tensor. *)
+
+val value : t -> float
+(** Current calibrated maximum. @raise Failure if nothing observed yet. *)
+
+val is_calibrated : t -> bool
+
+(** {2 Per-tap observers} *)
+
+type taps
+
+val create_taps : ?momentum:float -> t:int -> unit -> taps
+(** [t × t] grid of observers. *)
+
+val observe_tile : taps -> Twq_tensor.Tensor.t -> unit
+(** Feed a [t×t] Winograd-domain tile: each tap observer sees its element
+    (the per-tile max is accumulated within a batch; call {!flush_batch} at
+    batch boundaries to fold it into the EMA). *)
+
+val flush_batch : taps -> unit
+
+val tap_values : taps -> float array array
+(** Calibrated per-tap maxima. *)
+
+(** {2 Percentile calibration} *)
+
+val percentile_max : percentile:float -> float array -> float
+(** The [percentile]-th percentile of |x| — an outlier-robust alternative
+    to max calibration (Krishnamoorthi's whitepaper, ref [25] of the
+    paper). *)
+
+val percentile_max_tensor : percentile:float -> Twq_tensor.Tensor.t -> float

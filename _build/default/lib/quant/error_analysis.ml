@@ -1,0 +1,141 @@
+module Tensor = Twq_tensor.Tensor
+module Transform = Twq_winograd.Transform
+module Pinv = Twq_winograd.Pinv
+module Stats = Twq_util.Stats
+
+type spatial_strategy = S_layer | S_channel
+type winograd_strategy = W_layer | W_channel | W_tap | W_channel_tap
+
+let relative_error ~original ~quantized =
+  let num = ref 0.0 and den = ref 0.0 in
+  Array.iteri
+    (fun i f ->
+      num := !num +. Float.abs (quantized.(i) -. f);
+      den := !den +. Float.abs f)
+    original;
+  if !den <= 0.0 then 0.0 else !num /. !den
+
+(* Candidate clipping factors: the useful range for 8-bit symmetric-ish
+   quantization of bell-shaped weights; extremes are included so the search
+   is robust for heavy-tailed taps. *)
+let gamma_grid =
+  Array.init 48 (fun i -> 0.5 *. Float.pow 1.12 (float_of_int i))
+
+let quant_with ~bits ~mu ~sigma ~gamma values =
+  let s = Quantizer.scale_for ~bits ~max_abs:(gamma *. sigma) in
+  Array.map
+    (fun x -> mu +. Quantizer.fake_quant ~bits ~scale:s (x -. mu))
+    values
+
+let quantize_unit ~bits values =
+  if Array.length values = 0 then ([||], 1.0)
+  else begin
+    let mu = Stats.mean values in
+    let sigma = Float.max 1e-12 (Stats.stddev values) in
+    let best = ref None in
+    Array.iter
+      (fun gamma ->
+        let q = quant_with ~bits ~mu ~sigma ~gamma values in
+        let e = relative_error ~original:values ~quantized:q in
+        match !best with
+        | Some (_, _, be) when be <= e -> ()
+        | _ -> best := Some (q, gamma, e))
+      gamma_grid;
+    match !best with
+    | Some (q, gamma, _) -> (q, gamma)
+    | None -> assert false
+  end
+
+let spatial_error ~bits ~strategy w =
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  let per_channel = cin * 9 in
+  let data = w.Tensor.data in
+  match strategy with
+  | S_layer ->
+      let q, _ = quantize_unit ~bits data in
+      relative_error ~original:data ~quantized:q
+  | S_channel ->
+      let quantized = Array.make (Array.length data) 0.0 in
+      for co = 0 to cout - 1 do
+        let chunk = Array.sub data (co * per_channel) per_channel in
+        let q, _ = quantize_unit ~bits chunk in
+        Array.blit q 0 quantized (co * per_channel) per_channel
+      done;
+      relative_error ~original:data ~quantized
+
+(* Transform every (cout, cin) kernel to the Winograd domain; returns the
+   stacked taps as [cout][cin] tiles. *)
+let to_winograd ~variant w =
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  Array.init cout (fun co ->
+      Array.init cin (fun ci ->
+          let f = Tensor.init [| 3; 3 |] (fun i -> Tensor.get4 w co ci i.(0) i.(1)) in
+          Transform.weight_tile variant f))
+
+let winograd_error ~bits ~variant ~strategy w =
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  let t = Transform.t variant in
+  let tiles = to_winograd ~variant w in
+  (* Gather the values of one quantization unit, quantize, scatter back. *)
+  let quantized_tiles = Array.map (Array.map Tensor.copy) tiles in
+  let quantize_selection select =
+    (* [select] enumerates (co, ci, i, j) cells of one unit. *)
+    let cells = select () in
+    let values =
+      Array.map (fun (co, ci, i, j) -> Tensor.get2 tiles.(co).(ci) i j) cells
+    in
+    let q, _ = quantize_unit ~bits values in
+    Array.iteri
+      (fun k (co, ci, i, j) -> Tensor.set2 quantized_tiles.(co).(ci) i j q.(k))
+      cells
+  in
+  let all_cells pred =
+    let acc = ref [] in
+    for co = cout - 1 downto 0 do
+      for ci = cin - 1 downto 0 do
+        for i = t - 1 downto 0 do
+          for j = t - 1 downto 0 do
+            if pred co ci i j then acc := (co, ci, i, j) :: !acc
+          done
+        done
+      done
+    done;
+    Array.of_list !acc
+  in
+  (match strategy with
+  | W_layer -> quantize_selection (fun () -> all_cells (fun _ _ _ _ -> true))
+  | W_channel ->
+      for co = 0 to cout - 1 do
+        quantize_selection (fun () -> all_cells (fun co' _ _ _ -> co' = co))
+      done
+  | W_tap ->
+      for i = 0 to t - 1 do
+        for j = 0 to t - 1 do
+          quantize_selection (fun () ->
+              all_cells (fun _ _ i' j' -> i' = i && j' = j))
+        done
+      done
+  | W_channel_tap ->
+      for co = 0 to cout - 1 do
+        for i = 0 to t - 1 do
+          for j = 0 to t - 1 do
+            quantize_selection (fun () ->
+                all_cells (fun co' _ i' j' -> co' = co && i' = i && j' = j))
+          done
+        done
+      done);
+  (* Back to the spatial domain via the pseudo-inverse, then compare. *)
+  let original = w.Tensor.data in
+  let quantized = Array.make (Array.length original) 0.0 in
+  for co = 0 to cout - 1 do
+    for ci = 0 to cin - 1 do
+      let f' = Pinv.weight_back_transform variant quantized_tiles.(co).(ci) in
+      for i = 0 to 2 do
+        for j = 0 to 2 do
+          let flat = (((((co * cin) + ci) * 3) + i) * 3) + j in
+          quantized.(flat) <- Tensor.get2 f' i j
+        done
+      done
+    done
+  done;
+  relative_error ~original ~quantized

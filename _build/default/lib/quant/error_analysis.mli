@@ -1,0 +1,34 @@
+(** Quantization-error analysis (Sec. V-A4 / Fig. 4 of the paper).
+
+    Weights are quantized with [Quant_{s,μ}(x) = μ + s·⌊(x−μ)/s⌉_intn] where
+    [s = γσ/2^(n−1)]; [μ], [σ] and the optimised clipping factor [γ̂] are
+    computed per quantization unit (layer, channel, tap, or channel+tap).
+    [γ̂ = argmin_γ Σ|Quant(f) − f| / Σ|f|] via grid search.
+
+    For the Winograd-domain strategies, weights are quantized on
+    [G f Gᵀ] and mapped back to the spatial domain with the Moore–Penrose
+    pseudo-inverse before measuring the error — exactly the Fig. 4 setup. *)
+
+type spatial_strategy = S_layer | S_channel
+
+type winograd_strategy = W_layer | W_channel | W_tap | W_channel_tap
+
+val quantize_unit : bits:int -> float array -> float array * float
+(** [quantize_unit ~bits values] — quantize one unit with the optimal [γ̂];
+    returns the dequantized values and the chosen [γ̂]. *)
+
+val relative_error : original:float array -> quantized:float array -> float
+(** [Σ|q − f| / Σ|f|]. *)
+
+val spatial_error : bits:int -> strategy:spatial_strategy -> Twq_tensor.Tensor.t -> float
+(** Relative quantization error of a [\[cout;cin;3;3\]] weight tensor
+    quantized directly in the spatial domain. *)
+
+val winograd_error :
+  bits:int ->
+  variant:Twq_winograd.Transform.variant ->
+  strategy:winograd_strategy ->
+  Twq_tensor.Tensor.t ->
+  float
+(** Relative error (measured in the spatial domain, after pseudo-inverse
+    back-transform) of quantizing in the Winograd domain. *)

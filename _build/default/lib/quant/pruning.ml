@@ -1,0 +1,38 @@
+module Itensor = Twq_tensor.Itensor
+
+let prune_quantized ~density w =
+  if density <= 0.0 || density > 1.0 then
+    invalid_arg "Pruning.prune_quantized: density must be in (0, 1]";
+  let n = Itensor.numel w in
+  let keep = int_of_float (Float.round (density *. float_of_int n)) in
+  if keep >= n then Itensor.copy w
+  else begin
+    (* Global magnitude threshold: keep the `keep` largest |w|. *)
+    let magnitudes = Array.map abs w.Itensor.data in
+    Array.sort (fun a b -> compare b a) magnitudes;
+    let threshold = if keep = 0 then max_int else magnitudes.(keep - 1) in
+    (* Ties at the threshold are broken in index order so the kept count is
+       exact. *)
+    let n_strict =
+      Array.fold_left (fun a v -> if abs v > threshold then a + 1 else a) 0 w.Itensor.data
+    in
+    let tie_budget = ref (keep - n_strict) in
+    Itensor.map
+      (fun v ->
+        if abs v > threshold then v
+        else if abs v = threshold && !tie_budget > 0 then begin
+          decr tie_budget;
+          v
+        end
+        else 0)
+      w
+  end
+
+let density w =
+  let nz = Array.fold_left (fun a v -> if v <> 0 then a + 1 else a) 0 w.Itensor.data in
+  float_of_int nz /. float_of_int (Itensor.numel w)
+
+let prune_layer (l : Tapwise.layer) ~density =
+  { l with Tapwise.wq = prune_quantized ~density l.Tapwise.wq }
+
+let effective_macs_fraction (l : Tapwise.layer) = density l.Tapwise.wq

@@ -1,0 +1,25 @@
+(** Winograd-domain weight pruning combined with tap-wise quantization.
+
+    The paper's related-work section (Liu et al., Li et al.) prunes weights
+    directly in the Winograd domain and calls the combination with tap-wise
+    quantization "an interesting future work direction" — this module
+    implements that combination: magnitude pruning of the already
+    tap-wise-quantized Winograd weights, preserving the integer-only
+    inference path (a pruned tap is exactly zero and its MAC can be
+    skipped). *)
+
+val prune_quantized : density:float -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
+(** Keep the [density] fraction (by magnitude, globally over the tensor) of
+    the quantized Winograd-domain weights; the rest become 0.
+    @raise Invalid_argument unless [0 < density <= 1]. *)
+
+val density : Twq_tensor.Itensor.t -> float
+(** Fraction of non-zero entries. *)
+
+val prune_layer : Tapwise.layer -> density:float -> Tapwise.layer
+(** A copy of the layer with pruned Winograd-domain weights; the scales and
+    the inference path are untouched. *)
+
+val effective_macs_fraction : Tapwise.layer -> float
+(** Fraction of Winograd-domain MACs that remain after pruning (non-zero
+    weight taps do work; zero taps are skippable). *)

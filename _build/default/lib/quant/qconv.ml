@@ -1,0 +1,112 @@
+module Tensor = Twq_tensor.Tensor
+module Itensor = Twq_tensor.Itensor
+module Ops = Twq_tensor.Ops
+module Shape = Twq_tensor.Shape
+
+type layer = {
+  act_bits : int;
+  s_x : float;
+  s_w : float;
+  s_w_channel : float array option;  (* per-output-channel weight scales *)
+  s_y : float;
+  wq : Itensor.t;
+  bias : Tensor.t option;
+  stride : int;
+  pad : int;
+}
+
+let weight_scale l co =
+  match l.s_w_channel with Some s -> s.(co) | None -> l.s_w
+
+let calibrate ?(act_bits = 8) ?(pow2 = false) ?(per_channel = false) ~w ?bias
+    ?input_scale ~sample_inputs ~stride ~pad () =
+  let snap s = if pow2 then Quantizer.pow2_round_up s else s in
+  let s_x =
+    match input_scale with
+    | Some s -> s
+    | None ->
+        let x_max =
+          List.fold_left (fun a x -> Float.max a (Tensor.max_abs x)) 0.0 sample_inputs
+        in
+        snap (Quantizer.scale_for ~bits:act_bits ~max_abs:x_max)
+  in
+  let s_w = snap (Quantizer.scale_for ~bits:act_bits ~max_abs:(Tensor.max_abs w)) in
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  let kh = Tensor.dim w 2 and kw = Tensor.dim w 3 in
+  (* Channel-wise weight scales (Sec. V-A4's spatial-domain refinement):
+     one scale per output channel, each snapped independently. *)
+  let s_w_channel =
+    if not per_channel then None
+    else
+      Some
+        (Array.init cout (fun co ->
+             let m = ref 0.0 in
+             for ci = 0 to cin - 1 do
+               for i = 0 to kh - 1 do
+                 for j = 0 to kw - 1 do
+                   m := Float.max !m (Float.abs (Tensor.get4 w co ci i j))
+                 done
+               done
+             done;
+             snap (Quantizer.scale_for ~bits:act_bits ~max_abs:!m)))
+  in
+  let scale_of co =
+    match s_w_channel with Some s -> s.(co) | None -> s_w
+  in
+  let wq =
+    Itensor.init [| cout; cin; kh; kw |] (fun idx ->
+        Quantizer.quantize ~bits:act_bits ~scale:(scale_of idx.(0))
+          (Tensor.get4 w idx.(0) idx.(1) idx.(2) idx.(3)))
+  in
+  let w_fq =
+    Tensor.init [| cout; cin; kh; kw |] (fun idx ->
+        Quantizer.dequantize ~scale:(scale_of idx.(0))
+          (Itensor.get4 wq idx.(0) idx.(1) idx.(2) idx.(3)))
+  in
+  let y_max =
+    List.fold_left
+      (fun a x ->
+        let y = Ops.conv2d ~stride ~pad ~x ~w:w_fq ?b:bias () in
+        Float.max a (Tensor.max_abs y))
+      0.0 sample_inputs
+  in
+  let s_y = snap (Quantizer.scale_for ~bits:act_bits ~max_abs:y_max) in
+  { act_bits; s_x; s_w; s_w_channel; s_y; wq; bias; stride; pad }
+
+let forward_int l x =
+  let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
+  let h = Itensor.dim x 2 and w = Itensor.dim x 3 in
+  let cout = Itensor.dim l.wq 0 in
+  let kh = Itensor.dim l.wq 2 and kw = Itensor.dim l.wq 3 in
+  if Itensor.dim l.wq 1 <> cin then invalid_arg "Qconv.forward_int: channel mismatch";
+  let ho, wo = Shape.conv2d_out ~h ~w ~kh ~kw ~stride:l.stride ~pad:l.pad in
+  let out = Itensor.zeros [| n; cout; ho; wo |] in
+  for ni = 0 to n - 1 do
+    for co = 0 to cout - 1 do
+      let bias_v = match l.bias with None -> 0.0 | Some b -> b.Tensor.data.(co) in
+      let requant_scale = l.s_x *. weight_scale l co in
+      for oh = 0 to ho - 1 do
+        for ow = 0 to wo - 1 do
+          let acc = ref 0 in
+          for ci = 0 to cin - 1 do
+            for ki = 0 to kh - 1 do
+              for kj = 0 to kw - 1 do
+                let hi = (oh * l.stride) + ki - l.pad
+                and wi = (ow * l.stride) + kj - l.pad in
+                if hi >= 0 && hi < h && wi >= 0 && wi < w then
+                  acc := !acc + (Itensor.get4 x ni ci hi wi * Itensor.get4 l.wq co ci ki kj)
+              done
+            done
+          done;
+          let real = (float_of_int !acc *. requant_scale) +. bias_v in
+          Itensor.set4 out ni co oh ow
+            (Quantizer.quantize ~bits:l.act_bits ~scale:l.s_y real)
+        done
+      done
+    done
+  done;
+  out
+
+let forward l x =
+  let x_int = Quantizer.quantize_tensor ~bits:l.act_bits ~scale:l.s_x x in
+  Quantizer.dequantize_tensor ~scale:l.s_y (forward_int l x_int)

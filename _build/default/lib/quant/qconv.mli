@@ -1,0 +1,43 @@
+(** Quantized standard (im2col) convolution — the int8 baseline operator.
+
+    This is the non-Winograd datapath of the accelerator: int8 activations
+    and weights, int32 accumulation, requantization on output.  It is the
+    reference the paper's Table II "im2col int8" row corresponds to. *)
+
+type layer = {
+  act_bits : int;
+  s_x : float;
+  s_w : float;                       (** layer-wise weight scale *)
+  s_w_channel : float array option;  (** per-output-channel scales if enabled *)
+  s_y : float;
+  wq : Twq_tensor.Itensor.t;  (** [cout; cin; kh; kw] int weights *)
+  bias : Twq_tensor.Tensor.t option;
+  stride : int;
+  pad : int;
+}
+
+val weight_scale : layer -> int -> float
+(** Effective weight scale of output channel [co]. *)
+
+val calibrate :
+  ?act_bits:int ->
+  ?pow2:bool ->
+  ?per_channel:bool ->
+  w:Twq_tensor.Tensor.t ->
+  ?bias:Twq_tensor.Tensor.t ->
+  ?input_scale:float ->
+  sample_inputs:Twq_tensor.Tensor.t list ->
+  stride:int ->
+  pad:int ->
+  unit ->
+  layer
+(** [input_scale] pins [s_x] so layers can chain (see
+    {!Tapwise.calibrate}); [per_channel] enables output-channel-wise weight
+    scales (the spatial-domain refinement of Sec. V-A4, ~1.7× lower weight
+    quantization error). *)
+
+val forward_int : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
+(** int8 in → int8 out; int32 accumulation internally. *)
+
+val forward : layer -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Float wrapper (quantize → {!forward_int} → dequantize). *)

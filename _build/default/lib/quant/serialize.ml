@@ -1,0 +1,183 @@
+module Tensor = Twq_tensor.Tensor
+module Itensor = Twq_tensor.Itensor
+module Transform = Twq_winograd.Transform
+
+let write_shape buf shape =
+  Buffer.add_string buf (string_of_int (Array.length shape));
+  Array.iter (fun d -> Buffer.add_string buf (" " ^ string_of_int d)) shape;
+  Buffer.add_char buf '\n'
+
+let read_shape ic =
+  let rank = Scanf.bscanf ic " %d" Fun.id in
+  Array.init rank (fun _ -> Scanf.bscanf ic " %d" Fun.id)
+
+let write_tensor buf (t : Tensor.t) =
+  write_shape buf t.Tensor.shape;
+  Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%h " v)) t.Tensor.data;
+  Buffer.add_char buf '\n'
+
+let read_tensor ic =
+  let shape = read_shape ic in
+  let n = Twq_tensor.Shape.numel shape in
+  let data = Array.init n (fun _ -> Scanf.bscanf ic " %h" Fun.id) in
+  Tensor.of_array shape data
+
+let write_itensor buf (t : Itensor.t) =
+  write_shape buf t.Itensor.shape;
+  Array.iter (fun v -> Buffer.add_string buf (string_of_int v ^ " ")) t.Itensor.data;
+  Buffer.add_char buf '\n'
+
+let read_itensor ic =
+  let shape = read_shape ic in
+  let n = Twq_tensor.Shape.numel shape in
+  let data = Array.init n (fun _ -> Scanf.bscanf ic " %d" Fun.id) in
+  Itensor.of_array shape data
+
+let write_grid buf (g : float array array) =
+  Buffer.add_string buf (Printf.sprintf "%d %d\n" (Array.length g) (Array.length g.(0)));
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%h " v)) row;
+      Buffer.add_char buf '\n')
+    g
+
+let read_grid ic =
+  let rows = Scanf.bscanf ic " %d" Fun.id in
+  let cols = Scanf.bscanf ic " %d" Fun.id in
+  Array.init rows (fun _ -> Array.init cols (fun _ -> Scanf.bscanf ic " %h" Fun.id))
+
+let granularity_name = function
+  | Tapwise.Single_scale -> "single"
+  | Tapwise.Tap_wise -> "tap"
+  | Tapwise.Channel_tap_wise -> "channel-tap"
+
+let granularity_of_name = function
+  | "single" -> Tapwise.Single_scale
+  | "tap" -> Tapwise.Tap_wise
+  | "channel-tap" -> Tapwise.Channel_tap_wise
+  | s -> failwith ("Serialize: unknown granularity " ^ s)
+
+let variant_of_name = function
+  | "F2" -> Transform.F2
+  | "F4" -> Transform.F4
+  | "F6" -> Transform.F6
+  | s -> failwith ("Serialize: unknown variant " ^ s)
+
+let layer_to_string (l : Tapwise.layer) =
+  let buf = Buffer.create 4096 in
+  let c = l.Tapwise.config in
+  Buffer.add_string buf "tapwise-layer v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "config %s %d %d %b %s\n"
+       (Transform.name c.Tapwise.variant)
+       c.Tapwise.act_bits c.Tapwise.wino_bits c.Tapwise.pow2
+       (granularity_name c.Tapwise.granularity));
+  Buffer.add_string buf
+    (Printf.sprintf "scales %d %h %h %h\n" l.Tapwise.pad l.Tapwise.s_x
+       l.Tapwise.s_w l.Tapwise.s_y);
+  write_grid buf l.Tapwise.s_b;
+  write_grid buf l.Tapwise.s_g;
+  (match l.Tapwise.s_g_channel with
+  | None -> Buffer.add_string buf "per-channel 0\n"
+  | Some grids ->
+      Buffer.add_string buf (Printf.sprintf "per-channel %d\n" (Array.length grids));
+      Array.iter (write_grid buf) grids);
+  write_itensor buf l.Tapwise.wq;
+  (match l.Tapwise.bias with
+  | None -> Buffer.add_string buf "bias 0\n"
+  | Some b ->
+      Buffer.add_string buf "bias 1\n";
+      write_tensor buf b);
+  Buffer.contents buf
+
+let read_layer_body ic =
+  let variant, act_bits, wino_bits, pow2, gran =
+    Scanf.bscanf ic " config %s %d %d %B %s" (fun a b c d e -> (a, b, c, d, e))
+  in
+  let config =
+    {
+      Tapwise.variant = variant_of_name variant;
+      act_bits;
+      wino_bits;
+      pow2;
+      granularity = granularity_of_name gran;
+    }
+  in
+  let pad, s_x, s_w, s_y =
+    Scanf.bscanf ic " scales %d %h %h %h" (fun a b c d -> (a, b, c, d))
+  in
+  let s_b = read_grid ic in
+  let s_g = read_grid ic in
+  let n_channel = Scanf.bscanf ic " per-channel %d" Fun.id in
+  let s_g_channel =
+    if n_channel = 0 then None
+    else Some (Array.init n_channel (fun _ -> read_grid ic))
+  in
+  let wq = read_itensor ic in
+  let has_bias = Scanf.bscanf ic " bias %d" Fun.id in
+  let bias = if has_bias = 1 then Some (read_tensor ic) else None in
+  { Tapwise.config; pad; s_x; s_w; s_y; s_b; s_g; s_g_channel; wq; bias }
+
+let layer_of_string s =
+  let ic = Scanf.Scanning.from_string s in
+  Scanf.bscanf ic " tapwise-layer v1 " ();
+  read_layer_body ic
+
+let save_layer path layer =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (layer_to_string layer))
+
+let load_layer path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      layer_of_string (really_input_string ic n))
+
+(* ------------------------------------------------------- spatial layers *)
+
+let qconv_to_buffer buf (l : Qconv.layer) =
+  Buffer.add_string buf "qconv-layer v1\n";
+  Buffer.add_string buf
+    (Printf.sprintf "params %d %d %d %h %h %h\n" l.Qconv.act_bits l.Qconv.stride
+       l.Qconv.pad l.Qconv.s_x l.Qconv.s_w l.Qconv.s_y);
+  (match l.Qconv.s_w_channel with
+  | None -> Buffer.add_string buf "per-channel 0\n"
+  | Some s ->
+      Buffer.add_string buf (Printf.sprintf "per-channel %d\n" (Array.length s));
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%h " v)) s;
+      Buffer.add_char buf '\n');
+  write_itensor buf l.Qconv.wq;
+  match l.Qconv.bias with
+  | None -> Buffer.add_string buf "bias 0\n"
+  | Some b ->
+      Buffer.add_string buf "bias 1\n";
+      write_tensor buf b
+
+let read_qconv_body ic =
+  let act_bits, stride, pad, s_x, s_w, s_y =
+    Scanf.bscanf ic " params %d %d %d %h %h %h" (fun a b c d e f ->
+        (a, b, c, d, e, f))
+  in
+  let n_channel = Scanf.bscanf ic " per-channel %d" Fun.id in
+  let s_w_channel =
+    if n_channel = 0 then None
+    else Some (Array.init n_channel (fun _ -> Scanf.bscanf ic " %h" Fun.id))
+  in
+  let wq = read_itensor ic in
+  let has_bias = Scanf.bscanf ic " bias %d" Fun.id in
+  let bias = if has_bias = 1 then Some (read_tensor ic) else None in
+  { Qconv.act_bits; stride; pad; s_x; s_w; s_w_channel; s_y; wq; bias }
+
+let qconv_to_string l =
+  let buf = Buffer.create 2048 in
+  qconv_to_buffer buf l;
+  Buffer.contents buf
+
+let qconv_of_string s =
+  let ic = Scanf.Scanning.from_string s in
+  Scanf.bscanf ic " qconv-layer v1 " ();
+  read_qconv_body ic

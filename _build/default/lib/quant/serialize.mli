@@ -1,0 +1,33 @@
+(** Serialization of quantized layers (text format, exact round-trip).
+
+    A deployed tap-wise layer is a bag of integers plus a handful of
+    scales; this module writes them to a simple line-oriented text format.
+    Floats are encoded in hexadecimal notation ([%h]), so scales round-trip
+    bit-exactly and a reloaded layer produces bit-identical integer
+    outputs. *)
+
+val write_tensor : Buffer.t -> Twq_tensor.Tensor.t -> unit
+val read_tensor : Scanf.Scanning.in_channel -> Twq_tensor.Tensor.t
+
+val write_itensor : Buffer.t -> Twq_tensor.Itensor.t -> unit
+val read_itensor : Scanf.Scanning.in_channel -> Twq_tensor.Itensor.t
+
+val read_layer_body : Scanf.Scanning.in_channel -> Tapwise.layer
+(** Parse a layer whose ["tapwise-layer v1"] header has already been
+    consumed (embedding in container formats, e.g. {!Twq_nn.Deploy}). *)
+
+val layer_to_string : Tapwise.layer -> string
+val layer_of_string : string -> Tapwise.layer
+(** @raise Failure / [Scanf.Scan_failure] on malformed input. *)
+
+val save_layer : string -> Tapwise.layer -> unit
+(** Write to a file path. *)
+
+val load_layer : string -> Tapwise.layer
+
+(** {2 Spatial int8 layers} *)
+
+val qconv_to_string : Qconv.layer -> string
+val qconv_of_string : string -> Qconv.layer
+val read_qconv_body : Scanf.Scanning.in_channel -> Qconv.layer
+(** Body parser for embedding (header already consumed). *)

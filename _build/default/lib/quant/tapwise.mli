@@ -1,0 +1,97 @@
+(** Integer-only tap-wise quantized Winograd convolution — the paper's core
+    contribution (Sec. III).
+
+    The layer keeps int8 activations/weights in the spatial domain and
+    [wino_bits]-bit integers inside the Winograd domain, with one scaling
+    factor per tap ([S_B] for feature maps, [S_G] for weights,
+    [S_BG = S_B ⊙ S_G] folded into the single rescale before the output
+    back-transformation):
+
+    {v
+      y = Aᵀ ( S_BG ⊙ Σ_cin ⌊Bᵀ x̂ B ⊘ S_B⌉ ⊙ ⌊G f̂ Gᵀ ⊘ S_G⌉ ) A
+    v}
+
+    With [pow2 = true] every per-tap rescale in the integer datapath is an
+    exact arithmetic shift (the hardware-friendly configuration). *)
+
+type granularity =
+  | Single_scale  (** one scale per transformation — the [F4]-breaks baseline *)
+  | Tap_wise      (** one scale per tap — the paper's method *)
+  | Channel_tap_wise
+      (** per-output-channel × per-tap weight scales — the combined strategy
+          of Sec. V-A4 ("might achieve better performance for networks with
+          significantly different channel distributions") *)
+
+type config = {
+  variant : Twq_winograd.Transform.variant;
+  act_bits : int;   (** spatial-domain bits (8 in the paper) *)
+  wino_bits : int;  (** Winograd-domain bits (8, 9 or 10) *)
+  pow2 : bool;      (** restrict tap scales to power-of-two multiples *)
+  granularity : granularity;
+}
+
+val default_config : Twq_winograd.Transform.variant -> config
+(** int8/int8, pow2, tap-wise. *)
+
+type layer = {
+  config : config;
+  pad : int;
+  s_x : float;                 (** input activation scale *)
+  s_w : float;                 (** spatial-domain weight scale *)
+  s_y : float;                 (** output activation scale *)
+  s_b : float array array;     (** t×t input tap scales *)
+  s_g : float array array;     (** t×t weight tap scales *)
+  s_g_channel : float array array array option;
+      (** [cout][t][t] weight scales; present under [Channel_tap_wise] *)
+  wq : Twq_tensor.Itensor.t;   (** [cout; cin; t; t] quantized Winograd weights *)
+  bias : Twq_tensor.Tensor.t option;
+}
+
+val weight_scale : layer -> int -> int -> int -> float
+(** [weight_scale l co i j] — the effective weight scale of tap (i,j) for
+    output channel [co] (respects the granularity). *)
+
+val calibrate :
+  config:config ->
+  w:Twq_tensor.Tensor.t ->
+  ?bias:Twq_tensor.Tensor.t ->
+  ?input_scale:float ->
+  ?scale_grids:float array array * float array array ->
+  sample_inputs:Twq_tensor.Tensor.t list ->
+  pad:int ->
+  unit ->
+  layer
+(** Builds a quantized layer from fp32 weights and representative input
+    activations: calibrates [s_x], the per-tap maxima of [Bᵀ x̂ B] and
+    [G f̂ Gᵀ], the output scale [s_y], and pre-quantizes the weights.
+    [input_scale] pins [s_x] (instead of calibrating it) so that a chain of
+    layers can agree on the inter-layer scales ([s_x = s_y] of the
+    producer), which keeps the whole network integer-only.
+    [scale_grids] = (S_B, S_G) injects externally learned tap scales (the
+    log2-gradient training of Sec. III-B) instead of static calibration;
+    they are snapped to the pow2 grid when [pow2] is set. *)
+
+val input_shift : layer -> int -> int -> int
+(** [input_shift l i j] — the right-shift applied to tap (i,j) of the
+    integer input transform ([log2 (s_b/s_x)]); only meaningful under
+    [pow2]. Matches the paper's learned feature-map shifts (1–5 bits). *)
+
+val weight_shift : layer -> int -> int -> int
+(** Same for the weight taps (2–10 bits in the paper). *)
+
+val forward_int : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
+(** int8 NCHW in → int8 NCHW out (requantized with [s_y]). *)
+
+val forward : layer -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Float-in/float-out wrapper: quantize input with [s_x], run
+    {!forward_int}, dequantize with [s_y]. *)
+
+val forward_float_ref : layer -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Algebraic fake-quant reference implementation of the same pipeline
+    (floats end-to-end, quantization simulated).  Agrees with {!forward} up
+    to a few output LSBs (float-vs-integer rounding can differ on exact
+    ties); the test-suite checks this bound. *)
+
+val quantization_noise : layer -> Twq_tensor.Tensor.t -> w:Twq_tensor.Tensor.t -> float
+(** RMS error of {!forward} against the fp32 direct convolution, normalised
+    by the fp32 RMS — a fast proxy for end-to-end accuracy impact. *)

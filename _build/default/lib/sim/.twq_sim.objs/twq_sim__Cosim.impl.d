@@ -1,0 +1,1 @@
+lib/sim/cosim.ml: Float Operator Stdlib Twq_nn Twq_quant Twq_tensor Twq_util

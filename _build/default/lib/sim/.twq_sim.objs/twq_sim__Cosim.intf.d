@@ -1,0 +1,1 @@
+lib/sim/cosim.mli: Operator Twq_nn

@@ -1,0 +1,1 @@
+lib/sim/graph_compiler.ml: Array Float List Operator Printf Twq_nn Twq_tensor Twq_winograd

@@ -1,0 +1,1 @@
+lib/sim/graph_compiler.mli: Arch Operator Twq_nn Twq_tensor Twq_winograd

@@ -1,0 +1,1 @@
+lib/sim/network_runner.ml: Array List Operator Twq_hw Twq_nn Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+lib/sim/network_runner.mli: Arch Operator Twq_nn Twq_winograd

@@ -1,0 +1,1 @@
+lib/sim/operator.ml: Arch Des Float List Printf Queue Stdlib Twq_hw Twq_nn Twq_util Twq_winograd

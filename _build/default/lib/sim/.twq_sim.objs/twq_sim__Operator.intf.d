@@ -1,0 +1,1 @@
+lib/sim/operator.mli: Arch Twq_nn Twq_winograd

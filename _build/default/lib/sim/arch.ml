@@ -1,0 +1,40 @@
+type t = {
+  n_cores : int;
+  cube_m : int;
+  cube_n : int;
+  cube_k : int;
+  vector_bytes_per_cycle : int;
+  dram_bw : float;
+  dram_latency : float;
+  dram_jitter_sigma : float;
+  cout_block : int;
+  spatial_block : int;
+  block_overhead_cycles : float;
+  ifm_reuse_outputs : int;
+  broadcast : bool;
+  buffer_depth : int;
+  seed : int;
+}
+
+let default =
+  {
+    n_cores = 2;
+    cube_m = 16;
+    cube_n = 16;
+    cube_k = 32;
+    vector_bytes_per_cycle = 256;
+    dram_bw = 81.2;
+    dram_latency = 150.0;
+    dram_jitter_sigma = 5.0;
+    cout_block = 64;
+    spatial_block = 32;
+    block_overhead_cycles = 60.0;
+    ifm_reuse_outputs = 64;
+    broadcast = true;
+    buffer_depth = 3;
+    seed = 1;
+  }
+
+let macs_per_cycle a = a.cube_m * a.cube_n * a.cube_k
+
+let scale_bandwidth a k = { a with dram_bw = a.dram_bw *. k }

@@ -1,0 +1,28 @@
+(** Architectural parameters of the simulated accelerator system
+    (Sec. IV-A / V-B1 of the paper). *)
+
+type t = {
+  n_cores : int;                    (** 2 AI cores *)
+  cube_m : int;                     (** Cube output rows (16) *)
+  cube_n : int;                     (** Cube output cols (16) *)
+  cube_k : int;                     (** Cube reduction depth (32) *)
+  vector_bytes_per_cycle : int;     (** 256-B Vector Unit *)
+  dram_bw : float;                  (** bytes/cycle to GM (81.2 ≈ 0.8·51.2 GB/s) *)
+  dram_latency : float;             (** mean request latency in core cycles *)
+  dram_jitter_sigma : float;        (** Gaussian jitter σ *)
+  cout_block : int;                 (** output channels computed at a time per core *)
+  spatial_block : int;              (** output-tile block edge (pixels) *)
+  block_overhead_cycles : float;    (** dispatch/sync cost per inner block *)
+  ifm_reuse_outputs : int;          (** transformed-iFM reuse across couts (4×16) *)
+  broadcast : bool;                 (** Broadcast Unit shares iFM reads between cores *)
+  buffer_depth : int;               (** L1 input buffers (2 = plain double buffering) *)
+  seed : int;
+}
+
+val default : t
+
+val macs_per_cycle : t -> int
+(** Cube MACs per cycle (16·16·32 = 8192). *)
+
+val scale_bandwidth : t -> float -> t
+(** Multiply the DRAM bandwidth (the paper's DDR5 = 1.5× study). *)

@@ -1,0 +1,61 @@
+module Tensor = Twq_tensor.Tensor
+module Itensor = Twq_tensor.Itensor
+module Ops = Twq_tensor.Ops
+module Zoo = Twq_nn.Zoo
+module Tapwise = Twq_quant.Tapwise
+module Qconv = Twq_quant.Qconv
+module Rng = Twq_util.Rng
+
+type report = {
+  kind : Operator.kind;
+  rms_noise : float;
+  bitwise_ok : bool;
+  checked_values : int;
+}
+
+let verify kind (spec : Zoo.conv_spec) ?(batch = 1) ?(seed = 7) () =
+  if not (Operator.supports kind spec) then
+    invalid_arg ("Cosim.verify: " ^ Operator.kind_name kind ^ " cannot run " ^ spec.Zoo.name);
+  let cin = Stdlib.min 16 spec.Zoo.cin and cout = Stdlib.min 16 spec.Zoo.cout in
+  let h = Stdlib.min 16 spec.Zoo.out_h and w = Stdlib.min 16 spec.Zoo.out_w in
+  let rng = Rng.create seed in
+  let pad = spec.Zoo.k / 2 in
+  let in_h = ((h - 1) * spec.Zoo.stride) + spec.Zoo.k - (2 * pad) in
+  let in_w = ((w - 1) * spec.Zoo.stride) + spec.Zoo.k - (2 * pad) in
+  let x = Tensor.rand_gaussian rng [| batch; cin; in_h; in_w |] ~mu:0.0 ~sigma:1.0 in
+  let wt =
+    Tensor.rand_gaussian rng [| cout; cin; spec.Zoo.k; spec.Zoo.k |] ~mu:0.0 ~sigma:0.3
+  in
+  let reference = Ops.conv2d ~stride:spec.Zoo.stride ~pad ~x ~w:wt () in
+  let run_once () =
+    match kind with
+    | Operator.Winograd variant ->
+        let layer =
+          Tapwise.calibrate
+            ~config:(Tapwise.default_config variant)
+            ~w:wt ~sample_inputs:[ x ] ~pad ()
+        in
+        let xi =
+          Twq_quant.Quantizer.quantize_tensor ~bits:8 ~scale:layer.Tapwise.s_x x
+        in
+        let yi = Tapwise.forward_int layer xi in
+        (Twq_quant.Quantizer.dequantize_tensor ~scale:layer.Tapwise.s_y yi, yi)
+    | Operator.Im2col ->
+        let layer =
+          Qconv.calibrate ~w:wt ~sample_inputs:[ x ] ~stride:spec.Zoo.stride ~pad ()
+        in
+        let xi =
+          Twq_quant.Quantizer.quantize_tensor ~bits:8 ~scale:layer.Qconv.s_x x
+        in
+        let yi = Qconv.forward_int layer xi in
+        (Twq_quant.Quantizer.dequantize_tensor ~scale:layer.Qconv.s_y yi, yi)
+  in
+  let y1, yi1 = run_once () in
+  let _, yi2 = run_once () in
+  let err = Tensor.sub reference y1 in
+  {
+    kind;
+    rms_noise = sqrt (Tensor.sumsq err /. Float.max 1e-30 (Tensor.sumsq reference));
+    bitwise_ok = Itensor.equal yi1 yi2;
+    checked_values = Tensor.numel reference;
+  }

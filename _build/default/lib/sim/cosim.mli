@@ -1,0 +1,28 @@
+(** Functional co-simulation: does the modelled datapath compute the right
+    numbers?
+
+    The paper's simulator "also models data movements and computation to
+    check the correctness of the results" (Sec. V-B1).  This module pairs
+    the timing model with the actual integer datapath: for a (small
+    instance of a) layer it generates deterministic int8 inputs/weights,
+    runs the kernel the operator models — the tap-wise Winograd pipeline
+    for the Winograd kernels, the int8 spatial pipeline for im2col — and
+    compares against the FP32 reference convolution. *)
+
+type report = {
+  kind : Operator.kind;
+  rms_noise : float;      (** integer datapath vs FP32 reference *)
+  bitwise_ok : bool;      (** integer path reproducible bit-for-bit *)
+  checked_values : int;
+}
+
+val verify :
+  Operator.kind ->
+  Twq_nn.Zoo.conv_spec ->
+  ?batch:int ->
+  ?seed:int ->
+  unit ->
+  report
+(** The spec's spatial/channel dims are clamped to a functional-simulation
+    budget (≤ 16×16, ≤ 16 channels) — correctness does not depend on size.
+    @raise Invalid_argument if the kind does not support the layer. *)

@@ -1,0 +1,27 @@
+type resource = {
+  name : string;
+  mutable busy_until : float;
+  mutable busy : float;
+  mutable events : (float * float * string) list;  (* reversed *)
+}
+
+let resource name = { name; busy_until = 0.0; busy = 0.0; events = [] }
+let name r = r.name
+
+let exec ?(label = "") r ~ready ~duration =
+  if duration < 0.0 then invalid_arg "Des.exec: negative duration";
+  let start = Float.max ready r.busy_until in
+  let finish = start +. duration in
+  r.busy_until <- finish;
+  r.busy <- r.busy +. duration;
+  if duration > 0.0 then r.events <- (start, finish, label) :: r.events;
+  finish
+
+let busy_cycles r = r.busy
+
+let events r = List.rev r.events
+
+let reset r =
+  r.busy_until <- 0.0;
+  r.busy <- 0.0;
+  r.events <- []

@@ -1,0 +1,27 @@
+(** Minimal discrete-event resource-timeline engine.
+
+    Each hardware unit (Cube, MTEs, transformation engines, the shared DRAM
+    channel) is a {!resource} with a busy-until time; a task executes as
+    soon as both its data dependencies ([ready]) and its resource are free.
+    Double buffering and token synchronisation are expressed by the callers
+    through the [ready] times they thread between tasks — exactly the
+    decoupled access/execute behaviour of the modelled core. *)
+
+type resource
+
+val resource : string -> resource
+val name : resource -> string
+
+val exec : ?label:string -> resource -> ready:float -> duration:float -> float
+(** Run a task: starts at [max ready busy_until], occupies the resource for
+    [duration] cycles, returns the finish time.  Non-zero-duration tasks are
+    recorded (with [label]) for {!events}. *)
+
+val busy_cycles : resource -> float
+(** Total cycles this resource spent executing (for breakdowns). *)
+
+val events : resource -> (float * float * string) list
+(** Chronological [(start, finish, label)] records of executed tasks — the
+    raw material of the execution trace. *)
+
+val reset : resource -> unit

@@ -1,0 +1,64 @@
+module Graph = Twq_nn.Graph
+module Zoo = Twq_nn.Zoo
+module Tensor = Twq_tensor.Tensor
+module Transform = Twq_winograd.Transform
+
+type choice = {
+  node : Graph.id;
+  spec : Zoo.conv_spec;
+  kind : Operator.kind;
+  cycles : float;
+  im2col_cycles : float;
+}
+
+let select arch g ~input ?(candidates = [ Transform.F2; Transform.F4 ]) () =
+  let shapes = Graph.infer_shapes g ~input in
+  let batch = input.(0) in
+  List.filter_map
+    (fun (id, { Graph.op; inputs }) ->
+      match op with
+      | Graph.Conv { w; stride; _ } ->
+          let in_shape = List.assoc (List.hd inputs) shapes in
+          let out_shape = List.assoc id shapes in
+          let spec =
+            {
+              Zoo.name = Printf.sprintf "conv#%d" (id :> int);
+              cin = in_shape.(1);
+              cout = out_shape.(1);
+              out_h = out_shape.(2);
+              out_w = out_shape.(3);
+              k = Tensor.dim w 2;
+              stride;
+              repeat = 1;
+            }
+          in
+          let im2col = Operator.run arch Operator.Im2col spec ~batch in
+          let best =
+            List.fold_left
+              (fun (best_kind, best_cycles) v ->
+                let kind = Operator.Winograd v in
+                if Operator.supports kind spec then begin
+                  let r = Operator.run arch kind spec ~batch in
+                  if r.Operator.cycles < best_cycles then (kind, r.Operator.cycles)
+                  else (best_kind, best_cycles)
+                end
+                else (best_kind, best_cycles))
+              (Operator.Im2col, im2col.Operator.cycles)
+              candidates
+          in
+          Some
+            {
+              node = id;
+              spec;
+              kind = fst best;
+              cycles = snd best;
+              im2col_cycles = im2col.Operator.cycles;
+            }
+      | _ -> None)
+    (Graph.nodes g)
+
+let total_cycles choices = List.fold_left (fun a c -> a +. c.cycles) 0.0 choices
+
+let speedup_vs_im2col choices =
+  List.fold_left (fun a c -> a +. c.im2col_cycles) 0.0 choices
+  /. Float.max 1.0 (total_cycles choices)

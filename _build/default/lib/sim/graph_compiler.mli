@@ -1,0 +1,27 @@
+(** Operator selection for graph models — "the compiler can select the best
+    computational kernel for each layer" (Sec. V-B5).
+
+    For every convolution of a {!Twq_nn.Graph.t}, simulate the candidate
+    operators (im2col, Winograd F2, Winograd F4) on the layer's inferred
+    shape and pick the fastest. *)
+
+type choice = {
+  node : Twq_nn.Graph.id;
+  spec : Twq_nn.Zoo.conv_spec;
+  kind : Operator.kind;
+  cycles : float;
+  im2col_cycles : float;
+}
+
+val select :
+  Arch.t ->
+  Twq_nn.Graph.t ->
+  input:Twq_tensor.Shape.t ->
+  ?candidates:Twq_winograd.Transform.variant list ->
+  unit ->
+  choice list
+(** One entry per conv node, in graph order.  [candidates] defaults to
+    [\[F2; F4\]]. *)
+
+val total_cycles : choice list -> float
+val speedup_vs_im2col : choice list -> float

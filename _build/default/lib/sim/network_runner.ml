@@ -1,0 +1,78 @@
+module Zoo = Twq_nn.Zoo
+module Transform = Twq_winograd.Transform
+
+type policy = P_im2col | P_winograd of Transform.variant
+
+let policy_name = function
+  | P_im2col -> "im2col"
+  | P_winograd v -> Transform.name v
+
+type layer_choice = {
+  layer : Zoo.conv_spec;
+  chosen : Operator.kind;
+  result : Operator.result;
+}
+
+type run = {
+  network : Zoo.network;
+  batch : int;
+  policy : policy;
+  layers : layer_choice list;
+  total_cycles : float;
+  throughput_imgs_per_s : float;
+  energy_pj : float;
+  inferences_per_joule : float;
+}
+
+let choose arch policy layer ~batch =
+  let im2col = Operator.run arch Operator.Im2col layer ~batch in
+  match policy with
+  | P_im2col -> { layer; chosen = Operator.Im2col; result = im2col }
+  | P_winograd v ->
+      let wino_kind = Operator.Winograd v in
+      if Operator.supports wino_kind layer then begin
+        let wino = Operator.run arch wino_kind layer ~batch in
+        if wino.Operator.cycles < im2col.Operator.cycles then
+          { layer; chosen = wino_kind; result = wino }
+        else { layer; chosen = Operator.Im2col; result = im2col }
+      end
+      else { layer; chosen = Operator.Im2col; result = im2col }
+
+let run arch policy network ~batch =
+  let layers =
+    List.map (fun l -> choose arch policy l ~batch) network.Zoo.layers
+  in
+  let total_cycles =
+    List.fold_left (fun a c -> a +. c.result.Operator.cycles) 0.0 layers
+  in
+  let energy_pj =
+    List.fold_left (fun a c -> a +. c.result.Operator.energy.Operator.e_total) 0.0 layers
+  in
+  let clock = Twq_hw.Area_power.clock_hz in
+  let throughput = float_of_int batch /. (total_cycles /. clock) in
+  {
+    network;
+    batch;
+    policy;
+    layers;
+    total_cycles;
+    throughput_imgs_per_s = throughput;
+    energy_pj;
+    inferences_per_joule = float_of_int batch /. (energy_pj *. 1e-12);
+  }
+
+let winograd_layer_speedup arch variant network ~batch =
+  let ratios =
+    List.filter_map
+      (fun l ->
+        if Zoo.winograd_eligible l then begin
+          let im2col = Operator.run arch Operator.Im2col l ~batch in
+          let wino = Operator.run arch (Operator.Winograd variant) l ~batch in
+          Some (im2col.Operator.cycles /. wino.Operator.cycles)
+        end
+        else None)
+      network.Zoo.layers
+  in
+  match ratios with
+  | [] -> 1.0
+  | _ -> Twq_util.Stats.geometric_mean (Array.of_list ratios)

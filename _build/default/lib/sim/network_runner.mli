@@ -1,0 +1,36 @@
+(** Full-network execution on the simulated accelerator (Table VII).
+
+    A network runs under one of three operator policies; as in the paper,
+    the compiler picks the best kernel per layer, so the Winograd policies
+    fall back to im2col on any layer where Winograd would be slower or is
+    unsupported (1×1, strided, large kernels). *)
+
+type policy =
+  | P_im2col
+  | P_winograd of Twq_winograd.Transform.variant  (** best of {im2col, F_m} per layer *)
+
+val policy_name : policy -> string
+
+type layer_choice = {
+  layer : Twq_nn.Zoo.conv_spec;
+  chosen : Operator.kind;
+  result : Operator.result;
+}
+
+type run = {
+  network : Twq_nn.Zoo.network;
+  batch : int;
+  policy : policy;
+  layers : layer_choice list;
+  total_cycles : float;
+  throughput_imgs_per_s : float;
+  energy_pj : float;
+  inferences_per_joule : float;
+}
+
+val run : Arch.t -> policy -> Twq_nn.Zoo.network -> batch:int -> run
+
+val winograd_layer_speedup :
+  Arch.t -> Twq_winograd.Transform.variant -> Twq_nn.Zoo.network -> batch:int -> float
+(** Geometric-mean speed-up of the Winograd-eligible layers only (the
+    paper's parenthesised per-layer numbers in Table VII). *)

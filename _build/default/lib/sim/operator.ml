@@ -1,0 +1,418 @@
+module Transform = Twq_winograd.Transform
+module Zoo = Twq_nn.Zoo
+module Engine = Twq_hw.Engine
+module Area_power = Twq_hw.Area_power
+module Rng = Twq_util.Rng
+
+type kind = Im2col | Winograd of Transform.variant
+
+let kind_name = function
+  | Im2col -> "im2col"
+  | Winograd v -> "winograd-" ^ Transform.name v
+
+let supports kind (l : Zoo.conv_spec) =
+  match kind with
+  | Im2col -> true
+  | Winograd _ -> l.Zoo.k = 3 && l.Zoo.stride = 1
+
+type traffic = {
+  mutable gm_rd_ifm : float;
+  mutable gm_rd_wt : float;
+  mutable gm_wr_ofm : float;
+  mutable l1_wr_ifm : float;
+  mutable l1_rd_ifm : float;
+  mutable l1_wr_wt : float;
+  mutable l1_rd_wt : float;
+  mutable l0a_wr : float;
+  mutable l0a_rd : float;
+  mutable l0b_wr : float;
+  mutable l0b_rd : float;
+  mutable l0c_wr : float;
+  mutable l0c_rd_acc : float;
+  mutable l0c_rd_fixpipe : float;
+  mutable ub_bytes : float;
+}
+
+let zero_traffic () =
+  {
+    gm_rd_ifm = 0.0; gm_rd_wt = 0.0; gm_wr_ofm = 0.0;
+    l1_wr_ifm = 0.0; l1_rd_ifm = 0.0; l1_wr_wt = 0.0; l1_rd_wt = 0.0;
+    l0a_wr = 0.0; l0a_rd = 0.0; l0b_wr = 0.0; l0b_rd = 0.0;
+    l0c_wr = 0.0; l0c_rd_acc = 0.0; l0c_rd_fixpipe = 0.0; ub_bytes = 0.0;
+  }
+
+type energy = {
+  e_cube : float;
+  e_engines : float;
+  e_vector : float;
+  e_sram : float;
+  e_dram : float;
+  e_total : float;
+}
+
+type result = {
+  kind : kind;
+  cycles : float;
+  macs : float;
+  cube_busy : float;
+  busy : (string * float) list;
+  trace : (string * (float * float * string) list) list;
+      (* per-resource chronological (start, finish, label) events *)
+  traffic : traffic;
+  energy : energy;
+}
+
+let cdiv a b = (a + b - 1) / b
+
+(* Transformation-engine design points per variant (the F4 ones are the
+   paper's; F2 uses the same parallelism budget). *)
+let input_engine variant =
+  { Area_power.input_engine with Engine.variant }
+
+let output_engine variant =
+  { Area_power.output_engine with Engine.variant }
+
+let weight_engine variant =
+  { Area_power.weight_engine with Engine.variant }
+
+let engine_cycles cfg ~xforms =
+  let per = Engine.cycles_per_xform cfg in
+  let par = Engine.parallel_xforms cfg in
+  float_of_int (cdiv xforms par * per)
+
+let run arch kind (l : Zoo.conv_spec) ~batch =
+  if not (supports kind l) then
+    invalid_arg ("Operator.run: " ^ kind_name kind ^ " cannot run " ^ l.Zoo.name);
+  let rng = Rng.create (arch.Arch.seed + (l.Zoo.cin * 131) + l.Zoo.cout) in
+  let out_h = l.Zoo.out_h and out_w = l.Zoo.out_w in
+  let cin = l.Zoo.cin and cout = l.Zoo.cout in
+  let k = l.Zoo.k and stride = l.Zoo.stride in
+  let cout_core = cdiv cout arch.Arch.n_cores in
+  let cout_blk_full = Stdlib.min arch.Arch.cout_block cout_core in
+  let n_cout_blk = cdiv cout_core cout_blk_full in
+  let bh_full = Stdlib.min arch.Arch.spatial_block out_h in
+  let bw_full = Stdlib.min arch.Arch.spatial_block out_w in
+  let n_bh = cdiv out_h bh_full and n_bw = cdiv out_w bw_full in
+  (* Resources: shared DRAM channel; per-core units (we simulate core 0 and
+     account the second core through shared-DRAM traffic). *)
+  let dram = Des.resource "dram" in
+  let mte1 = Des.resource "in-xform" in
+  let wt_eng = Des.resource "wt-xform" in
+  let cube = Des.resource "cube" in
+  let fixpipe = Des.resource "out-xform" in
+  let vector = Des.resource "vector" in
+  let mte3 = Des.resource "write" in
+  let traffic = zero_traffic () in
+  let latency () =
+    arch.Arch.dram_latency
+    +. Float.abs (Rng.gaussian rng ~mu:0.0 ~sigma:arch.Arch.dram_jitter_sigma)
+  in
+  let n_cores_f = float_of_int arch.Arch.n_cores in
+  (* --- weight phase for one cout block (all cores load in parallel over
+     the shared channel; each core transforms its own weights). *)
+  let weight_phase ~ready ~cb ~cout_blk =
+    let bytes_core = float_of_int (cin * cout_blk * k * k) in
+    let bytes_all = bytes_core *. n_cores_f in
+    traffic.gm_rd_wt <- traffic.gm_rd_wt +. bytes_all;
+    traffic.l0b_wr <- traffic.l0b_wr +. bytes_all;
+    let t_dma =
+      Des.exec ~label:(Printf.sprintf "wt-dma cb%d" cb) dram ~ready
+        ~duration:(bytes_all /. arch.Arch.dram_bw)
+    in
+    match kind with
+    | Im2col ->
+        (* Weights go straight to L0B; reused from there. *)
+        t_dma +. latency ()
+    | Winograd variant ->
+        traffic.l0b_rd <- traffic.l0b_rd +. bytes_all;
+        let taps = Transform.t variant * Transform.t variant in
+        traffic.l1_wr_wt <-
+          traffic.l1_wr_wt +. float_of_int (cin * cout_blk * taps) *. n_cores_f;
+        let xforms = cin * cout_blk in
+        let dur = engine_cycles (weight_engine variant) ~xforms in
+        (* L0B is double-buffered: the transformation starts as soon as the
+           first weight chunk lands, overlapping the rest of the DMA. *)
+        let dma_dur = bytes_all /. arch.Arch.dram_bw in
+        let first_chunk = t_dma -. (0.875 *. dma_dur) +. latency () in
+        Float.max (t_dma +. latency ())
+          (Des.exec ~label:(Printf.sprintf "wt-xform cb%d" cb) wt_eng
+             ~ready:first_chunk ~duration:dur)
+  in
+  (* --- cube cycles for one spatial block. *)
+  let cube_cycles ~bh ~bw ~cout_blk =
+    match kind with
+    | Im2col ->
+        let rows = bh * bw in
+        float_of_int
+          (cdiv rows arch.Arch.cube_m
+          * cdiv (cin * k * k) arch.Arch.cube_k
+          * cdiv cout_blk arch.Arch.cube_n)
+    | Winograd variant ->
+        let m = Transform.m variant in
+        let taps = Transform.t variant * Transform.t variant in
+        let tiles = cdiv bh m * cdiv bw m in
+        float_of_int
+          (taps * cdiv tiles arch.Arch.cube_m
+          * cdiv cin arch.Arch.cube_k
+          * cdiv cout_blk arch.Arch.cube_n)
+  in
+  let in_xform_cycles ~bh ~bw =
+    match kind with
+    | Im2col ->
+        (* The im2col engine is sized to feed the Cube; it rides along. *)
+        cube_cycles ~bh ~bw ~cout_blk:cout_blk_full *. 0.5
+    | Winograd variant ->
+        let m = Transform.m variant in
+        let tiles = cdiv bh m * cdiv bw m in
+        engine_cycles (input_engine variant) ~xforms:(tiles * cin)
+  in
+  let out_xform_cycles ~bh ~bw ~cout_blk =
+    match kind with
+    | Im2col ->
+        (* FixPipe just moves/requantizes rows. *)
+        float_of_int (bh * bw * cout_blk * 4) /. 256.0
+    | Winograd variant ->
+        let m = Transform.m variant in
+        let tiles = cdiv bh m * cdiv bw m in
+        engine_cycles (output_engine variant) ~xforms:(tiles * cout_blk)
+  in
+  (* --- main loop: weight-stationary over cout blocks; spatial blocks
+     stream through a double-buffered pipeline. *)
+  let finish = ref 0.0 in
+  let pending_writes = Queue.create () in
+  (* L1 input buffering: a load may start once the block [depth] iterations
+     back has been consumed (double buffering + prefetch, Sec. IV-B2). *)
+  let buffer_depth = Stdlib.max 1 arch.Arch.buffer_depth in
+  let cube_done_hist = Queue.create () in
+  let buffer_ready () =
+    if Queue.length cube_done_hist < buffer_depth then 0.0
+    else Queue.peek cube_done_hist
+  in
+  let push_cube_done t =
+    Queue.push t cube_done_hist;
+    if Queue.length cube_done_hist > buffer_depth then ignore (Queue.pop cube_done_hist)
+  in
+  let wt_ready = ref 0.0 in
+  for cb = 0 to n_cout_blk - 1 do
+    let cout_blk =
+      if cb = n_cout_blk - 1 then cout_core - (cb * cout_blk_full)
+      else cout_blk_full
+    in
+    wt_ready := weight_phase ~ready:!wt_ready ~cb ~cout_blk;
+    for b = 0 to batch - 1 do
+      ignore b;
+      for bi = 0 to n_bh - 1 do
+        let bh = if bi = n_bh - 1 then out_h - (bi * bh_full) else bh_full in
+        for bj = 0 to n_bw - 1 do
+          let bw = if bj = n_bw - 1 then out_w - (bj * bw_full) else bw_full in
+          (* iFM load: the Broadcast Unit shares the stream between cores;
+             without it each core fetches its own copy. *)
+          let in_bytes =
+            float_of_int (((bh * stride) + k - 1) * ((bw * stride) + k - 1) * cin)
+            *. (if arch.Arch.broadcast then 1.0 else n_cores_f)
+          in
+          traffic.gm_rd_ifm <- traffic.gm_rd_ifm +. in_bytes;
+          traffic.l1_wr_ifm <- traffic.l1_wr_ifm +. in_bytes;
+          let blk_label = Printf.sprintf "cb%d b%d (%d,%d)" cb b bi bj in
+          let t_in =
+            Des.exec ~label:("ifm " ^ blk_label) dram ~ready:(buffer_ready ())
+              ~duration:(in_bytes /. arch.Arch.dram_bw)
+            +. latency ()
+          in
+          (* Drain one buffered write behind the read we just issued. *)
+          (if not (Queue.is_empty pending_writes) then begin
+             let ready, bytes = Queue.pop pending_writes in
+             finish :=
+               Float.max !finish
+                 (Des.exec ~label:"ofm write" dram ~ready
+                    ~duration:(bytes /. arch.Arch.dram_bw))
+           end);
+          (* Input transform overlaps the Cube at 16-tile granularity: the
+             Cube is throttled by the slower of the two. *)
+          let x_cycles = in_xform_cycles ~bh ~bw in
+          let c_cycles = cube_cycles ~bh ~bw ~cout_blk in
+          let t_xform =
+            Des.exec ~label:("in-xform " ^ blk_label) mte1 ~ready:t_in
+              ~duration:x_cycles
+          in
+          ignore t_xform;
+          let cube_dur =
+            Float.max c_cycles x_cycles +. arch.Arch.block_overhead_cycles
+          in
+          let t_cube =
+            Des.exec ~label:("cube " ^ blk_label) cube
+              ~ready:(Float.max t_in !wt_ready)
+              ~duration:cube_dur
+          in
+          push_cube_done t_cube;
+          let t_fix =
+            Des.exec ~label:("out-xform " ^ blk_label) fixpipe ~ready:t_cube
+              ~duration:(out_xform_cycles ~bh ~bw ~cout_blk)
+          in
+          let out_bytes_core = float_of_int (bh * bw * cout_blk) in
+          let t_vec =
+            Des.exec ~label:("requant " ^ blk_label) vector ~ready:t_fix
+              ~duration:
+                (out_bytes_core /. float_of_int arch.Arch.vector_bytes_per_cycle)
+          in
+          let out_bytes_all = out_bytes_core *. n_cores_f in
+          traffic.gm_wr_ofm <- traffic.gm_wr_ofm +. out_bytes_all;
+          let t_wr = Des.exec mte3 ~ready:t_vec ~duration:0.0 in
+          (* Writes are decoupled from reads (Sec. IV-B2): buffer them and
+             let the next read go first, so reads keep priority on the
+             shared channel. *)
+          Queue.push (t_wr, out_bytes_all) pending_writes;
+          finish := Float.max !finish t_wr
+        done
+      done
+    done
+  done;
+  (* Flush the remaining buffered writes. *)
+  Queue.iter
+    (fun (ready, bytes) ->
+      finish :=
+        Float.max !finish
+          (Des.exec ~label:"ofm write" dram ~ready
+             ~duration:(bytes /. arch.Arch.dram_bw)))
+    pending_writes;
+  (* --- traffic totals that do not depend on the event schedule. *)
+  let out_positions = float_of_int (batch * out_h * out_w) in
+  let expansion =
+    match kind with
+    | Im2col -> float_of_int (k * k)
+    | Winograd variant ->
+        let m = float_of_int (Transform.m variant) in
+        let t = m +. 2.0 in
+        t *. t /. (m *. m)
+  in
+  traffic.l1_rd_ifm <- out_positions *. float_of_int cin *. expansion /. float_of_int (stride * stride);
+  traffic.l0a_wr <- traffic.l1_rd_ifm;
+  let cube_total = Des.busy_cycles cube *. n_cores_f in
+  let a_bytes_per_cycle = float_of_int (arch.Arch.cube_m * arch.Arch.cube_k) in
+  let b_bytes_per_cycle = float_of_int (arch.Arch.cube_k * arch.Arch.cube_n) in
+  traffic.l0a_rd <- cube_total *. a_bytes_per_cycle;
+  (match kind with
+  | Im2col -> traffic.l0b_rd <- cube_total *. b_bytes_per_cycle
+  | Winograd _ -> traffic.l1_rd_wt <- cube_total *. b_bytes_per_cycle);
+  let acc_bytes = cube_total *. float_of_int (arch.Arch.cube_m * arch.Arch.cube_n * 4) in
+  let k_steps =
+    match kind with
+    | Im2col -> cdiv (cin * k * k) arch.Arch.cube_k
+    | Winograd _ -> cdiv cin arch.Arch.cube_k
+  in
+  traffic.l0c_wr <- acc_bytes;
+  traffic.l0c_rd_acc <-
+    acc_bytes *. float_of_int (Stdlib.max 0 (k_steps - 1)) /. float_of_int k_steps;
+  traffic.l0c_rd_fixpipe <-
+    (match kind with
+    | Im2col -> out_positions *. float_of_int cout *. 4.0
+    | Winograd variant ->
+        let m = float_of_int (Transform.m variant) in
+        let t = m +. 2.0 in
+        out_positions /. (m *. m) *. t *. t *. float_of_int cout *. 4.0);
+  traffic.ub_bytes <- 2.0 *. out_positions *. float_of_int cout;
+  (* --- energy. *)
+  let engine_variant = match kind with Winograd v -> Some v | Im2col -> None in
+  let e_cube =
+    Area_power.energy_pj_of_cycles
+      ~power_mw:
+        (match kind with
+        | Im2col -> Area_power.cube_power_mw_im2col
+        | Winograd _ -> Area_power.cube_power_mw_winograd)
+      cube_total
+  in
+  let e_engines =
+    match engine_variant with
+    | None ->
+        Area_power.energy_pj_of_cycles ~power_mw:Area_power.im2col_engine_power_mw
+          (Des.busy_cycles mte1 *. n_cores_f)
+    | Some v ->
+        Area_power.energy_pj_of_cycles
+          ~power_mw:(Area_power.engine_power_mw (input_engine v))
+          (Des.busy_cycles mte1 *. n_cores_f)
+        +. Area_power.energy_pj_of_cycles
+             ~power_mw:(Area_power.engine_power_mw (weight_engine v))
+             (Des.busy_cycles wt_eng *. n_cores_f)
+        +. Area_power.energy_pj_of_cycles
+             ~power_mw:(Area_power.engine_power_mw (output_engine v))
+             (Des.busy_cycles fixpipe *. n_cores_f)
+  in
+  let e_vector =
+    Area_power.energy_pj_of_cycles ~power_mw:Area_power.vector_power_mw
+      (Des.busy_cycles vector *. n_cores_f)
+  in
+  let rd m b = Area_power.rd_pj_per_byte m *. b in
+  let wr m b = Area_power.wr_pj_per_byte m *. b in
+  let portb =
+    match kind with
+    | Im2col -> Area_power.L0C_portB_im2col
+    | Winograd _ -> Area_power.L0C_portB_winograd
+  in
+  let e_sram =
+    wr Area_power.L1 traffic.l1_wr_ifm
+    +. rd Area_power.L1 traffic.l1_rd_ifm
+    +. wr Area_power.L1 traffic.l1_wr_wt
+    +. rd Area_power.L1 traffic.l1_rd_wt
+    +. wr Area_power.L0A traffic.l0a_wr
+    +. rd Area_power.L0A traffic.l0a_rd
+    +. wr Area_power.L0B traffic.l0b_wr
+    +. rd Area_power.L0B traffic.l0b_rd
+    +. wr Area_power.L0C_portA traffic.l0c_wr
+    +. rd Area_power.L0C_portA traffic.l0c_rd_acc
+    +. rd portb traffic.l0c_rd_fixpipe
+    +. (rd Area_power.UB traffic.ub_bytes /. 2.0)
+    +. (wr Area_power.UB traffic.ub_bytes /. 2.0)
+  in
+  let e_dram =
+    rd Area_power.GM (traffic.gm_rd_ifm +. traffic.gm_rd_wt)
+    +. wr Area_power.GM traffic.gm_wr_ofm
+  in
+  let e_total = e_cube +. e_engines +. e_vector +. e_sram +. e_dram in
+  let macs =
+    float_of_int batch *. float_of_int (out_h * out_w * cin * cout * k * k)
+  in
+  let rep = float_of_int l.Zoo.repeat in
+  let scale_traffic t =
+    t.gm_rd_ifm <- t.gm_rd_ifm *. rep;
+    t.gm_rd_wt <- t.gm_rd_wt *. rep;
+    t.gm_wr_ofm <- t.gm_wr_ofm *. rep;
+    t.l1_wr_ifm <- t.l1_wr_ifm *. rep;
+    t.l1_rd_ifm <- t.l1_rd_ifm *. rep;
+    t.l1_wr_wt <- t.l1_wr_wt *. rep;
+    t.l1_rd_wt <- t.l1_rd_wt *. rep;
+    t.l0a_wr <- t.l0a_wr *. rep;
+    t.l0a_rd <- t.l0a_rd *. rep;
+    t.l0b_wr <- t.l0b_wr *. rep;
+    t.l0b_rd <- t.l0b_rd *. rep;
+    t.l0c_wr <- t.l0c_wr *. rep;
+    t.l0c_rd_acc <- t.l0c_rd_acc *. rep;
+    t.l0c_rd_fixpipe <- t.l0c_rd_fixpipe *. rep;
+    t.ub_bytes <- t.ub_bytes *. rep
+  in
+  scale_traffic traffic;
+  {
+    kind;
+    cycles = !finish *. rep;
+    macs = macs *. rep;
+    cube_busy = Des.busy_cycles cube *. rep;
+    busy =
+      List.map
+        (fun r -> (Des.name r, Des.busy_cycles r *. rep))
+        [ dram; mte1; wt_eng; cube; fixpipe; vector; mte3 ];
+    trace =
+      List.map
+        (fun r -> (Des.name r, Des.events r))
+        [ dram; mte1; wt_eng; cube; fixpipe; vector ];
+    traffic;
+    energy =
+      {
+        e_cube = e_cube *. rep;
+        e_engines = e_engines *. rep;
+        e_vector = e_vector *. rep;
+        e_sram = e_sram *. rep;
+        e_dram = e_dram *. rep;
+        e_total = e_total *. rep;
+      };
+  }
+
+let speedup ~baseline r = baseline.cycles /. r.cycles

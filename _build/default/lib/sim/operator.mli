@@ -1,0 +1,64 @@
+(** Conv2D operator simulation on the dual-core DSA (Sec. IV-B2).
+
+    Executes the double-buffered, weight-stationary dataflow of Listing 1 on
+    a resource-timeline model: shared DRAM channel (with latency + Gaussian
+    jitter), per-core MTE1 transformation engines, Cube Unit, FixPipe /
+    output engine, Vector Unit and MTE3 write path.  Produces end-to-end
+    cycles, per-resource busy breakdowns (Fig. 5), memory-traffic counts
+    (Fig. 6) and the energy estimate used by Table VII. *)
+
+type kind = Im2col | Winograd of Twq_winograd.Transform.variant
+
+val kind_name : kind -> string
+
+val supports : kind -> Twq_nn.Zoo.conv_spec -> bool
+(** Winograd only handles 3×3 stride-1 layers. *)
+
+type traffic = {
+  mutable gm_rd_ifm : float;
+  mutable gm_rd_wt : float;
+  mutable gm_wr_ofm : float;
+  mutable l1_wr_ifm : float;
+  mutable l1_rd_ifm : float;
+  mutable l1_wr_wt : float;
+  mutable l1_rd_wt : float;
+  mutable l0a_wr : float;
+  mutable l0a_rd : float;
+  mutable l0b_wr : float;
+  mutable l0b_rd : float;
+  mutable l0c_wr : float;
+  mutable l0c_rd_acc : float;
+  mutable l0c_rd_fixpipe : float;
+  mutable ub_bytes : float;
+}
+(** All values in bytes, summed over the whole layer and both cores. *)
+
+type energy = {
+  e_cube : float;
+  e_engines : float;
+  e_vector : float;
+  e_sram : float;
+  e_dram : float;
+  e_total : float;
+}
+(** picojoules. *)
+
+type result = {
+  kind : kind;
+  cycles : float;             (** end-to-end cycles for the layer *)
+  macs : float;               (** spatial-domain MACs *)
+  cube_busy : float;
+  busy : (string * float) list;  (** per-resource busy cycles *)
+  trace : (string * (float * float * string) list) list;
+      (** per-resource chronological [(start, finish, label)] task records
+          — export with {!Trace.to_chrome_json} *)
+  traffic : traffic;
+  energy : energy;
+}
+
+val run : Arch.t -> kind -> Twq_nn.Zoo.conv_spec -> batch:int -> result
+(** Simulate one layer.  [repeat] in the spec multiplies the result.
+    @raise Invalid_argument if the kind does not support the layer. *)
+
+val speedup : baseline:result -> result -> float
+(** [baseline.cycles / r.cycles]. *)

@@ -1,0 +1,68 @@
+let json_escape s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let to_chrome_json (r : Operator.result) =
+  let buf = Buffer.create 8192 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  List.iteri
+    (fun tid (resource, events) ->
+      List.iter
+        (fun (start, finish, label) ->
+          if not !first then Buffer.add_char buf ',';
+          first := false;
+          Buffer.add_string buf
+            (Printf.sprintf
+               "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,\
+                \"dur\":%.3f,\"pid\":1,\"tid\":%d}"
+               (json_escape (if label = "" then resource else label))
+               (json_escape resource) start (finish -. start) tid))
+        events;
+      (* Thread name metadata. *)
+      if not !first then Buffer.add_char buf ',';
+      first := false;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\
+            \"args\":{\"name\":\"%s\"}}"
+           tid (json_escape resource)))
+    r.Operator.trace;
+  Buffer.add_string buf "]}";
+  Buffer.contents buf
+
+let to_text ?(max_events = 200) (r : Operator.result) =
+  let all =
+    List.concat_map
+      (fun (resource, events) ->
+        List.map (fun (s, f, l) -> (s, f, resource, l)) events)
+      r.Operator.trace
+  in
+  let sorted = List.sort (fun (a, _, _, _) (b, _, _, _) -> Float.compare a b) all in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    (Printf.sprintf "%-12s %-12s %-10s %s\n" "start" "finish" "resource" "task");
+  List.iteri
+    (fun i (s, f, resource, label) ->
+      if i < max_events then
+        Buffer.add_string buf
+          (Printf.sprintf "%-12.0f %-12.0f %-10s %s\n" s f resource label))
+    sorted;
+  if List.length sorted > max_events then
+    Buffer.add_string buf
+      (Printf.sprintf "... (%d more events)\n" (List.length sorted - max_events));
+  Buffer.contents buf
+
+let save_chrome_json r path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_chrome_json r))

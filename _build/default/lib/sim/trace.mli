@@ -1,0 +1,15 @@
+(** Execution-trace export.
+
+    Turns the per-resource task records of an {!Operator.result} into the
+    Chrome trace-event JSON format (load in [chrome://tracing] or Perfetto)
+    or a plain-text timeline — the inspection workflow an event-based
+    simulator owes its users. *)
+
+val to_chrome_json : Operator.result -> string
+(** One Chrome trace with a "thread" per hardware resource; timestamps are
+    cycles (encoded as microseconds). *)
+
+val to_text : ?max_events:int -> Operator.result -> string
+(** Human-readable timeline, chronological across resources. *)
+
+val save_chrome_json : Operator.result -> string -> unit

@@ -1,0 +1,1 @@
+lib/tensor/itensor.ml: Array Float Format Shape Stdlib Tensor

@@ -1,0 +1,1 @@
+lib/tensor/itensor.mli: Format Shape Tensor

@@ -1,0 +1,1 @@
+lib/tensor/ops.mli: Tensor

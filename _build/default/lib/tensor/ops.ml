@@ -1,0 +1,314 @@
+let check_rank name t r =
+  if Tensor.rank t <> r then
+    invalid_arg (Printf.sprintf "%s: expected rank-%d tensor" name r)
+
+let matmul a b =
+  check_rank "Ops.matmul" a 2;
+  check_rank "Ops.matmul" b 2;
+  let m = Tensor.dim a 0 and k = Tensor.dim a 1 in
+  let k' = Tensor.dim b 0 and n = Tensor.dim b 1 in
+  if k <> k' then invalid_arg "Ops.matmul: inner dims differ";
+  let out = Tensor.zeros [| m; n |] in
+  let ad = a.Tensor.data and bd = b.Tensor.data and od = out.Tensor.data in
+  for i = 0 to m - 1 do
+    for p = 0 to k - 1 do
+      let aip = ad.((i * k) + p) in
+      if aip <> 0.0 then begin
+        let brow = p * n in
+        let orow = i * n in
+        for j = 0 to n - 1 do
+          od.(orow + j) <- od.(orow + j) +. (aip *. bd.(brow + j))
+        done
+      end
+    done
+  done;
+  out
+
+let transpose a =
+  check_rank "Ops.transpose" a 2;
+  let m = Tensor.dim a 0 and n = Tensor.dim a 1 in
+  Tensor.init [| n; m |] (fun idx -> Tensor.get2 a idx.(1) idx.(0))
+
+let pad2d x pad =
+  check_rank "Ops.pad2d" x 4;
+  if pad = 0 then x
+  else begin
+    let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+    let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+    let out = Tensor.zeros [| n; c; h + (2 * pad); w + (2 * pad) |] in
+    for ni = 0 to n - 1 do
+      for ci = 0 to c - 1 do
+        for hi = 0 to h - 1 do
+          for wi = 0 to w - 1 do
+            Tensor.set4 out ni ci (hi + pad) (wi + pad) (Tensor.get4 x ni ci hi wi)
+          done
+        done
+      done
+    done;
+    out
+  end
+
+let add_bias out b =
+  match b with
+  | None -> ()
+  | Some b ->
+      let n = Tensor.dim out 0 and c = Tensor.dim out 1 in
+      let h = Tensor.dim out 2 and w = Tensor.dim out 3 in
+      for ni = 0 to n - 1 do
+        for ci = 0 to c - 1 do
+          let bv = b.Tensor.data.(ci) in
+          for hi = 0 to h - 1 do
+            for wi = 0 to w - 1 do
+              Tensor.set4 out ni ci hi wi (Tensor.get4 out ni ci hi wi +. bv)
+            done
+          done
+        done
+      done
+
+let conv2d ?(stride = 1) ?(pad = 0) ~x ~w ?b () =
+  check_rank "Ops.conv2d" x 4;
+  check_rank "Ops.conv2d" w 4;
+  let n = Tensor.dim x 0 and cin = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and wd = Tensor.dim x 3 in
+  let cout = Tensor.dim w 0 and cin' = Tensor.dim w 1 in
+  let kh = Tensor.dim w 2 and kw = Tensor.dim w 3 in
+  if cin <> cin' then invalid_arg "Ops.conv2d: channel mismatch";
+  let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh ~kw ~stride ~pad in
+  let xp = pad2d x pad in
+  let out = Tensor.zeros [| n; cout; ho; wo |] in
+  for ni = 0 to n - 1 do
+    for co = 0 to cout - 1 do
+      for oh = 0 to ho - 1 do
+        for ow = 0 to wo - 1 do
+          let acc = ref 0.0 in
+          for ci = 0 to cin - 1 do
+            for ki = 0 to kh - 1 do
+              for kj = 0 to kw - 1 do
+                acc :=
+                  !acc
+                  +. Tensor.get4 xp ni ci ((oh * stride) + ki) ((ow * stride) + kj)
+                     *. Tensor.get4 w co ci ki kj
+              done
+            done
+          done;
+          Tensor.set4 out ni co oh ow !acc
+        done
+      done
+    done
+  done;
+  add_bias out b;
+  out
+
+let im2col ~x ~kh ~kw ~stride ~pad =
+  check_rank "Ops.im2col" x 4;
+  let n = Tensor.dim x 0 and cin = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let ho, wo = Shape.conv2d_out ~h ~w ~kh ~kw ~stride ~pad in
+  let xp = pad2d x pad in
+  let rows = cin * kh * kw in
+  let cols = n * ho * wo in
+  let out = Tensor.zeros [| rows; cols |] in
+  for ci = 0 to cin - 1 do
+    for ki = 0 to kh - 1 do
+      for kj = 0 to kw - 1 do
+        let r = (((ci * kh) + ki) * kw) + kj in
+        for ni = 0 to n - 1 do
+          for oh = 0 to ho - 1 do
+            for ow = 0 to wo - 1 do
+              let c = (((ni * ho) + oh) * wo) + ow in
+              Tensor.set2 out r c
+                (Tensor.get4 xp ni ci ((oh * stride) + ki) ((ow * stride) + kj))
+            done
+          done
+        done
+      done
+    done
+  done;
+  out
+
+let conv2d_im2col ?(stride = 1) ?(pad = 0) ~x ~w ?b () =
+  check_rank "Ops.conv2d_im2col" x 4;
+  check_rank "Ops.conv2d_im2col" w 4;
+  let n = Tensor.dim x 0 in
+  let h = Tensor.dim x 2 and wd = Tensor.dim x 3 in
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  let kh = Tensor.dim w 2 and kw = Tensor.dim w 3 in
+  let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh ~kw ~stride ~pad in
+  let patches = im2col ~x ~kh ~kw ~stride ~pad in
+  let wmat = Tensor.reshape w [| cout; cin * kh * kw |] in
+  let prod = matmul wmat patches in
+  (* prod is [cout; n*ho*wo]; reorder to NCHW. *)
+  let out = Tensor.zeros [| n; cout; ho; wo |] in
+  for co = 0 to cout - 1 do
+    for ni = 0 to n - 1 do
+      for oh = 0 to ho - 1 do
+        for ow = 0 to wo - 1 do
+          Tensor.set4 out ni co oh ow
+            (Tensor.get2 prod co ((((ni * ho) + oh) * wo) + ow))
+        done
+      done
+    done
+  done;
+  add_bias out b;
+  out
+
+let relu = Tensor.map (fun v -> if v > 0.0 then v else 0.0)
+
+let leaky_relu alpha =
+  Tensor.map (fun v -> if v > 0.0 then v else alpha *. v)
+
+let pool2d ~reduce ~init_v ~finish ~k ~stride x =
+  check_rank "Ops.pool2d" x 4;
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let ho, wo = Shape.pool_out ~h ~w ~k ~stride in
+  let out = Tensor.zeros [| n; c; ho; wo |] in
+  for ni = 0 to n - 1 do
+    for ci = 0 to c - 1 do
+      for oh = 0 to ho - 1 do
+        for ow = 0 to wo - 1 do
+          let acc = ref init_v in
+          for ki = 0 to k - 1 do
+            for kj = 0 to k - 1 do
+              acc := reduce !acc (Tensor.get4 x ni ci ((oh * stride) + ki) ((ow * stride) + kj))
+            done
+          done;
+          Tensor.set4 out ni ci oh ow (finish !acc)
+        done
+      done
+    done
+  done;
+  out
+
+let max_pool2d ~k ~stride x =
+  pool2d ~reduce:Float.max ~init_v:Float.neg_infinity ~finish:Fun.id ~k ~stride x
+
+let avg_pool2d ~k ~stride x =
+  let inv = 1.0 /. float_of_int (k * k) in
+  pool2d ~reduce:( +. ) ~init_v:0.0 ~finish:(fun v -> v *. inv) ~k ~stride x
+
+let global_avg_pool x =
+  check_rank "Ops.global_avg_pool" x 4;
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let inv = 1.0 /. float_of_int (h * w) in
+  Tensor.init [| n; c |] (fun idx ->
+      let acc = ref 0.0 in
+      for hi = 0 to h - 1 do
+        for wi = 0 to w - 1 do
+          acc := !acc +. Tensor.get4 x idx.(0) idx.(1) hi wi
+        done
+      done;
+      !acc *. inv)
+
+let upsample_nearest factor x =
+  check_rank "Ops.upsample_nearest" x 4;
+  if factor <= 0 then invalid_arg "Ops.upsample_nearest: factor must be positive";
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  Tensor.init [| n; c; h * factor; w * factor |] (fun idx ->
+      Tensor.get4 x idx.(0) idx.(1) (idx.(2) / factor) (idx.(3) / factor))
+
+let batch_norm ~x ~gamma ~beta ~mean ~var ~eps =
+  check_rank "Ops.batch_norm" x 4;
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let out = Tensor.zeros x.Tensor.shape in
+  for ci = 0 to c - 1 do
+    let g = gamma.Tensor.data.(ci) and b = beta.Tensor.data.(ci) in
+    let m = mean.Tensor.data.(ci) and v = var.Tensor.data.(ci) in
+    let scale = g /. sqrt (v +. eps) in
+    for ni = 0 to n - 1 do
+      for hi = 0 to h - 1 do
+        for wi = 0 to w - 1 do
+          Tensor.set4 out ni ci hi wi
+            (((Tensor.get4 x ni ci hi wi -. m) *. scale) +. b)
+        done
+      done
+    done
+  done;
+  out
+
+let linear ~x ~w ?b () =
+  check_rank "Ops.linear" x 2;
+  check_rank "Ops.linear" w 2;
+  let out = matmul x (transpose w) in
+  (match b with
+  | None -> ()
+  | Some b ->
+      let n = Tensor.dim out 0 and f = Tensor.dim out 1 in
+      for i = 0 to n - 1 do
+        for j = 0 to f - 1 do
+          Tensor.set2 out i j (Tensor.get2 out i j +. b.Tensor.data.(j))
+        done
+      done);
+  out
+
+let softmax t =
+  check_rank "Ops.softmax" t 2;
+  let n = Tensor.dim t 0 and f = Tensor.dim t 1 in
+  let out = Tensor.zeros t.Tensor.shape in
+  for i = 0 to n - 1 do
+    let m = ref Float.neg_infinity in
+    for j = 0 to f - 1 do
+      m := Float.max !m (Tensor.get2 t i j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to f - 1 do
+      let e = exp (Tensor.get2 t i j -. !m) in
+      Tensor.set2 out i j e;
+      z := !z +. e
+    done;
+    for j = 0 to f - 1 do
+      Tensor.set2 out i j (Tensor.get2 out i j /. !z)
+    done
+  done;
+  out
+
+let log_softmax t =
+  check_rank "Ops.log_softmax" t 2;
+  let n = Tensor.dim t 0 and f = Tensor.dim t 1 in
+  let out = Tensor.zeros t.Tensor.shape in
+  for i = 0 to n - 1 do
+    let m = ref Float.neg_infinity in
+    for j = 0 to f - 1 do
+      m := Float.max !m (Tensor.get2 t i j)
+    done;
+    let z = ref 0.0 in
+    for j = 0 to f - 1 do
+      z := !z +. exp (Tensor.get2 t i j -. !m)
+    done;
+    let log_z = !m +. log !z in
+    for j = 0 to f - 1 do
+      Tensor.set2 out i j (Tensor.get2 t i j -. log_z)
+    done
+  done;
+  out
+
+let concat_channels a b =
+  check_rank "Ops.concat_channels" a 4;
+  check_rank "Ops.concat_channels" b 4;
+  let n = Tensor.dim a 0 and ca = Tensor.dim a 1 in
+  let h = Tensor.dim a 2 and w = Tensor.dim a 3 in
+  let cb = Tensor.dim b 1 in
+  if Tensor.dim b 0 <> n || Tensor.dim b 2 <> h || Tensor.dim b 3 <> w then
+    invalid_arg "Ops.concat_channels: incompatible shapes";
+  Tensor.init [| n; ca + cb; h; w |] (fun idx ->
+      if idx.(1) < ca then Tensor.get4 a idx.(0) idx.(1) idx.(2) idx.(3)
+      else Tensor.get4 b idx.(0) (idx.(1) - ca) idx.(2) idx.(3))
+
+let argmax_row t i =
+  check_rank "Ops.argmax_row" t 2;
+  let f = Tensor.dim t 1 in
+  let best = ref 0 in
+  for j = 1 to f - 1 do
+    if Tensor.get2 t i j > Tensor.get2 t i !best then best := j
+  done;
+  !best
+
+let top_k_row t i k =
+  check_rank "Ops.top_k_row" t 2;
+  let f = Tensor.dim t 1 in
+  let idx = Array.init f Fun.id in
+  Array.sort (fun a b -> Float.compare (Tensor.get2 t i b) (Tensor.get2 t i a)) idx;
+  Array.to_list (Array.sub idx 0 (Stdlib.min k f))

@@ -1,0 +1,54 @@
+(** Neural-network primitives on {!Tensor.t} (inference forward paths).
+
+    Layout conventions: activations are NCHW [\[|n; c; h; w|\]]; convolution
+    weights are [\[|c_out; c_in; kh; kw|\]]; matrices are [\[|rows; cols|\]]. *)
+
+val matmul : Tensor.t -> Tensor.t -> Tensor.t
+(** [matmul a b] for 2-D [a : m×k] and [b : k×n]. *)
+
+val transpose : Tensor.t -> Tensor.t
+(** 2-D transpose. *)
+
+val pad2d : Tensor.t -> int -> Tensor.t
+(** Zero-pad the two spatial dims of an NCHW tensor by [pad] on every side. *)
+
+val conv2d : ?stride:int -> ?pad:int -> x:Tensor.t -> w:Tensor.t -> ?b:Tensor.t -> unit -> Tensor.t
+(** Direct (reference) 2-D convolution. [b] has shape [\[|c_out|\]]. *)
+
+val im2col : x:Tensor.t -> kh:int -> kw:int -> stride:int -> pad:int -> Tensor.t
+(** Lower an NCHW tensor to the [\[| c_in*kh*kw; n*ho*wo |\]] patch matrix. *)
+
+val conv2d_im2col : ?stride:int -> ?pad:int -> x:Tensor.t -> w:Tensor.t -> ?b:Tensor.t -> unit -> Tensor.t
+(** Convolution as im2col + matmul; numerically equal to {!conv2d} (used to
+    cross-check and as the accelerator's baseline operator semantics). *)
+
+val relu : Tensor.t -> Tensor.t
+val leaky_relu : float -> Tensor.t -> Tensor.t
+
+val max_pool2d : k:int -> stride:int -> Tensor.t -> Tensor.t
+val avg_pool2d : k:int -> stride:int -> Tensor.t -> Tensor.t
+val global_avg_pool : Tensor.t -> Tensor.t
+(** NCHW → [\[|n; c|\]]. *)
+
+val upsample_nearest : int -> Tensor.t -> Tensor.t
+(** Scale spatial dims by an integer factor. *)
+
+val batch_norm : x:Tensor.t -> gamma:Tensor.t -> beta:Tensor.t -> mean:Tensor.t -> var:Tensor.t -> eps:float -> Tensor.t
+(** Inference-mode batch normalisation; parameter shapes are [\[|c|\]]. *)
+
+val linear : x:Tensor.t -> w:Tensor.t -> ?b:Tensor.t -> unit -> Tensor.t
+(** [x : n×k], [w : out×k] (PyTorch convention), bias [\[|out|\]]. *)
+
+val softmax : Tensor.t -> Tensor.t
+(** Row-wise softmax of a 2-D tensor. *)
+
+val log_softmax : Tensor.t -> Tensor.t
+
+val concat_channels : Tensor.t -> Tensor.t -> Tensor.t
+(** Concatenate two NCHW tensors along C. *)
+
+val argmax_row : Tensor.t -> int -> int
+(** Index of the max element of row [i] of a 2-D tensor. *)
+
+val top_k_row : Tensor.t -> int -> int -> int list
+(** [top_k_row t i k] — indices of the [k] largest elements of row [i]. *)

@@ -1,0 +1,39 @@
+type t = int array
+
+let numel s = Array.fold_left ( * ) 1 s
+
+let strides s =
+  let n = Array.length s in
+  let st = Array.make n 1 in
+  for i = n - 2 downto 0 do
+    st.(i) <- st.(i + 1) * s.(i + 1)
+  done;
+  st
+
+let equal a b = a = b
+
+let to_string s =
+  "[" ^ String.concat "x" (Array.to_list (Array.map string_of_int s)) ^ "]"
+
+let offset ~strides idx =
+  let acc = ref 0 in
+  Array.iteri (fun i x -> acc := !acc + (x * strides.(i))) idx;
+  !acc
+
+let validate s =
+  if Array.length s = 0 then invalid_arg "Shape.validate: empty shape";
+  Array.iter
+    (fun d -> if d <= 0 then invalid_arg "Shape.validate: non-positive dim")
+    s
+
+let conv2d_out ~h ~w ~kh ~kw ~stride ~pad =
+  let ho = ((h + (2 * pad) - kh) / stride) + 1 in
+  let wo = ((w + (2 * pad) - kw) / stride) + 1 in
+  if ho <= 0 || wo <= 0 then invalid_arg "Shape.conv2d_out: empty output";
+  (ho, wo)
+
+let pool_out ~h ~w ~k ~stride =
+  let ho = ((h - k) / stride) + 1 in
+  let wo = ((w - k) / stride) + 1 in
+  if ho <= 0 || wo <= 0 then invalid_arg "Shape.pool_out: empty output";
+  (ho, wo)

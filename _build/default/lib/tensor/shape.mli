@@ -1,0 +1,22 @@
+(** Tensor shapes and layout arithmetic (row-major / NCHW convention). *)
+
+type t = int array
+
+val numel : t -> int
+val strides : t -> int array
+(** Row-major strides. *)
+
+val equal : t -> t -> bool
+val to_string : t -> string
+
+val offset : strides:int array -> int array -> int
+(** Flat offset of a multi-index. *)
+
+val validate : t -> unit
+(** @raise Invalid_argument on non-positive dimensions. *)
+
+val conv2d_out : h:int -> w:int -> kh:int -> kw:int -> stride:int -> pad:int -> int * int
+(** Output spatial dims of a 2-D convolution. *)
+
+val pool_out : h:int -> w:int -> k:int -> stride:int -> int * int
+(** Output spatial dims of a (non-padded) pooling window. *)

@@ -1,0 +1,120 @@
+type t = { shape : Shape.t; data : float array }
+
+let create shape v =
+  Shape.validate shape;
+  { shape = Array.copy shape; data = Array.make (Shape.numel shape) v }
+
+let zeros shape = create shape 0.0
+let ones shape = create shape 1.0
+
+let of_array shape data =
+  Shape.validate shape;
+  if Array.length data <> Shape.numel shape then
+    invalid_arg "Tensor.of_array: length mismatch";
+  { shape = Array.copy shape; data }
+
+let scalar v = of_array [| 1 |] [| v |]
+
+let init shape f =
+  Shape.validate shape;
+  let strides = Shape.strides shape in
+  let n = Shape.numel shape in
+  let rank = Array.length shape in
+  let idx = Array.make rank 0 in
+  let data = Array.make n 0.0 in
+  for flat = 0 to n - 1 do
+    let rem = ref flat in
+    for d = 0 to rank - 1 do
+      idx.(d) <- !rem / strides.(d);
+      rem := !rem mod strides.(d)
+    done;
+    data.(flat) <- f idx
+  done;
+  { shape = Array.copy shape; data }
+
+let copy t = { shape = Array.copy t.shape; data = Array.copy t.data }
+let numel t = Array.length t.data
+let rank t = Array.length t.shape
+let dim t i = t.shape.(i)
+
+let reshape t shape =
+  Shape.validate shape;
+  if Shape.numel shape <> Array.length t.data then
+    invalid_arg "Tensor.reshape: element count mismatch";
+  { shape = Array.copy shape; data = t.data }
+
+let get t idx = t.data.(Shape.offset ~strides:(Shape.strides t.shape) idx)
+let set t idx v = t.data.(Shape.offset ~strides:(Shape.strides t.shape) idx) <- v
+
+let get2 t i j = t.data.((i * t.shape.(1)) + j)
+let set2 t i j v = t.data.((i * t.shape.(1)) + j) <- v
+
+let get4 t n c h w =
+  let s = t.shape in
+  t.data.((((((n * s.(1)) + c) * s.(2)) + h) * s.(3)) + w)
+
+let set4 t n c h w v =
+  let s = t.shape in
+  t.data.((((((n * s.(1)) + c) * s.(2)) + h) * s.(3)) + w) <- v
+
+let map f t = { shape = Array.copy t.shape; data = Array.map f t.data }
+
+let map2 f a b =
+  if not (Shape.equal a.shape b.shape) then
+    invalid_arg "Tensor.map2: shape mismatch";
+  { shape = Array.copy a.shape; data = Array.map2 f a.data b.data }
+
+let iteri_flat f t = Array.iteri f t.data
+
+let add = map2 ( +. )
+let sub = map2 ( -. )
+let mul = map2 ( *. )
+let scale k = map (fun x -> k *. x)
+let neg = map (fun x -> -.x)
+
+let sum t = Array.fold_left ( +. ) 0.0 t.data
+
+let dot a b =
+  if not (Shape.equal a.shape b.shape) then invalid_arg "Tensor.dot: shape mismatch";
+  let acc = ref 0.0 in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.data.(i))) a.data;
+  !acc
+
+let sumsq t = dot t t
+let max_abs t = Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0 t.data
+let mean t = sum t /. float_of_int (numel t)
+
+let fill t v = Array.fill t.data 0 (Array.length t.data) v
+
+let blit ~src ~dst =
+  if not (Shape.equal src.shape dst.shape) then
+    invalid_arg "Tensor.blit: shape mismatch";
+  Array.blit src.data 0 dst.data 0 (Array.length src.data)
+
+let rand_gaussian rng shape ~mu ~sigma =
+  Shape.validate shape;
+  { shape = Array.copy shape;
+    data = Array.init (Shape.numel shape) (fun _ -> Twq_util.Rng.gaussian rng ~mu ~sigma) }
+
+let rand_uniform rng shape ~lo ~hi =
+  Shape.validate shape;
+  { shape = Array.copy shape;
+    data =
+      Array.init (Shape.numel shape) (fun _ ->
+          lo +. Twq_util.Rng.float rng (hi -. lo)) }
+
+let approx_equal ?(tol = 1e-9) a b =
+  Shape.equal a.shape b.shape
+  && Array.for_all2 (fun x y -> Float.abs (x -. y) <= tol) a.data b.data
+
+let pp ppf t =
+  Format.fprintf ppf "Tensor%s" (Shape.to_string t.shape);
+  if numel t <= 16 then begin
+    Format.fprintf ppf " [";
+    Array.iteri
+      (fun i x ->
+        if i > 0 then Format.fprintf ppf "; ";
+        Format.fprintf ppf "%g" x)
+      t.data;
+    Format.fprintf ppf "]"
+  end

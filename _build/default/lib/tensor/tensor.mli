@@ -1,0 +1,64 @@
+(** Dense float tensors, row-major, NCHW convention for 4-D data.
+
+    The whole reproduction works on this single concrete representation:
+    a flat [float array] plus a shape.  Indexing helpers are provided for
+    2-D and 4-D accesses; anything performance-critical (convolutions,
+    matmuls) lives in {!Ops} and indexes the flat array directly. *)
+
+type t = { shape : Shape.t; data : float array }
+
+val create : Shape.t -> float -> t
+val zeros : Shape.t -> t
+val ones : Shape.t -> t
+val init : Shape.t -> (int array -> float) -> t
+val of_array : Shape.t -> float array -> t
+(** Shares (does not copy) the array. @raise Invalid_argument on length
+    mismatch. *)
+
+val scalar : float -> t
+(** Shape [\[|1|\]]. *)
+
+val copy : t -> t
+val numel : t -> int
+val rank : t -> int
+val dim : t -> int -> int
+
+val reshape : t -> Shape.t -> t
+(** Shares data. @raise Invalid_argument if element counts differ. *)
+
+val get : t -> int array -> float
+val set : t -> int array -> float -> unit
+
+val get2 : t -> int -> int -> float
+val set2 : t -> int -> int -> float -> unit
+val get4 : t -> int -> int -> int -> int -> float
+val set4 : t -> int -> int -> int -> int -> float -> unit
+
+val map : (float -> float) -> t -> t
+val map2 : (float -> float -> float) -> t -> t -> t
+val iteri_flat : (int -> float -> unit) -> t -> unit
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+(** Element-wise (Hadamard) product. *)
+
+val scale : float -> t -> t
+val neg : t -> t
+
+val sum : t -> float
+val dot : t -> t -> float
+val sumsq : t -> float
+val max_abs : t -> float
+val mean : t -> float
+
+val fill : t -> float -> unit
+val blit : src:t -> dst:t -> unit
+
+val rand_gaussian : Twq_util.Rng.t -> Shape.t -> mu:float -> sigma:float -> t
+val rand_uniform : Twq_util.Rng.t -> Shape.t -> lo:float -> hi:float -> t
+
+val approx_equal : ?tol:float -> t -> t -> bool
+(** Same shape and all elements within absolute [tol] (default [1e-9]). *)
+
+val pp : Format.formatter -> t -> unit

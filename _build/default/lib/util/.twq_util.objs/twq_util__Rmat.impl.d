@@ -1,0 +1,1 @@
+lib/util/rmat.ml: Array Format Rat

@@ -1,0 +1,1 @@
+lib/util/rmat.mli: Format Rat

@@ -1,0 +1,35 @@
+type t = { lo : int; hi : int }
+
+let make lo hi =
+  if lo > hi then invalid_arg "Interval.make: lo > hi";
+  { lo; hi }
+
+let point x = { lo = x; hi = x }
+
+let of_signed_bits n =
+  if n <= 0 then invalid_arg "Interval.of_signed_bits: n must be positive";
+  { lo = -(1 lsl (n - 1)); hi = (1 lsl (n - 1)) - 1 }
+
+let add a b = { lo = a.lo + b.lo; hi = a.hi + b.hi }
+let sub a b = { lo = a.lo - b.hi; hi = a.hi - b.lo }
+let neg a = { lo = -a.hi; hi = -a.lo }
+
+let mul_const c a =
+  if c >= 0 then { lo = c * a.lo; hi = c * a.hi }
+  else { lo = c * a.hi; hi = c * a.lo }
+
+let shift_left a k = { lo = a.lo lsl k; hi = a.hi lsl k }
+let shift_right a k = { lo = a.lo asr k; hi = a.hi asr k }
+
+let union a b = { lo = Stdlib.min a.lo b.lo; hi = Stdlib.max a.hi b.hi }
+let contains a x = a.lo <= x && x <= a.hi
+
+(* Smallest n s.t. -2^(n-1) <= lo and hi <= 2^(n-1)-1. *)
+let signed_bits a =
+  let rec loop n =
+    let r = of_signed_bits n in
+    if r.lo <= a.lo && a.hi <= r.hi then n else loop (n + 1)
+  in
+  loop 1
+
+let pp ppf a = Format.fprintf ppf "[%d, %d]" a.lo a.hi

@@ -1,0 +1,32 @@
+(** Integer interval arithmetic for worst-case bitwidth analysis.
+
+    Used by the transformation-engine DFG builder to keep every intermediate
+    operand at its minimal bitwidth, and to prove the paper's bit-true
+    claims (F2 needs +2/+3 bits, F4 needs +8/+10 bits). *)
+
+type t = { lo : int; hi : int }
+
+val make : int -> int -> t
+(** [make lo hi]. @raise Invalid_argument if [lo > hi]. *)
+
+val point : int -> t
+val of_signed_bits : int -> t
+(** [of_signed_bits n] is the range of an [n]-bit two's-complement integer,
+    [\[-2^(n-1), 2^(n-1)-1\]]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val neg : t -> t
+val mul_const : int -> t -> t
+val shift_left : t -> int -> t
+val shift_right : t -> int -> t
+(** Arithmetic right shift (floor division by a power of two). *)
+
+val union : t -> t -> t
+val contains : t -> int -> bool
+
+val signed_bits : t -> int
+(** Minimal two's-complement bitwidth able to hold every value of the
+    interval (at least 1). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,78 @@
+type t = { num : int; den : int }
+
+exception Division_by_zero
+exception Overflow
+
+(* Largest magnitude we allow for numerators/denominators before declaring
+   overflow.  The transform matrices used in this library involve tiny
+   coefficients, so any blow-up past this bound indicates a logic error. *)
+let limit = 1 lsl 40
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let check x = if abs x > limit then raise Overflow else x
+
+let make num den =
+  if den = 0 then raise Division_by_zero;
+  if num = 0 then { num = 0; den = 1 }
+  else begin
+    let s = if den < 0 then -1 else 1 in
+    let num = s * num and den = s * den in
+    let g = gcd (abs num) (abs den) in
+    { num = check (num / g); den = check (den / g) }
+  end
+
+let of_int n = { num = check n; den = 1 }
+
+let zero = { num = 0; den = 1 }
+let one = { num = 1; den = 1 }
+let minus_one = { num = -1; den = 1 }
+
+let num r = r.num
+let den r = r.den
+
+let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
+let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
+let mul a b = make (a.num * b.num) (a.den * b.den)
+
+let div a b =
+  if b.num = 0 then raise Division_by_zero;
+  make (a.num * b.den) (a.den * b.num)
+
+let neg a = { a with num = -a.num }
+let abs a = { a with num = Stdlib.abs a.num }
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero;
+  make a.den a.num
+
+let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let sign a = Stdlib.compare a.num 0
+
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+
+let is_pow2_nat n = n > 0 && n land (n - 1) = 0
+
+let is_power_of_two a =
+  a.num <> 0 && is_pow2_nat (Stdlib.abs a.num) && is_pow2_nat a.den
+
+let rec ilog2 n = if n <= 1 then 0 else 1 + ilog2 (n / 2)
+
+let log2_exact a =
+  if a.num > 0 && is_pow2_nat a.num && is_pow2_nat a.den then
+    Some (ilog2 a.num - ilog2 a.den)
+  else None
+
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let to_int_exn a =
+  if a.den = 1 then a.num
+  else invalid_arg "Rat.to_int_exn: not an integer"
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

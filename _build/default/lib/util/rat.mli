@@ -1,0 +1,55 @@
+(** Exact rational arithmetic on machine integers.
+
+    Used to represent Winograd transformation matrices exactly, so that
+    shift-and-add decompositions, bit-true integer paths, and pseudo-inverse
+    computations start from the true coefficients rather than float
+    approximations.  All values are kept in lowest terms with a positive
+    denominator.  Numerators and denominators stay tiny for the matrices in
+    this library ([F2], [F4]); operations raise [Overflow] if a result would
+    exceed the representable range. *)
+
+type t = private { num : int; den : int }
+
+exception Division_by_zero
+exception Overflow
+
+val make : int -> int -> t
+(** [make num den] is the normalized rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+val neg : t -> t
+val abs : t -> t
+val inv : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+
+val is_zero : t -> bool
+val is_integer : t -> bool
+val is_power_of_two : t -> bool
+(** [is_power_of_two r] is true iff [r = ±2^k] for some integer [k]
+    (positive or negative [k]); zero is not a power of two. *)
+
+val log2_exact : t -> int option
+(** [log2_exact r] is [Some k] when [r = 2^k] ([r > 0]), else [None]. *)
+
+val to_float : t -> float
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the rational is not an integer. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

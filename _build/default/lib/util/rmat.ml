@@ -1,0 +1,104 @@
+type t = Rat.t array array
+
+let make r c f = Array.init r (fun i -> Array.init c (fun j -> f i j))
+
+let of_ints a = Array.map (Array.map Rat.of_int) a
+
+let identity n = make n n (fun i j -> if i = j then Rat.one else Rat.zero)
+
+let rows m = Array.length m
+let cols m = if rows m = 0 then 0 else Array.length m.(0)
+
+let transpose m = make (cols m) (rows m) (fun i j -> m.(j).(i))
+
+let mul a b =
+  if cols a <> rows b then invalid_arg "Rmat.mul: dimension mismatch";
+  make (rows a) (cols b) (fun i j ->
+      let acc = ref Rat.zero in
+      for k = 0 to cols a - 1 do
+        acc := Rat.add !acc (Rat.mul a.(i).(k) b.(k).(j))
+      done;
+      !acc)
+
+let add a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Rmat.add: dimension mismatch";
+  make (rows a) (cols a) (fun i j -> Rat.add a.(i).(j) b.(i).(j))
+
+let scale k m = Array.map (Array.map (Rat.mul k)) m
+
+let hadamard a b =
+  if rows a <> rows b || cols a <> cols b then
+    invalid_arg "Rmat.hadamard: dimension mismatch";
+  make (rows a) (cols a) (fun i j -> Rat.mul a.(i).(j) b.(i).(j))
+
+let equal a b =
+  rows a = rows b && cols a = cols b
+  && begin
+       let ok = ref true in
+       for i = 0 to rows a - 1 do
+         for j = 0 to cols a - 1 do
+           if not (Rat.equal a.(i).(j) b.(i).(j)) then ok := false
+         done
+       done;
+       !ok
+     end
+
+let inverse m =
+  let n = rows m in
+  if cols m <> n then invalid_arg "Rmat.inverse: non-square matrix";
+  (* Augmented Gauss–Jordan on a mutable copy. *)
+  let a = Array.map Array.copy m in
+  let inv = Array.map Array.copy (identity n) in
+  for col = 0 to n - 1 do
+    (* Find a pivot row. *)
+    let pivot = ref (-1) in
+    for r = col to n - 1 do
+      if !pivot = -1 && not (Rat.is_zero a.(r).(col)) then pivot := r
+    done;
+    if !pivot = -1 then failwith "Rmat.inverse: singular matrix";
+    let swap arr =
+      let tmp = arr.(col) in
+      arr.(col) <- arr.(!pivot);
+      arr.(!pivot) <- tmp
+    in
+    swap a;
+    swap inv;
+    let p = a.(col).(col) in
+    for j = 0 to n - 1 do
+      a.(col).(j) <- Rat.div a.(col).(j) p;
+      inv.(col).(j) <- Rat.div inv.(col).(j) p
+    done;
+    for r = 0 to n - 1 do
+      if r <> col && not (Rat.is_zero a.(r).(col)) then begin
+        let factor = a.(r).(col) in
+        for j = 0 to n - 1 do
+          a.(r).(j) <- Rat.sub a.(r).(j) (Rat.mul factor a.(col).(j));
+          inv.(r).(j) <- Rat.sub inv.(r).(j) (Rat.mul factor inv.(col).(j))
+        done
+      end
+    done
+  done;
+  inv
+
+let pinv_left m =
+  let mt = transpose m in
+  let gram = mul mt m in
+  let gram_inv =
+    try inverse gram
+    with Failure _ -> failwith "Rmat.pinv_left: rank-deficient matrix"
+  in
+  mul gram_inv mt
+
+let to_float m = Array.map (Array.map Rat.to_float) m
+
+let pp ppf m =
+  Array.iter
+    (fun row ->
+      Array.iteri
+        (fun j x ->
+          if j > 0 then Format.fprintf ppf "  ";
+          Format.fprintf ppf "%8s" (Rat.to_string x))
+        row;
+      Format.fprintf ppf "@.")
+    m

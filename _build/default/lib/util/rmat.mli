@@ -1,0 +1,31 @@
+(** Dense matrices of exact rationals.
+
+    Backs the Winograd transformation matrices, their pseudo-inverses, and
+    the constant folding in the hardware DFG builder.  Sizes are tiny
+    (≤ 8×8), so the straightforward O(n³) algorithms are used everywhere. *)
+
+type t = Rat.t array array
+
+val make : int -> int -> (int -> int -> Rat.t) -> t
+val of_ints : int array array -> t
+val identity : int -> t
+val rows : t -> int
+val cols : t -> int
+
+val transpose : t -> t
+val mul : t -> t -> t
+val add : t -> t -> t
+val scale : Rat.t -> t -> t
+val hadamard : t -> t -> t
+
+val equal : t -> t -> bool
+
+val inverse : t -> t
+(** Gauss–Jordan inverse. @raise Failure on singular input. *)
+
+val pinv_left : t -> t
+(** Moore–Penrose pseudo-inverse [(AᵀA)⁻¹Aᵀ] of a full-column-rank matrix;
+    satisfies [pinv_left a * a = I]. @raise Failure if rank-deficient. *)
+
+val to_float : t -> float array array
+val pp : Format.formatter -> t -> unit

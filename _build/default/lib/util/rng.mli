@@ -1,0 +1,39 @@
+(** Deterministic pseudo-random number generation (splitmix64).
+
+    Every stochastic component of the reproduction (synthetic datasets,
+    weight ensembles, DRAM latency jitter, training shuffles) draws from a
+    seeded [Rng.t], making all experiments reproducible bit-for-bit. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. Equal seeds yield equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator, advancing [t]. *)
+
+val copy : t -> t
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument if
+    [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val gaussian : t -> mu:float -> sigma:float -> float
+(** Box–Muller normal sample. *)
+
+val laplacian : t -> mu:float -> b:float -> float
+(** Laplace-distributed sample with scale [b]. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)

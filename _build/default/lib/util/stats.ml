@@ -1,0 +1,85 @@
+let ensure_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  ensure_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let variance xs =
+  ensure_nonempty "Stats.variance" xs;
+  let m = mean xs in
+  let acc = Array.fold_left (fun a x -> a +. ((x -. m) *. (x -. m))) 0.0 xs in
+  acc /. float_of_int (Array.length xs)
+
+let stddev xs = sqrt (variance xs)
+
+let min_max xs =
+  ensure_nonempty "Stats.min_max" xs;
+  Array.fold_left
+    (fun (lo, hi) x -> (Float.min lo x, Float.max hi x))
+    (xs.(0), xs.(0))
+    xs
+
+let abs_max xs =
+  ensure_nonempty "Stats.abs_max" xs;
+  Array.fold_left (fun a x -> Float.max a (Float.abs x)) 0.0 xs
+
+let percentile xs p =
+  ensure_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let sorted = Array.copy xs in
+  Array.sort Float.compare sorted;
+  let n = Array.length sorted in
+  let rank = p /. 100.0 *. float_of_int (n - 1) in
+  let lo = int_of_float (Float.floor rank) in
+  let hi = Stdlib.min (lo + 1) (n - 1) in
+  let frac = rank -. float_of_int lo in
+  sorted.(lo) +. (frac *. (sorted.(hi) -. sorted.(lo)))
+
+let median xs = percentile xs 50.0
+
+let geometric_mean xs =
+  ensure_nonempty "Stats.geometric_mean" xs;
+  let acc =
+    Array.fold_left
+      (fun a x ->
+        if x <= 0.0 then invalid_arg "Stats.geometric_mean: non-positive value"
+        else a +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+type histogram = { lo : float; hi : float; counts : int array; total : int }
+
+let histogram ~bins ~lo ~hi xs =
+  if bins <= 0 then invalid_arg "Stats.histogram: bins must be positive";
+  if not (lo < hi) then invalid_arg "Stats.histogram: lo must be < hi";
+  let counts = Array.make bins 0 in
+  let width = (hi -. lo) /. float_of_int bins in
+  Array.iter
+    (fun x ->
+      let i = int_of_float (Float.floor ((x -. lo) /. width)) in
+      let i = Stdlib.max 0 (Stdlib.min (bins - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  { lo; hi; counts; total = Array.length xs }
+
+let histogram_auto ~bins xs =
+  ensure_nonempty "Stats.histogram_auto" xs;
+  let lo, hi = min_max xs in
+  let lo, hi = if lo < hi then (lo, hi) else (lo -. 0.5, hi +. 0.5) in
+  histogram ~bins ~lo ~hi xs
+
+let bin_center h i =
+  let bins = Array.length h.counts in
+  let width = (h.hi -. h.lo) /. float_of_int bins in
+  h.lo +. ((float_of_int i +. 0.5) *. width)
+
+let pp_histogram ppf h =
+  let peak = Array.fold_left Stdlib.max 1 h.counts in
+  Array.iteri
+    (fun i c ->
+      let bar_len = c * 50 / peak in
+      Format.fprintf ppf "%9.3f | %s %d@." (bin_center h i)
+        (String.make bar_len '#') c)
+    h.counts

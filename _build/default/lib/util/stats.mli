@@ -1,0 +1,33 @@
+(** Summary statistics and histograms over float arrays. *)
+
+val mean : float array -> float
+val variance : float array -> float
+(** Population variance (divides by [n]). *)
+
+val stddev : float array -> float
+val min_max : float array -> float * float
+val abs_max : float array -> float
+val median : float array -> float
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation. *)
+
+val geometric_mean : float array -> float
+(** Geometric mean of strictly-positive values. *)
+
+type histogram = {
+  lo : float;
+  hi : float;
+  counts : int array;  (** per-bin counts *)
+  total : int;
+}
+
+val histogram : bins:int -> lo:float -> hi:float -> float array -> histogram
+(** Values outside [\[lo,hi\]] are clamped into the terminal bins. *)
+
+val histogram_auto : bins:int -> float array -> histogram
+(** Range taken from the data. *)
+
+val bin_center : histogram -> int -> float
+
+val pp_histogram : Format.formatter -> histogram -> unit
+(** ASCII sparkline rendering, one line per bin. *)

@@ -1,0 +1,73 @@
+type align = Left | Right
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  mutable rows : row list;  (* reversed *)
+}
+
+let create ?title headers = { title; headers; rows = [] }
+
+let add_row t cells =
+  let n_cols = List.length t.headers in
+  let n = List.length cells in
+  if n > n_cols then invalid_arg "Table.add_row: too many cells";
+  let cells =
+    if n = n_cols then cells
+    else cells @ List.init (n_cols - n) (fun _ -> "")
+  in
+  t.rows <- Cells cells :: t.rows
+
+let add_sep t = t.rows <- Separator :: t.rows
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let n_cols = List.length t.headers in
+  let widths = Array.make n_cols 0 in
+  let measure cells =
+    List.iteri
+      (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c))
+      cells
+  in
+  measure t.headers;
+  List.iter (function Cells c -> measure c | Separator -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad c w =
+    let n = w - String.length c in
+    match align with
+    | Left -> c ^ String.make n ' '
+    | Right -> String.make n ' ' ^ c
+  in
+  let emit_cells cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad c widths.(i)))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  let emit_sep () =
+    Array.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string buf "-+-";
+        Buffer.add_string buf (String.make w '-'))
+      widths;
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  emit_cells t.headers;
+  emit_sep ();
+  List.iter (function Cells c -> emit_cells c | Separator -> emit_sep ()) rows;
+  Buffer.contents buf
+
+let print ?align t = print_string (render ?align t)
+
+let cell_f v = Printf.sprintf "%.2f" v
+let cell_fx digits v = Printf.sprintf "%.*f" digits v
+let cell_speedup v = Printf.sprintf "%.2fx" v

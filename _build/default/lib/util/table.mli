@@ -1,0 +1,32 @@
+(** Plain-text table rendering for the experiment harnesses.
+
+    Every experiment prints its paper table/figure through this module so
+    the bench output stays uniform and diffable. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ?title headers] starts a table with the given column headers. *)
+
+val add_row : t -> string list -> unit
+(** Rows shorter than the header are padded with empty cells; longer rows
+    raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Insert a horizontal separator row. *)
+
+val render : ?align:align -> t -> string
+
+val print : ?align:align -> t -> unit
+(** [render] followed by [print_string]. *)
+
+val cell_f : float -> string
+(** Fixed 2-decimal float cell. *)
+
+val cell_fx : int -> float -> string
+(** [cell_fx digits v] — float cell with [digits] decimals. *)
+
+val cell_speedup : float -> string
+(** Renders as e.g. ["1.83x"]. *)

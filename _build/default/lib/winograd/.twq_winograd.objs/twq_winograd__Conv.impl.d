@@ -1,0 +1,1 @@
+lib/winograd/conv.ml: Array Transform Twq_tensor

@@ -1,0 +1,1 @@
+lib/winograd/conv.mli: Transform Twq_tensor

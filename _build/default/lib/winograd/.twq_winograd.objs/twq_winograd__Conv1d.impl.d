@@ -1,0 +1,1 @@
+lib/winograd/conv1d.ml: Array Generator Twq_util

@@ -1,0 +1,1 @@
+lib/winograd/conv1d.mli: Twq_util

@@ -1,0 +1,1 @@
+lib/winograd/gconv.ml: Array Generator Twq_tensor Twq_util

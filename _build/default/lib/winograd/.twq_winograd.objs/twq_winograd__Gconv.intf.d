@@ -1,0 +1,1 @@
+lib/winograd/gconv.mli: Twq_tensor Twq_util

@@ -1,0 +1,1 @@
+lib/winograd/generator.ml: Array Float List Printf Rat Rmat Twq_util

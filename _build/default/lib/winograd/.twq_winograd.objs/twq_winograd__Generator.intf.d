@@ -1,0 +1,1 @@
+lib/winograd/generator.mli: Twq_util

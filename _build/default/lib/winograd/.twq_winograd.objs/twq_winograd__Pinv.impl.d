@@ -1,0 +1,1 @@
+lib/winograd/pinv.ml: Array Hashtbl Rat Rmat Transform Twq_tensor Twq_util

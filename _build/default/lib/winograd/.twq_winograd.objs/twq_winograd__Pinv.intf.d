@@ -1,0 +1,1 @@
+lib/winograd/pinv.mli: Transform Twq_tensor Twq_util

@@ -1,0 +1,1 @@
+lib/winograd/strided.ml: Array List Option Twq_tensor

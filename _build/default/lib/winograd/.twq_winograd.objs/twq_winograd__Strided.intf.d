@@ -1,0 +1,1 @@
+lib/winograd/strided.mli: Twq_tensor

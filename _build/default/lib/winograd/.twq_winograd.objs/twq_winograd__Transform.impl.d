@@ -1,0 +1,1 @@
+lib/winograd/transform.ml: Array Hashtbl Interval Rat Rmat Stdlib Twq_tensor Twq_util

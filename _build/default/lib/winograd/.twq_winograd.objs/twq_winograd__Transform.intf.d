@@ -1,0 +1,1 @@
+lib/winograd/transform.mli: Twq_tensor Twq_util

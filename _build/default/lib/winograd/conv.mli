@@ -1,0 +1,24 @@
+(** Winograd convolution over full NCHW tensors (FP32 reference path).
+
+    Only unitary-stride 3×3 convolutions are supported — exactly the layers
+    the paper maps to the Winograd operator.  Outputs are numerically equal
+    (up to FP rounding) to {!Twq_tensor.Ops.conv2d}. *)
+
+val conv2d : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Tensor.t -> w:Twq_tensor.Tensor.t -> ?b:Twq_tensor.Tensor.t -> unit -> Twq_tensor.Tensor.t
+(** Winograd convolution, stride 1.  Spatial output dims need not be
+    multiples of the tile size; edge tiles are computed on zero-padded
+    extensions and cropped. *)
+
+val conv2d_int_bit_true : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Itensor.t -> w:Twq_tensor.Itensor.t -> unit -> Twq_tensor.Itensor.t
+(** Bit-true integer Winograd convolution: all transforms are carried out
+    exactly in integers (each via its minimally-scaled integral matrix) and
+    the final result is divided back by [(bt_scale·g_scale·at_scale)²],
+    which is always exact.
+    Equal to the direct integer convolution — the ground truth used by the
+    tests and by the paper's "bit-true" discussion. *)
+
+val tiles_along : variant:Transform.variant -> int -> int
+(** Number of Winograd tiles covering a spatial extent. *)
+
+val max_abs_error : variant:Transform.variant -> x:Twq_tensor.Tensor.t -> w:Twq_tensor.Tensor.t -> float
+(** Max |winograd − direct| over the output — FP32 numerical-error probe. *)

@@ -1,0 +1,71 @@
+module Rat = Twq_util.Rat
+
+type t = {
+  gen : Generator.t;
+  bt : float array array;
+  g : float array array;
+  at : float array array;
+}
+
+let to_float m = Twq_util.Rmat.to_float m
+
+let create ?points ~m ~r () =
+  let points =
+    match points with Some p -> p | None -> Generator.lavin_points (m + r - 2)
+  in
+  let gen = Generator.make ~points ~m ~r in
+  {
+    gen;
+    bt = to_float gen.Generator.bt;
+    g = to_float gen.Generator.g;
+    at = to_float gen.Generator.at;
+  }
+
+let m t = t.gen.Generator.m
+let r t = t.gen.Generator.r
+
+let matvec m x =
+  Array.init (Array.length m) (fun i ->
+      let acc = ref 0.0 in
+      Array.iteri (fun j c -> acc := !acc +. (c *. x.(j))) m.(i);
+      !acc)
+
+let conv_reference ~signal ~kernel =
+  let n = Array.length signal and r = Array.length kernel in
+  if n < r then invalid_arg "Conv1d.conv_reference: signal shorter than kernel";
+  Array.init (n - r + 1) (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to r - 1 do
+        acc := !acc +. (signal.(i + k) *. kernel.(k))
+      done;
+      !acc)
+
+let conv t ~signal ~kernel =
+  let m_sz = m t and r_sz = r t in
+  if Array.length kernel <> r_sz then invalid_arg "Conv1d.conv: kernel length";
+  let n = Array.length signal in
+  if n < r_sz then invalid_arg "Conv1d.conv: signal shorter than kernel";
+  let out_len = n - r_sz + 1 in
+  let tile_in = m_sz + r_sz - 1 in
+  let gk = matvec t.g kernel in
+  let n_tiles = (out_len + m_sz - 1) / m_sz in
+  let out = Array.make out_len 0.0 in
+  for tile = 0 to n_tiles - 1 do
+    let base = tile * m_sz in
+    let d =
+      Array.init tile_in (fun i ->
+          let idx = base + i in
+          if idx < n then signal.(idx) else 0.0)
+    in
+    let dt = matvec t.bt d in
+    let prod = Array.map2 ( *. ) dt gk in
+    let y = matvec t.at prod in
+    for i = 0 to m_sz - 1 do
+      if base + i < out_len then out.(base + i) <- y.(i)
+    done
+  done;
+  out
+
+let macs_reduction t =
+  let m = float_of_int (m t) and r = float_of_int (r t) in
+  m *. r /. (m +. r -. 1.0)

@@ -1,0 +1,28 @@
+(** 1-D Winograd convolution (time-series / audio kernels).
+
+    The 2-D algorithm of the paper nests two 1-D transforms; this module
+    exposes the 1-D case directly — [F(m, r)] over a full signal with
+    overlapping tiles — using the exact Toom–Cook matrices from
+    {!Generator}.  Useful on its own and as the reference for the 2-D
+    nesting identity. *)
+
+type t
+
+val create : ?points:Twq_util.Rat.t list -> m:int -> r:int -> unit -> t
+(** Precompute the transforms; [points] defaults to
+    [Generator.lavin_points (m + r - 2)].
+    @raise Invalid_argument as {!Generator.make}. *)
+
+val m : t -> int
+val r : t -> int
+
+val conv : t -> signal:float array -> kernel:float array -> float array
+(** Valid 1-D convolution (correlation): output length
+    [length signal - r + 1].  Tiles of [m] outputs are processed per
+    Winograd transform; the tail tile is zero-padded and cropped. *)
+
+val conv_reference : signal:float array -> kernel:float array -> float array
+(** Direct sliding-window correlation (ground truth). *)
+
+val macs_reduction : t -> float
+(** [m·r / (m + r - 1)] — the 1-D multiplication saving. *)

@@ -1,0 +1,141 @@
+open Twq_util
+module Rng = Twq_util.Rng
+
+type t = {
+  points : Rat.t array;
+  m : int;
+  r : int;
+  bt : Rmat.t;
+  g : Rmat.t;
+  at : Rmat.t;
+}
+
+(* Polynomial arithmetic over rationals; coefficient lists in increasing
+   powers. *)
+let poly_mul_linear coeffs a =
+  (* p(x) · (x − a) *)
+  let n = Array.length coeffs in
+  Array.init (n + 1) (fun i ->
+      let from_x = if i > 0 then coeffs.(i - 1) else Rat.zero in
+      let from_c = if i < n then Rat.mul (Rat.neg a) coeffs.(i) else Rat.zero in
+      Rat.add from_x from_c)
+
+let product_poly points ~skip =
+  let acc = ref [| Rat.one |] in
+  Array.iteri
+    (fun k a -> if k <> skip then acc := poly_mul_linear !acc a)
+    points;
+  !acc
+
+let rat_pow a k =
+  let rec loop acc k = if k = 0 then acc else loop (Rat.mul acc a) (k - 1) in
+  loop Rat.one k
+
+let make ~points ~m ~r =
+  if r mod 2 = 0 then
+    invalid_arg "Generator.make: even kernel sizes are not supported";
+  let n = m + r - 1 in
+  let points = Array.of_list points in
+  if Array.length points <> n - 1 then
+    invalid_arg
+      (Printf.sprintf "Generator.make: F(%d,%d) needs %d finite points" m r (n - 1));
+  Array.iteri
+    (fun i a ->
+      Array.iteri
+        (fun j b -> if i < j && Rat.equal a b then
+            invalid_arg "Generator.make: points must be pairwise distinct")
+        points;
+      ignore a;
+      ignore i)
+    points;
+  (* Bᵀ: rows of Π_{k≠i}(x − a_k); the last row carries M(x) itself. *)
+  let bt =
+    Rmat.make n n (fun i j ->
+        if i < n - 1 then begin
+          let p = product_poly points ~skip:i in
+          if j < Array.length p then p.(j) else Rat.zero
+        end
+        else begin
+          let p = product_poly points ~skip:(-1) in
+          if j < Array.length p then p.(j) else Rat.zero
+        end)
+  in
+  (* G: Vandermonde rows scaled by 1/N_i, N_i = Π_{k≠i}(a_k − a_i). *)
+  let g =
+    Rmat.make n r (fun i j ->
+        if i < n - 1 then begin
+          let n_i = ref Rat.one in
+          Array.iteri
+            (fun k a -> if k <> i then n_i := Rat.mul !n_i (Rat.sub a points.(i)))
+            points;
+          Rat.div (rat_pow points.(i) j) !n_i
+        end
+        else if j = r - 1 then Rat.one
+        else Rat.zero)
+  in
+  (* Aᵀ: Vandermonde in the points, infinity column δ_{i,m-1}. *)
+  let at =
+    Rmat.make m n (fun i j ->
+        if j < n - 1 then rat_pow points.(j) i
+        else if i = m - 1 then Rat.one
+        else Rat.zero)
+  in
+  { points; m; r; bt; g; at }
+
+let lavin_points k =
+  let rec gen acc i =
+    if List.length acc >= k then List.rev acc
+    else if i = 0 then gen [ Rat.zero ] 1
+    else begin
+      (* 1, -1, 1/2, -1/2, 2, -2, 1/3, -1/3, ... — reciprocal pairs early,
+         as the point-selection literature recommends. *)
+      let base = ((i - 1) / 4) + 1 in
+      let v =
+        match (i - 1) mod 4 with
+        | 0 -> Rat.of_int base
+        | 1 -> Rat.of_int (-base)
+        | 2 -> Rat.make 1 (base + 1)
+        | _ -> Rat.make (-1) (base + 1)
+      in
+      gen (v :: acc) (i + 1)
+    end
+  in
+  gen [] 0
+
+let matvec m x =
+  Array.init (Rmat.rows m) (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to Rmat.cols m - 1 do
+        acc := !acc +. (Rat.to_float m.(i).(j) *. x.(j))
+      done;
+      !acc)
+
+let conv1d_reference t d g =
+  if Array.length d <> t.m + t.r - 1 then
+    invalid_arg "Generator.conv1d_reference: signal length";
+  if Array.length g <> t.r then invalid_arg "Generator.conv1d_reference: kernel length";
+  Array.init t.m (fun i ->
+      let acc = ref 0.0 in
+      for k = 0 to t.r - 1 do
+        acc := !acc +. (d.(i + k) *. g.(k))
+      done;
+      !acc)
+
+let conv1d t d g =
+  let dt = matvec t.bt d in
+  let gt = matvec t.g g in
+  let prod = Array.map2 ( *. ) dt gt in
+  matvec t.at prod
+
+let fp_error_probe t ~seed ~trials =
+  let rng = Rng.create seed in
+  let worst = ref 0.0 in
+  for _ = 1 to trials do
+    let d = Array.init (t.m + t.r - 1) (fun _ -> Rng.float rng 2.0 -. 1.0) in
+    let g = Array.init t.r (fun _ -> Rng.float rng 2.0 -. 1.0) in
+    let y = conv1d t d g and y_ref = conv1d_reference t d g in
+    Array.iteri
+      (fun i v -> worst := Float.max !worst (Float.abs (v -. y_ref.(i))))
+      y
+  done;
+  !worst

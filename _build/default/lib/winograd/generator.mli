@@ -1,0 +1,50 @@
+(** Toom–Cook / Winograd transformation-matrix synthesis from root points.
+
+    The paper (Sec. I) derives its matrices from the polynomial Chinese
+    remainder theorem over chosen root points; related work ([1], [3] in
+    the paper) studies which points minimise numerical error.  This module
+    implements the general construction exactly over rationals, for
+    [F(m, r)] with [n = m + r - 1] interpolation nodes: [n - 1] finite
+    points plus the point at infinity:
+
+    - [Bᵀ] row [i] holds the coefficients of [Π_{k≠i} (x − a_k)]
+      (the last row those of [M(x) = Π_k (x − a_k)]);
+    - [G] row [i] is [(1, a_i, …, a_i^{r-1}) / N_i] with
+      [N_i = Π_{k≠i} (a_k − a_i)] (last row = (0,…,0,1));
+    - [Aᵀ] row [i] is [(a_0^i, …, a_{n-2}^i)] with the infinity column
+      [δ_{i,m-1}].
+
+    With the Lavin points {0, 1, −1, 2, −2} the output equals the paper's
+    F(4,3) matrices exactly; other point sets give equivalent algorithms
+    (the tests verify the convolution identity for arbitrary points). *)
+
+type t = {
+  points : Twq_util.Rat.t array;  (** the n−1 finite interpolation points *)
+  m : int;                        (** output tile size *)
+  r : int;                        (** kernel size *)
+  bt : Twq_util.Rmat.t;           (** n×n *)
+  g : Twq_util.Rmat.t;            (** n×r *)
+  at : Twq_util.Rmat.t;           (** m×n *)
+}
+
+val make : points:Twq_util.Rat.t list -> m:int -> r:int -> t
+(** @raise Invalid_argument if the point count is not [m + r - 2], the
+    points are not pairwise distinct, or [r] is even (odd kernels cover
+    every CNN case; the even-[r] construction needs a different
+    infinity-node treatment). *)
+
+val lavin_points : int -> Twq_util.Rat.t list
+(** The conventional point progression 0, 1, −1, 2, −2, 1/2, −1/2, … —
+    [lavin_points k] returns the first [k]. *)
+
+val conv1d_reference : t -> float array -> float array -> float array
+(** Direct valid 1-D convolution (correlation) of a length-[m+r-1] signal
+    with a length-[r] kernel — the ground truth for the identity test. *)
+
+val conv1d : t -> float array -> float array -> float array
+(** [Aᵀ((G·g) ⊙ (Bᵀ·d))] — must equal {!conv1d_reference} for any valid
+    point set. *)
+
+val fp_error_probe : t -> seed:int -> trials:int -> float
+(** Max |winograd − direct| over random 1-D inputs in [−1,1] — the
+    numerical-quality metric used for point-selection comparisons. *)

@@ -1,0 +1,25 @@
+open Twq_util
+module Tensor = Twq_tensor.Tensor
+module Ops = Twq_tensor.Ops
+
+let g_pinv_rat variant = Rmat.pinv_left (Transform.g_rat variant)
+
+let tensor_of_rmat m =
+  Tensor.init [| Rmat.rows m; Rmat.cols m |] (fun idx ->
+      Rat.to_float m.(idx.(0)).(idx.(1)))
+
+let memo f =
+  let tbl = Hashtbl.create 4 in
+  fun v ->
+    match Hashtbl.find_opt tbl v with
+    | Some x -> x
+    | None ->
+        let x = f v in
+        Hashtbl.add tbl v x;
+        x
+
+let g_pinv = memo (fun v -> tensor_of_rmat (g_pinv_rat v))
+let g_pinv_t = memo (fun v -> Ops.transpose (g_pinv v))
+
+let weight_back_transform variant q =
+  Ops.matmul (Ops.matmul (g_pinv variant) q) (g_pinv_t variant)

@@ -1,0 +1,16 @@
+(** Moore–Penrose pseudo-inverse back-transform from the Winograd domain.
+
+    Used by the Fig. 4 quantization-error analysis: weights are quantized in
+    the Winograd domain ([Quant(G f Gᵀ)]) and mapped back to the spatial
+    domain with [G⁺ · Q · (G⁺)ᵀ], where [G⁺ = (GᵀG)⁻¹Gᵀ] is exact (computed
+    on rationals).  Since [G] has full column rank, [G⁺G = I] and the
+    back-transform of an *unquantized* tile recovers the original kernel
+    exactly — a property the test-suite checks. *)
+
+val g_pinv : Transform.variant -> Twq_tensor.Tensor.t
+(** [G⁺ : 3×t] as floats. *)
+
+val g_pinv_rat : Transform.variant -> Twq_util.Rmat.t
+
+val weight_back_transform : Transform.variant -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** [G⁺ · q · (G⁺)ᵀ] of a [t×t] Winograd-domain tile; result is [3×3]. *)

@@ -1,0 +1,54 @@
+module Tensor = Twq_tensor.Tensor
+module Ops = Twq_tensor.Ops
+
+(* Polyphase split: x_ee(i,j) = x(2i,2j), x_eo = x(2i,2j+1), etc. *)
+let polyphase x ~row_parity ~col_parity =
+  let n = Tensor.dim x 0 and c = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and w = Tensor.dim x 3 in
+  let ho = (h - row_parity + 1) / 2 and wo = (w - col_parity + 1) / 2 in
+  Tensor.init [| n; c; ho; wo |] (fun idx ->
+      Tensor.get4 x idx.(0) idx.(1) ((2 * idx.(2)) + row_parity) ((2 * idx.(3)) + col_parity))
+
+(* Sub-kernel of the 3×3 filter with taps at (2a+rp, 2b+cp). *)
+let subkernel w ~row_parity ~col_parity =
+  let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+  let kh = (3 - row_parity + 1) / 2 and kw = (3 - col_parity + 1) / 2 in
+  Tensor.init [| cout; cin; kh; kw |] (fun idx ->
+      Tensor.get4 w idx.(0) idx.(1) ((2 * idx.(2)) + row_parity) ((2 * idx.(3)) + col_parity))
+
+let conv2d_stride2 ~x ~w =
+  if Tensor.dim w 2 <> 3 || Tensor.dim w 3 <> 3 then
+    invalid_arg "Strided.conv2d_stride2: 3x3 kernels required";
+  let h = Tensor.dim x 2 and wd = Tensor.dim x 3 in
+  if h mod 2 <> 0 || wd mod 2 <> 0 then
+    invalid_arg "Strided.conv2d_stride2: even input dims required";
+  (* Output size of a valid stride-2 3x3 conv. *)
+  let ho = ((h - 3) / 2) + 1 and wo = ((wd - 3) / 2) + 1 in
+  let acc = ref None in
+  List.iter
+    (fun (rp, cp) ->
+      let xp = polyphase x ~row_parity:rp ~col_parity:cp in
+      let wp = subkernel w ~row_parity:rp ~col_parity:cp in
+      let y = Ops.conv2d ~stride:1 ~pad:0 ~x:xp ~w:wp () in
+      (* Each polyphase conv yields at least ho×wo outputs; crop. *)
+      let y_crop =
+        Tensor.init [| Tensor.dim y 0; Tensor.dim y 1; ho; wo |] (fun idx ->
+            Tensor.get4 y idx.(0) idx.(1) idx.(2) idx.(3))
+      in
+      acc :=
+        Some
+          (match !acc with
+          | None -> y_crop
+          | Some a -> Tensor.add a y_crop))
+    [ (0, 0); (0, 1); (1, 0); (1, 1) ];
+  Option.get !acc
+
+(* Per 4×4 output tile (m = 4):
+   - direct: 16 outputs × 9 taps;
+   - decomposed Winograd: F(4,2) needs m+r-1 = 5 points:
+     2×2 kernel → 5² = 25 multiplications,
+     2×1 / 1×2 kernels → one 1-D F(4,2) per row/col: 5 × 4 = 20 each,
+     1×1 kernel → plain elementwise: 16. *)
+let macs_direct_per_tile = 16 * 9
+let macs_winograd_per_tile = 25 + 20 + 20 + 16
+let macs_reduction = float_of_int macs_direct_per_tile /. float_of_int macs_winograd_per_tile

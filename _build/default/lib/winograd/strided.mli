@@ -1,0 +1,28 @@
+(** Strided Winograd convolution by kernel decomposition.
+
+    The paper excludes strided layers from its Winograd operator because
+    "stride-2 F4 leads only to a 1.8× MACs reduction" (Sec. III, citing
+    Yang et al. / Yepez et al.).  This module implements the decomposition
+    behind that number: a stride-2 3×3 convolution splits into four
+    stride-1 sub-convolutions on the even/odd polyphase components of the
+    input — kernels 2×2, 2×1, 1×2 and 1×1 — each of which can use (1-D or
+    2-D) Winograd with m=4.  We provide the functional decomposition (used
+    to validate the claim end-to-end) and the operation-count analysis that
+    reproduces the 1.8× figure. *)
+
+val conv2d_stride2 : x:Twq_tensor.Tensor.t -> w:Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Stride-2 3×3 convolution (valid padding, even input dims required)
+    computed via the polyphase decomposition; numerically equal to
+    [Ops.conv2d ~stride:2 ~pad:0]. *)
+
+val macs_direct_per_tile : int
+(** Multiplications of the direct stride-2 3×3 algorithm per 4×4 output
+    tile (16·9 = 144). *)
+
+val macs_winograd_per_tile : int
+(** Multiplications of the decomposed Winograd algorithm per 4×4 output
+    tile: F(4,2) on the 2×2 part (25), two 1-D F(4,2) passes on the 2×1 and
+    1×2 parts (2 × 20), and the 1×1 part (16) — 81 in total. *)
+
+val macs_reduction : float
+(** 144/81 ≈ 1.78 — the paper's "only 1.8×". *)

@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Array Float Fn List Ops Optim Printf Quant_ops Scale_param Tensor Twq_autodiff Twq_tensor Twq_util Twq_winograd Var Wa_conv

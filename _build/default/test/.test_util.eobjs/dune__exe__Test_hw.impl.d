@@ -1,0 +1,1 @@
+test/test_hw.ml: Alcotest Area_power Array Dfg Engine Float List Printf Twq_hw Twq_util Twq_winograd

@@ -1,0 +1,1 @@
+test/test_nn.ml: Alcotest Array Deploy Filename Float Fun List Printf Qat_model Sys Trainer Twq_dataset Twq_nn Twq_quant Twq_tensor Twq_util Twq_winograd Zoo

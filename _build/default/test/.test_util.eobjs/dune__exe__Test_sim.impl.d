@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Arch Cosim Float List Network_runner Operator Printf String Trace Twq_hw Twq_nn Twq_nvdla Twq_sim Twq_winograd

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Float Itensor Ops QCheck QCheck_alcotest Random Shape Tensor Twq_tensor Twq_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fmt Format Fun Interval List QCheck QCheck_alcotest Random Rat Rmat Rng Stats String Twq_util

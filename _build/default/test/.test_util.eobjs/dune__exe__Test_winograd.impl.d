@@ -1,0 +1,1 @@
+test/test_winograd.ml: Alcotest Array Conv Conv1d Float Gconv Itensor List Ops Pinv Printf QCheck QCheck_alcotest Random Rat Rmat Rng Strided Tensor Transform Twq_tensor Twq_util Twq_winograd

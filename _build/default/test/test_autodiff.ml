@@ -1,0 +1,402 @@
+(* Tests for the autodiff substrate: finite-difference gradient checks for
+   every differentiable op, STE behaviour of the quantization nodes, the
+   fused Winograd-aware conv backward, scale-parameter learning, optimizer
+   mechanics. *)
+
+open Twq_tensor
+open Twq_autodiff
+module Rng = Twq_util.Rng
+module Transform = Twq_winograd.Transform
+
+(* Numeric gradient of [loss(x)] w.r.t. a chosen leaf by central
+   differences; [forward] must rebuild the whole graph from the mutated
+   leaf data. *)
+let numeric_grad ~eps leaf forward =
+  let n = Tensor.numel leaf in
+  Array.init n (fun i ->
+      let saved = leaf.Tensor.data.(i) in
+      leaf.Tensor.data.(i) <- saved +. eps;
+      let up = forward () in
+      leaf.Tensor.data.(i) <- saved -. eps;
+      let down = forward () in
+      leaf.Tensor.data.(i) <- saved;
+      (up -. down) /. (2.0 *. eps))
+
+let check_grad ?(eps = 1e-4) ?(tol = 1e-3) name leaf_tensor build =
+  (* [build] : unit -> Var leaf * scalar loss Var, using [leaf_tensor]. *)
+  let leaf, loss = build () in
+  Var.backward loss;
+  let analytic = Var.grad leaf in
+  let numeric =
+    numeric_grad ~eps leaf_tensor (fun () ->
+        let _, l = build () in
+        (Var.value l).Tensor.data.(0))
+  in
+  Array.iteri
+    (fun i g_num ->
+      let g_ana = analytic.Tensor.data.(i) in
+      let denom = Float.max 1.0 (Float.abs g_num) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s grad[%d]: ana=%.5f num=%.5f" name i g_ana g_num)
+        true
+        (Float.abs (g_ana -. g_num) /. denom < tol))
+    numeric
+
+let scalar_loss v = Fn.mean_all (Fn.mul v v)
+(* mean(v²) — smooth, exercises upstream gradients of varying sign. *)
+
+let test_grad_add_mul () =
+  let rng = Rng.create 1 in
+  let a = Tensor.rand_uniform rng [| 3; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.rand_uniform rng [| 3; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  check_grad "add" a (fun () ->
+      let va = Var.of_tensor a and vb = Var.of_tensor b in
+      (va, scalar_loss (Fn.add va vb)));
+  check_grad "mul" a (fun () ->
+      let va = Var.of_tensor a and vb = Var.of_tensor b in
+      (va, scalar_loss (Fn.mul va vb)));
+  check_grad "sub-rhs" b (fun () ->
+      let va = Var.of_tensor a and vb = Var.of_tensor b in
+      (vb, scalar_loss (Fn.sub va vb)))
+
+let test_grad_matmul () =
+  let rng = Rng.create 2 in
+  let a = Tensor.rand_uniform rng [| 2; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.rand_uniform rng [| 3; 2 |] ~lo:(-1.0) ~hi:1.0 in
+  check_grad "matmul lhs" a (fun () ->
+      let va = Var.of_tensor a and vb = Var.of_tensor b in
+      (va, scalar_loss (Fn.matmul va vb)));
+  check_grad "matmul rhs" b (fun () ->
+      let va = Var.of_tensor a and vb = Var.of_tensor b in
+      (vb, scalar_loss (Fn.matmul va vb)))
+
+let test_grad_conv2d () =
+  let rng = Rng.create 3 in
+  let x = Tensor.rand_uniform rng [| 1; 2; 5; 5 |] ~lo:(-1.0) ~hi:1.0 in
+  let w = Tensor.rand_uniform rng [| 2; 2; 3; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.rand_uniform rng [| 2 |] ~lo:(-1.0) ~hi:1.0 in
+  let build leaf () =
+    let vx = Var.of_tensor x and vw = Var.of_tensor w and vb = Var.of_tensor b in
+    let y = Fn.conv2d ~stride:1 ~pad:1 ~x:vx ~w:vw ~b:(Some vb) () in
+    let leaf_var = match leaf with `X -> vx | `W -> vw | `B -> vb in
+    (leaf_var, scalar_loss y)
+  in
+  check_grad "conv x" x (build `X);
+  check_grad "conv w" w (build `W);
+  check_grad "conv b" b (build `B)
+
+let test_grad_conv2d_stride2 () =
+  let rng = Rng.create 4 in
+  let x = Tensor.rand_uniform rng [| 1; 1; 6; 6 |] ~lo:(-1.0) ~hi:1.0 in
+  let w = Tensor.rand_uniform rng [| 2; 1; 3; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  check_grad "conv s2 x" x (fun () ->
+      let vx = Var.of_tensor x and vw = Var.of_tensor w in
+      (vx, scalar_loss (Fn.conv2d ~stride:2 ~pad:1 ~x:vx ~w:vw ~b:None ())));
+  check_grad "conv s2 w" w (fun () ->
+      let vx = Var.of_tensor x and vw = Var.of_tensor w in
+      (vw, scalar_loss (Fn.conv2d ~stride:2 ~pad:1 ~x:vx ~w:vw ~b:None ())))
+
+let test_grad_relu_pool () =
+  let rng = Rng.create 5 in
+  (* Keep values away from the ReLU kink / pooling ties for finite diffs. *)
+  let x =
+    Tensor.map
+      (fun v -> if Float.abs v < 0.05 then v +. 0.2 else v)
+      (Tensor.rand_uniform rng [| 1; 2; 4; 4 |] ~lo:(-1.0) ~hi:1.0)
+  in
+  check_grad "relu" x (fun () ->
+      let vx = Var.of_tensor x in
+      (vx, scalar_loss (Fn.relu vx)));
+  check_grad "avg pool" x (fun () ->
+      let vx = Var.of_tensor x in
+      (vx, scalar_loss (Fn.avg_pool2d ~k:2 ~stride:2 vx)));
+  check_grad "max pool" x (fun () ->
+      let vx = Var.of_tensor x in
+      (vx, scalar_loss (Fn.max_pool2d ~k:2 ~stride:2 vx)));
+  check_grad "gap" x (fun () ->
+      let vx = Var.of_tensor x in
+      (vx, scalar_loss (Fn.global_avg_pool vx)))
+
+let test_grad_linear () =
+  let rng = Rng.create 6 in
+  let x = Tensor.rand_uniform rng [| 2; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let w = Tensor.rand_uniform rng [| 4; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let b = Tensor.rand_uniform rng [| 4 |] ~lo:(-1.0) ~hi:1.0 in
+  let build leaf () =
+    let vx = Var.of_tensor x and vw = Var.of_tensor w and vb = Var.of_tensor b in
+    let y = Fn.linear ~x:vx ~w:vw ~b:(Some vb) in
+    let leaf_var = match leaf with `X -> vx | `W -> vw | `B -> vb in
+    (leaf_var, scalar_loss y)
+  in
+  check_grad "linear x" x (build `X);
+  check_grad "linear w" w (build `W);
+  check_grad "linear b" b (build `B)
+
+let test_grad_batch_norm () =
+  let rng = Rng.create 7 in
+  let x = Tensor.rand_uniform rng [| 2; 2; 3; 3 |] ~lo:(-1.0) ~hi:1.0 in
+  let gamma = Tensor.of_array [| 2 |] [| 1.2; 0.8 |] in
+  let beta = Tensor.of_array [| 2 |] [| 0.1; -0.2 |] in
+  (* Frozen-stats BN: gradients w.r.t. gamma/beta are exact; w.r.t. x they
+     deliberately ignore the dependence of the statistics on x. *)
+  check_grad "bn gamma" gamma (fun () ->
+      let vx = Var.of_tensor x and vg = Var.of_tensor gamma and vb = Var.of_tensor beta in
+      (vg, scalar_loss (Fn.batch_norm_frozen ~x:vx ~gamma:vg ~beta:vb ~eps:1e-5)));
+  check_grad "bn beta" beta (fun () ->
+      let vx = Var.of_tensor x and vg = Var.of_tensor gamma and vb = Var.of_tensor beta in
+      (vb, scalar_loss (Fn.batch_norm_frozen ~x:vx ~gamma:vg ~beta:vb ~eps:1e-5)))
+
+let test_grad_cross_entropy () =
+  let rng = Rng.create 8 in
+  let logits = Tensor.rand_uniform rng [| 3; 4 |] ~lo:(-1.0) ~hi:1.0 in
+  let labels = [| 0; 2; 3 |] in
+  check_grad "ce" logits (fun () ->
+      let v = Var.of_tensor logits in
+      (v, Fn.softmax_cross_entropy ~logits:v ~labels))
+
+let test_grad_kl () =
+  let rng = Rng.create 9 in
+  let student = Tensor.rand_uniform rng [| 2; 4 |] ~lo:(-1.0) ~hi:1.0 in
+  let teacher = Tensor.rand_uniform rng [| 2; 4 |] ~lo:(-1.0) ~hi:1.0 in
+  check_grad "kl" student (fun () ->
+      let v = Var.of_tensor student in
+      (v, Fn.kl_distillation ~student:v ~teacher ~temperature:2.0))
+
+let test_kl_zero_when_equal () =
+  let t = Tensor.of_array [| 1; 3 |] [| 0.3; -0.1; 0.9 |] in
+  let v = Var.of_tensor (Tensor.copy t) in
+  let loss = Fn.kl_distillation ~student:v ~teacher:t ~temperature:3.0 in
+  Alcotest.(check (float 1e-9)) "KL(p||p)=0" 0.0 (Var.value loss).Tensor.data.(0)
+
+let test_backward_accumulates_through_fanout () =
+  (* y = x + x: dy/dx = 2. *)
+  let x = Tensor.of_array [| 2 |] [| 1.0; -1.0 |] in
+  let vx = Var.of_tensor x in
+  let loss = Fn.mean_all (Fn.add vx vx) in
+  Var.backward loss;
+  Alcotest.(check (float 1e-9)) "fanout grad" 1.0 (Var.grad vx).Tensor.data.(0)
+
+(* ------------------------------------------------------------- STE nodes *)
+
+let test_fake_quant_ste_passthrough () =
+  let x = Tensor.of_array [| 3 |] [| 0.4; -0.3; 0.9 |] in
+  let vx = Var.of_tensor x in
+  let q = Quant_ops.fake_quant_ste ~bits:8 ~scale:0.01 vx in
+  let loss = Fn.mean_all q in
+  Var.backward loss;
+  (* In-range values: gradient flows through untouched. *)
+  Array.iter
+    (fun g -> Alcotest.(check (float 1e-9)) "ste grad" (1.0 /. 3.0) g)
+    (Var.grad vx).Tensor.data
+
+let test_fake_quant_ste_clipped () =
+  (* 10.0 / scale 0.01 = 1000 >> 127: gradient is cut. *)
+  let x = Tensor.of_array [| 2 |] [| 10.0; 0.1 |] in
+  let vx = Var.of_tensor x in
+  let q = Quant_ops.fake_quant_ste ~bits:8 ~scale:0.01 vx in
+  let loss = Fn.mean_all q in
+  Var.backward loss;
+  Alcotest.(check (float 1e-9)) "clipped" 0.0 (Var.grad vx).Tensor.data.(0);
+  Alcotest.(check (float 1e-9)) "passes" 0.5 (Var.grad vx).Tensor.data.(1)
+
+(* ------------------------------------------------------------ scale param *)
+
+let test_scale_param_pow2_value () =
+  let p = Scale_param.create ~pow2:true ~init:0.3 () in
+  (* log2 0.3 ≈ -1.74; ceil = -1 → scale 0.5. *)
+  Alcotest.(check (float 1e-9)) "pow2 snap" 0.5 (Scale_param.value p);
+  let q = Scale_param.create ~pow2:false ~init:0.3 () in
+  Alcotest.(check (float 1e-9)) "float keeps" 0.3 (Scale_param.value q)
+
+let test_scale_param_adam_direction () =
+  let p = Scale_param.create ~pow2:false ~init:1.0 () in
+  Scale_param.accumulate_grad p 1.0;
+  Scale_param.adam_step ~lr:0.1 p;
+  Alcotest.(check bool) "positive grad lowers theta" true (Scale_param.log2_t p < 0.0);
+  let q = Scale_param.create ~pow2:false ~init:1.0 () in
+  Scale_param.accumulate_grad q (-1.0);
+  Scale_param.adam_step ~lr:0.1 q;
+  Alcotest.(check bool) "negative grad raises theta" true (Scale_param.log2_t q > 0.0)
+
+let test_scale_param_static_noop () =
+  let p = Scale_param.create ~learnable:false ~pow2:true ~init:1.0 () in
+  Scale_param.accumulate_grad p 5.0;
+  Scale_param.adam_step p;
+  Alcotest.(check (float 1e-12)) "static unchanged" 0.0 (Scale_param.log2_t p)
+
+(* --------------------------------------------------------------- wa_conv *)
+
+let test_wa_conv_matches_fp_winograd_at_high_bits () =
+  (* With 20 Winograd-domain bits the quantization is far below FP32 noise
+     level, so the fused layer must agree with the plain convolution and its
+     analytic gradients must match conv2d's. *)
+  let rng = Rng.create 10 in
+  let x = Tensor.rand_uniform rng [| 1; 2; 8; 8 |] ~lo:(-1.0) ~hi:1.0 in
+  let w = Tensor.rand_uniform rng [| 2; 2; 3; 3 |] ~lo:(-0.5) ~hi:0.5 in
+  let wa =
+    Wa_conv.create ~variant:Transform.F4 ~wino_bits:20 ~pow2:false
+      ~tapwise:true ~mode:Wa_conv.Static ~pad:1 ()
+  in
+  let vx = Var.of_tensor x and vw = Var.of_tensor w in
+  let y = Wa_conv.forward wa ~x:vx ~w:vw in
+  let y_ref = Ops.conv2d ~stride:1 ~pad:1 ~x ~w () in
+  Alcotest.(check bool)
+    "forward close to conv" true
+    (Tensor.approx_equal ~tol:1e-3 (Var.value y) y_ref);
+  (* Gradient comparison against the reference conv node. *)
+  let loss = scalar_loss y in
+  Var.backward loss;
+  let gx_wa = Tensor.copy (Var.grad vx) and gw_wa = Tensor.copy (Var.grad vw) in
+  let vx2 = Var.of_tensor x and vw2 = Var.of_tensor w in
+  let y2 = Fn.conv2d ~stride:1 ~pad:1 ~x:vx2 ~w:vw2 ~b:None () in
+  Var.backward (scalar_loss y2);
+  Alcotest.(check bool)
+    "dx matches conv" true
+    (Tensor.approx_equal ~tol:5e-3 gx_wa (Var.grad vx2));
+  Alcotest.(check bool)
+    "dw matches conv" true
+    (Tensor.approx_equal ~tol:5e-3 gw_wa (Var.grad vw2))
+
+let test_wa_conv_f2_matches_too () =
+  let rng = Rng.create 11 in
+  let x = Tensor.rand_uniform rng [| 1; 2; 6; 6 |] ~lo:(-1.0) ~hi:1.0 in
+  let w = Tensor.rand_uniform rng [| 2; 2; 3; 3 |] ~lo:(-0.5) ~hi:0.5 in
+  let wa =
+    Wa_conv.create ~variant:Transform.F2 ~wino_bits:20 ~pow2:false
+      ~tapwise:true ~mode:Wa_conv.Static ~pad:1 ()
+  in
+  let vx = Var.of_tensor x and vw = Var.of_tensor w in
+  let y = Wa_conv.forward wa ~x:vx ~w:vw in
+  Alcotest.(check bool)
+    "F2 forward" true
+    (Tensor.approx_equal ~tol:1e-3 (Var.value y) (Ops.conv2d ~stride:1 ~pad:1 ~x ~w ()))
+
+let test_wa_conv_int8_reasonable () =
+  let rng = Rng.create 12 in
+  let x = Tensor.rand_gaussian rng [| 1; 3; 8; 8 |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| 3; 3; 3; 3 |] ~mu:0.0 ~sigma:0.3 in
+  let wa =
+    Wa_conv.create ~variant:Transform.F4 ~wino_bits:8 ~pow2:true
+      ~tapwise:true ~mode:Wa_conv.Static ~pad:1 ()
+  in
+  let y = Wa_conv.forward wa ~x:(Var.of_tensor x) ~w:(Var.of_tensor w) in
+  let y_ref = Ops.conv2d ~stride:1 ~pad:1 ~x ~w () in
+  let noise =
+    sqrt (Tensor.sumsq (Tensor.sub (Var.value y) y_ref) /. Tensor.sumsq y_ref)
+  in
+  Alcotest.(check bool) (Printf.sprintf "int8 noise %.4f < 0.15" noise) true (noise < 0.15)
+
+let test_wa_conv_learned_scales_get_grads () =
+  let rng = Rng.create 13 in
+  let x = Tensor.rand_gaussian rng [| 1; 2; 8; 8 |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| 2; 2; 3; 3 |] ~mu:0.0 ~sigma:0.3 in
+  let wa =
+    Wa_conv.create ~variant:Transform.F4 ~wino_bits:8 ~pow2:true
+      ~tapwise:true ~mode:Wa_conv.Learned ~pad:1 ()
+  in
+  let y = Wa_conv.forward wa ~x:(Var.of_tensor x) ~w:(Var.of_tensor w) in
+  Var.backward (scalar_loss y);
+  let grads = List.map Scale_param.grad (Wa_conv.scales wa) in
+  Alcotest.(check bool)
+    "some scale gradient non-zero" true
+    (List.exists (fun g -> Float.abs g > 1e-12) grads)
+
+let test_wa_conv_static_has_no_learnables () =
+  let wa =
+    Wa_conv.create ~variant:Transform.F4 ~wino_bits:8 ~pow2:true
+      ~tapwise:true ~mode:Wa_conv.Static ~pad:1 ()
+  in
+  Alcotest.(check bool)
+    "all static" true
+    (List.for_all (fun s -> not (Scale_param.learnable s)) (Wa_conv.scales wa))
+
+let test_wa_conv_single_scale_ties () =
+  let rng = Rng.create 14 in
+  let x = Tensor.rand_gaussian rng [| 1; 2; 8; 8 |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| 2; 2; 3; 3 |] ~mu:0.0 ~sigma:0.3 in
+  let wa =
+    Wa_conv.create ~variant:Transform.F4 ~wino_bits:8 ~pow2:false
+      ~tapwise:false ~mode:Wa_conv.Static ~pad:1 ()
+  in
+  ignore (Wa_conv.forward wa ~x:(Var.of_tensor x) ~w:(Var.of_tensor w));
+  let grid = Wa_conv.weight_scale_grid wa in
+  let s00 = grid.(0).(0) in
+  Array.iter
+    (Array.iter (fun s -> Alcotest.(check (float 1e-12)) "tied" s00 s))
+    grid
+
+(* --------------------------------------------------------------- optim *)
+
+let test_sgd_step () =
+  let p = Var.of_tensor (Tensor.of_array [| 2 |] [| 1.0; 2.0 |]) in
+  Var.accumulate p (Tensor.of_array [| 2 |] [| 0.5; -0.5 |]);
+  let opt = Optim.sgd ~lr:0.1 [ p ] in
+  Optim.sgd_step opt;
+  Alcotest.(check (float 1e-9)) "p0" 0.95 (Var.value p).Tensor.data.(0);
+  Alcotest.(check (float 1e-9)) "p1" 2.05 (Var.value p).Tensor.data.(1);
+  (* Grad is reset. *)
+  Alcotest.(check (float 1e-9)) "grad cleared" 0.0 (Var.grad p).Tensor.data.(0)
+
+let test_sgd_momentum () =
+  let p = Var.of_tensor (Tensor.of_array [| 1 |] [| 0.0 |]) in
+  let opt = Optim.sgd ~momentum:0.9 ~lr:1.0 [ p ] in
+  Var.accumulate p (Tensor.of_array [| 1 |] [| 1.0 |]);
+  Optim.sgd_step opt;
+  Var.accumulate p (Tensor.of_array [| 1 |] [| 1.0 |]);
+  Optim.sgd_step opt;
+  (* v1 = 1, v2 = 1.9: total displacement 2.9. *)
+  Alcotest.(check (float 1e-9)) "momentum" (-2.9) (Var.value p).Tensor.data.(0)
+
+let test_clip_grad_norm () =
+  let p = Var.of_tensor (Tensor.of_array [| 2 |] [| 0.0; 0.0 |]) in
+  Var.accumulate p (Tensor.of_array [| 2 |] [| 3.0; 4.0 |]);
+  Optim.clip_grad_norm [ p ] ~max_norm:1.0;
+  Alcotest.(check (float 1e-9)) "norm is 1" 1.0 (Optim.grad_norm [ p ])
+
+let () =
+  Alcotest.run "twq_autodiff"
+    [
+      ( "gradcheck",
+        [
+          Alcotest.test_case "add/mul/sub" `Quick test_grad_add_mul;
+          Alcotest.test_case "matmul" `Quick test_grad_matmul;
+          Alcotest.test_case "conv2d" `Quick test_grad_conv2d;
+          Alcotest.test_case "conv2d stride 2" `Quick test_grad_conv2d_stride2;
+          Alcotest.test_case "relu/pool" `Quick test_grad_relu_pool;
+          Alcotest.test_case "linear" `Quick test_grad_linear;
+          Alcotest.test_case "batch norm" `Quick test_grad_batch_norm;
+          Alcotest.test_case "cross entropy" `Quick test_grad_cross_entropy;
+          Alcotest.test_case "kl distillation" `Quick test_grad_kl;
+          Alcotest.test_case "kl zero" `Quick test_kl_zero_when_equal;
+          Alcotest.test_case "fanout" `Quick test_backward_accumulates_through_fanout;
+        ] );
+      ( "ste",
+        [
+          Alcotest.test_case "passthrough" `Quick test_fake_quant_ste_passthrough;
+          Alcotest.test_case "clipped" `Quick test_fake_quant_ste_clipped;
+        ] );
+      ( "scale param",
+        [
+          Alcotest.test_case "pow2 value" `Quick test_scale_param_pow2_value;
+          Alcotest.test_case "adam direction" `Quick test_scale_param_adam_direction;
+          Alcotest.test_case "static noop" `Quick test_scale_param_static_noop;
+        ] );
+      ( "wa_conv",
+        [
+          Alcotest.test_case "matches FP winograd @16 bits" `Quick
+            test_wa_conv_matches_fp_winograd_at_high_bits;
+          Alcotest.test_case "F2 matches" `Quick test_wa_conv_f2_matches_too;
+          Alcotest.test_case "int8 noise reasonable" `Quick test_wa_conv_int8_reasonable;
+          Alcotest.test_case "learned scales get grads" `Quick
+            test_wa_conv_learned_scales_get_grads;
+          Alcotest.test_case "static scales not learnable" `Quick
+            test_wa_conv_static_has_no_learnables;
+          Alcotest.test_case "single-scale ties" `Quick test_wa_conv_single_scale_ties;
+        ] );
+      ( "optim",
+        [
+          Alcotest.test_case "sgd step" `Quick test_sgd_step;
+          Alcotest.test_case "sgd momentum" `Quick test_sgd_momentum;
+          Alcotest.test_case "clip grad norm" `Quick test_clip_grad_norm;
+        ] );
+    ]

@@ -1,0 +1,175 @@
+(* Integration tests for the experiment harnesses: every cheap experiment
+   must run and its output must exhibit the paper's qualitative claims.
+   (The QAT-training experiments tab2/tab3 are exercised at unit level in
+   test_nn and at full scale by bin/main.exe; here we only check their
+   registration.) *)
+
+open Twq_experiments
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec loop i = i + ln <= lh && (String.sub hay i ln = needle || loop (i + 1)) in
+  ln = 0 || loop 0
+
+(* -------------------------------------------------------------- registry *)
+
+let test_registry_complete () =
+  let names = List.map (fun e -> e.Registry.name) Registry.all in
+  List.iter
+    (fun expected ->
+      Alcotest.(check bool) (expected ^ " registered") true (List.mem expected names))
+    [ "fig1"; "tab1"; "tab2"; "tab3"; "fig4"; "tab4"; "tab5"; "fig5"; "tab6";
+      "tab7"; "fig6"; "ext-tiles"; "ext-stride"; "ext-sparse"; "ext-ablation";
+      "ext-points"; "ext-graph"; "ext-validate"; "ext-zoo"; "ext-engines" ];
+  (* Names unique. *)
+  Alcotest.(check int) "unique" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+let test_registry_find () =
+  Alcotest.(check bool) "finds tab4" true (Registry.find "tab4" <> None);
+  Alcotest.(check bool) "unknown" true (Registry.find "nope" = None)
+
+(* ------------------------------------------------------------------ fig1 *)
+
+let test_fig1_shows_tap_spread () =
+  let out = Exp_fig1.run ~fast:true () in
+  Alcotest.(check bool) "has table" true (contains out "dynamic range");
+  (* The paper's point: the spread between taps is large (multiple bits). *)
+  Alcotest.(check bool) "mentions spread" true (contains out "bits of spread")
+
+(* ------------------------------------------------------------------ fig4 *)
+
+let test_fig4_tap_wise_wins () =
+  let s = Exp_fig4.analyse ~fast:true () in
+  Alcotest.(check bool)
+    (Printf.sprintf "tap %.2f < layer %.2f (winograd)" s.Exp_fig4.wino_tap
+       s.Exp_fig4.wino_layer)
+    true
+    (s.Exp_fig4.wino_tap < s.Exp_fig4.wino_layer);
+  Alcotest.(check bool) "channel barely helps in winograd domain" true
+    (s.Exp_fig4.wino_layer -. s.Exp_fig4.wino_channel
+    < s.Exp_fig4.wino_layer -. s.Exp_fig4.wino_tap);
+  Alcotest.(check bool) "spatial channel-wise helps" true
+    (s.Exp_fig4.spatial_channel <= s.Exp_fig4.spatial_layer);
+  Alcotest.(check bool) "chan+tap at least close to tap" true
+    (s.Exp_fig4.wino_channel_tap <= s.Exp_fig4.wino_tap +. 0.3)
+
+(* ------------------------------------------------------------------ tab4 *)
+
+let test_tab4_grid_trends () =
+  let grid = Exp_tab4.grid ~fast:true () in
+  (* fast grid: batches [1;8], resolutions [16;32], pairs [(64,64);(256,256)] *)
+  let get batch hw pair =
+    let _, per_res = List.find (fun (b, _) -> b = batch) grid in
+    let _, cells = List.find (fun (r, _) -> r = hw) per_res in
+    List.assoc pair cells
+  in
+  Alcotest.(check bool) "res trend" true (get 1 32 (256, 256) > get 1 16 (256, 256));
+  Alcotest.(check bool) "batch trend" true (get 8 32 (256, 256) > get 1 32 (256, 256));
+  Alcotest.(check bool) "band" true
+    (List.for_all
+       (fun (_, per_res) ->
+         List.for_all
+           (fun (_, cells) -> List.for_all (fun (_, su) -> su > 0.3 && su < 4.5) cells)
+           per_res)
+       grid)
+
+(* ------------------------------------------------------------------ tab7 *)
+
+let test_tab7_fast_rows () =
+  let rows = Exp_tab7.evaluate ~fast:true () in
+  Alcotest.(check int) "two rows in fast mode" 2 (List.length rows);
+  List.iter
+    (fun r ->
+      let th run = run.Twq_sim.Network_runner.throughput_imgs_per_s in
+      Alcotest.(check bool) "F4 >= F2" true (th r.Exp_tab7.f4 >= th r.Exp_tab7.f2 -. 1e-9);
+      Alcotest.(check bool) "F2 >= im2col" true (th r.Exp_tab7.f2 >= th r.Exp_tab7.im2col -. 1e-9);
+      (* The DDR5 study never hurts F4. *)
+      Alcotest.(check bool) "ddr5 gain sane" true
+        (r.Exp_tab7.f4_ddr5_gain >= 0.95 *. (th r.Exp_tab7.f4 /. th r.Exp_tab7.im2col) -. 0.2))
+    rows
+
+(* ----------------------------------------------------- cheap text output *)
+
+let test_text_experiments_run () =
+  List.iter
+    (fun name ->
+      match Registry.find name with
+      | None -> Alcotest.fail (name ^ " missing")
+      | Some e ->
+          let out = e.Registry.run ~fast:true () in
+          Alcotest.(check bool) (name ^ " non-empty") true (String.length out > 100))
+    [ "tab1"; "tab5"; "fig5"; "tab6"; "fig6"; "ext-stride"; "ext-points";
+      "ext-validate"; "ext-ablation"; "ext-zoo"; "ext-engines" ]
+
+let test_tab5_reports_paper_anchors () =
+  let out = Exp_tab5.run ~fast:true () in
+  Alcotest.(check bool) "6.1%" true (contains out "6.1%");
+  Alcotest.(check bool) "17.04" true (contains out "17.04")
+
+let test_tab6_nvdla_loses_at_iso_bw () =
+  let out = Exp_tab6.run ~fast:true () in
+  (* The signature result: wino on NVDLA can be slower than direct. *)
+  Alcotest.(check bool) "0.7x-ish cell present" true (contains out "0.7")
+
+let test_ext_validate_within_envelope () =
+  let out = Exp_ext_validate.run ~fast:true () in
+  (* Compute-bound rooflines within single-digit percent. *)
+  Alcotest.(check bool) "reports small diffs" true
+    (contains out "+2." || contains out "+1." || contains out "+3." || contains out "+0.")
+
+let test_ext_stride_claims_1_8 () =
+  let out = Exp_ext_stride.run ~fast:true () in
+  Alcotest.(check bool) "1.78x present" true (contains out "1.78x")
+
+let test_ext_sparse_quant_adds_little () =
+  let rows = Exp_ext_sparse.curve ~fast:true () in
+  (* At every pruned density, int8+prune ≈ prune-only (quantization adds
+     little on top). *)
+  List.iter
+    (fun (d, _, noise, noise_ref) ->
+      if d < 0.99 then
+        Alcotest.(check bool)
+          (Printf.sprintf "d=%.2f: %.3f vs %.3f" d noise noise_ref)
+          true
+          (Float.abs (noise -. noise_ref) < 0.2 +. (0.1 *. noise_ref)))
+    rows
+
+let test_ext_zoo_predicts_tab7 () =
+  let out = Exp_ext_zoo.run () in
+  (* UNet nearly all 3x3; ResNet-50 about half. *)
+  Alcotest.(check bool) "unet 96%" true (contains out "96%");
+  Alcotest.(check bool) "resnet50 48%" true (contains out "48%")
+
+let test_fig6_energy_halved () =
+  let out = Exp_fig6.run ~fast:true () in
+  Alcotest.(check bool) "total line present" true
+    (contains out "total F4 energy")
+
+let () =
+  Alcotest.run "twq_experiments"
+    [
+      ( "registry",
+        [
+          Alcotest.test_case "complete" `Quick test_registry_complete;
+          Alcotest.test_case "find" `Quick test_registry_find;
+        ] );
+      ( "analysis",
+        [
+          Alcotest.test_case "fig1 tap spread" `Quick test_fig1_shows_tap_spread;
+          Alcotest.test_case "fig4 tap-wise wins" `Quick test_fig4_tap_wise_wins;
+          Alcotest.test_case "tab4 trends" `Quick test_tab4_grid_trends;
+          Alcotest.test_case "tab7 rows" `Quick test_tab7_fast_rows;
+        ] );
+      ( "text output",
+        [
+          Alcotest.test_case "cheap experiments run" `Quick test_text_experiments_run;
+          Alcotest.test_case "tab5 anchors" `Quick test_tab5_reports_paper_anchors;
+          Alcotest.test_case "tab6 iso-bw" `Quick test_tab6_nvdla_loses_at_iso_bw;
+          Alcotest.test_case "fig6 energy" `Quick test_fig6_energy_halved;
+          Alcotest.test_case "ext-validate envelope" `Quick test_ext_validate_within_envelope;
+          Alcotest.test_case "ext-stride 1.8x" `Quick test_ext_stride_claims_1_8;
+          Alcotest.test_case "ext-sparse composition" `Quick test_ext_sparse_quant_adds_little;
+          Alcotest.test_case "ext-zoo fractions" `Quick test_ext_zoo_predicts_tab7;
+        ] );
+    ]

@@ -1,0 +1,270 @@
+(* Tests for the hardware-model substrate: CSD/shift-add DFGs, CSE
+   soundness, engine cycle/bandwidth formulas (Table I), and the anchored
+   area/power model (Table V). *)
+
+open Twq_hw
+module Rmat = Twq_util.Rmat
+module Rat = Twq_util.Rat
+module Transform = Twq_winograd.Transform
+module Rng = Twq_util.Rng
+
+let matvec m x =
+  Array.init (Rmat.rows m) (fun i ->
+      let acc = ref 0.0 in
+      for j = 0 to Rmat.cols m - 1 do
+        acc := !acc +. (Rat.to_float m.(i).(j) *. x.(j))
+      done;
+      !acc)
+
+let close a b = Float.abs (a -. b) < 1e-6
+
+(* -------------------------------------------------------------------- dfg *)
+
+let test_dfg_eval_exact_bt () =
+  List.iter
+    (fun variant ->
+      let m = Transform.bt_rat variant in
+      let dfg = Dfg.of_matrix m in
+      let rng = Rng.create 1 in
+      for _ = 1 to 20 do
+        let x = Array.init (Rmat.cols m) (fun _ -> Rng.float rng 4.0 -. 2.0) in
+        let y = Dfg.eval dfg x and y_ref = matvec m x in
+        Array.iteri
+          (fun i v -> Alcotest.(check bool) "bt eval" true (close v y_ref.(i)))
+          y
+      done)
+    Transform.all_variants
+
+let test_dfg_eval_g_fixed_point () =
+  (* G has non-dyadic (1/3) factors: eval must match to 2^-frac_bits. *)
+  let m = Transform.g_rat Transform.F4 in
+  let dfg = Dfg.of_matrix ~frac_bits:12 m in
+  let rng = Rng.create 2 in
+  for _ = 1 to 20 do
+    let x = Array.init 3 (fun _ -> Rng.float rng 2.0 -. 1.0) in
+    let y = Dfg.eval dfg x and y_ref = matvec m x in
+    Array.iteri
+      (fun i v ->
+        Alcotest.(check bool)
+          (Printf.sprintf "g eval %g vs %g" v y_ref.(i))
+          true
+          (Float.abs (v -. y_ref.(i)) < 4.0 /. 4096.0))
+      y
+  done
+
+let test_cse_preserves_semantics () =
+  List.iter
+    (fun variant ->
+      List.iter
+        (fun m ->
+          let plain = Dfg.of_matrix m in
+          let cse = Dfg.apply_cse plain in
+          let rng = Rng.create 3 in
+          for _ = 1 to 30 do
+            let x = Array.init (Rmat.cols m) (fun _ -> Rng.float rng 4.0 -. 2.0) in
+            let a = Dfg.eval plain x and b = Dfg.eval cse x in
+            Array.iteri
+              (fun i v -> Alcotest.(check bool) "cse semantics" true (close v b.(i)))
+              a
+          done)
+        [ Transform.bt_rat variant; Transform.at_rat variant ])
+    Transform.all_variants
+
+let test_cse_reduces_ops () =
+  (* The F4 matrices have many shared sub-expressions; CSE must pay off. *)
+  let m = Transform.bt_rat Transform.F4 in
+  let plain = Dfg.of_matrix m in
+  let cse = Dfg.apply_cse plain in
+  Alcotest.(check bool)
+    (Printf.sprintf "adders %d < %d" (Dfg.adder_count cse) (Dfg.adder_count plain))
+    true
+    (Dfg.adder_count cse < Dfg.adder_count plain)
+
+let test_csd_constant_decomposition () =
+  (* 5·x = (x<<2) + x : exactly two digits, as in the paper's example. *)
+  let m = Rmat.make 1 1 (fun _ _ -> Rat.of_int 5) in
+  let dfg = Dfg.of_matrix m in
+  Alcotest.(check int) "5 has 2 csd digits" 2 (List.length dfg.Dfg.outputs.(0));
+  (* 7 = 8 - 1 in CSD: two digits rather than three. *)
+  let m7 = Rmat.make 1 1 (fun _ _ -> Rat.of_int 7) in
+  let dfg7 = Dfg.of_matrix m7 in
+  Alcotest.(check int) "7 has 2 csd digits" 2 (List.length dfg7.Dfg.outputs.(0));
+  let x = [| 3.0 |] in
+  Alcotest.(check bool) "5*3" true (close (Dfg.eval dfg x).(0) 15.0);
+  Alcotest.(check bool) "7*3" true (close (Dfg.eval dfg7 x).(0) 21.0)
+
+let test_dfg_max_bits_matches_transform_analysis () =
+  (* One 1-D pass of Bᵀ on int8 inputs: worst-case growth must be within
+     the 2-D bound (2 extra bits for F2 per pass would be 1-ish). *)
+  let dfg = Dfg.apply_cse (Dfg.of_matrix (Transform.bt_rat Transform.F2)) in
+  let bits = Dfg.max_bits dfg ~input_bits:8 in
+  Alcotest.(check bool) (Printf.sprintf "F2 pass bits %d" bits) true (bits >= 9 && bits <= 10);
+  let dfg4 = Dfg.apply_cse (Dfg.of_matrix (Transform.bt_rat Transform.F4)) in
+  let bits4 = Dfg.max_bits dfg4 ~input_bits:8 in
+  Alcotest.(check bool) (Printf.sprintf "F4 pass bits %d" bits4) true (bits4 >= 11 && bits4 <= 13)
+
+let test_dfg_depth_positive () =
+  let dfg = Dfg.apply_cse (Dfg.of_matrix (Transform.bt_rat Transform.F4)) in
+  Alcotest.(check bool) "depth >= 1" true (Dfg.depth dfg >= 1)
+
+let test_schedule_cycles_bounds () =
+  let dfg = Dfg.apply_cse (Dfg.of_matrix (Transform.bt_rat Transform.F4)) in
+  let c1 = Dfg.schedule_cycles dfg ~adders:1 in
+  let c4 = Dfg.schedule_cycles dfg ~adders:4 in
+  let c_inf = Dfg.schedule_cycles dfg ~adders:10000 in
+  (* 1 adder serialises every micro-add; more adders only help. *)
+  Alcotest.(check bool) (Printf.sprintf "c1 %d >= c4 %d" c1 c4) true (c1 >= c4);
+  Alcotest.(check bool) (Printf.sprintf "c4 >= c_inf %d" c_inf) true (c4 >= c_inf);
+  (* Unlimited adders converge to the critical path. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "c_inf %d <= depth %d + slack" c_inf (Dfg.depth dfg))
+    true
+    (c_inf <= Dfg.depth dfg + 2);
+  (* 1 adder pays one cycle per micro-add. *)
+  Alcotest.(check bool) "c1 reasonable" true (c1 >= Dfg.adder_count dfg)
+
+let test_schedule_invalid () =
+  let dfg = Dfg.of_matrix (Transform.bt_rat Transform.F2) in
+  Alcotest.check_raises "zero adders"
+    (Invalid_argument "Dfg.schedule_cycles: adders must be positive") (fun () ->
+      ignore (Dfg.schedule_cycles dfg ~adders:0))
+
+(* ----------------------------------------------------------------- engine *)
+
+let in_cfg kind =
+  { Engine.kind; variant = Transform.F4; transform = Engine.Input; pc = 32; ps = 2; pt = 1 }
+
+let test_engine_table1_cycles () =
+  (* Table I: slow = h_T + w_T, fast = h_T. *)
+  Alcotest.(check int) "input slow" 12 (Engine.cycles_per_xform (in_cfg Engine.Row_by_row_slow));
+  Alcotest.(check int) "input fast" 6 (Engine.cycles_per_xform (in_cfg Engine.Row_by_row_fast));
+  let out_cfg kind =
+    { Engine.kind; variant = Transform.F4; transform = Engine.Output; pc = 16; ps = 1; pt = 1 }
+  in
+  (* Paper Sec. IV-B2: output transform takes 10 (slow) or 6 (fast). *)
+  Alcotest.(check int) "output slow" 10 (Engine.cycles_per_xform (out_cfg Engine.Row_by_row_slow));
+  Alcotest.(check int) "output fast" 6 (Engine.cycles_per_xform (out_cfg Engine.Row_by_row_fast))
+
+let test_engine_table1_bandwidth () =
+  let slow = in_cfg Engine.Row_by_row_slow in
+  let fast = in_cfg Engine.Row_by_row_fast in
+  Alcotest.(check int) "rd slow" (32 * 2 * 6) (Engine.read_bw slow);
+  Alcotest.(check int) "wr slow" (32 * 2 * 6) (Engine.write_bw slow);
+  Alcotest.(check int) "wr fast" (32 * 2 * 36) (Engine.write_bw fast);
+  let tap = { Engine.kind = Engine.Tap_by_tap; variant = Transform.F4;
+              transform = Engine.Weight; pc = 4; ps = 1; pt = 4 } in
+  Alcotest.(check int) "tap rd" 4 (Engine.read_bw tap);
+  Alcotest.(check int) "tap wr" 4 (Engine.write_bw tap)
+
+let test_engine_tap_by_tap_pt_scaling () =
+  let mk pt = { Engine.kind = Engine.Tap_by_tap; variant = Transform.F4;
+                transform = Engine.Weight; pc = 1; ps = 1; pt } in
+  let c1 = Engine.cycles_per_xform (mk 1) in
+  let c4 = Engine.cycles_per_xform (mk 4) in
+  Alcotest.(check bool)
+    (Printf.sprintf "pt=4 (%d) ~4x faster than pt=1 (%d)" c4 c1)
+    true
+    (c4 <= (c1 / 4) + 1 && c4 >= c1 / 8)
+
+let test_engine_fast_more_adders_than_slow () =
+  let slow = Engine.resources (in_cfg Engine.Row_by_row_slow) in
+  let fast = Engine.resources (in_cfg Engine.Row_by_row_fast) in
+  Alcotest.(check bool) "fast needs more adders" true
+    (fast.Engine.adders > slow.Engine.adders)
+
+let test_engine_throughput_matches_paper_rate () =
+  (* 64 parallel transforms every 6 cycles: 64·36/6 = 384 taps/cycle. *)
+  let cfg = in_cfg Engine.Row_by_row_fast in
+  let rate = Engine.throughput_bytes_per_cycle cfg ~element_bytes:1 in
+  Alcotest.(check (float 1e-9)) "bytes/cycle" 384.0 rate
+
+(* ------------------------------------------------------------- area/power *)
+
+let test_anchor_points_match_table5 () =
+  Alcotest.(check (float 1e-9)) "in area" 0.23 (Area_power.engine_area_mm2 Area_power.input_engine);
+  Alcotest.(check (float 1e-9)) "wt area" 0.32 (Area_power.engine_area_mm2 Area_power.weight_engine);
+  Alcotest.(check (float 1e-9)) "out area" 0.10 (Area_power.engine_area_mm2 Area_power.output_engine);
+  Alcotest.(check (float 1e-9)) "in power" 145.0 (Area_power.engine_power_mw Area_power.input_engine)
+
+let test_engine_overhead_small () =
+  (* Paper: all Winograd engines together are 6.1% of the core area. *)
+  let total =
+    Area_power.engine_area_mm2 Area_power.input_engine
+    +. Area_power.engine_area_mm2 Area_power.weight_engine
+    +. Area_power.engine_area_mm2 Area_power.output_engine
+  in
+  let frac = total /. Area_power.core_area_mm2 in
+  Alcotest.(check bool) (Printf.sprintf "engines %.1f%%" (frac *. 100.0)) true
+    (frac > 0.05 && frac < 0.07)
+
+let test_area_scales_with_parallelism () =
+  let half = { Area_power.input_engine with Engine.pc = 16 } in
+  let a_half = Area_power.engine_area_mm2 half in
+  Alcotest.(check bool)
+    (Printf.sprintf "half engine %.3f < 0.23" a_half)
+    true
+    (a_half < 0.23 && a_half > 0.23 /. 3.0)
+
+let test_cube_tops_per_watt () =
+  (* Table V: 5.39 TOp/s/W im2col, 17.04 with the F4 kernel. *)
+  let im2col = Area_power.cube_tops_per_watt ~winograd:false in
+  let wino = Area_power.cube_tops_per_watt ~winograd:true in
+  Alcotest.(check bool) (Printf.sprintf "im2col %.2f" im2col) true
+    (Float.abs (im2col -. 5.39) < 0.2);
+  Alcotest.(check bool) (Printf.sprintf "wino %.2f" wino) true
+    (Float.abs (wino -. 17.04) < 0.5)
+
+let test_winograd_power_overhead_17pct () =
+  (* Paper: the Winograd extension adds ≈17% power to the Cube Unit. *)
+  let engines =
+    Area_power.engine_power_mw Area_power.input_engine
+    +. Area_power.engine_power_mw Area_power.output_engine
+  in
+  let frac = engines /. Area_power.cube_power_mw_im2col in
+  Alcotest.(check bool) (Printf.sprintf "overhead %.1f%%" (frac *. 100.0)) true
+    (frac > 0.12 && frac < 0.22)
+
+let test_memory_costs_sane () =
+  Alcotest.(check (float 1e-9)) "l0a rd" 0.22 (Area_power.rd_pj_per_byte Area_power.L0A);
+  Alcotest.(check bool) "wino portB costlier" true
+    (Area_power.rd_pj_per_byte Area_power.L0C_portB_winograd
+    > Area_power.rd_pj_per_byte Area_power.L0C_portB_im2col);
+  Alcotest.(check bool) "L1 ~3x L0B" true
+    (let r = Area_power.rd_pj_per_byte Area_power.L1 /. Area_power.rd_pj_per_byte Area_power.L0B in
+     r > 2.5 && r < 3.5);
+  Alcotest.(check bool) "GM dominates" true
+    (Area_power.rd_pj_per_byte Area_power.GM > 10.0 *. Area_power.rd_pj_per_byte Area_power.L1)
+
+let () =
+  Alcotest.run "twq_hw"
+    [
+      ( "dfg",
+        [
+          Alcotest.test_case "eval exact (Bt)" `Quick test_dfg_eval_exact_bt;
+          Alcotest.test_case "eval fixed-point (G)" `Quick test_dfg_eval_g_fixed_point;
+          Alcotest.test_case "cse preserves semantics" `Quick test_cse_preserves_semantics;
+          Alcotest.test_case "cse reduces ops" `Quick test_cse_reduces_ops;
+          Alcotest.test_case "csd decomposition" `Quick test_csd_constant_decomposition;
+          Alcotest.test_case "max bits" `Quick test_dfg_max_bits_matches_transform_analysis;
+          Alcotest.test_case "depth" `Quick test_dfg_depth_positive;
+          Alcotest.test_case "list scheduling" `Quick test_schedule_cycles_bounds;
+          Alcotest.test_case "scheduling invalid" `Quick test_schedule_invalid;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "Table I cycles" `Quick test_engine_table1_cycles;
+          Alcotest.test_case "Table I bandwidth" `Quick test_engine_table1_bandwidth;
+          Alcotest.test_case "tap-by-tap Pt scaling" `Quick test_engine_tap_by_tap_pt_scaling;
+          Alcotest.test_case "fast vs slow adders" `Quick test_engine_fast_more_adders_than_slow;
+          Alcotest.test_case "production rate" `Quick test_engine_throughput_matches_paper_rate;
+        ] );
+      ( "area/power",
+        [
+          Alcotest.test_case "anchors" `Quick test_anchor_points_match_table5;
+          Alcotest.test_case "6.1% overhead" `Quick test_engine_overhead_small;
+          Alcotest.test_case "area scaling" `Quick test_area_scales_with_parallelism;
+          Alcotest.test_case "cube TOp/s/W" `Quick test_cube_tops_per_watt;
+          Alcotest.test_case "17% power overhead" `Quick test_winograd_power_overhead_17pct;
+          Alcotest.test_case "memory costs" `Quick test_memory_costs_sane;
+        ] );
+    ]

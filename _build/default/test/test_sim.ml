@@ -1,0 +1,431 @@
+(* Tests for the accelerator simulator and the NVDLA comparator: operator
+   model sanity, the paper's macro-trends (Table IV), full-network policies
+   (Table VII), traffic relations (Fig. 6), and Table VI behaviour. *)
+
+open Twq_sim
+module Zoo = Twq_nn.Zoo
+module Transform = Twq_winograd.Transform
+module Nvdla = Twq_nvdla.Nvdla
+
+let layer ?(k = 3) ?(stride = 1) cin cout hw =
+  { Zoo.name = "t"; cin; cout; out_h = hw; out_w = hw; k; stride; repeat = 1 }
+
+let arch = Arch.default
+
+let su ?(batch = 1) l =
+  let i = Operator.run arch Operator.Im2col l ~batch in
+  let w = Operator.run arch (Operator.Winograd Transform.F4) l ~batch in
+  Operator.speedup ~baseline:i w
+
+(* --------------------------------------------------------------- operator *)
+
+let test_supports () =
+  Alcotest.(check bool) "3x3 s1" true (Operator.supports (Operator.Winograd Transform.F4) (layer 64 64 32));
+  Alcotest.(check bool) "1x1" false (Operator.supports (Operator.Winograd Transform.F4) (layer ~k:1 64 64 32));
+  Alcotest.(check bool) "stride 2" false (Operator.supports (Operator.Winograd Transform.F4) (layer ~stride:2 64 64 32));
+  Alcotest.check_raises "raises" (Invalid_argument "Operator.run: winograd-F4 cannot run t")
+    (fun () -> ignore (Operator.run arch (Operator.Winograd Transform.F4) (layer ~k:1 64 64 32) ~batch:1))
+
+let test_deterministic () =
+  let a = Operator.run arch (Operator.Winograd Transform.F4) (layer 128 128 32) ~batch:2 in
+  let b = Operator.run arch (Operator.Winograd Transform.F4) (layer 128 128 32) ~batch:2 in
+  Alcotest.(check (float 0.0)) "same cycles" a.Operator.cycles b.Operator.cycles
+
+let test_cycles_positive_and_macs () =
+  let l = layer 64 128 32 in
+  let r = Operator.run arch Operator.Im2col l ~batch:2 in
+  Alcotest.(check bool) "cycles > 0" true (r.Operator.cycles > 0.0);
+  Alcotest.(check (float 1.0)) "macs" (2.0 *. 32.0 *. 32.0 *. 64.0 *. 128.0 *. 9.0) r.Operator.macs
+
+let test_repeat_scales () =
+  let l1 = layer 64 64 32 in
+  let l2 = { l1 with Zoo.repeat = 3 } in
+  let r1 = Operator.run arch Operator.Im2col l1 ~batch:1 in
+  let r2 = Operator.run arch Operator.Im2col l2 ~batch:1 in
+  Alcotest.(check (float 1e-6)) "3x cycles" (3.0 *. r1.Operator.cycles) r2.Operator.cycles;
+  Alcotest.(check (float 1e-3)) "3x energy"
+    (3.0 *. r1.Operator.energy.Operator.e_total) r2.Operator.energy.Operator.e_total
+
+let test_im2col_high_utilization_when_compute_bound () =
+  (* Large compute-heavy layer: the Cube should be nearly always busy. *)
+  let r = Operator.run arch Operator.Im2col (layer 256 256 64) ~batch:4 in
+  Alcotest.(check bool)
+    (Printf.sprintf "util %.2f" (r.Operator.cube_busy /. r.Operator.cycles))
+    true
+    (r.Operator.cube_busy /. r.Operator.cycles > 0.85)
+
+let test_winograd_cube_cycles_quartered () =
+  (* The F4 kernel reduces Cube busy cycles by ≈4× (Sec. V-B2). *)
+  let l = layer 256 256 64 in
+  let i = Operator.run arch Operator.Im2col l ~batch:4 in
+  let w = Operator.run arch (Operator.Winograd Transform.F4) l ~batch:4 in
+  let ratio = i.Operator.cube_busy /. w.Operator.cube_busy in
+  Alcotest.(check bool) (Printf.sprintf "cube ratio %.2f" ratio) true
+    (ratio > 3.2 && ratio <= 4.2)
+
+(* -------------------------------------------------- Table IV macro-trends *)
+
+let test_trend_larger_resolution_higher_speedup () =
+  let s16 = su (layer 256 256 16) in
+  let s32 = su (layer 256 256 32) in
+  let s128 = su (layer 256 256 128) in
+  Alcotest.(check bool) (Printf.sprintf "16:%.2f < 32:%.2f" s16 s32) true (s16 < s32);
+  Alcotest.(check bool) (Printf.sprintf "32:%.2f < 128:%.2f" s32 s128) true (s32 < s128)
+
+let test_trend_larger_batch_higher_speedup () =
+  let b1 = su ~batch:1 (layer 256 256 32) in
+  let b8 = su ~batch:8 (layer 256 256 32) in
+  Alcotest.(check bool) (Printf.sprintf "B1 %.2f < B8 %.2f" b1 b8) true (b1 < b8)
+
+let test_trend_more_cin_higher_speedup () =
+  let c128 = su ~batch:8 (layer 128 256 32) in
+  let c256 = su ~batch:8 (layer 256 256 32) in
+  Alcotest.(check bool) (Printf.sprintf "cin128 %.2f < cin256 %.2f" c128 c256) true
+    (c128 < c256)
+
+let test_speedup_band () =
+  (* Paper Table IV spans 0.99–3.42; allow a modest halo around it. *)
+  let cells =
+    [ su (layer 64 64 16); su (layer 256 512 32); su ~batch:8 (layer 256 256 128);
+      su ~batch:8 (layer 256 512 32) ]
+  in
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (Printf.sprintf "SU %.2f in [0.4; 4.0]" s) true
+        (s > 0.4 && s < 4.0))
+    cells;
+  (* The compute-friendly corner must clearly beat 2.5×. *)
+  Alcotest.(check bool) "peak > 2.5" true (su ~batch:8 (layer 256 256 128) > 2.5)
+
+let test_f4_beats_f2_on_compute_heavy () =
+  let l = layer 256 256 64 in
+  let f2 = Operator.run arch (Operator.Winograd Transform.F2) l ~batch:8 in
+  let f4 = Operator.run arch (Operator.Winograd Transform.F4) l ~batch:8 in
+  Alcotest.(check bool) "F4 faster" true (f4.Operator.cycles < f2.Operator.cycles)
+
+let test_bandwidth_scaling_helps_f4_more () =
+  (* Sec. V-B5: with 1.5× bandwidth F4 keeps scaling while F2 plateaus. *)
+  let l = layer 256 256 64 in
+  let fast = Arch.scale_bandwidth arch 1.5 in
+  let gain variant =
+    let slow_r = Operator.run arch (Operator.Winograd variant) l ~batch:8 in
+    let fast_r = Operator.run fast (Operator.Winograd variant) l ~batch:8 in
+    slow_r.Operator.cycles /. fast_r.Operator.cycles
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "F4 gain %.3f >= F2 gain %.3f" (gain Transform.F4) (gain Transform.F2))
+    true
+    (gain Transform.F4 >= gain Transform.F2 -. 0.01)
+
+let test_broadcast_off_hurts () =
+  let l = layer 256 512 32 in
+  let on = Operator.run arch (Operator.Winograd Transform.F4) l ~batch:8 in
+  let off =
+    Operator.run { arch with Arch.broadcast = false }
+      (Operator.Winograd Transform.F4) l ~batch:8
+  in
+  Alcotest.(check bool) "broadcast saves cycles" true
+    (off.Operator.cycles > on.Operator.cycles);
+  (* Without the BU both cores fetch their own iFM copy. *)
+  Alcotest.(check bool) "2x ifm traffic" true
+    (off.Operator.traffic.Operator.gm_rd_ifm
+    > 1.9 *. on.Operator.traffic.Operator.gm_rd_ifm)
+
+let test_buffering_depth_helps () =
+  let l = layer 256 512 32 in
+  let run depth =
+    (Operator.run { arch with Arch.buffer_depth = depth }
+       (Operator.Winograd Transform.F4) l ~batch:8).Operator.cycles
+  in
+  Alcotest.(check bool) "depth 3 <= depth 1" true (run 3 <= run 1)
+
+(* ------------------------------------------------------- Fig. 6 relations *)
+
+let test_traffic_relations () =
+  let l = layer 256 256 32 in
+  let i = Operator.run arch Operator.Im2col l ~batch:8 in
+  let w = Operator.run arch (Operator.Winograd Transform.F4) l ~batch:8 in
+  let ti = i.Operator.traffic and tw = w.Operator.traffic in
+  (* Same GM weight reads (on-the-fly transformation). *)
+  Alcotest.(check (float 1.0)) "same gm wt" ti.Operator.gm_rd_wt tw.Operator.gm_rd_wt;
+  (* L1 iFM reads and L0A writes shrink: 2.25 vs 9 expansion. *)
+  Alcotest.(check bool) "l1 ifm rd shrink" true
+    (tw.Operator.l1_rd_ifm < ti.Operator.l1_rd_ifm /. 3.0);
+  Alcotest.(check bool) "l0a wr shrink" true (tw.Operator.l0a_wr < ti.Operator.l0a_wr);
+  (* L0A reads follow Cube activity: about 4× fewer. *)
+  Alcotest.(check bool) "l0a rd shrink" true
+    (tw.Operator.l0a_rd < ti.Operator.l0a_rd /. 3.0);
+  (* Winograd reads weights from L1, im2col from L0B. *)
+  Alcotest.(check bool) "wino reads wt from L1" true (tw.Operator.l1_rd_wt > 0.0);
+  Alcotest.(check (float 0.0)) "im2col L1 wt" 0.0 ti.Operator.l1_rd_wt;
+  (* FixPipe reads more from L0C (Winograd-domain oFMs). *)
+  Alcotest.(check bool) "portB grows" true
+    (tw.Operator.l0c_rd_fixpipe > ti.Operator.l0c_rd_fixpipe)
+
+let test_energy_winograd_wins_on_compute_heavy () =
+  (* Sec. V-B5: F4 lowers total energy >2× on Winograd layers (Cube
+     dominates); allow a wide band. *)
+  let l = layer 256 256 64 in
+  let i = Operator.run arch Operator.Im2col l ~batch:8 in
+  let w = Operator.run arch (Operator.Winograd Transform.F4) l ~batch:8 in
+  let r = i.Operator.energy.Operator.e_total /. w.Operator.energy.Operator.e_total in
+  Alcotest.(check bool) (Printf.sprintf "energy ratio %.2f" r) true (r > 1.5 && r < 4.0)
+
+let test_energy_components_positive () =
+  let w = Operator.run arch (Operator.Winograd Transform.F4) (layer 64 64 32) ~batch:1 in
+  let e = w.Operator.energy in
+  List.iter
+    (fun (n, v) -> Alcotest.(check bool) (n ^ " positive") true (v > 0.0))
+    [ ("cube", e.Operator.e_cube); ("engines", e.Operator.e_engines);
+      ("vector", e.Operator.e_vector); ("sram", e.Operator.e_sram);
+      ("dram", e.Operator.e_dram) ];
+  Alcotest.(check (float 1.0)) "total"
+    (e.Operator.e_cube +. e.Operator.e_engines +. e.Operator.e_vector
+    +. e.Operator.e_sram +. e.Operator.e_dram)
+    e.Operator.e_total
+
+(* ------------------------------------------------------- network (Tab VII) *)
+
+let test_network_policies () =
+  let net = Zoo.resnet34 () in
+  let i = Network_runner.run arch Network_runner.P_im2col net ~batch:1 in
+  let f4 = Network_runner.run arch (Network_runner.P_winograd Transform.F4) net ~batch:1 in
+  Alcotest.(check bool) "F4 >= im2col" true
+    (f4.Network_runner.throughput_imgs_per_s >= i.Network_runner.throughput_imgs_per_s);
+  (* The fallback guarantees the policy never loses. *)
+  List.iter
+    (fun c ->
+      if not (Zoo.winograd_eligible c.Network_runner.layer) then
+        Alcotest.(check bool) "ineligible uses im2col" true
+          (c.Network_runner.chosen = Operator.Im2col))
+    f4.Network_runner.layers
+
+let test_network_unet_gains_more_than_resnet50 () =
+  (* 3×3-dominated networks benefit more (Table VII). *)
+  let gain net =
+    let n = net () in
+    let i = Network_runner.run arch Network_runner.P_im2col n ~batch:1 in
+    let f4 = Network_runner.run arch (Network_runner.P_winograd Transform.F4) n ~batch:1 in
+    f4.Network_runner.throughput_imgs_per_s /. i.Network_runner.throughput_imgs_per_s
+  in
+  let g_unet = gain (fun () -> Zoo.unet ()) in
+  let g_r50 = gain (fun () -> Zoo.resnet50 ()) in
+  Alcotest.(check bool) (Printf.sprintf "unet %.2f > r50 %.2f" g_unet g_r50) true
+    (g_unet > g_r50);
+  Alcotest.(check bool) "unet gain >1.4" true (g_unet > 1.4);
+  Alcotest.(check bool) "r50 gain small" true (g_r50 < 1.3)
+
+let test_network_batch_helps_resnet34 () =
+  let net = Zoo.resnet34 () in
+  let gain batch =
+    let i = Network_runner.run arch Network_runner.P_im2col net ~batch in
+    let f4 = Network_runner.run arch (Network_runner.P_winograd Transform.F4) net ~batch in
+    f4.Network_runner.throughput_imgs_per_s /. i.Network_runner.throughput_imgs_per_s
+  in
+  Alcotest.(check bool) "B16 > B1" true (gain 16 > gain 1)
+
+let test_network_energy_efficiency_band () =
+  (* Table VII energy-efficiency gains land between 1.0 and 2.5×. *)
+  List.iter
+    (fun net ->
+      let n = net () in
+      let i = Network_runner.run arch Network_runner.P_im2col n ~batch:1 in
+      let f4 = Network_runner.run arch (Network_runner.P_winograd Transform.F4) n ~batch:1 in
+      let g = f4.Network_runner.inferences_per_joule /. i.Network_runner.inferences_per_joule in
+      Alcotest.(check bool) (Printf.sprintf "%s eff %.2f" n.Zoo.net_name g) true
+        (g >= 1.0 && g < 2.6))
+    [ (fun () -> Zoo.resnet34 ()); (fun () -> Zoo.unet ()); (fun () -> Zoo.ssd_vgg16 ()) ]
+
+let test_winograd_layer_speedup_positive () =
+  let s = Network_runner.winograd_layer_speedup arch Transform.F4 (Zoo.unet ()) ~batch:1 in
+  Alcotest.(check bool) (Printf.sprintf "layer SU %.2f" s) true (s > 1.2 && s < 4.0)
+
+let test_jitter_robustness () =
+  (* Different DRAM-jitter seeds perturb cycles by well under 1%. *)
+  let l = layer 128 128 32 in
+  let base = (Operator.run arch (Operator.Winograd Transform.F4) l ~batch:2).Operator.cycles in
+  List.iter
+    (fun seed ->
+      let r =
+        Operator.run { arch with Arch.seed } (Operator.Winograd Transform.F4) l ~batch:2
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "seed %d within 1%%" seed)
+        true
+        (Float.abs ((r.Operator.cycles /. base) -. 1.0) < 0.01))
+    [ 2; 3; 4 ]
+
+(* --------------------------------------------------------------- cosim *)
+
+let test_cosim_all_kernels_correct () =
+  List.iter
+    (fun kind ->
+      let r = Cosim.verify kind (layer 64 64 32) ~batch:1 () in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s rms %.4f < 0.2" (Operator.kind_name kind) r.Cosim.rms_noise)
+        true (r.Cosim.rms_noise < 0.2);
+      Alcotest.(check bool) "bitwise reproducible" true r.Cosim.bitwise_ok;
+      Alcotest.(check bool) "checked values" true (r.Cosim.checked_values > 0))
+    [ Operator.Im2col; Operator.Winograd Transform.F2; Operator.Winograd Transform.F4 ]
+
+let test_cosim_strided_im2col () =
+  let r = Cosim.verify Operator.Im2col (layer ~stride:2 64 64 16) ~batch:1 () in
+  Alcotest.(check bool) "strided rms" true (r.Cosim.rms_noise < 0.2)
+
+let test_cosim_rejects_unsupported () =
+  Alcotest.(check bool) "1x1 wino rejected" true
+    (try
+       ignore (Cosim.verify (Operator.Winograd Transform.F4) (layer ~k:1 64 64 16) ());
+       false
+     with Invalid_argument _ -> true)
+
+(* --------------------------------------------------------------- trace *)
+
+let test_trace_events_consistent () =
+  let r = Operator.run arch (Operator.Winograd Transform.F4) (layer 64 64 16) ~batch:1 in
+  (* Every recorded event fits within the simulated makespan and events on
+     one resource never overlap. *)
+  List.iter
+    (fun (_, events) ->
+      let last_finish = ref 0.0 in
+      List.iter
+        (fun (s, f, _) ->
+          Alcotest.(check bool) "start <= finish" true (s <= f);
+          Alcotest.(check bool) "no overlap" true (s >= !last_finish -. 1e-6);
+          Alcotest.(check bool) "within makespan" true (f <= r.Operator.cycles +. 1e-6);
+          last_finish := f)
+        events)
+    r.Operator.trace;
+  (* Busy cycles equal the sum of event durations. *)
+  List.iter
+    (fun (name, events) ->
+      let total = List.fold_left (fun a (s, f, _) -> a +. (f -. s)) 0.0 events in
+      match List.assoc_opt name r.Operator.busy with
+      | Some busy -> Alcotest.(check (float 1e-3)) (name ^ " busy") busy total
+      | None -> ())
+    r.Operator.trace
+
+let test_trace_chrome_json_well_formed () =
+  let r = Operator.run arch Operator.Im2col (layer 32 32 16) ~batch:1 in
+  let json = Trace.to_chrome_json r in
+  Alcotest.(check bool) "starts with traceEvents" true
+    (String.length json > 20 && String.sub json 0 16 = "{\"traceEvents\":[");
+  Alcotest.(check bool) "balanced braces" true
+    (let opens = ref 0 and closes = ref 0 in
+     String.iter (fun c -> if c = '{' then incr opens else if c = '}' then incr closes) json;
+     !opens = !closes)
+
+let test_trace_text () =
+  let r = Operator.run arch Operator.Im2col (layer 32 32 16) ~batch:1 in
+  let text = Trace.to_text ~max_events:5 r in
+  Alcotest.(check bool) "has header" true (String.length text > 0)
+
+(* ------------------------------------------------------------ NVDLA (VI) *)
+
+let nv_layer cin cout = layer cin cout 32
+
+let test_nvdla_infinite_bw_near_theoretical () =
+  let cfg = Nvdla.default ~bandwidth_words_per_s:128e9 in
+  let d = Nvdla.run cfg Nvdla.Direct (nv_layer 128 128) ~batch:8 in
+  let w = Nvdla.run cfg Nvdla.Winograd_f2 (nv_layer 128 128) ~batch:8 in
+  let su = d.Nvdla.time_s /. w.Nvdla.time_s in
+  Alcotest.(check bool) (Printf.sprintf "SU %.2f near 2.25" su) true (su > 1.9 && su <= 2.3)
+
+let test_nvdla_limited_bw_can_lose () =
+  (* Paper: at iso-bandwidth the (256,512) layer runs *slower* with
+     Winograd than direct (0.72×). *)
+  let cfg = Nvdla.default ~bandwidth_words_per_s:42.7e9 in
+  let d = Nvdla.run cfg Nvdla.Direct (nv_layer 256 512) ~batch:8 in
+  let w = Nvdla.run cfg Nvdla.Winograd_f2 (nv_layer 256 512) ~batch:8 in
+  Alcotest.(check bool)
+    (Printf.sprintf "SU %.2f < 1" (d.Nvdla.time_s /. w.Nvdla.time_s))
+    true
+    (d.Nvdla.time_s /. w.Nvdla.time_s < 1.0)
+
+let test_nvdla_weight_refetch_triggered_by_cb () =
+  let cfg = Nvdla.default ~bandwidth_words_per_s:42.7e9 in
+  let small = Nvdla.run cfg Nvdla.Winograd_f2 (nv_layer 128 128) ~batch:8 in
+  let big = Nvdla.run cfg Nvdla.Winograd_f2 (nv_layer 256 512) ~batch:8 in
+  Alcotest.(check (float 1e-9)) "no refetch" 1.0 small.Nvdla.weight_refetch;
+  Alcotest.(check bool) "refetch > 1" true (big.Nvdla.weight_refetch > 1.0)
+
+let test_ours_beats_nvdla_iso_bandwidth () =
+  (* Table VI bottom line: 1.5–3.3× faster at iso peak/bandwidth. *)
+  let cfg = Nvdla.default ~bandwidth_words_per_s:42.7e9 in
+  List.iter
+    (fun (cin, cout) ->
+      let l = nv_layer cin cout in
+      let nv = Nvdla.best cfg l ~batch:8 in
+      let ours = Operator.run arch (Operator.Winograd Transform.F4) l ~batch:8 in
+      let ours_s = ours.Operator.cycles /. Twq_hw.Area_power.clock_hz in
+      let ratio = nv.Nvdla.time_s /. ours_s in
+      Alcotest.(check bool)
+        (Printf.sprintf "(%d,%d) %.2fx faster" cin cout ratio)
+        true
+        (ratio > 1.2 && ratio < 4.0))
+    [ (128, 128); (128, 256); (256, 512) ]
+
+let test_nvdla_best_picks_direct_when_wino_loses () =
+  let cfg = Nvdla.default ~bandwidth_words_per_s:42.7e9 in
+  let b = Nvdla.best cfg (nv_layer 256 512) ~batch:8 in
+  Alcotest.(check bool) "direct chosen" true (b.Nvdla.kernel = Nvdla.Direct)
+
+let () =
+  Alcotest.run "twq_sim"
+    [
+      ( "operator",
+        [
+          Alcotest.test_case "supports" `Quick test_supports;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "cycles/macs" `Quick test_cycles_positive_and_macs;
+          Alcotest.test_case "repeat scales" `Quick test_repeat_scales;
+          Alcotest.test_case "im2col utilization" `Quick test_im2col_high_utilization_when_compute_bound;
+          Alcotest.test_case "cube cycles quartered" `Quick test_winograd_cube_cycles_quartered;
+        ] );
+      ( "table4 trends",
+        [
+          Alcotest.test_case "resolution" `Quick test_trend_larger_resolution_higher_speedup;
+          Alcotest.test_case "batch" `Quick test_trend_larger_batch_higher_speedup;
+          Alcotest.test_case "input channels" `Quick test_trend_more_cin_higher_speedup;
+          Alcotest.test_case "speedup band" `Quick test_speedup_band;
+          Alcotest.test_case "F4 beats F2" `Quick test_f4_beats_f2_on_compute_heavy;
+          Alcotest.test_case "bandwidth scaling" `Quick test_bandwidth_scaling_helps_f4_more;
+          Alcotest.test_case "broadcast ablation" `Quick test_broadcast_off_hurts;
+          Alcotest.test_case "buffering ablation" `Quick test_buffering_depth_helps;
+          Alcotest.test_case "jitter robustness" `Quick test_jitter_robustness;
+        ] );
+      ( "fig6",
+        [
+          Alcotest.test_case "traffic relations" `Quick test_traffic_relations;
+          Alcotest.test_case "energy winograd wins" `Quick test_energy_winograd_wins_on_compute_heavy;
+          Alcotest.test_case "energy components" `Quick test_energy_components_positive;
+        ] );
+      ( "network",
+        [
+          Alcotest.test_case "policies" `Quick test_network_policies;
+          Alcotest.test_case "unet vs resnet50" `Quick test_network_unet_gains_more_than_resnet50;
+          Alcotest.test_case "batch helps" `Quick test_network_batch_helps_resnet34;
+          Alcotest.test_case "energy band" `Quick test_network_energy_efficiency_band;
+          Alcotest.test_case "layer speedup" `Quick test_winograd_layer_speedup_positive;
+        ] );
+      ( "cosim",
+        [
+          Alcotest.test_case "all kernels correct" `Quick test_cosim_all_kernels_correct;
+          Alcotest.test_case "strided im2col" `Quick test_cosim_strided_im2col;
+          Alcotest.test_case "rejects unsupported" `Quick test_cosim_rejects_unsupported;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "events consistent" `Quick test_trace_events_consistent;
+          Alcotest.test_case "chrome json" `Quick test_trace_chrome_json_well_formed;
+          Alcotest.test_case "text" `Quick test_trace_text;
+        ] );
+      ( "nvdla",
+        [
+          Alcotest.test_case "infinite bw" `Quick test_nvdla_infinite_bw_near_theoretical;
+          Alcotest.test_case "limited bw loses" `Quick test_nvdla_limited_bw_can_lose;
+          Alcotest.test_case "cb refetch" `Quick test_nvdla_weight_refetch_triggered_by_cb;
+          Alcotest.test_case "ours beats nvdla" `Quick test_ours_beats_nvdla_iso_bandwidth;
+          Alcotest.test_case "best kernel" `Quick test_nvdla_best_picks_direct_when_wino_loses;
+        ] );
+    ]

@@ -1,0 +1,375 @@
+(* Unit + property tests for the twq_util substrate: rationals, rational
+   matrices, RNG determinism, statistics, intervals, table rendering. *)
+
+open Twq_util
+
+let rat = Alcotest.testable (Fmt.of_to_string Rat.to_string) Rat.equal
+
+(* ------------------------------------------------------------------ Rat *)
+
+let test_rat_normalization () =
+  Alcotest.check rat "6/4 = 3/2" (Rat.make 3 2) (Rat.make 6 4);
+  Alcotest.check rat "-6/-4 = 3/2" (Rat.make 3 2) (Rat.make (-6) (-4));
+  Alcotest.check rat "6/-4 = -3/2" (Rat.make (-3) 2) (Rat.make 6 (-4));
+  Alcotest.check rat "0/7 = 0" Rat.zero (Rat.make 0 7)
+
+let test_rat_arith () =
+  let half = Rat.make 1 2 and third = Rat.make 1 3 in
+  Alcotest.check rat "1/2+1/3" (Rat.make 5 6) (Rat.add half third);
+  Alcotest.check rat "1/2-1/3" (Rat.make 1 6) (Rat.sub half third);
+  Alcotest.check rat "1/2*1/3" (Rat.make 1 6) (Rat.mul half third);
+  Alcotest.check rat "(1/2)/(1/3)" (Rat.make 3 2) (Rat.div half third);
+  Alcotest.check rat "inv 1/2" (Rat.of_int 2) (Rat.inv half);
+  Alcotest.check rat "neg" (Rat.make (-1) 2) (Rat.neg half)
+
+let test_rat_division_by_zero () =
+  Alcotest.check_raises "make x 0" Rat.Division_by_zero (fun () ->
+      ignore (Rat.make 1 0));
+  Alcotest.check_raises "div by zero" Rat.Division_by_zero (fun () ->
+      ignore (Rat.div Rat.one Rat.zero));
+  Alcotest.check_raises "inv zero" Rat.Division_by_zero (fun () ->
+      ignore (Rat.inv Rat.zero))
+
+let test_rat_pow2 () =
+  Alcotest.(check bool) "4 pow2" true (Rat.is_power_of_two (Rat.of_int 4));
+  Alcotest.(check bool) "1/8 pow2" true (Rat.is_power_of_two (Rat.make 1 8));
+  Alcotest.(check bool) "-2 pow2" true (Rat.is_power_of_two (Rat.of_int (-2)));
+  Alcotest.(check bool) "3 not pow2" false (Rat.is_power_of_two (Rat.of_int 3));
+  Alcotest.(check bool) "0 not pow2" false (Rat.is_power_of_two Rat.zero);
+  Alcotest.(check (option int)) "log2 8" (Some 3) (Rat.log2_exact (Rat.of_int 8));
+  Alcotest.(check (option int))
+    "log2 1/4" (Some (-2))
+    (Rat.log2_exact (Rat.make 1 4));
+  Alcotest.(check (option int)) "log2 3" None (Rat.log2_exact (Rat.of_int 3));
+  Alcotest.(check (option int))
+    "log2 -2" None
+    (Rat.log2_exact (Rat.of_int (-2)))
+
+let test_rat_to_int () =
+  Alcotest.(check int) "int" 7 (Rat.to_int_exn (Rat.of_int 7));
+  Alcotest.check_raises "non-integer"
+    (Invalid_argument "Rat.to_int_exn: not an integer") (fun () ->
+      ignore (Rat.to_int_exn (Rat.make 1 2)))
+
+let arb_rat =
+  QCheck.map
+    (fun (n, d) -> Rat.make n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-1000) 1000) (int_range (-50) 50))
+
+let prop_rat_add_comm =
+  QCheck.Test.make ~name:"rat add commutative" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      Rat.equal (Rat.add a b) (Rat.add b a))
+
+let prop_rat_mul_assoc =
+  QCheck.Test.make ~name:"rat mul associative" ~count:500
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.mul (Rat.mul a b) c) (Rat.mul a (Rat.mul b c)))
+
+let prop_rat_add_inverse =
+  QCheck.Test.make ~name:"rat a + (-a) = 0" ~count:500 arb_rat (fun a ->
+      Rat.is_zero (Rat.add a (Rat.neg a)))
+
+let prop_rat_distributive =
+  QCheck.Test.make ~name:"rat distributivity" ~count:500
+    (QCheck.triple arb_rat arb_rat arb_rat) (fun (a, b, c) ->
+      Rat.equal (Rat.mul a (Rat.add b c)) (Rat.add (Rat.mul a b) (Rat.mul a c)))
+
+let prop_rat_float_consistent =
+  QCheck.Test.make ~name:"rat to_float consistent with ops" ~count:500
+    (QCheck.pair arb_rat arb_rat) (fun (a, b) ->
+      let f = Rat.to_float (Rat.add a b) in
+      Float.abs (f -. (Rat.to_float a +. Rat.to_float b)) < 1e-9)
+
+(* ----------------------------------------------------------------- Rmat *)
+
+let test_rmat_identity_mul () =
+  let a = Rmat.of_ints [| [| 1; 2 |]; [| 3; 4 |] |] in
+  let i2 = Rmat.identity 2 in
+  Alcotest.(check bool) "I*A = A" true (Rmat.equal (Rmat.mul i2 a) a);
+  Alcotest.(check bool) "A*I = A" true (Rmat.equal (Rmat.mul a i2) a)
+
+let test_rmat_inverse () =
+  let a = Rmat.of_ints [| [| 2; 1 |]; [| 5; 3 |] |] in
+  let inv = Rmat.inverse a in
+  Alcotest.(check bool)
+    "A * A^-1 = I" true
+    (Rmat.equal (Rmat.mul a inv) (Rmat.identity 2));
+  Alcotest.(check bool)
+    "A^-1 * A = I" true
+    (Rmat.equal (Rmat.mul inv a) (Rmat.identity 2))
+
+let test_rmat_inverse_singular () =
+  let a = Rmat.of_ints [| [| 1; 2 |]; [| 2; 4 |] |] in
+  Alcotest.check_raises "singular" (Failure "Rmat.inverse: singular matrix")
+    (fun () -> ignore (Rmat.inverse a))
+
+let test_rmat_inverse_needs_pivoting () =
+  (* Zero in the leading position forces a row swap. *)
+  let a = Rmat.of_ints [| [| 0; 1 |]; [| 1; 0 |] |] in
+  let inv = Rmat.inverse a in
+  Alcotest.(check bool)
+    "permutation inverse" true
+    (Rmat.equal (Rmat.mul a inv) (Rmat.identity 2))
+
+let test_rmat_pinv_left () =
+  (* Tall full-column-rank matrix: pinv_left must be a left inverse. *)
+  let a = Rmat.of_ints [| [| 1; 0 |]; [| 0; 1 |]; [| 1; 1 |] |] in
+  let p = Rmat.pinv_left a in
+  Alcotest.(check bool)
+    "G+ G = I" true
+    (Rmat.equal (Rmat.mul p a) (Rmat.identity 2))
+
+let test_rmat_transpose () =
+  let a = Rmat.of_ints [| [| 1; 2; 3 |]; [| 4; 5; 6 |] |] in
+  let at = Rmat.transpose a in
+  Alcotest.(check int) "rows" 3 (Rmat.rows at);
+  Alcotest.(check int) "cols" 2 (Rmat.cols at);
+  Alcotest.(check bool)
+    "(A^T)^T = A" true
+    (Rmat.equal (Rmat.transpose at) a)
+
+(* ------------------------------------------------------------------ Rng *)
+
+let test_rng_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_rng_different_seeds () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool)
+    "different streams" true
+    (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_int_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done
+
+let test_rng_float_bounds () =
+  let rng = Rng.create 7 in
+  for _ = 1 to 1000 do
+    let v = Rng.float rng 3.5 in
+    Alcotest.(check bool) "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_rng_gaussian_moments () =
+  let rng = Rng.create 11 in
+  let xs = Array.init 20000 (fun _ -> Rng.gaussian rng ~mu:2.0 ~sigma:3.0) in
+  Alcotest.(check bool) "mean near 2" true (Float.abs (Stats.mean xs -. 2.0) < 0.1);
+  Alcotest.(check bool)
+    "stddev near 3" true
+    (Float.abs (Stats.stddev xs -. 3.0) < 0.1)
+
+let test_rng_shuffle_permutation () =
+  let rng = Rng.create 3 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 50 Fun.id) sorted
+
+let test_rng_split_independent () =
+  let a = Rng.create 9 in
+  let b = Rng.split a in
+  Alcotest.(check bool) "split differs" true (Rng.int64 a <> Rng.int64 b)
+
+let test_rng_pick_and_copy () =
+  let rng = Rng.create 17 in
+  let arr = [| 10; 20; 30 |] in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "pick member" true (Array.mem (Rng.pick rng arr) arr)
+  done;
+  Alcotest.check_raises "empty pick" (Invalid_argument "Rng.pick: empty array")
+    (fun () -> ignore (Rng.pick rng [||]));
+  (* copy freezes the stream state. *)
+  let a = Rng.create 23 in
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copy same next" (Rng.int64 a) (Rng.int64 b)
+
+let test_rng_laplacian_moments () =
+  let rng = Rng.create 29 in
+  let xs = Array.init 20000 (fun _ -> Rng.laplacian rng ~mu:1.0 ~b:2.0) in
+  Alcotest.(check bool) "mean near 1" true (Float.abs (Stats.mean xs -. 1.0) < 0.1);
+  (* Laplace variance = 2b². *)
+  Alcotest.(check bool) "variance near 8" true
+    (Float.abs (Stats.variance xs -. 8.0) < 0.6)
+
+(* ---------------------------------------------------------------- Stats *)
+
+let test_stats_basic () =
+  let xs = [| 1.0; 2.0; 3.0; 4.0 |] in
+  Alcotest.(check (float 1e-9)) "mean" 2.5 (Stats.mean xs);
+  Alcotest.(check (float 1e-9)) "variance" 1.25 (Stats.variance xs);
+  Alcotest.(check (float 1e-9)) "median" 2.5 (Stats.median xs);
+  let lo, hi = Stats.min_max xs in
+  Alcotest.(check (float 0.0)) "min" 1.0 lo;
+  Alcotest.(check (float 0.0)) "max" 4.0 hi;
+  Alcotest.(check (float 1e-9)) "absmax" 4.0 (Stats.abs_max xs)
+
+let test_stats_percentile () =
+  let xs = Array.init 101 float_of_int in
+  Alcotest.(check (float 1e-9)) "p0" 0.0 (Stats.percentile xs 0.0);
+  Alcotest.(check (float 1e-9)) "p50" 50.0 (Stats.percentile xs 50.0);
+  Alcotest.(check (float 1e-9)) "p100" 100.0 (Stats.percentile xs 100.0)
+
+let test_stats_geomean () =
+  Alcotest.(check (float 1e-9)) "geomean" 2.0 (Stats.geometric_mean [| 1.0; 4.0 |])
+
+let test_stats_histogram () =
+  let h = Stats.histogram ~bins:4 ~lo:0.0 ~hi:4.0 [| 0.5; 1.5; 2.5; 3.5; 3.9 |] in
+  Alcotest.(check (array int)) "counts" [| 1; 1; 1; 2 |] h.Stats.counts;
+  Alcotest.(check int) "total" 5 h.Stats.total;
+  (* Outliers clamp into terminal bins. *)
+  let h2 = Stats.histogram ~bins:2 ~lo:0.0 ~hi:2.0 [| -5.0; 5.0 |] in
+  Alcotest.(check (array int)) "clamped" [| 1; 1 |] h2.Stats.counts
+
+let test_stats_empty_raises () =
+  Alcotest.check_raises "empty mean" (Invalid_argument "Stats.mean: empty array")
+    (fun () -> ignore (Stats.mean [||]))
+
+(* ------------------------------------------------------------- Interval *)
+
+let test_interval_basic () =
+  let a = Interval.make (-3) 5 and b = Interval.make 2 4 in
+  let sum = Interval.add a b in
+  Alcotest.(check int) "add lo" (-1) sum.Interval.lo;
+  Alcotest.(check int) "add hi" 9 sum.Interval.hi;
+  let d = Interval.sub a b in
+  Alcotest.(check int) "sub lo" (-7) d.Interval.lo;
+  Alcotest.(check int) "sub hi" 3 d.Interval.hi;
+  let n = Interval.neg a in
+  Alcotest.(check int) "neg lo" (-5) n.Interval.lo;
+  Alcotest.(check int) "neg hi" 3 n.Interval.hi
+
+let test_interval_mul_const () =
+  let a = Interval.make (-3) 5 in
+  let p = Interval.mul_const 2 a in
+  Alcotest.(check int) "pos lo" (-6) p.Interval.lo;
+  Alcotest.(check int) "pos hi" 10 p.Interval.hi;
+  let q = Interval.mul_const (-2) a in
+  Alcotest.(check int) "neg lo" (-10) q.Interval.lo;
+  Alcotest.(check int) "neg hi" 6 q.Interval.hi
+
+let test_interval_signed_bits () =
+  Alcotest.(check int) "int8 range" 8 (Interval.signed_bits (Interval.make (-128) 127));
+  Alcotest.(check int) "needs 9" 9 (Interval.signed_bits (Interval.make (-128) 128));
+  Alcotest.(check int) "point zero" 1 (Interval.signed_bits (Interval.point 0));
+  Alcotest.(check int) "point -1" 1 (Interval.signed_bits (Interval.point (-1)))
+
+let prop_interval_sound_add =
+  (* Interval addition is sound: sampled sums land inside. *)
+  QCheck.Test.make ~name:"interval add sound" ~count:300
+    QCheck.(
+      quad (int_range (-100) 100) (int_range 0 50) (int_range (-100) 100)
+        (int_range 0 50))
+    (fun (alo, aw, blo, bw) ->
+      let a = Interval.make alo (alo + aw) in
+      let b = Interval.make blo (blo + bw) in
+      let s = Interval.add a b in
+      Interval.contains s (alo + blo)
+      && Interval.contains s (alo + aw + blo + bw))
+
+let test_interval_shift () =
+  let a = Interval.make (-7) 9 in
+  let l = Interval.shift_left a 2 in
+  Alcotest.(check int) "shl lo" (-28) l.Interval.lo;
+  Alcotest.(check int) "shl hi" 36 l.Interval.hi;
+  let r = Interval.shift_right a 1 in
+  Alcotest.(check int) "shr lo" (-4) r.Interval.lo;
+  Alcotest.(check int) "shr hi" 4 r.Interval.hi
+
+(* ---------------------------------------------------------------- Table *)
+
+let test_table_render () =
+  let t = Twq_util.Table.create ~title:"T" [ "a"; "bb" ] in
+  Twq_util.Table.add_row t [ "1"; "2" ];
+  Twq_util.Table.add_row t [ "10" ];
+  let s = Twq_util.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool)
+    "contains row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = " 1 |  2"))
+
+let test_table_left_align_and_histogram_pp () =
+  let t = Twq_util.Table.create [ "col" ] in
+  Twq_util.Table.add_row t [ "ab" ];
+  Twq_util.Table.add_row t [ "c" ];
+  let s = Twq_util.Table.render ~align:Twq_util.Table.Left t in
+  Alcotest.(check bool) "left pads right" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> l = "c  "));
+  let h = Stats.histogram ~bins:2 ~lo:0.0 ~hi:2.0 [| 0.5; 1.5; 1.6 |] in
+  let out = Format.asprintf "%a" Stats.pp_histogram h in
+  Alcotest.(check bool) "histogram renders bars" true
+    (String.length out > 0 && String.contains out '#')
+
+let test_table_too_many_cells () =
+  let t = Twq_util.Table.create [ "a" ] in
+  Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
+    (fun () -> Twq_util.Table.add_row t [ "1"; "2" ])
+
+let () =
+  let qt = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260705 |]) in
+  Alcotest.run "twq_util"
+    [
+      ( "rat",
+        [
+          Alcotest.test_case "normalization" `Quick test_rat_normalization;
+          Alcotest.test_case "arith" `Quick test_rat_arith;
+          Alcotest.test_case "division by zero" `Quick test_rat_division_by_zero;
+          Alcotest.test_case "powers of two" `Quick test_rat_pow2;
+          Alcotest.test_case "to_int" `Quick test_rat_to_int;
+          qt prop_rat_add_comm;
+          qt prop_rat_mul_assoc;
+          qt prop_rat_add_inverse;
+          qt prop_rat_distributive;
+          qt prop_rat_float_consistent;
+        ] );
+      ( "rmat",
+        [
+          Alcotest.test_case "identity mul" `Quick test_rmat_identity_mul;
+          Alcotest.test_case "inverse" `Quick test_rmat_inverse;
+          Alcotest.test_case "singular raises" `Quick test_rmat_inverse_singular;
+          Alcotest.test_case "pivoting" `Quick test_rmat_inverse_needs_pivoting;
+          Alcotest.test_case "pinv left" `Quick test_rmat_pinv_left;
+          Alcotest.test_case "transpose" `Quick test_rmat_transpose;
+        ] );
+      ( "rng",
+        [
+          Alcotest.test_case "determinism" `Quick test_rng_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_rng_different_seeds;
+          Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
+          Alcotest.test_case "float bounds" `Quick test_rng_float_bounds;
+          Alcotest.test_case "gaussian moments" `Quick test_rng_gaussian_moments;
+          Alcotest.test_case "shuffle permutation" `Quick test_rng_shuffle_permutation;
+          Alcotest.test_case "split" `Quick test_rng_split_independent;
+          Alcotest.test_case "pick/copy" `Quick test_rng_pick_and_copy;
+          Alcotest.test_case "laplacian" `Quick test_rng_laplacian_moments;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "basic" `Quick test_stats_basic;
+          Alcotest.test_case "percentile" `Quick test_stats_percentile;
+          Alcotest.test_case "geomean" `Quick test_stats_geomean;
+          Alcotest.test_case "histogram" `Quick test_stats_histogram;
+          Alcotest.test_case "empty raises" `Quick test_stats_empty_raises;
+        ] );
+      ( "interval",
+        [
+          Alcotest.test_case "basic" `Quick test_interval_basic;
+          Alcotest.test_case "mul const" `Quick test_interval_mul_const;
+          Alcotest.test_case "signed bits" `Quick test_interval_signed_bits;
+          Alcotest.test_case "shift" `Quick test_interval_shift;
+          qt prop_interval_sound_add;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "render" `Quick test_table_render;
+          Alcotest.test_case "left align + histogram pp" `Quick test_table_left_align_and_histogram_pp;
+          Alcotest.test_case "too many cells" `Quick test_table_too_many_cells;
+        ] );
+    ]
