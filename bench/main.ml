@@ -7,7 +7,16 @@
      tab3` for the paper-scale training sweep).
    - The Bechamel pass registers one Test.make per table/figure whose
      workload is that experiment's core kernel at a reduced size, plus
-     micro-benchmarks of the central library kernels. *)
+     micro-benchmarks of the central library kernels and paired
+     sequential-vs-parallel runs of the domain-parallel hot paths
+     (Winograd gconv, int8 qconv, the F4 fp32 conv, and the network
+     simulator sweep).  Set TWQ_NUM_DOMAINS to size the pool.
+
+   Modes:
+     bench/main.exe                 tables + Bechamel (interactive output)
+     bench/main.exe --json [-o F]   machine-readable {kernel, mean_ns,
+                                    stddev} records written to F (default
+                                    BENCH_ci.json) — the CI smoke stage. *)
 
 open Bechamel
 open Toolkit
@@ -18,6 +27,7 @@ module Zoo = Twq.Nn.Zoo
 module Op = Twq.Sim.Operator
 module Arch = Twq.Sim.Arch
 module NR = Twq.Sim.Network_runner
+module Parallel = Twq.Parallel
 module Registry = Twq_experiments.Registry
 
 (* ------------------------------------------------------- table printing *)
@@ -35,7 +45,7 @@ let print_all_tables () =
       print_newline ())
     Registry.all
 
-(* ----------------------------------------------------- bechamel kernels *)
+(* ----------------------------------------------------- kernel workloads *)
 
 let rng = Twq.Rng.create 2024
 let x_small = Tensor.rand_gaussian rng [| 1; 8; 16; 16 |] ~mu:0.0 ~sigma:1.0
@@ -79,81 +89,112 @@ let qat_step =
     Twq.Autodiff.Var.backward loss;
     Twq.Autodiff.Optim.zero_grads (Twq.Nn.Qat_model.params model)
 
-let tests =
+(* -------------------- paired seq-vs-par domain-parallel hot-path kernels *)
+
+let x_par = Tensor.rand_gaussian rng [| 2; 16; 24; 24 |] ~mu:0.0 ~sigma:1.0
+let w_par = Tensor.rand_gaussian rng [| 16; 16; 3; 3 |] ~mu:0.0 ~sigma:0.3
+let gconv44 = Twq.Winograd.Gconv.create ~m:4 ~r:3 ()
+
+let qconv_layer =
+  Twq.Quant.Qconv.calibrate ~w:w_par ~sample_inputs:[ x_par ] ~stride:1 ~pad:1 ()
+
+let xq_par =
+  Twq.Quant.Quantizer.quantize_tensor ~bits:8
+    ~scale:qconv_layer.Twq.Quant.Qconv.s_x x_par
+
+let gconv_once () =
+  ignore (Twq.Winograd.Gconv.conv2d gconv44 ~pad:1 ~x:x_par ~w:w_par ())
+
+let qconv_once () = ignore (Twq.Quant.Qconv.forward_int qconv_layer xq_par)
+
+let winof4_once () =
+  ignore (Twq.Winograd.Conv.conv2d ~variant:T.F4 ~pad:1 ~x:x_par ~w:w_par ())
+
+let netsim_once () =
+  ignore (NR.run Arch.default (NR.P_winograd T.F4) (Zoo.resnet34 ()) ~batch:1)
+
+let paired name f = [ (name ^ "-seq", fun () -> Parallel.sequential f); (name ^ "-par", f) ]
+
+(* One (name, thunk) per kernel; feeds both the Bechamel pass and the
+   JSON timing pass. *)
+let kernels : (string * (unit -> unit)) list =
   [
-    Test.make ~name:"fig1-weight-transform-sweep"
-      (Staged.stage (fun () ->
-           List.iter
-             (fun w ->
-               let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
-               for co = 0 to cout - 1 do
-                 for ci = 0 to cin - 1 do
-                   let f =
-                     Tensor.init [| 3; 3 |] (fun i ->
-                         Tensor.get4 w co ci i.(0) i.(1))
-                   in
-                   ignore (T.weight_tile T.F4 f)
-                 done
-               done)
-             weight_ensemble));
-    Test.make ~name:"tab1-dfg-cse"
-      (Staged.stage (fun () ->
-           ignore (Twq.Hw.Dfg.apply_cse (Twq.Hw.Dfg.of_matrix (T.bt_rat T.F4)))));
-    Test.make ~name:"tab2-qat-train-step" (Staged.stage qat_step);
-    Test.make ~name:"tab3-qat-eval-forward"
-      (Staged.stage (fun () -> ignore (Twq.Quant.Tapwise.forward tapwise_layer x_small)));
-    Test.make ~name:"fig4-tap-error-analysis"
-      (Staged.stage (fun () ->
-           ignore
-             (Twq.Quant.Error_analysis.winograd_error ~bits:8 ~variant:T.F4
-                ~strategy:Twq.Quant.Error_analysis.W_tap
-                (List.hd weight_ensemble))));
-    Test.make ~name:"tab4-operator-sim"
-      (Staged.stage (fun () ->
-           ignore (Op.run Arch.default Op.Im2col synthetic_layer ~batch:1);
-           ignore (Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1)));
-    Test.make ~name:"tab5-area-power-model"
-      (Staged.stage (fun () ->
-           ignore (Twq.Hw.Area_power.engine_area_mm2 Twq.Hw.Area_power.input_engine);
-           ignore (Twq.Hw.Area_power.cube_tops_per_watt ~winograd:true)));
-    Test.make ~name:"fig5-breakdown-sim"
-      (Staged.stage (fun () ->
-           let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
-           ignore r.Op.busy));
-    Test.make ~name:"tab6-nvdla-model"
-      (Staged.stage (fun () ->
-           let cfg = Twq.Nvdla.default ~bandwidth_words_per_s:42.7e9 in
-           ignore (Twq.Nvdla.best cfg synthetic_layer ~batch:8)));
-    Test.make ~name:"tab7-network-sim-resnet34"
-      (Staged.stage (fun () ->
-           ignore (NR.run Arch.default (NR.P_winograd T.F4) (Zoo.resnet34 ()) ~batch:1)));
-    Test.make ~name:"fig6-energy-accounting"
-      (Staged.stage (fun () ->
-           let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
-           ignore r.Op.energy));
-    Test.make ~name:"kernel-winograd-f4-conv-fp32"
-      (Staged.stage (fun () ->
-           ignore
-             (Twq.Winograd.Conv.conv2d ~variant:T.F4 ~pad:1 ~x:x_small ~w:w_small ())));
-    Test.make ~name:"kernel-tapwise-int8-forward"
-      (Staged.stage (fun () ->
-           ignore (Twq.Quant.Tapwise.forward_int tapwise_layer x_int)));
-    Test.make ~name:"kernel-im2col-conv-fp32"
-      (Staged.stage (fun () ->
-           ignore (Ops.conv2d_im2col ~stride:1 ~pad:1 ~x:x_small ~w:w_small ())));
-    Test.make ~name:"ext-graph-quantize-resnet20"
-      (Staged.stage
-         (let g =
-            Twq.Nn.Passes.fold_bn
-              (Twq.Nn.Gmodels.resnet20 ~rng:(Twq.Rng.create 12) ~width_div:4 ())
-          in
-          let cal = Tensor.rand_gaussian rng [| 1; 3; 16; 16 |] ~mu:0.0 ~sigma:1.0 in
-          fun () -> ignore (Twq.Nn.Int_graph.quantize g ~calibration:cal ())));
-    Test.make ~name:"ext-trace-export"
-      (Staged.stage (fun () ->
-           let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
-           ignore (Twq.Sim.Trace.to_chrome_json r)));
+    ( "fig1-weight-transform-sweep",
+      fun () ->
+        List.iter
+          (fun w ->
+            let cout = Tensor.dim w 0 and cin = Tensor.dim w 1 in
+            for co = 0 to cout - 1 do
+              for ci = 0 to cin - 1 do
+                let f =
+                  Tensor.init [| 3; 3 |] (fun i -> Tensor.get4 w co ci i.(0) i.(1))
+                in
+                ignore (T.weight_tile T.F4 f)
+              done
+            done)
+          weight_ensemble );
+    ( "tab1-dfg-cse",
+      fun () ->
+        ignore (Twq.Hw.Dfg.apply_cse (Twq.Hw.Dfg.of_matrix (T.bt_rat T.F4))) );
+    ("tab2-qat-train-step", qat_step);
+    ( "tab3-qat-eval-forward",
+      fun () -> ignore (Twq.Quant.Tapwise.forward tapwise_layer x_small) );
+    ( "fig4-tap-error-analysis",
+      fun () ->
+        ignore
+          (Twq.Quant.Error_analysis.winograd_error ~bits:8 ~variant:T.F4
+             ~strategy:Twq.Quant.Error_analysis.W_tap
+             (List.hd weight_ensemble)) );
+    ( "tab4-operator-sim",
+      fun () ->
+        ignore (Op.run Arch.default Op.Im2col synthetic_layer ~batch:1);
+        ignore (Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1) );
+    ( "tab5-area-power-model",
+      fun () ->
+        ignore (Twq.Hw.Area_power.engine_area_mm2 Twq.Hw.Area_power.input_engine);
+        ignore (Twq.Hw.Area_power.cube_tops_per_watt ~winograd:true) );
+    ( "fig5-breakdown-sim",
+      fun () ->
+        let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
+        ignore r.Op.busy );
+    ( "tab6-nvdla-model",
+      fun () ->
+        let cfg = Twq.Nvdla.default ~bandwidth_words_per_s:42.7e9 in
+        ignore (Twq.Nvdla.best cfg synthetic_layer ~batch:8) );
+    ("tab7-network-sim-resnet34", netsim_once);
+    ( "fig6-energy-accounting",
+      fun () ->
+        let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
+        ignore r.Op.energy );
+    ( "kernel-winograd-f4-conv-fp32",
+      fun () ->
+        ignore
+          (Twq.Winograd.Conv.conv2d ~variant:T.F4 ~pad:1 ~x:x_small ~w:w_small ()) );
+    ( "kernel-tapwise-int8-forward",
+      fun () -> ignore (Twq.Quant.Tapwise.forward_int tapwise_layer x_int) );
+    ( "kernel-im2col-conv-fp32",
+      fun () -> ignore (Ops.conv2d_im2col ~stride:1 ~pad:1 ~x:x_small ~w:w_small ()) );
+    ( "ext-graph-quantize-resnet20",
+      let g =
+        Twq.Nn.Passes.fold_bn
+          (Twq.Nn.Gmodels.resnet20 ~rng:(Twq.Rng.create 12) ~width_div:4 ())
+      in
+      let cal = Tensor.rand_gaussian rng [| 1; 3; 16; 16 |] ~mu:0.0 ~sigma:1.0 in
+      fun () -> ignore (Twq.Nn.Int_graph.quantize g ~calibration:cal ()) );
+    ( "ext-trace-export",
+      fun () ->
+        let r = Op.run Arch.default (Op.Winograd T.F4) synthetic_layer ~batch:1 in
+        ignore (Twq.Sim.Trace.to_chrome_json r) );
   ]
+  @ paired "gconv" gconv_once
+  @ paired "qconv" qconv_once
+  @ paired "wino-f4" winof4_once
+  @ paired "netsim-resnet34" netsim_once
+
+(* ----------------------------------------------------- bechamel harness *)
+
+let tests =
+  List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
 
 let benchmark () =
   let ols =
@@ -180,7 +221,80 @@ let benchmark () =
         (List.sort compare rows))
     merged
 
+(* --------------------------------------------------------- json harness *)
+
+(* Hand-rolled timing for CI: cheap, bounded, and dependency-light.  Each
+   kernel is timed over [samples] batches of [reps] runs; mean and stddev
+   are per-run nanoseconds across batches. *)
+let time_kernel f =
+  let now = Unix.gettimeofday in
+  f ();
+  (* warm-up + single-run estimate *)
+  let t0 = now () in
+  f ();
+  let once = now () -. t0 in
+  let reps, samples =
+    if once > 1.0 then (1, 2)
+    else if once > 0.05 then (1, 5)
+    else (max 1 (int_of_float (0.01 /. Float.max 1e-7 once)), 7)
+  in
+  let per_run = Array.make samples 0.0 in
+  for s = 0 to samples - 1 do
+    let t0 = now () in
+    for _ = 1 to reps do
+      f ()
+    done;
+    per_run.(s) <- (now () -. t0) /. float_of_int reps *. 1e9
+  done;
+  (Twq.Stats.mean per_run, Twq.Stats.stddev per_run)
+
+let json_escape s =
+  String.concat ""
+    (List.map
+       (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let run_json out_file =
+  Printf.printf "Writing %d kernel timings to %s (TWQ_NUM_DOMAINS=%d)\n%!"
+    (List.length kernels) out_file (Parallel.num_domains ());
+  let records =
+    List.map
+      (fun (name, f) ->
+        let mean_ns, stddev = time_kernel f in
+        Printf.printf "  %-40s %14.0f ns  ± %.0f\n%!" name mean_ns stddev;
+        Printf.sprintf
+          "  {\"kernel\": \"%s\", \"mean_ns\": %.1f, \"stddev\": %.1f}"
+          (json_escape name) mean_ns stddev)
+      kernels
+  in
+  let oc = open_out out_file in
+  output_string oc "[\n";
+  output_string oc (String.concat ",\n" records);
+  output_string oc "\n]\n";
+  close_out oc
+
+let usage () =
+  prerr_endline "usage: bench [--json] [-o|--out FILE]";
+  exit 2
+
 let () =
-  print_all_tables ();
-  print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";
-  benchmark ()
+  let rec parse json out = function
+    | [] -> (json, out)
+    | "--json" :: rest -> parse true out rest
+    | ("-o" | "--out") :: f :: rest -> parse json f rest
+    | [ ("-o" | "--out") ] ->
+        prerr_endline "bench: -o/--out requires a FILE argument";
+        usage ()
+    | arg :: _ ->
+        Printf.eprintf "bench: unknown argument %S\n" arg;
+        usage ()
+  in
+  let json, out_file =
+    parse false "BENCH_ci.json" (List.tl (Array.to_list Sys.argv))
+  in
+  if json then run_json out_file
+  else begin
+    print_all_tables ();
+    print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";
+    benchmark ()
+  end

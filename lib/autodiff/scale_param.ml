@@ -1,4 +1,5 @@
 type t = {
+  id : int;
   mutable theta : float;  (* log2 t *)
   pow2 : bool;
   learnable : bool;
@@ -8,9 +9,12 @@ type t = {
   mutable steps : int;
 }
 
+let counter = Atomic.make 0
+
 let create ?(learnable = true) ~pow2 ~init () =
   if init <= 0.0 then invalid_arg "Scale_param.create: non-positive scale";
-  { theta = Float.log2 init; pow2; learnable; g = 0.0; m = 0.0; v = 0.0; steps = 0 }
+  { id = Atomic.fetch_and_add counter 1; theta = Float.log2 init; pow2;
+    learnable; g = 0.0; m = 0.0; v = 0.0; steps = 0 }
 
 let value p =
   if p.pow2 then Float.pow 2.0 (Float.ceil p.theta) else Float.pow 2.0 p.theta
@@ -20,7 +24,40 @@ let set_from_calibration p s =
   p.theta <- Float.log2 s
 
 let learnable p = p.learnable
-let accumulate_grad p g = p.g <- p.g +. g
+
+(* Mirror of [Var]'s per-domain gradient sink, for the scalar scale
+   gradients that Wa_conv's backward pushes directly into shared
+   Scale_param records. *)
+type sink = { buffers : (int, float ref) Hashtbl.t; params : t list }
+
+let current_sink : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let sink_create params =
+  let buffers = Hashtbl.create (List.length params) in
+  List.iter (fun p -> Hashtbl.replace buffers p.id (ref 0.0)) params;
+  { buffers; params }
+
+let with_sink sink f =
+  let prev = Domain.DLS.get current_sink in
+  Domain.DLS.set current_sink (Some sink);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_sink prev) f
+
+let accumulate_grad p g =
+  match Domain.DLS.get current_sink with
+  | Some s -> (
+      match Hashtbl.find_opt s.buffers p.id with
+      | Some r -> r := !r +. g
+      | None -> p.g <- p.g +. g)
+  | None -> p.g <- p.g +. g
+
+let sink_merge sink =
+  List.iter
+    (fun p ->
+      match Hashtbl.find_opt sink.buffers p.id with
+      | Some r -> p.g <- p.g +. !r
+      | None -> ())
+    sink.params
+
 let zero_grad p = p.g <- 0.0
 let grad p = p.g
 let log2_t p = p.theta

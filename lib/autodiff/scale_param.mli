@@ -22,7 +22,19 @@ val set_from_calibration : t -> float -> unit
 val learnable : t -> bool
 
 val accumulate_grad : t -> float -> unit
-(** Add a contribution to [∂L/∂θ]. *)
+(** Add a contribution to [∂L/∂θ] — diverted into the current domain's
+    sink buffer when one registering this parameter is installed. *)
+
+(** {2 Gradient sinks} — scalar counterpart of {!Var.with_sink}, for
+    data-parallel backward passes that share scale parameters. *)
+
+type sink
+
+val sink_create : t list -> sink
+val with_sink : sink -> (unit -> 'a) -> 'a
+
+val sink_merge : sink -> unit
+(** Add the buffered contributions into the parameters' [g]. *)
 
 val zero_grad : t -> unit
 val grad : t -> float

@@ -8,11 +8,10 @@ type t = {
   backward : unit -> unit;
 }
 
-let counter = ref 0
-
-let next_id () =
-  incr counter;
-  !counter
+(* Atomic so tapes can be built concurrently from several domains
+   (data-parallel evaluation / training); ids stay unique process-wide. *)
+let counter = Atomic.make 0
+let next_id () = Atomic.fetch_and_add counter 1 + 1
 
 let of_tensor data =
   {
@@ -39,10 +38,53 @@ let value v = v.data
 let grad v = v.grad
 let zero_grad v = Tensor.fill v.grad 0.0
 
+(* Per-domain gradient sink: when installed, gradient contributions to
+   the registered leaves are diverted into private buffers instead of the
+   shared [grad] tensors, so several domains can run backward passes over
+   tapes that share leaf parameters without write races.  Non-registered
+   nodes (the tape interior, which is domain-private) accumulate as
+   usual. *)
+type sink = { buffers : (int, Tensor.t) Hashtbl.t; leaves : t list }
+
+let current_sink : sink option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let sink_create leaves =
+  let buffers = Hashtbl.create (List.length leaves) in
+  List.iter
+    (fun v -> Hashtbl.replace buffers v.id (Tensor.zeros v.grad.Tensor.shape))
+    leaves;
+  { buffers; leaves }
+
+let with_sink sink f =
+  let prev = Domain.DLS.get current_sink in
+  Domain.DLS.set current_sink (Some sink);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set current_sink prev) f
+
 let accumulate v g =
   if not (Twq_tensor.Shape.equal g.Tensor.shape v.grad.Tensor.shape) then
     invalid_arg "Var.accumulate: gradient shape mismatch";
-  Array.iteri (fun i x -> v.grad.Tensor.data.(i) <- v.grad.Tensor.data.(i) +. x) g.Tensor.data
+  let target =
+    match Domain.DLS.get current_sink with
+    | Some s -> (
+        match Hashtbl.find_opt s.buffers v.id with
+        | Some buf -> buf
+        | None -> v.grad)
+    | None -> v.grad
+  in
+  Array.iteri
+    (fun i x -> target.Tensor.data.(i) <- target.Tensor.data.(i) +. x)
+    g.Tensor.data
+
+let sink_merge sink =
+  List.iter
+    (fun v ->
+      match Hashtbl.find_opt sink.buffers v.id with
+      | None -> ()
+      | Some buf ->
+          Array.iteri
+            (fun i x -> v.grad.Tensor.data.(i) <- v.grad.Tensor.data.(i) +. x)
+            buf.Tensor.data)
+    sink.leaves
 
 let backward root =
   (* Topological order via DFS, then reverse. *)

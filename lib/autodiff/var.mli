@@ -32,4 +32,27 @@ val backward : t -> unit
     Usually called on a scalar (1-element) loss. *)
 
 val accumulate : t -> Twq_tensor.Tensor.t -> unit
-(** [accumulate v g] adds [g] into [v.grad] (shape-checked). *)
+(** [accumulate v g] adds [g] into [v.grad] (shape-checked) — or into the
+    current domain's sink buffer for [v], if a sink registering [v] is
+    installed (see {!with_sink}). *)
+
+(** {2 Gradient sinks (data-parallel training)}
+
+    A sink diverts gradient contributions to a chosen set of {e shared
+    leaves} (model parameters) into private buffers, so backward passes
+    over tapes that share those leaves can run on several domains
+    concurrently.  The tape interior is always domain-private and is
+    unaffected.  Typical use: one sink per batch chunk, backward inside
+    {!with_sink}, then {!sink_merge} in deterministic chunk order. *)
+
+type sink
+
+val sink_create : t list -> sink
+(** Fresh zero buffers for the given leaves. *)
+
+val with_sink : sink -> (unit -> 'a) -> 'a
+(** Install the sink on the current domain for the duration of [f]
+    (nestable; the previous sink is restored). *)
+
+val sink_merge : sink -> unit
+(** Add the sink's buffers into the leaves' shared [grad] tensors. *)

@@ -9,6 +9,7 @@ module Rng = Twq_util.Rng
 module Stats = Twq_util.Stats
 module Interval = Twq_util.Interval
 module Table = Twq_util.Table
+module Parallel = Twq_util.Parallel
 
 module Shape = Twq_tensor.Shape
 module Tensor = Twq_tensor.Tensor
@@ -18,6 +19,8 @@ module Ops = Twq_tensor.Ops
 module Winograd = struct
   module Transform = Twq_winograd.Transform
   module Conv = Twq_winograd.Conv
+  module Gconv = Twq_winograd.Gconv
+  module Generator = Twq_winograd.Generator
   module Pinv = Twq_winograd.Pinv
 end
 

@@ -183,6 +183,7 @@ let set_frozen t b =
   Array.iter
     (fun l ->
       l.frozen <- b;
+      Calibration.set_frozen l.act_obs b;
       match l.wa with Some wa -> Wa_conv.set_frozen wa b | None -> ())
     t.convs
 

@@ -1,6 +1,7 @@
 module Tensor = Twq_tensor.Tensor
 module Ops = Twq_tensor.Ops
 module Rng = Twq_util.Rng
+module Parallel = Twq_util.Parallel
 module Synth = Twq_dataset.Synth_images
 open Twq_autodiff
 
@@ -16,6 +17,7 @@ type options = {
   kd : kd option;
   grad_clip : float;
   seed : int;
+  data_parallel : bool;
 }
 
 let default_options =
@@ -29,6 +31,7 @@ let default_options =
     kd = None;
     grad_clip = 5.0;
     seed = 7;
+    data_parallel = false;
   }
 
 type history = { train_loss : float array; valid_acc : float array }
@@ -37,74 +40,119 @@ let logits model x =
   let node = Qat_model.forward model x in
   Var.value node
 
-let evaluate_topk ~k model split =
+(* Stack [size] consecutive samples starting at [lo] into an NCHW batch. *)
+let stack_batch split lo size =
+  let channels = Tensor.dim split.(0).Synth.image 0 in
+  let sz = Tensor.dim split.(0).Synth.image 1 in
+  Tensor.init [| size; channels; sz; sz |] (fun idx ->
+      Tensor.get split.(lo + idx.(0)).Synth.image [| idx.(1); idx.(2); idx.(3) |])
+
+(* Shared evaluation driver: [count ~lo ~size] returns the number of
+   correct predictions in one stacked batch.  The model is frozen for the
+   duration, which makes the forward pure, so the batches fan out across
+   domains; the first batch runs on the caller so that a model whose
+   observers were never calibrated seeds them deterministically. *)
+let eval_batches model split count_batch =
   Qat_model.set_frozen model true;
   let n = Array.length split in
   let batch = 32 in
-  let correct = ref 0 in
-  let i = ref 0 in
-  while !i < n do
-    let size = Stdlib.min batch (n - !i) in
-    let channels = Tensor.dim split.(0).Synth.image 0 in
-    let sz = Tensor.dim split.(0).Synth.image 1 in
-    let xb = Tensor.zeros [| size; channels; sz; sz |] in
-    for bi = 0 to size - 1 do
-      let s = split.(!i + bi) in
-      for c = 0 to channels - 1 do
-        for a = 0 to sz - 1 do
-          for b = 0 to sz - 1 do
-            Tensor.set4 xb bi c a b (Tensor.get s.Synth.image [| c; a; b |])
-          done
-        done
-      done
-    done;
-    let out = logits model xb in
-    for bi = 0 to size - 1 do
-      if List.mem split.(!i + bi).Synth.label (Ops.top_k_row out bi k) then
-        incr correct
-    done;
-    i := !i + size
-  done;
+  let nb = (n + batch - 1) / batch in
+  let count b =
+    let lo = b * batch in
+    let size = Stdlib.min batch (n - lo) in
+    count_batch ~lo ~size
+  in
+  let correct =
+    if nb = 0 then 0
+    else
+      count 0
+      + Parallel.parallel_for_reduce ~chunk:1 ~lo:1 ~hi:nb ~init:0
+          ~combine:( + ) count
+  in
   Qat_model.set_frozen model false;
-  float_of_int !correct /. float_of_int n
+  float_of_int correct /. float_of_int n
+
+let evaluate_topk ~k model split =
+  eval_batches model split (fun ~lo ~size ->
+      let xb = stack_batch split lo size in
+      let out = logits model xb in
+      let correct = ref 0 in
+      for bi = 0 to size - 1 do
+        if List.mem split.(lo + bi).Synth.label (Ops.top_k_row out bi k) then
+          incr correct
+      done;
+      !correct)
 
 let evaluate model split =
-  Qat_model.set_frozen model true;
-  let n = Array.length split in
-  let batch = 32 in
-  let correct = ref 0 in
-  let i = ref 0 in
-  while !i < n do
-    let size = Stdlib.min batch (n - !i) in
-    let indices = Array.init size (fun k -> !i + k) in
-    let x, labels =
-      (* Re-stack directly from the split. *)
-      let channels = Tensor.dim split.(0).Synth.image 0 in
-      let sz = Tensor.dim split.(0).Synth.image 1 in
-      let xb = Tensor.zeros [| size; channels; sz; sz |] in
-      let lb = Array.make size 0 in
-      Array.iteri
-        (fun bi si ->
-          let s = split.(si) in
-          lb.(bi) <- s.Synth.label;
-          for c = 0 to channels - 1 do
-            for a = 0 to sz - 1 do
-              for b = 0 to sz - 1 do
-                Tensor.set4 xb bi c a b (Tensor.get s.Synth.image [| c; a; b |])
-              done
-            done
-          done)
-        indices;
-      (xb, lb)
+  eval_batches model split (fun ~lo ~size ->
+      let xb = stack_batch split lo size in
+      let out = logits model xb in
+      let correct = ref 0 in
+      for bi = 0 to size - 1 do
+        if Ops.argmax_row out bi = split.(lo + bi).Synth.label then incr correct
+      done;
+      !correct)
+
+let batch_loss options model x labels =
+  let out = Qat_model.forward model x in
+  let ce = Fn.softmax_cross_entropy ~logits:out ~labels in
+  match options.kd with
+  | None -> ce
+  | Some kd ->
+      let teacher_logits = logits kd.teacher x in
+      let kl =
+        Fn.kl_distillation ~student:out ~teacher:teacher_logits
+          ~temperature:kd.temperature
+      in
+      Fn.add (Fn.scale (1.0 -. kd.alpha) ce) (Fn.scale kd.alpha kl)
+
+(* Data-parallel gradient accumulation for one batch: split the batch into
+   fixed-size sub-batches (the partition is independent of the domain
+   count, so results are deterministic), run forward+backward per chunk
+   with per-chunk gradient sinks, and merge the sinks in chunk order at
+   the barrier.  Chunk 0 runs first on the caller with calibration live
+   (it stands in for the batch statistics); the remaining chunks run with
+   the model frozen, which makes their forwards pure.  Weighting each
+   chunk loss by its share of the batch reproduces the batch-mean loss
+   gradient exactly (up to float summation order). *)
+let grad_accumulate_parallel options model ~params ~scale_params x labels =
+  let size = Tensor.dim x 0 in
+  let sub = 4 in
+  let nchunks = (size + sub - 1) / sub in
+  let cdim = Tensor.dim x 1 and hdim = Tensor.dim x 2 and wdim = Tensor.dim x 3 in
+  let chunk_loss = Array.make nchunks 0.0 in
+  let var_sinks = Array.make nchunks None in
+  let scale_sinks = Array.make nchunks None in
+  let run_chunk c =
+    let lo = c * sub in
+    let csz = Stdlib.min sub (size - lo) in
+    let xb =
+      Tensor.init [| csz; cdim; hdim; wdim |] (fun idx ->
+          Tensor.get4 x (lo + idx.(0)) idx.(1) idx.(2) idx.(3))
     in
-    let out = logits model x in
-    Array.iteri
-      (fun bi label -> if Ops.argmax_row out bi = label then incr correct)
-      labels;
-    i := !i + size
-  done;
-  Qat_model.set_frozen model false;
-  float_of_int !correct /. float_of_int n
+    let lb = Array.sub labels lo csz in
+    let vsink = Var.sink_create params in
+    let ssink = Scale_param.sink_create scale_params in
+    Var.with_sink vsink (fun () ->
+        Scale_param.with_sink ssink (fun () ->
+            let loss = batch_loss options model xb lb in
+            let weight = float_of_int csz /. float_of_int size in
+            Var.backward (Fn.scale weight loss);
+            chunk_loss.(c) <- weight *. (Var.value loss).Tensor.data.(0)));
+    var_sinks.(c) <- Some vsink;
+    scale_sinks.(c) <- Some ssink
+  in
+  run_chunk 0;
+  if nchunks > 1 then begin
+    Qat_model.set_frozen model true;
+    Parallel.parallel_for ~chunk:1 ~lo:1 ~hi:nchunks run_chunk;
+    Qat_model.set_frozen model false
+  end;
+  Array.iter (function Some s -> Var.sink_merge s | None -> ()) var_sinks;
+  Array.iter
+    (function Some s -> Scale_param.sink_merge s | None -> ())
+    scale_sinks;
+  Array.fold_left ( +. ) 0.0 chunk_loss
 
 let train model dataset options =
   let rng = Rng.create options.seed in
@@ -129,24 +177,20 @@ let train model dataset options =
     let total = ref 0.0 and count = ref 0 in
     List.iter
       (fun (x, labels) ->
-        let out = Qat_model.forward model x in
-        let ce = Fn.softmax_cross_entropy ~logits:out ~labels in
-        let loss =
-          match options.kd with
-          | None -> ce
-          | Some kd ->
-              let teacher_logits = logits kd.teacher x in
-              let kl =
-                Fn.kl_distillation ~student:out ~teacher:teacher_logits
-                  ~temperature:kd.temperature
-              in
-              Fn.add (Fn.scale (1.0 -. kd.alpha) ce) (Fn.scale kd.alpha kl)
+        let loss_v =
+          if options.data_parallel then
+            grad_accumulate_parallel options model ~params ~scale_params x
+              labels
+          else begin
+            let loss = batch_loss options model x labels in
+            Var.backward loss;
+            (Var.value loss).Tensor.data.(0)
+          end
         in
-        Var.backward loss;
         Optim.clip_grad_norm params ~max_norm:options.grad_clip;
         Optim.sgd_step opt;
         List.iter (Scale_param.adam_step ~lr:options.scale_lr) scale_params;
-        total := !total +. (Var.value loss).Tensor.data.(0);
+        total := !total +. loss_v;
         incr count)
       batches;
     train_loss.(epoch) <- (if !count = 0 then 0.0 else !total /. float_of_int !count);

@@ -14,6 +14,14 @@ type options = {
   kd : kd option;
   grad_clip : float;
   seed : int;
+  data_parallel : bool;
+      (** Split every batch into fixed-size sub-batches whose
+          forward/backward passes run on the {!Twq_util.Parallel} pool,
+          with per-chunk gradient sinks merged in chunk order.  The
+          sub-batch partition is independent of the domain count, so a
+          given seed trains identically on 1 or N domains (though not
+          bit-identically to [data_parallel = false], whose calibration
+          sees whole batches). *)
 }
 
 and kd = { teacher : Qat_model.t; temperature : float; alpha : float }
@@ -21,7 +29,7 @@ and kd = { teacher : Qat_model.t; temperature : float; alpha : float }
 
 val default_options : options
 (** 8 epochs, batch 16, lr 0.05, momentum 0.9, scale-lr 0.002, no KD,
-    clip 5.0. *)
+    clip 5.0, no data parallelism. *)
 
 type history = {
   train_loss : float array;  (** mean loss per epoch *)

@@ -1,15 +1,29 @@
 module Tensor = Twq_tensor.Tensor
 
-type t = { momentum : float; mutable value : float; mutable seen : bool }
+type t = {
+  momentum : float;
+  mutable value : float;
+  mutable seen : bool;
+  mutable frozen : bool;
+}
 
-let create ?(momentum = 0.9) () = { momentum; value = 0.0; seen = false }
+let create ?(momentum = 0.9) () =
+  { momentum; value = 0.0; seen = false; frozen = false }
+
+let set_frozen o b = o.frozen <- b
 
 let observe o batch_max =
-  let batch_max = Float.abs batch_max in
-  if o.seen then o.value <- (o.momentum *. o.value) +. ((1.0 -. o.momentum) *. batch_max)
-  else begin
-    o.value <- batch_max;
-    o.seen <- true
+  (* A frozen observer ignores new batches so evaluation forwards are
+     pure (and safe to run on several domains); the very first
+     observation still seeds it, otherwise [value] would be unusable. *)
+  if not (o.frozen && o.seen) then begin
+    let batch_max = Float.abs batch_max in
+    if o.seen then
+      o.value <- (o.momentum *. o.value) +. ((1.0 -. o.momentum) *. batch_max)
+    else begin
+      o.value <- batch_max;
+      o.seen <- true
+    end
   end
 
 let observe_tensor o t = observe o (Tensor.max_abs t)

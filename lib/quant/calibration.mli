@@ -11,7 +11,14 @@ val create : ?momentum:float -> unit -> t
 (** EMA observer; [momentum] defaults to 0.9 (new = 0.9·old + 0.1·batch). *)
 
 val observe : t -> float -> unit
-(** Feed one batch maximum. *)
+(** Feed one batch maximum.  Ignored when the observer is frozen and
+    already calibrated (the first observation always seeds it). *)
+
+val set_frozen : t -> bool -> unit
+(** Freeze/unfreeze the EMA.  Frozen observers make forward passes pure,
+    which is what lets evaluation batches run data-parallel; this also
+    honours {!Trainer.evaluate}'s documented "calibration is frozen"
+    contract. *)
 
 val observe_tensor : t -> Twq_tensor.Tensor.t -> unit
 (** Feed [max |x|] of a tensor. *)

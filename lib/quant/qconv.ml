@@ -81,8 +81,11 @@ let forward_int l x =
   if Itensor.dim l.wq 1 <> cin then invalid_arg "Qconv.forward_int: channel mismatch";
   let ho, wo = Shape.conv2d_out ~h ~w ~kh ~kw ~stride:l.stride ~pad:l.pad in
   let out = Itensor.zeros [| n; cout; ho; wo |] in
-  for ni = 0 to n - 1 do
-    for co = 0 to cout - 1 do
+  (* Output channels are independent (each owns its out[ni][co] plane and
+     its own requant scale), so the (image, channel) loop is the paper's
+     channel-parallel axis — lock-free and bit-identical sequentially. *)
+  Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * cout) (fun idx ->
+      let ni = idx / cout and co = idx mod cout in
       let bias_v = match l.bias with None -> 0.0 | Some b -> b.Tensor.data.(co) in
       let requant_scale = l.s_x *. weight_scale l co in
       for oh = 0 to ho - 1 do
@@ -102,9 +105,7 @@ let forward_int l x =
           Itensor.set4 out ni co oh ow
             (Quantizer.quantize ~bits:l.act_bits ~scale:l.s_y real)
         done
-      done
-    done
-  done;
+      done);
   out
 
 let forward l x =

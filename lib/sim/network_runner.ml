@@ -39,8 +39,13 @@ let choose arch policy layer ~batch =
       else { layer; chosen = Operator.Im2col; result = im2col }
 
 let run arch policy network ~batch =
+  (* Per-layer simulator runs are independent (Operator.run is pure), so a
+     full-network sweep fans out across domains. *)
   let layers =
-    List.map (fun l -> choose arch policy l ~batch) network.Zoo.layers
+    Array.to_list
+      (Twq_util.Parallel.map_array
+         (fun l -> choose arch policy l ~batch)
+         (Array.of_list network.Zoo.layers))
   in
   let total_cycles =
     List.fold_left (fun a c -> a +. c.result.Operator.cycles) 0.0 layers
@@ -63,15 +68,17 @@ let run arch policy network ~batch =
 
 let winograd_layer_speedup arch variant network ~batch =
   let ratios =
-    List.filter_map
-      (fun l ->
-        if Zoo.winograd_eligible l then begin
-          let im2col = Operator.run arch Operator.Im2col l ~batch in
-          let wino = Operator.run arch (Operator.Winograd variant) l ~batch in
-          Some (im2col.Operator.cycles /. wino.Operator.cycles)
-        end
-        else None)
-      network.Zoo.layers
+    List.filter_map Fun.id
+      (Array.to_list
+         (Twq_util.Parallel.map_array
+            (fun l ->
+              if Zoo.winograd_eligible l then begin
+                let im2col = Operator.run arch Operator.Im2col l ~batch in
+                let wino = Operator.run arch (Operator.Winograd variant) l ~batch in
+                Some (im2col.Operator.cycles /. wino.Operator.cycles)
+              end
+              else None)
+            (Array.of_list network.Zoo.layers)))
   in
   match ratios with
   | [] -> 1.0

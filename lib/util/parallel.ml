@@ -1,0 +1,226 @@
+(* Persistent domain pool.  One job is in flight at a time (the API is
+   blocking); workers pull chunks of the index space through an atomic
+   cursor, so load-balancing is dynamic while output ownership — and
+   therefore the result — stays exactly the per-index contract of the
+   caller.  The calling domain participates in its own job, which is
+   also what makes the [num_domains = 1] case a plain loop. *)
+
+let max_domains = 128
+let clamp n = if n < 1 then 1 else if n > max_domains then max_domains else n
+let override = ref None
+
+let env_domains () =
+  match Sys.getenv_opt "TWQ_NUM_DOMAINS" with
+  | None -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n -> Some (clamp n)
+      | None -> None)
+
+let num_domains () =
+  match !override with
+  | Some n -> n
+  | None -> (
+      match env_domains () with
+      | Some n -> n
+      | None -> clamp (Domain.recommended_domain_count ()))
+
+(* True while the current domain is executing chunks of a job (or is
+   inside [sequential]): any parallel_for issued from there must not
+   submit a second job to the pool. *)
+let in_region : bool Domain.DLS.key = Domain.DLS.new_key (fun () -> false)
+
+type job = {
+  hi : int;
+  chunk : int;
+  body : int -> int -> unit; (* process the index range [clo, chi) *)
+  cursor : int Atomic.t; (* next chunk start *)
+  busy : int Atomic.t; (* participants currently draining *)
+  mutable failure : (exn * Printexc.raw_backtrace) option;
+}
+
+type pool = {
+  size : int; (* worker domains, = num_domains - 1 *)
+  mutex : Mutex.t;
+  work : Condition.t; (* new job / shutdown *)
+  idle : Condition.t; (* a participant finished draining *)
+  mutable job : job option;
+  mutable gen : int;
+  mutable stop : bool;
+  mutable domains : unit Domain.t list;
+}
+
+let drain pool j =
+  let prev = Domain.DLS.get in_region in
+  Domain.DLS.set in_region true;
+  Atomic.incr j.busy;
+  let rec loop () =
+    let clo = Atomic.fetch_and_add j.cursor j.chunk in
+    if clo < j.hi then begin
+      (try j.body clo (min (clo + j.chunk) j.hi)
+       with e ->
+         let bt = Printexc.get_raw_backtrace () in
+         Mutex.lock pool.mutex;
+         if j.failure = None then j.failure <- Some (e, bt);
+         Mutex.unlock pool.mutex);
+      loop ()
+    end
+  in
+  loop ();
+  Domain.DLS.set in_region prev;
+  if Atomic.fetch_and_add j.busy (-1) = 1 then begin
+    Mutex.lock pool.mutex;
+    Condition.broadcast pool.idle;
+    Mutex.unlock pool.mutex
+  end
+
+let worker pool () =
+  let rec loop last_gen =
+    Mutex.lock pool.mutex;
+    while pool.gen = last_gen && not pool.stop do
+      Condition.wait pool.work pool.mutex
+    done;
+    let gen = pool.gen and job = pool.job and stop = pool.stop in
+    Mutex.unlock pool.mutex;
+    if not stop then begin
+      (match job with Some j -> drain pool j | None -> ());
+      loop gen
+    end
+  in
+  loop 0
+
+let the_pool : pool option ref = ref None
+
+let shutdown () =
+  match !the_pool with
+  | None -> ()
+  | Some p ->
+      Mutex.lock p.mutex;
+      p.stop <- true;
+      Condition.broadcast p.work;
+      Mutex.unlock p.mutex;
+      List.iter Domain.join p.domains;
+      the_pool := None
+
+let exit_hook_installed = ref false
+
+let ensure_pool nd =
+  match !the_pool with
+  | Some p when p.size = nd - 1 -> p
+  | _ ->
+      shutdown ();
+      let p =
+        {
+          size = nd - 1;
+          mutex = Mutex.create ();
+          work = Condition.create ();
+          idle = Condition.create ();
+          job = None;
+          gen = 0;
+          stop = false;
+          domains = [];
+        }
+      in
+      p.domains <- List.init (nd - 1) (fun _ -> Domain.spawn (worker p));
+      the_pool := Some p;
+      if not !exit_hook_installed then begin
+        exit_hook_installed := true;
+        at_exit shutdown
+      end;
+      p
+
+let set_num_domains n =
+  override := Some (clamp n);
+  (* Resize lazily on next use; tear down now if going sequential. *)
+  if clamp n = 1 then shutdown ()
+
+let clear_num_domains_override () = override := None
+
+let sequential f =
+  let prev = Domain.DLS.get in_region in
+  Domain.DLS.set in_region true;
+  Fun.protect ~finally:(fun () -> Domain.DLS.set in_region prev) f
+
+let run_job pool ~chunk ~lo ~hi body =
+  let j =
+    {
+      hi;
+      chunk;
+      body;
+      cursor = Atomic.make lo;
+      busy = Atomic.make 0;
+      failure = None;
+    }
+  in
+  Mutex.lock pool.mutex;
+  pool.job <- Some j;
+  pool.gen <- pool.gen + 1;
+  Condition.broadcast pool.work;
+  Mutex.unlock pool.mutex;
+  drain pool j;
+  Mutex.lock pool.mutex;
+  while Atomic.get j.busy > 0 do
+    Condition.wait pool.idle pool.mutex
+  done;
+  pool.job <- None;
+  Mutex.unlock pool.mutex;
+  match j.failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()
+
+let default_chunk n nd = max 1 (n / (8 * nd))
+
+let parallel_for ?chunk ~lo ~hi f =
+  let n = hi - lo in
+  if n > 0 then begin
+    let nd = num_domains () in
+    let seq () =
+      for i = lo to hi - 1 do
+        f i
+      done
+    in
+    if nd = 1 || Domain.DLS.get in_region then seq ()
+    else begin
+      let chunk =
+        match chunk with Some c when c >= 1 -> c | _ -> default_chunk n nd
+      in
+      if chunk >= n then seq ()
+      else
+        run_job (ensure_pool nd) ~chunk ~lo ~hi (fun clo chi ->
+            for i = clo to chi - 1 do
+              f i
+            done)
+    end
+  end
+
+let parallel_for_reduce ?chunk ~lo ~hi ~init ~combine f =
+  let n = hi - lo in
+  if n <= 0 then init
+  else begin
+    (* The default chunking must not depend on the domain count: partials
+       are combined in chunk order, so a fixed grid keeps float reductions
+       deterministic whether the chunks ran on 1 domain or 16. *)
+    let chunk =
+      match chunk with Some c when c >= 1 -> c | _ -> max 1 ((n + 63) / 64)
+    in
+    let nchunks = (n + chunk - 1) / chunk in
+    let partial = Array.make nchunks init in
+    parallel_for ~chunk:1 ~lo:0 ~hi:nchunks (fun ci ->
+        let clo = lo + (ci * chunk) in
+        let chi = min (clo + chunk) hi in
+        let acc = ref init in
+        for i = clo to chi - 1 do
+          acc := combine !acc (f i)
+        done;
+        partial.(ci) <- !acc);
+    Array.fold_left combine init partial
+  end
+
+let map_array ?chunk f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let res = Array.make n (f arr.(0)) in
+    parallel_for ?chunk ~lo:1 ~hi:n (fun i -> res.(i) <- f arr.(i));
+    res
+  end

@@ -1,0 +1,67 @@
+(** Persistent domain-based worker pool for data-parallel kernels.
+
+    The pool spawns [num_domains () - 1] worker domains once and reuses
+    them across calls, so per-call overhead is a couple of condvar
+    signals rather than a domain spawn.  Work is handed out in chunks of
+    indices through an atomic cursor; callers participate in their own
+    jobs, so [num_domains () = 1] degenerates to a plain sequential loop
+    with no pool machinery at all and bit-identical results.
+
+    Domain count resolution order: {!set_num_domains} override, then the
+    [TWQ_NUM_DOMAINS] environment variable, then
+    [Domain.recommended_domain_count ()].  The environment variable is
+    re-read when it changes, so [putenv] before a call takes effect.
+
+    Nested calls are safe: a [parallel_for] issued from inside a running
+    parallel region executes sequentially on the calling domain.
+
+    All functions re-raise (on the caller) the first exception raised by
+    any chunk; remaining chunks still run to completion. *)
+
+val num_domains : unit -> int
+(** Current worker count (including the calling domain), >= 1. *)
+
+val set_num_domains : int -> unit
+(** Override the domain count (clamped to [\[1; 128\]]); takes
+    precedence over [TWQ_NUM_DOMAINS].  Shuts down and respawns the
+    pool as needed.  Intended for tests and benchmarks. *)
+
+val clear_num_domains_override : unit -> unit
+(** Drop the {!set_num_domains} override and fall back to the
+    environment variable / recommended count. *)
+
+val sequential : (unit -> 'a) -> 'a
+(** [sequential f] runs [f] with every [parallel_for]/[map_array] call
+    it makes (transitively, on this domain) forced to the sequential
+    path.  Used by the benchmark harness for seq-vs-par pairs. *)
+
+val parallel_for : ?chunk:int -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for ~lo ~hi f] runs [f i] for [lo <= i < hi], partitioned
+    into chunks executed by the pool.  [f] must only write state owned
+    by iteration [i] (distinct output cells); under that contract the
+    result is bit-identical to the sequential loop for any domain
+    count.  [chunk] is the number of consecutive indices per work item
+    (default: a heuristic based on trip count and domain count). *)
+
+val parallel_for_reduce :
+  ?chunk:int ->
+  lo:int ->
+  hi:int ->
+  init:'a ->
+  combine:('a -> 'a -> 'a) ->
+  (int -> 'a) ->
+  'a
+(** [parallel_for_reduce ~lo ~hi ~init ~combine f] folds [combine] over
+    [f i] for [lo <= i < hi].  [init] must be a neutral element of
+    [combine].  Per-chunk partial results are combined in ascending
+    chunk order, and the default chunking is independent of the domain
+    count, so the result is deterministic for a fixed [chunk] even when
+    [combine] is not exactly associative (floats). *)
+
+val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Parallel [Array.map].  [f] runs once per element (including index
+    0, which is evaluated on the caller to seed the result array). *)
+
+val shutdown : unit -> unit
+(** Join all worker domains.  Subsequent calls respawn the pool on
+    demand; mainly useful before [exit] in long-lived drivers. *)

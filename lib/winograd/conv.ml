@@ -35,57 +35,57 @@ let conv2d ~variant ?(pad = 0) ~x ~w ?b () =
   let out = Tensor.zeros [| n; cout; ho; wo |] in
   (* Transform all weights once: [cout][cin] t×t tiles. *)
   let wt =
-    Array.init cout (fun co ->
+    Twq_util.Parallel.map_array
+      (fun co ->
         Array.init cin (fun ci ->
             let f =
               Tensor.init [| 3; 3 |] (fun idx ->
                   Tensor.get4 w co ci idx.(0) idx.(1))
             in
             Transform.weight_tile variant f))
+      (Array.init cout Fun.id)
   in
   let n_th = tiles_along ~variant ho and n_tw = tiles_along ~variant wo in
-  for ni = 0 to n - 1 do
-    for th = 0 to n_th - 1 do
-      for tw = 0 to n_tw - 1 do
-        (* Transform the input tiles for every channel of this tile pos. *)
-        let xt =
-          Array.init cin (fun ci ->
-              let tile =
-                load_tile_f x ~n:ni ~c:ci ~pad ~h0:(th * m) ~w0:(tw * m) ~t
-              in
-              Transform.input_tile variant tile)
-        in
-        for co = 0 to cout - 1 do
-          let acc = Tensor.zeros [| t; t |] in
-          for ci = 0 to cin - 1 do
-            let p = Tensor.mul xt.(ci) wt.(co).(ci) in
-            Tensor.blit ~src:(Tensor.add acc p) ~dst:acc
-          done;
-          let y = Transform.output_tile variant acc in
-          for dy = 0 to m - 1 do
-            for dx = 0 to m - 1 do
-              let oh = (th * m) + dy and ow = (tw * m) + dx in
-              if oh < ho && ow < wo then
-                Tensor.set4 out ni co oh ow (Tensor.get2 y dy dx)
-            done
+  (* Each (ni, th, tw) writes a disjoint output window — lock-free tile
+     parallelism, bit-identical to the sequential loop. *)
+  Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * n_th * n_tw) (fun tile_idx ->
+      let ni = tile_idx / (n_th * n_tw) in
+      let rest = tile_idx mod (n_th * n_tw) in
+      let th = rest / n_tw and tw = rest mod n_tw in
+      (* Transform the input tiles for every channel of this tile pos. *)
+      let xt =
+        Array.init cin (fun ci ->
+            let tile =
+              load_tile_f x ~n:ni ~c:ci ~pad ~h0:(th * m) ~w0:(tw * m) ~t
+            in
+            Transform.input_tile variant tile)
+      in
+      for co = 0 to cout - 1 do
+        let acc = Tensor.zeros [| t; t |] in
+        for ci = 0 to cin - 1 do
+          let p = Tensor.mul xt.(ci) wt.(co).(ci) in
+          Tensor.blit ~src:(Tensor.add acc p) ~dst:acc
+        done;
+        let y = Transform.output_tile variant acc in
+        for dy = 0 to m - 1 do
+          for dx = 0 to m - 1 do
+            let oh = (th * m) + dy and ow = (tw * m) + dx in
+            if oh < ho && ow < wo then
+              Tensor.set4 out ni co oh ow (Tensor.get2 y dy dx)
           done
         done
-      done
-    done
-  done;
+      done);
   (match b with
   | None -> ()
   | Some bias ->
-      for ni = 0 to n - 1 do
-        for co = 0 to cout - 1 do
+      Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * cout) (fun idx ->
+          let ni = idx / cout and co = idx mod cout in
           let bv = bias.Tensor.data.(co) in
           for oh = 0 to ho - 1 do
             for ow = 0 to wo - 1 do
               Tensor.set4 out ni co oh ow (Tensor.get4 out ni co oh ow +. bv)
             done
-          done
-        done
-      done);
+          done));
   out
 
 let conv2d_int_bit_true ~variant ?(pad = 0) ~x ~w () =
@@ -112,44 +112,42 @@ let conv2d_int_bit_true ~variant ?(pad = 0) ~x ~w () =
             Transform.weight_tile_int_scaled variant f))
   in
   let n_th = tiles_along ~variant ho and n_tw = tiles_along ~variant wo in
-  for ni = 0 to n - 1 do
-    for th = 0 to n_th - 1 do
-      for tw = 0 to n_tw - 1 do
-        let xt =
-          Array.init cin (fun ci ->
-              let tile =
-                load_tile_i x ~n:ni ~c:ci ~pad ~h0:(th * m) ~w0:(tw * m) ~t
-              in
-              Transform.input_tile_int variant tile)
-        in
-        for co = 0 to cout - 1 do
-          let acc = Itensor.zeros [| t; t |] in
-          for ci = 0 to cin - 1 do
-            for i = 0 to t - 1 do
-              for j = 0 to t - 1 do
-                Itensor.set2 acc i j
-                  (Itensor.get2 acc i j
-                  + (Itensor.get2 xt.(ci) i j * Itensor.get2 wt.(co).(ci) i j))
-              done
-            done
-          done;
-          let y = Transform.output_tile_int variant acc in
-          for dy = 0 to m - 1 do
-            for dx = 0 to m - 1 do
-              let oh = (th * m) + dy and ow = (tw * m) + dx in
-              if oh < ho && ow < wo then begin
-                let v = Itensor.get2 y dy dx in
-                (* The Winograd identity guarantees exact divisibility by
-                   g_scale²; assert it rather than silently truncating. *)
-                assert (v mod scale2 = 0);
-                Itensor.set4 out ni co oh ow (v / scale2)
-              end
+  Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * n_th * n_tw) (fun tile_idx ->
+      let ni = tile_idx / (n_th * n_tw) in
+      let rest = tile_idx mod (n_th * n_tw) in
+      let th = rest / n_tw and tw = rest mod n_tw in
+      let xt =
+        Array.init cin (fun ci ->
+            let tile =
+              load_tile_i x ~n:ni ~c:ci ~pad ~h0:(th * m) ~w0:(tw * m) ~t
+            in
+            Transform.input_tile_int variant tile)
+      in
+      for co = 0 to cout - 1 do
+        let acc = Itensor.zeros [| t; t |] in
+        for ci = 0 to cin - 1 do
+          for i = 0 to t - 1 do
+            for j = 0 to t - 1 do
+              Itensor.set2 acc i j
+                (Itensor.get2 acc i j
+                + (Itensor.get2 xt.(ci) i j * Itensor.get2 wt.(co).(ci) i j))
             done
           done
+        done;
+        let y = Transform.output_tile_int variant acc in
+        for dy = 0 to m - 1 do
+          for dx = 0 to m - 1 do
+            let oh = (th * m) + dy and ow = (tw * m) + dx in
+            if oh < ho && ow < wo then begin
+              let v = Itensor.get2 y dy dx in
+              (* The Winograd identity guarantees exact divisibility by
+                 g_scale²; assert it rather than silently truncating. *)
+              assert (v mod scale2 = 0);
+              Itensor.set4 out ni co oh ow (v / scale2)
+            end
+          done
         done
-      done
-    done
-  done;
+      done);
   out
 
 let max_abs_error ~variant ~x ~w =

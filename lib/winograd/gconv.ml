@@ -56,48 +56,51 @@ let conv2d t ?(pad = 0) ~x ~w () =
   let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh:r_sz ~kw:r_sz ~stride:1 ~pad in
   let out = Tensor.zeros [| n; cout; ho; wo |] in
   let wt =
-    Array.init cout (fun co ->
+    Twq_util.Parallel.map_array
+      (fun co ->
         Array.init cin (fun ci ->
             let f =
               Tensor.init [| r_sz; r_sz |] (fun i -> Tensor.get4 w co ci i.(0) i.(1))
             in
             Ops.matmul (Ops.matmul t.g f) t.gt))
+      (Array.init cout Fun.id)
   in
   let n_th = (ho + m_sz - 1) / m_sz and n_tw = (wo + m_sz - 1) / m_sz in
-  for ni = 0 to n - 1 do
-    for th = 0 to n_th - 1 do
-      for tw = 0 to n_tw - 1 do
-        let xt =
-          Array.init cin (fun ci ->
-              let tile_t =
-                Tensor.init [| tile; tile |] (fun idx ->
-                    let hi = (th * m_sz) + idx.(0) - pad
-                    and wi = (tw * m_sz) + idx.(1) - pad in
-                    if hi < 0 || hi >= h || wi < 0 || wi >= wd then 0.0
-                    else Tensor.get4 x ni ci hi wi)
-              in
-              Ops.matmul (Ops.matmul t.bt tile_t) t.b)
-        in
-        for co = 0 to cout - 1 do
-          let acc = Tensor.zeros [| tile; tile |] in
-          for ci = 0 to cin - 1 do
-            for i = 0 to tile - 1 do
-              for j = 0 to tile - 1 do
-                Tensor.set2 acc i j
-                  (Tensor.get2 acc i j
-                  +. (Tensor.get2 xt.(ci) i j *. Tensor.get2 wt.(co).(ci) i j))
-              done
-            done
-          done;
-          let y = Ops.matmul (Ops.matmul t.at acc) t.a in
-          for dy = 0 to m_sz - 1 do
-            for dx = 0 to m_sz - 1 do
-              let oh = (th * m_sz) + dy and ow = (tw * m_sz) + dx in
-              if oh < ho && ow < wo then Tensor.set4 out ni co oh ow (Tensor.get2 y dy dx)
+  (* Tiles are independent: each (ni, th, tw) owns a disjoint output
+     window, so the flattened tile loop parallelizes without locks and
+     stays bit-identical to the sequential order. *)
+  Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * n_th * n_tw) (fun tile_idx ->
+      let ni = tile_idx / (n_th * n_tw) in
+      let rest = tile_idx mod (n_th * n_tw) in
+      let th = rest / n_tw and tw = rest mod n_tw in
+      let xt =
+        Array.init cin (fun ci ->
+            let tile_t =
+              Tensor.init [| tile; tile |] (fun idx ->
+                  let hi = (th * m_sz) + idx.(0) - pad
+                  and wi = (tw * m_sz) + idx.(1) - pad in
+                  if hi < 0 || hi >= h || wi < 0 || wi >= wd then 0.0
+                  else Tensor.get4 x ni ci hi wi)
+            in
+            Ops.matmul (Ops.matmul t.bt tile_t) t.b)
+      in
+      for co = 0 to cout - 1 do
+        let acc = Tensor.zeros [| tile; tile |] in
+        for ci = 0 to cin - 1 do
+          for i = 0 to tile - 1 do
+            for j = 0 to tile - 1 do
+              Tensor.set2 acc i j
+                (Tensor.get2 acc i j
+                +. (Tensor.get2 xt.(ci) i j *. Tensor.get2 wt.(co).(ci) i j))
             done
           done
+        done;
+        let y = Ops.matmul (Ops.matmul t.at acc) t.a in
+        for dy = 0 to m_sz - 1 do
+          for dx = 0 to m_sz - 1 do
+            let oh = (th * m_sz) + dy and ow = (tw * m_sz) + dx in
+            if oh < ho && ow < wo then Tensor.set4 out ni co oh ow (Tensor.get2 y dy dx)
+          done
         done
-      done
-    done
-  done;
+      done);
   out

@@ -1,0 +1,246 @@
+(* Tests for the Twq_util.Parallel domain pool and the seq-vs-par
+   equality of the parallelized hot-path kernels. *)
+
+module Parallel = Twq_util.Parallel
+module Tensor = Twq_tensor.Tensor
+module Itensor = Twq_tensor.Itensor
+module Gconv = Twq_winograd.Gconv
+module Conv = Twq_winograd.Conv
+module Transform = Twq_winograd.Transform
+module Qconv = Twq_quant.Qconv
+module Quantizer = Twq_quant.Quantizer
+module Synth = Twq_dataset.Synth_images
+module Qat_model = Twq_nn.Qat_model
+module Trainer = Twq_nn.Trainer
+module Var = Twq_autodiff.Var
+
+let with_domains n f =
+  Parallel.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Parallel.clear_num_domains_override ()) f
+
+(* ------------------------------------------------- qcheck properties *)
+
+let prop_parallel_for_matches_seq =
+  QCheck2.Test.make ~count:50 ~name:"parallel_for = sequential for"
+    QCheck2.Gen.(triple (int_range 0 300) (int_range 1 40) (int_range 1 4))
+    (fun (n, chunk, nd) ->
+      let expected = Array.init n (fun i -> i * i) in
+      let got = Array.make n (-1) in
+      with_domains nd (fun () ->
+          Parallel.parallel_for ~chunk ~lo:0 ~hi:n (fun i -> got.(i) <- i * i));
+      got = expected)
+
+let prop_map_array_matches_seq =
+  QCheck2.Test.make ~count:50 ~name:"map_array = Array.map"
+    QCheck2.Gen.(pair (array_size (int_range 0 200) (int_range (-1000) 1000))
+                   (int_range 1 4))
+    (fun (arr, nd) ->
+      let f x = (x * 7) + 3 in
+      let got = with_domains nd (fun () -> Parallel.map_array f arr) in
+      got = Array.map f arr)
+
+let prop_reduce_matches_seq =
+  QCheck2.Test.make ~count:50 ~name:"parallel_for_reduce = sequential fold"
+    QCheck2.Gen.(triple (int_range 0 300) (int_range 1 40) (int_range 1 4))
+    (fun (n, chunk, nd) ->
+      let expected = ref 0 in
+      for i = 0 to n - 1 do
+        expected := !expected + (i * 3)
+      done;
+      let got =
+        with_domains nd (fun () ->
+            Parallel.parallel_for_reduce ~chunk ~lo:0 ~hi:n ~init:0
+              ~combine:( + ) (fun i -> i * 3))
+      in
+      got = !expected)
+
+(* ------------------------------------------------------ deterministic *)
+
+let test_determinism_four_domains () =
+  (* Same float computation, three times under 4 domains and once
+     sequentially: results must be bit-identical (ownership partitioning,
+     no reductions). *)
+  let n = 1000 in
+  let run () =
+    let out = Array.make n 0.0 in
+    Parallel.parallel_for ~chunk:7 ~lo:0 ~hi:n (fun i ->
+        out.(i) <- sin (float_of_int i) *. 1.000001);
+    out
+  in
+  let seq = with_domains 1 run in
+  with_domains 4 (fun () ->
+      let a = run () and b = run () and c = run () in
+      Alcotest.(check bool) "par runs identical" true (a = b && b = c);
+      Alcotest.(check bool) "par = seq bitwise" true (a = seq))
+
+let test_reduce_deterministic_floats () =
+  (* Float reduction: fixed chunk grid means chunk-ordered combination is
+     identical for any domain count. *)
+  let n = 777 in
+  let f i = Float.sin (float_of_int i) /. 3.0 in
+  let run () =
+    Parallel.parallel_for_reduce ~chunk:13 ~lo:0 ~hi:n ~init:0.0
+      ~combine:( +. ) f
+  in
+  let r1 = with_domains 1 run in
+  let r4 = with_domains 4 run in
+  Alcotest.(check bool) "float reduce stable across domain counts" true
+    (Int64.equal (Int64.bits_of_float r1) (Int64.bits_of_float r4))
+
+let test_env_override () =
+  Unix.putenv "TWQ_NUM_DOMAINS" "3";
+  Parallel.clear_num_domains_override ();
+  Alcotest.(check int) "env respected" 3 (Parallel.num_domains ());
+  let out = Array.make 64 0 in
+  Parallel.parallel_for ~chunk:4 ~lo:0 ~hi:64 (fun i -> out.(i) <- i + 1);
+  Alcotest.(check bool) "correct under env pool" true
+    (out = Array.init 64 (fun i -> i + 1));
+  Unix.putenv "TWQ_NUM_DOMAINS" "1"
+
+let test_nested_calls () =
+  (* A parallel_for inside a parallel_for must degrade to sequential on
+     the inner level, not deadlock, and produce the right result. *)
+  with_domains 4 (fun () ->
+      let rows = 8 and cols = 32 in
+      let out = Array.make_matrix rows cols 0 in
+      Parallel.parallel_for ~chunk:1 ~lo:0 ~hi:rows (fun r ->
+          Parallel.parallel_for ~chunk:4 ~lo:0 ~hi:cols (fun c ->
+              out.(r).(c) <- (r * 100) + c));
+      let ok = ref true in
+      for r = 0 to rows - 1 do
+        for c = 0 to cols - 1 do
+          if out.(r).(c) <> (r * 100) + c then ok := false
+        done
+      done;
+      Alcotest.(check bool) "nested results" true !ok)
+
+let test_sequential_forces_seq () =
+  with_domains 4 (fun () ->
+      let out = Array.make 100 0 in
+      Parallel.sequential (fun () ->
+          Parallel.parallel_for ~chunk:1 ~lo:0 ~hi:100 (fun i -> out.(i) <- i));
+      Alcotest.(check bool) "sequential wrapper result" true
+        (out = Array.init 100 Fun.id))
+
+let test_exceptions_propagate () =
+  with_domains 4 (fun () ->
+      Alcotest.check_raises "exn from chunk re-raised"
+        (Invalid_argument "boom") (fun () ->
+          Parallel.parallel_for ~chunk:1 ~lo:0 ~hi:32 (fun i ->
+              if i = 17 then invalid_arg "boom"));
+      (* pool must still be usable afterwards *)
+      let out = Array.make 16 0 in
+      Parallel.parallel_for ~chunk:1 ~lo:0 ~hi:16 (fun i -> out.(i) <- i);
+      Alcotest.(check bool) "pool alive after exn" true
+        (out = Array.init 16 Fun.id))
+
+(* ----------------------------------------- kernel seq-vs-par equality *)
+
+let test_gconv_seq_par_equal () =
+  let rng = Twq_util.Rng.create 42 in
+  let x = Tensor.rand_gaussian rng [| 2; 3; 9; 9 |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| 4; 3; 3; 3 |] ~mu:0.0 ~sigma:0.5 in
+  let g = Gconv.create ~m:4 ~r:3 () in
+  let seq =
+    with_domains 4 (fun () ->
+        Parallel.sequential (fun () -> Gconv.conv2d g ~pad:1 ~x ~w ()))
+  in
+  let par = with_domains 4 (fun () -> Gconv.conv2d g ~pad:1 ~x ~w ()) in
+  Alcotest.(check bool) "gconv outputs bitwise equal" true
+    (Tensor.approx_equal ~tol:0.0 seq par)
+
+let test_wino_conv_seq_par_equal () =
+  let rng = Twq_util.Rng.create 43 in
+  let x = Tensor.rand_gaussian rng [| 1; 4; 12; 12 |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| 5; 4; 3; 3 |] ~mu:0.0 ~sigma:0.5 in
+  let seq =
+    with_domains 4 (fun () ->
+        Parallel.sequential (fun () ->
+            Conv.conv2d ~variant:Transform.F4 ~pad:1 ~x ~w ()))
+  in
+  let par =
+    with_domains 4 (fun () -> Conv.conv2d ~variant:Transform.F4 ~pad:1 ~x ~w ())
+  in
+  Alcotest.(check bool) "winograd F4 outputs bitwise equal" true
+    (Tensor.approx_equal ~tol:0.0 seq par)
+
+let test_qconv_seq_par_equal () =
+  let rng = Twq_util.Rng.create 44 in
+  let x = Tensor.rand_gaussian rng [| 2; 4; 10; 10 |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| 6; 4; 3; 3 |] ~mu:0.0 ~sigma:0.4 in
+  let layer = Qconv.calibrate ~w ~sample_inputs:[ x ] ~stride:1 ~pad:1 () in
+  let xq = Quantizer.quantize_tensor ~bits:8 ~scale:layer.Qconv.s_x x in
+  let seq =
+    with_domains 4 (fun () ->
+        Parallel.sequential (fun () -> Qconv.forward_int layer xq))
+  in
+  let par = with_domains 4 (fun () -> Qconv.forward_int layer xq) in
+  let equal =
+    Itensor.numel seq = Itensor.numel par
+    && Array.for_all2 ( = ) seq.Itensor.data par.Itensor.data
+  in
+  Alcotest.(check bool) "qconv int outputs identical" true equal
+
+let test_data_parallel_trainer_deterministic () =
+  (* One data-parallel training epoch must produce bit-identical losses
+     and parameters on 1 and 4 domains: the sub-batch partition is fixed,
+     and gradient sinks merge in chunk order. *)
+  let spec =
+    { Synth.default_spec with Synth.n_train = 16; n_valid = 8; n_test = 8 }
+  in
+  let train_once nd =
+    with_domains nd (fun () ->
+        let d = Synth.generate ~spec ~seed:5 () in
+        let model =
+          Qat_model.create (Qat_model.default_config Qat_model.Fp32) ~seed:3
+        in
+        let opts =
+          {
+            Trainer.default_options with
+            Trainer.epochs = 1;
+            batch_size = 8;
+            data_parallel = true;
+          }
+        in
+        let h = Trainer.train model d opts in
+        (h.Trainer.train_loss, List.map Var.value (Qat_model.params model)))
+  in
+  let l1, p1 = train_once 1 in
+  let l4, p4 = train_once 4 in
+  Alcotest.(check bool) "losses bitwise equal" true (l1 = l4);
+  Alcotest.(check bool) "params bitwise equal" true
+    (List.for_all2 (Tensor.approx_equal ~tol:0.0) p1 p4)
+
+(* ----------------------------------------------------------- registry *)
+
+let () =
+  let qsuite = List.map QCheck_alcotest.to_alcotest
+      [ prop_parallel_for_matches_seq; prop_map_array_matches_seq;
+        prop_reduce_matches_seq ]
+  in
+  Alcotest.run "parallel"
+    [
+      ("qcheck", qsuite);
+      ( "pool",
+        [
+          Alcotest.test_case "determinism under 4 domains" `Quick
+            test_determinism_four_domains;
+          Alcotest.test_case "float reduce deterministic" `Quick
+            test_reduce_deterministic_floats;
+          Alcotest.test_case "TWQ_NUM_DOMAINS env" `Quick test_env_override;
+          Alcotest.test_case "nested calls are safe" `Quick test_nested_calls;
+          Alcotest.test_case "sequential wrapper" `Quick
+            test_sequential_forces_seq;
+          Alcotest.test_case "exception propagation" `Quick
+            test_exceptions_propagate;
+        ] );
+      ( "kernels",
+        [
+          Alcotest.test_case "gconv seq = par" `Quick test_gconv_seq_par_equal;
+          Alcotest.test_case "winograd-f4 seq = par" `Quick
+            test_wino_conv_seq_par_equal;
+          Alcotest.test_case "qconv seq = par" `Quick test_qconv_seq_par_equal;
+          Alcotest.test_case "data-parallel trainer deterministic" `Slow
+            test_data_parallel_trainer_deterministic;
+        ] );
+    ]
