@@ -16,7 +16,11 @@
      bench/main.exe                 tables + Bechamel (interactive output)
      bench/main.exe --json [-o F]   machine-readable {kernel, mean_ns,
                                     stddev} records written to F (default
-                                    BENCH_ci.json) — the CI smoke stage. *)
+                                    BENCH_ci.json) — the CI smoke stage.
+     bench/main.exe --compare OLD.json NEW.json
+                                    diff two --json outputs; warns
+                                    (non-blocking, exit 0) on kernels whose
+                                    mean regressed by more than 25%. *)
 
 open Bechamel
 open Toolkit
@@ -115,6 +119,38 @@ let netsim_once () =
 
 let paired name f = [ (name ^ "-seq", fun () -> Parallel.sequential f); (name ^ "-par", f) ]
 
+(* ------------------------- paired tile-major vs tap-major kernel runs *)
+(* Same workload through the reference (tile-major, per-tile tensors) and
+   production (tap-major, allocation-free Kernels) paths; both run
+   sequentially so the pair isolates the kernel reformulation itself. *)
+
+let xi_par =
+  Twq.Itensor.init [| 2; 16; 24; 24 |] (fun _ -> Twq.Rng.int rng 255 - 127)
+
+let wi_par =
+  Twq.Itensor.init [| 16; 16; 3; 3 |] (fun _ -> Twq.Rng.int rng 255 - 127)
+
+let tapwise_layer_par =
+  Twq.Quant.Tapwise.calibrate
+    ~config:(Twq.Quant.Tapwise.default_config T.F4)
+    ~w:(Tensor.rand_gaussian rng [| 8; 8; 3; 3 |] ~mu:0.0 ~sigma:0.3)
+    ~sample_inputs:[ Tensor.rand_gaussian rng [| 1; 8; 24; 24 |] ~mu:0.0 ~sigma:1.0 ]
+    ~pad:1 ()
+
+let xi_tapwise =
+  Twq.Quant.Quantizer.quantize_tensor ~bits:8
+    ~scale:tapwise_layer_par.Twq.Quant.Tapwise.s_x
+    (Tensor.rand_gaussian rng [| 2; 8; 24; 24 |] ~mu:0.0 ~sigma:1.0)
+
+let gconv45 = Twq.Winograd.Gconv.create ~m:4 ~r:5 ()
+let w45_par = Tensor.rand_gaussian rng [| 16; 16; 5; 5 |] ~mu:0.0 ~sigma:0.2
+
+let tap_vs_tile name tap tile =
+  [
+    (name ^ "-tap", fun () -> Parallel.sequential tap);
+    (name ^ "-tile", fun () -> Parallel.sequential tile);
+  ]
+
 (* One (name, thunk) per kernel; feeds both the Bechamel pass and the
    JSON timing pass. *)
 let kernels : (string * (unit -> unit)) list =
@@ -190,6 +226,42 @@ let kernels : (string * (unit -> unit)) list =
   @ paired "qconv" qconv_once
   @ paired "wino-f4" winof4_once
   @ paired "netsim-resnet34" netsim_once
+  @ tap_vs_tile "wino-f4-fp32"
+      (fun () ->
+        ignore (Twq.Winograd.Conv.conv2d ~variant:T.F4 ~pad:1 ~x:x_par ~w:w_par ()))
+      (fun () ->
+        ignore
+          (Twq.Winograd.Conv.conv2d_ref ~variant:T.F4 ~pad:1 ~x:x_par ~w:w_par ()))
+  @ tap_vs_tile "wino-f2-fp32"
+      (fun () ->
+        ignore (Twq.Winograd.Conv.conv2d ~variant:T.F2 ~pad:1 ~x:x_par ~w:w_par ()))
+      (fun () ->
+        ignore
+          (Twq.Winograd.Conv.conv2d_ref ~variant:T.F2 ~pad:1 ~x:x_par ~w:w_par ()))
+  @ tap_vs_tile "wino-f6-fp32"
+      (fun () ->
+        ignore (Twq.Winograd.Conv.conv2d ~variant:T.F6 ~pad:1 ~x:x_par ~w:w_par ()))
+      (fun () ->
+        ignore
+          (Twq.Winograd.Conv.conv2d_ref ~variant:T.F6 ~pad:1 ~x:x_par ~w:w_par ()))
+  @ tap_vs_tile "wino-f4-int8"
+      (fun () ->
+        ignore
+          (Twq.Winograd.Conv.conv2d_int_bit_true ~variant:T.F4 ~pad:1 ~x:xi_par
+             ~w:wi_par ()))
+      (fun () ->
+        ignore
+          (Twq.Winograd.Conv.conv2d_int_bit_true_ref ~variant:T.F4 ~pad:1 ~x:xi_par
+             ~w:wi_par ()))
+  @ tap_vs_tile "tapwise-int8"
+      (fun () -> ignore (Twq.Quant.Tapwise.forward_int tapwise_layer_par xi_tapwise))
+      (fun () ->
+        ignore (Twq.Quant.Tapwise.forward_int_ref tapwise_layer_par xi_tapwise))
+  @ tap_vs_tile "gconv-m4r5-fp32"
+      (fun () ->
+        ignore (Twq.Winograd.Gconv.conv2d gconv45 ~pad:2 ~x:x_par ~w:w45_par ()))
+      (fun () ->
+        ignore (Twq.Winograd.Gconv.conv2d_ref gconv45 ~pad:2 ~x:x_par ~w:w45_par ()))
 
 (* ----------------------------------------------------- bechamel harness *)
 
@@ -273,15 +345,85 @@ let run_json out_file =
   output_string oc "\n]\n";
   close_out oc
 
+(* -------------------------------------------------------- compare mode *)
+
+(* Parses the records [run_json] writes: one
+   {"kernel": ..., "mean_ns": ..., "stddev": ...} object per line. *)
+let parse_bench file =
+  let ic = open_in file in
+  let records = ref [] in
+  (try
+     while true do
+       let line = input_line ic in
+       match
+         Scanf.sscanf line " {\"kernel\": %S, \"mean_ns\": %f, \"stddev\": %f"
+           (fun k m s -> (k, (m, s)))
+       with
+       | r -> records := r :: !records
+       | exception Scanf.Scan_failure _ -> ()
+       | exception End_of_file -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !records
+
+(* Non-blocking regression gate: prints a table of old-vs-new means and a
+   GitHub-annotated warning per kernel whose mean regressed by more than
+   [threshold]; always exits 0 so noisy CI runners never block a merge. *)
+let run_compare old_file new_file =
+  let threshold = 0.25 in
+  let old_r = parse_bench old_file and new_r = parse_bench new_file in
+  if old_r = [] then Printf.printf "compare: no records in %s (baseline regenerating?)\n" old_file;
+  Printf.printf "%-40s %14s %14s %9s\n" "kernel" "old ns" "new ns" "delta";
+  Printf.printf "%s\n" (String.make 80 '-');
+  let regressions = ref [] in
+  List.iter
+    (fun (name, (new_mean, _)) ->
+      match List.assoc_opt name old_r with
+      | None -> Printf.printf "%-40s %14s %14.0f %9s\n" name "-" new_mean "new"
+      | Some (old_mean, _) ->
+          let delta = (new_mean -. old_mean) /. Float.max 1e-9 old_mean in
+          Printf.printf "%-40s %14.0f %14.0f %+8.1f%%\n" name old_mean new_mean
+            (100.0 *. delta);
+          if delta > threshold then regressions := (name, delta) :: !regressions)
+    new_r;
+  List.iter
+    (fun (name, _) ->
+      if not (List.mem_assoc name new_r) then
+        Printf.printf "%-40s %14s %14s %9s\n" name "-" "-" "gone")
+    old_r;
+  (match List.rev !regressions with
+  | [] -> Printf.printf "\ncompare: no kernel regressed by more than %.0f%%\n" (100.0 *. threshold)
+  | rs ->
+      List.iter
+        (fun (name, delta) ->
+          (* GitHub Actions annotation; informational only. *)
+          Printf.printf
+            "::warning title=bench regression::%s mean regressed %.1f%% \
+             (threshold %.0f%%)\n"
+            name (100.0 *. delta) (100.0 *. threshold))
+        rs;
+      Printf.printf
+        "\ncompare: %d kernel(s) above the %.0f%% threshold (non-blocking)\n"
+        (List.length rs) (100.0 *. threshold));
+  exit 0
+
 let usage () =
-  prerr_endline "usage: bench [--json] [-o|--out FILE]";
+  prerr_endline
+    "usage: bench [--json] [-o|--out FILE] | bench --compare OLD.json NEW.json";
   exit 2
 
+type mode = Tables | Json | Compare of string * string
+
 let () =
-  let rec parse json out = function
-    | [] -> (json, out)
-    | "--json" :: rest -> parse true out rest
-    | ("-o" | "--out") :: f :: rest -> parse json f rest
+  let rec parse mode out = function
+    | [] -> (mode, out)
+    | "--json" :: rest -> parse Json out rest
+    | "--compare" :: old_f :: new_f :: rest -> parse (Compare (old_f, new_f)) out rest
+    | [ "--compare" ] | [ "--compare"; _ ] ->
+        prerr_endline "bench: --compare requires OLD.json and NEW.json";
+        usage ()
+    | ("-o" | "--out") :: f :: rest -> parse mode f rest
     | [ ("-o" | "--out") ] ->
         prerr_endline "bench: -o/--out requires a FILE argument";
         usage ()
@@ -289,12 +431,13 @@ let () =
         Printf.eprintf "bench: unknown argument %S\n" arg;
         usage ()
   in
-  let json, out_file =
-    parse false "BENCH_ci.json" (List.tl (Array.to_list Sys.argv))
+  let mode, out_file =
+    parse Tables "BENCH_ci.json" (List.tl (Array.to_list Sys.argv))
   in
-  if json then run_json out_file
-  else begin
-    print_all_tables ();
-    print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";
-    benchmark ()
-  end
+  match mode with
+  | Compare (old_f, new_f) -> run_compare old_f new_f
+  | Json -> run_json out_file
+  | Tables ->
+      print_all_tables ();
+      print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";
+      benchmark ()

@@ -216,7 +216,9 @@ let requant_tap ~pow2 ~bits ~s_from ~s_to v =
   end
   else Itensor.clamp_int ~bits (int_of_float (Float.round (float_of_int v *. s_from /. s_to)))
 
-let forward_int l x_int =
+(* Tile-major reference path for the integer pipeline — kept as the
+   oracle for the tap-major [forward_int] below. *)
+let forward_int_ref l x_int =
   let { variant; act_bits; wino_bits; pow2; _ } = l.config in
   let pad = l.pad in
   let t = Transform.t variant and m = Transform.m variant in
@@ -286,6 +288,143 @@ let forward_int l x_int =
       done
     done
   done;
+  out
+
+(* Per-domain staging for the tap-major integer forward (one arena per
+   logically distinct buffer — see {!Twq_util.Parallel.Scratch}). *)
+module P = Twq_util.Parallel
+module Kernels = Twq_winograd.Kernels
+
+let ta_tile = P.Scratch.create_int ()
+let ta_xt = P.Scratch.create_int ()
+let ta_tmp = P.Scratch.create_int ()
+let ta_v = P.Scratch.create_int ()
+let ta_mo = P.Scratch.create_int ()
+let ta_yw = P.Scratch.create_float ()
+let ta_yo = P.Scratch.create_float ()
+let ta_ftmp = P.Scratch.create_float ()
+
+(* Production path: the same integer pipeline reformulated tap-major —
+   transform + per-tap requantize each tile once, run one flat int GEMM
+   per tap against the pre-quantized Winograd weights, rescale with
+   [S_BG], back-transform, requantize with [s_y].  Bit-identical to
+   [forward_int_ref] and parallelized over tile blocks. *)
+let forward_int l x_int =
+  let { variant; act_bits; wino_bits; pow2; _ } = l.config in
+  let pad = l.pad in
+  let t = Transform.t variant and m = Transform.m variant in
+  let tt = t * t in
+  let n = Itensor.dim x_int 0 and cin = Itensor.dim x_int 1 in
+  let h = Itensor.dim x_int 2 and w = Itensor.dim x_int 3 in
+  let cout = Itensor.dim l.wq 0 in
+  if Itensor.dim l.wq 1 <> cin then
+    invalid_arg "Tapwise.forward_int: channel mismatch";
+  let ho, wo = Shape.conv2d_out ~h ~w ~kh:3 ~kw:3 ~stride:1 ~pad in
+  let out = Itensor.zeros [| n; cout; ho; wo |] in
+  let od = out.Itensor.data and xd = x_int.Itensor.data in
+  let ki = Kernels.i32_specialized variant in
+  let kf = Kernels.f32_specialized variant in
+  let bt2 =
+    float_of_int (Transform.bt_scale variant * Transform.bt_scale variant)
+  in
+  let s_from = l.s_x /. bt2 in
+  let sb_flat = Array.init tt (fun tap -> l.s_b.(tap / t).(tap mod t)) in
+  let ws_flat =
+    Array.init (cout * tt) (fun idx ->
+        let co = idx / tt and tap = idx mod tt in
+        weight_scale l co (tap / t) (tap mod t))
+  in
+  (* Winograd weights, tap-major: u[((tap·cin)+ci)·cout + co]. *)
+  let u = Array.make (tt * cin * cout) 0 in
+  P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
+      let co = idx / cin and ci = idx mod cin in
+      for tap = 0 to tt - 1 do
+        u.((((tap * cin) + ci) * cout) + co) <-
+          Itensor.get4 l.wq co ci (tap / t) (tap mod t)
+      done);
+  let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
+  let tiles_per_img = n_th * n_tw in
+  let total = n * tiles_per_img in
+  let tb = max 1 (min 32 (total / (max 1 (4 * P.num_domains ())))) in
+  let nblocks = (total + tb - 1) / tb in
+  P.parallel_for ~chunk:1 ~lo:0 ~hi:nblocks (fun blk ->
+      let b0 = blk * tb in
+      let bs = min tb (total - b0) in
+      let tile = P.Scratch.borrow ta_tile tt in
+      let xt = P.Scratch.borrow ta_xt tt in
+      let tmp = P.Scratch.borrow ta_tmp tt in
+      let v = P.Scratch.borrow ta_v (tt * tb * cin) in
+      let mo = P.Scratch.borrow ta_mo (tt * tb * cout) in
+      let yw = P.Scratch.borrow ta_yw tt in
+      let yo = P.Scratch.borrow ta_yo (m * m) in
+      let ftmp = P.Scratch.borrow ta_ftmp (m * t) in
+      (* Scatter: integer transform + per-tap requantization. *)
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        for ci = 0 to cin - 1 do
+          Kernels.load_tile_i xd ~h ~w
+            ~base:(((ni * cin) + ci) * h * w)
+            ~pad ~h0:(th * m) ~w0:(tw * m) ~t tile;
+          ki.Kernels.input tile 0 xt 0 tmp;
+          for tap = 0 to tt - 1 do
+            v.((((tap * tb) + bidx) * cin) + ci) <-
+              requant_tap ~pow2 ~bits:wino_bits ~s_from ~s_to:sb_flat.(tap)
+                xt.(tap)
+          done
+        done
+      done;
+      (* One int GEMM per tap (int2b accumulation over input channels). *)
+      Array.fill mo 0 (tt * tb * cout) 0;
+      for tap = 0 to tt - 1 do
+        let vbase = tap * tb * cin
+        and ubase = tap * cin * cout
+        and obase = tap * tb * cout in
+        for bidx = 0 to bs - 1 do
+          let vrow = vbase + (bidx * cin) and orow = obase + (bidx * cout) in
+          for ci = 0 to cin - 1 do
+            let av = v.(vrow + ci) in
+            if av <> 0 then begin
+              let urow = ubase + (ci * cout) in
+              for co = 0 to cout - 1 do
+                mo.(orow + co) <- mo.(orow + co) + (av * u.(urow + co))
+              done
+            end
+          done
+        done
+      done;
+      (* Gather: single S_BG rescale, float back-transform, requantize. *)
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let h0 = th * m and w0 = tw * m in
+        let rh = min m (ho - h0) and rw = min m (wo - w0) in
+        for co = 0 to cout - 1 do
+          for tap = 0 to tt - 1 do
+            yw.(tap) <-
+              float_of_int mo.((((tap * tb) + bidx) * cout) + co)
+              *. sb_flat.(tap)
+              *. ws_flat.((co * tt) + tap)
+          done;
+          kf.Kernels.output yw 0 yo 0 ftmp;
+          let bias_v =
+            match l.bias with None -> 0.0 | Some b -> b.Tensor.data.(co)
+          in
+          for dy = 0 to rh - 1 do
+            let orow = (((((ni * cout) + co) * ho) + h0 + dy) * wo) + w0 in
+            let yrow = dy * m in
+            for dx = 0 to rw - 1 do
+              od.(orow + dx) <-
+                Quantizer.quantize ~bits:act_bits ~scale:l.s_y
+                  (yo.(yrow + dx) +. bias_v)
+            done
+          done
+        done
+      done);
   out
 
 let forward l x =

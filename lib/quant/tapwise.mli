@@ -80,7 +80,13 @@ val weight_shift : layer -> int -> int -> int
 (** Same for the weight taps (2–10 bits in the paper). *)
 
 val forward_int : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
-(** int8 NCHW in → int8 NCHW out (requantized with [s_y]). *)
+(** int8 NCHW in → int8 NCHW out (requantized with [s_y]).  Runs the
+    allocation-free tap-major {!Twq_winograd.Kernels} path; bit-identical
+    to {!forward_int_ref}. *)
+
+val forward_int_ref : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
+(** Tile-major reference implementation of the integer pipeline — the
+    oracle {!forward_int} is tested against. *)
 
 val forward : layer -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
 (** Float-in/float-out wrapper: quantize input with [s_x], run

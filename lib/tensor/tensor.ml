@@ -43,8 +43,18 @@ let reshape t shape =
     invalid_arg "Tensor.reshape: element count mismatch";
   { shape = Array.copy shape; data = t.data }
 
-let get t idx = t.data.(Shape.offset ~strides:(Shape.strides t.shape) idx)
-let set t idx v = t.data.(Shape.offset ~strides:(Shape.strides t.shape) idx) <- v
+(* Row-major offset computed inline (Horner over the dims) so the generic
+   accessors don't allocate a stride array per element. *)
+let offset_of t idx =
+  let s = t.shape in
+  let off = ref idx.(0) in
+  for d = 1 to Array.length s - 1 do
+    off := (!off * s.(d)) + idx.(d)
+  done;
+  !off
+
+let get t idx = t.data.(offset_of t idx)
+let set t idx v = t.data.(offset_of t idx) <- v
 
 let get2 t i j = t.data.((i * t.shape.(1)) + j)
 let set2 t i j v = t.data.((i * t.shape.(1)) + j) <- v

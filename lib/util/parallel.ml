@@ -216,6 +216,25 @@ let parallel_for_reduce ?chunk ~lo ~hi ~init ~combine f =
     Array.fold_left combine init partial
   end
 
+(* Per-domain scratch arenas.  Each [arena] hands out one buffer per
+   domain, grown monotonically and reused across jobs, so hot loops that
+   run inside [parallel_for] bodies can stage tiles / GEMM panels without
+   allocating per iteration.  Two borrows from the *same* arena on the
+   same domain alias; call sites own one arena per logically distinct
+   buffer. *)
+module Scratch = struct
+  type 'a arena = { key : 'a array ref Domain.DLS.key; blank : 'a }
+
+  let create blank = { key = Domain.DLS.new_key (fun () -> ref [||]); blank }
+  let create_float () : float arena = create 0.0
+  let create_int () : int arena = create 0
+
+  let borrow a n =
+    let r = Domain.DLS.get a.key in
+    if Array.length !r < n then r := Array.make n a.blank;
+    !r
+end
+
 let map_array ?chunk f arr =
   let n = Array.length arr in
   if n = 0 then [||]

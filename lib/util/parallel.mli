@@ -58,6 +58,29 @@ val parallel_for_reduce :
     count, so the result is deterministic for a fixed [chunk] even when
     [combine] is not exactly associative (floats). *)
 
+(** Per-domain scratch arenas for allocation-free hot loops.
+
+    An arena owns one growable buffer per domain (via [Domain.DLS]);
+    {!Scratch.borrow} returns the calling domain's buffer, enlarged to at
+    least the requested length.  Buffers persist across [parallel_for]
+    jobs, so workers reuse them from tile to tile.  Borrowing twice from
+    the same arena on one domain returns the {e same} array — create one
+    arena per logically distinct buffer. *)
+module Scratch : sig
+  type 'a arena
+
+  val create : 'a -> 'a arena
+  (** [create blank] — a fresh arena whose buffers are filled with
+      [blank] on (re)allocation.  Call once, at module level. *)
+
+  val create_float : unit -> float arena
+  val create_int : unit -> int arena
+
+  val borrow : 'a arena -> int -> 'a array
+  (** [borrow a n] — this domain's buffer, length >= [n].  Contents
+      beyond what the caller last wrote are unspecified. *)
+end
+
 val map_array : ?chunk:int -> ('a -> 'b) -> 'a array -> 'b array
 (** Parallel [Array.map].  [f] runs once per element (including index
     0, which is evaluated on the caller to seed the result array). *)

@@ -23,7 +23,10 @@ let load_tile_i x ~n ~c ~pad ~h0 ~w0 ~t =
       if hi < 0 || hi >= h || wi < 0 || wi >= w then 0
       else Itensor.get4 x n c hi wi)
 
-let conv2d ~variant ?(pad = 0) ~x ~w ?b () =
+(* Tile-major reference path: per-tile tensors through the generic
+   [Rmat] sandwich.  Kept as the oracle the tap-major kernels are tested
+   against (and for readers: this is the textbook formulation). *)
+let conv2d_ref ~variant ?(pad = 0) ~x ~w ?b () =
   let n = Tensor.dim x 0 and cin = Tensor.dim x 1 in
   let h = Tensor.dim x 2 and wd = Tensor.dim x 3 in
   let cout = Tensor.dim w 0 in
@@ -88,7 +91,7 @@ let conv2d ~variant ?(pad = 0) ~x ~w ?b () =
           done));
   out
 
-let conv2d_int_bit_true ~variant ?(pad = 0) ~x ~w () =
+let conv2d_int_bit_true_ref ~variant ?(pad = 0) ~x ~w () =
   let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
   let h = Itensor.dim x 2 and wd = Itensor.dim x 3 in
   let cout = Itensor.dim w 0 in
@@ -149,6 +152,43 @@ let conv2d_int_bit_true ~variant ?(pad = 0) ~x ~w () =
         done
       done);
   out
+
+(* Production path: allocation-free tap-major kernels (specialized
+   shift-add / constant-folded transforms, one flat GEMM per tap).
+   Element-for-element equal to [conv2d_ref]. *)
+let conv2d ~variant ?(pad = 0) ~x ~w ?b () =
+  let cin = Tensor.dim x 1 in
+  if Tensor.dim w 1 <> cin then invalid_arg "Conv.conv2d: channel mismatch";
+  if Tensor.dim w 2 <> 3 || Tensor.dim w 3 <> 3 then
+    invalid_arg "Conv.conv2d: Winograd path requires 3x3 kernels";
+  let out = Kernels.conv2d_f32 (Kernels.f32_specialized variant) ~pad ~x ~w in
+  (match b with
+  | None -> ()
+  | Some bias ->
+      let n = Tensor.dim out 0 and cout = Tensor.dim out 1 in
+      let ho = Tensor.dim out 2 and wo = Tensor.dim out 3 in
+      Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * cout) (fun idx ->
+          let ni = idx / cout and co = idx mod cout in
+          let bv = bias.Tensor.data.(co) in
+          for oh = 0 to ho - 1 do
+            for ow = 0 to wo - 1 do
+              Tensor.set4 out ni co oh ow (Tensor.get4 out ni co oh ow +. bv)
+            done
+          done));
+  out
+
+let conv2d_int_bit_true ~variant ?(pad = 0) ~x ~w () =
+  let cin = Itensor.dim x 1 in
+  if Itensor.dim w 1 <> cin then
+    invalid_arg "Conv.conv2d_int_bit_true: channel mismatch";
+  if Itensor.dim w 2 <> 3 || Itensor.dim w 3 <> 3 then
+    invalid_arg "Conv.conv2d_int_bit_true: Winograd path requires 3x3 kernels";
+  let total_scale =
+    Transform.bt_scale variant * Transform.g_scale variant
+    * Transform.at_scale variant
+  in
+  let scale2 = total_scale * total_scale in
+  Kernels.conv2d_i32_exact (Kernels.i32_specialized variant) ~scale2 ~pad ~x ~w
 
 let max_abs_error ~variant ~x ~w =
   let direct = Ops.conv2d ~stride:1 ~pad:1 ~x ~w () in

@@ -7,7 +7,12 @@
 val conv2d : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Tensor.t -> w:Twq_tensor.Tensor.t -> ?b:Twq_tensor.Tensor.t -> unit -> Twq_tensor.Tensor.t
 (** Winograd convolution, stride 1.  Spatial output dims need not be
     multiples of the tile size; edge tiles are computed on zero-padded
-    extensions and cropped. *)
+    extensions and cropped.  Runs the allocation-free tap-major
+    {!Kernels} path; element-for-element equal to {!conv2d_ref}. *)
+
+val conv2d_ref : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Tensor.t -> w:Twq_tensor.Tensor.t -> ?b:Twq_tensor.Tensor.t -> unit -> Twq_tensor.Tensor.t
+(** Tile-major reference path through the generic [Rmat] sandwich —
+    the oracle for {!conv2d} in tests and benchmarks. *)
 
 val conv2d_int_bit_true : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Itensor.t -> w:Twq_tensor.Itensor.t -> unit -> Twq_tensor.Itensor.t
 (** Bit-true integer Winograd convolution: all transforms are carried out
@@ -15,7 +20,12 @@ val conv2d_int_bit_true : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.
     the final result is divided back by [(bt_scale·g_scale·at_scale)²],
     which is always exact.
     Equal to the direct integer convolution — the ground truth used by the
-    tests and by the paper's "bit-true" discussion. *)
+    tests and by the paper's "bit-true" discussion.  Runs the tap-major
+    shift-add {!Kernels} path; bit-identical to
+    {!conv2d_int_bit_true_ref}. *)
+
+val conv2d_int_bit_true_ref : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Itensor.t -> w:Twq_tensor.Itensor.t -> unit -> Twq_tensor.Itensor.t
+(** Tile-major integer reference via {!Transform.int_sandwich}. *)
 
 val tiles_along : variant:Transform.variant -> int -> int
 (** Number of Winograd tiles covering a spatial extent. *)

@@ -10,6 +10,7 @@ type t = {
   gt : Tensor.t;
   at : Tensor.t;  (* m×n *)
   a : Tensor.t;
+  kern : float Kernels.kernel;  (* compiled tap-major plans *)
 }
 
 let tensor_of_rmat m =
@@ -34,6 +35,11 @@ let create ?points ~m ~r () =
     gt = Ops.transpose g;
     at;
     a = Ops.transpose at;
+    kern =
+      Kernels.f32_of_mats
+        ~bt:(Twq_util.Rmat.to_float gen.Generator.bt)
+        ~g:(Twq_util.Rmat.to_float gen.Generator.g)
+        ~at:(Twq_util.Rmat.to_float gen.Generator.at);
   }
 
 let m t = t.gen.Generator.m
@@ -44,7 +50,9 @@ let macs_reduction t =
   let d1 = m *. r /. (m +. r -. 1.0) in
   d1 *. d1
 
-let conv2d t ?(pad = 0) ~x ~w () =
+(* Tile-major reference path — the oracle for the compiled tap-major
+   kernel below. *)
+let conv2d_ref t ?(pad = 0) ~x ~w () =
   let m_sz = m t and r_sz = r t in
   let tile = m_sz + r_sz - 1 in
   let n = Tensor.dim x 0 and cin = Tensor.dim x 1 in
@@ -104,3 +112,12 @@ let conv2d t ?(pad = 0) ~x ~w () =
         done
       done);
   out
+
+(* Production path: the plans compiled at {!create} time drive the
+   allocation-free tap-major engine.  Bit-identical to [conv2d_ref]. *)
+let conv2d t ?(pad = 0) ~x ~w () =
+  let cin = Tensor.dim x 1 and r_sz = r t in
+  if Tensor.dim w 1 <> cin then invalid_arg "Gconv.conv2d: channel mismatch";
+  if Tensor.dim w 2 <> r_sz || Tensor.dim w 3 <> r_sz then
+    invalid_arg "Gconv.conv2d: kernel size mismatch";
+  Kernels.conv2d_f32 t.kern ~pad ~x ~w

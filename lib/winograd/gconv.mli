@@ -27,4 +27,15 @@ val conv2d :
   unit ->
   Twq_tensor.Tensor.t
 (** Stride-1 convolution of NCHW [x] with [\[cout; cin; r; r\]] weights;
-    numerically equal to [Ops.conv2d]. *)
+    numerically equal to [Ops.conv2d].  Runs the compiled tap-major
+    {!Kernels} path; bit-identical to {!conv2d_ref}. *)
+
+val conv2d_ref :
+  t ->
+  ?pad:int ->
+  x:Twq_tensor.Tensor.t ->
+  w:Twq_tensor.Tensor.t ->
+  unit ->
+  Twq_tensor.Tensor.t
+(** Tile-major reference path through the generic matmul sandwich — the
+    oracle for {!conv2d}. *)

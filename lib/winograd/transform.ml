@@ -116,24 +116,19 @@ let bt v = tensor_of_rmat (bt_rat v)
 let g v = tensor_of_rmat (g_rat v)
 let at v = tensor_of_rmat (at_rat v)
 
-(* T^T-sandwich helpers; the matrices are tiny so repeated construction is
-   irrelevant next to the tile loop cost, but we still memoize the floats. *)
-let memo f =
-  let tbl = Hashtbl.create 4 in
-  fun v ->
-    match Hashtbl.find_opt tbl v with
-    | Some x -> x
-    | None ->
-        let x = f v in
-        Hashtbl.add tbl v x;
-        x
+(* T^T-sandwich helpers.  The float matrices are computed eagerly for all
+   three variants at module init — a lazily-filled Hashtbl here would be
+   mutated concurrently from the domain pool (data race). *)
+let precompute f =
+  let f2 = f F2 and f4 = f F4 and f6 = f F6 in
+  function F2 -> f2 | F4 -> f4 | F6 -> f6
 
-let bt_m = memo bt
-let g_m = memo g
-let at_m = memo at
-let b_m = memo (fun v -> Ops.transpose (bt v))
-let gt_m = memo (fun v -> Ops.transpose (g v))
-let a_m = memo (fun v -> Ops.transpose (at v))
+let bt_m = precompute bt
+let g_m = precompute g
+let at_m = precompute at
+let b_m = precompute (fun v -> Ops.transpose (bt v))
+let gt_m = precompute (fun v -> Ops.transpose (g v))
+let a_m = precompute (fun v -> Ops.transpose (at v))
 
 let input_tile v x = Ops.matmul (Ops.matmul (bt_m v) x) (b_m v)
 let weight_tile v f = Ops.matmul (Ops.matmul (g_m v) f) (gt_m v)

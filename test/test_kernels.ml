@@ -1,0 +1,236 @@
+(* Bit-identity of the specialized tap-major Winograd kernels against
+   the generic Rmat-sandwich reference path, for every variant, random
+   shapes, and under TWQ_NUM_DOMAINS=4.
+
+   "Bit-identical" for the float path means every element compares equal
+   with [=] (the specialized transforms may only differ from the generic
+   matmuls in the sign of a zero, which [=] treats as equal); the integer
+   path is exact arithmetic and must match verbatim. *)
+
+module Parallel = Twq_util.Parallel
+module Tensor = Twq_tensor.Tensor
+module Itensor = Twq_tensor.Itensor
+module Transform = Twq_winograd.Transform
+module Kernels = Twq_winograd.Kernels
+module Conv = Twq_winograd.Conv
+module Gconv = Twq_winograd.Gconv
+module Tapwise = Twq_quant.Tapwise
+module Quantizer = Twq_quant.Quantizer
+
+let with_domains n f =
+  Parallel.set_num_domains n;
+  Fun.protect ~finally:(fun () -> Parallel.clear_num_domains_override ()) f
+
+let float_eq a b =
+  Array.length a.Tensor.data = Array.length b.Tensor.data
+  && Array.for_all2 (fun x y -> x = y) a.Tensor.data b.Tensor.data
+
+let variant_gen =
+  QCheck2.Gen.oneofl [ Transform.F2; Transform.F4; Transform.F6 ]
+
+let seed_gen = QCheck2.Gen.int_range 0 1_000_000
+
+let tensor_of_rng rng shape = Tensor.rand_gaussian rng shape ~mu:0.0 ~sigma:1.0
+
+let itensor_of_rng rng shape =
+  Itensor.init shape (fun _ -> Twq_util.Rng.int rng 255 - 127)
+
+(* ----------------------- single-tile transform steps vs Rmat sandwich *)
+
+let prop_float_tiles =
+  QCheck2.Test.make ~count:100 ~name:"specialized f32 tile = Rmat sandwich"
+    QCheck2.Gen.(pair variant_gen seed_gen)
+    (fun (v, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let t = Transform.t v and m = Transform.m v in
+      let k = Kernels.f32_specialized v in
+      let tmp = Array.make (t * t) nan in
+      let x = tensor_of_rng rng [| t; t |] in
+      let got_in = Array.make (t * t) nan in
+      k.Kernels.input x.Tensor.data 0 got_in 0 tmp;
+      let f = tensor_of_rng rng [| 3; 3 |] in
+      let got_w = Array.make (t * t) nan in
+      k.Kernels.weight f.Tensor.data 0 got_w 0 tmp;
+      let y = tensor_of_rng rng [| t; t |] in
+      let got_out = Array.make (m * m) nan in
+      k.Kernels.output y.Tensor.data 0 got_out 0 tmp;
+      got_in = (Transform.input_tile v x).Tensor.data
+      && got_w = (Transform.weight_tile v f).Tensor.data
+      && got_out = (Transform.output_tile v y).Tensor.data)
+
+let prop_int_tiles =
+  QCheck2.Test.make ~count:100 ~name:"specialized i32 tile = int sandwich"
+    QCheck2.Gen.(pair variant_gen seed_gen)
+    (fun (v, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let t = Transform.t v and m = Transform.m v in
+      let k = Kernels.i32_specialized v in
+      let tmp = Array.make (t * t) 0 in
+      let x = itensor_of_rng rng [| t; t |] in
+      let got_in = Array.make (t * t) 0 in
+      k.Kernels.input x.Itensor.data 0 got_in 0 tmp;
+      let f = itensor_of_rng rng [| 3; 3 |] in
+      let got_w = Array.make (t * t) 0 in
+      k.Kernels.weight f.Itensor.data 0 got_w 0 tmp;
+      let y = itensor_of_rng rng [| t; t |] in
+      let got_out = Array.make (m * m) 0 in
+      k.Kernels.output y.Itensor.data 0 got_out 0 tmp;
+      got_in = (Transform.input_tile_int v x).Itensor.data
+      && got_w = (Transform.weight_tile_int_scaled v f).Itensor.data
+      && got_out = (Transform.output_tile_int v y).Itensor.data)
+
+(* ------------------------------------- full convs, random NCHW shapes *)
+
+let shape_gen =
+  QCheck2.Gen.(
+    tup6 variant_gen (int_range 1 2) (int_range 1 4) (int_range 1 4)
+      (int_range 3 14) (int_range 0 1))
+
+let prop_conv_f32 =
+  QCheck2.Test.make ~count:40 ~name:"tap-major conv2d = tile-major ref"
+    QCheck2.Gen.(pair shape_gen seed_gen)
+    (fun ((v, n, cin, cout, hw, pad), seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let h = hw and w = hw + Twq_util.Rng.int rng 4 in
+      let x = tensor_of_rng rng [| n; cin; h; w |] in
+      let wt = tensor_of_rng rng [| cout; cin; 3; 3 |] in
+      let b = tensor_of_rng rng [| cout |] in
+      let got = Conv.conv2d ~variant:v ~pad ~x ~w:wt ~b () in
+      let want = Conv.conv2d_ref ~variant:v ~pad ~x ~w:wt ~b () in
+      float_eq got want)
+
+let prop_conv_int =
+  QCheck2.Test.make ~count:40 ~name:"tap-major int conv = tile-major ref"
+    QCheck2.Gen.(pair shape_gen seed_gen)
+    (fun ((v, n, cin, cout, hw, pad), seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let h = hw and w = hw + Twq_util.Rng.int rng 4 in
+      let x = itensor_of_rng rng [| n; cin; h; w |] in
+      let wt = itensor_of_rng rng [| cout; cin; 3; 3 |] in
+      let got = Conv.conv2d_int_bit_true ~variant:v ~pad ~x ~w:wt () in
+      let want = Conv.conv2d_int_bit_true_ref ~variant:v ~pad ~x ~w:wt () in
+      Itensor.equal got want)
+
+let prop_conv_f32_four_domains =
+  QCheck2.Test.make ~count:20
+    ~name:"tap-major conv2d = ref under TWQ_NUM_DOMAINS=4"
+    QCheck2.Gen.(pair shape_gen seed_gen)
+    (fun ((v, n, cin, cout, hw, pad), seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let h = hw and w = hw + Twq_util.Rng.int rng 4 in
+      let x = tensor_of_rng rng [| n; cin; h; w |] in
+      let wt = tensor_of_rng rng [| cout; cin; 3; 3 |] in
+      let got = with_domains 4 (fun () -> Conv.conv2d ~variant:v ~pad ~x ~w:wt ()) in
+      let want = Conv.conv2d_ref ~variant:v ~pad ~x ~w:wt () in
+      float_eq got want)
+
+let prop_conv_int_four_domains =
+  QCheck2.Test.make ~count:20
+    ~name:"tap-major int conv = ref under TWQ_NUM_DOMAINS=4"
+    QCheck2.Gen.(pair shape_gen seed_gen)
+    (fun ((v, n, cin, cout, hw, pad), seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let h = hw and w = hw + Twq_util.Rng.int rng 4 in
+      let x = itensor_of_rng rng [| n; cin; h; w |] in
+      let wt = itensor_of_rng rng [| cout; cin; 3; 3 |] in
+      let got =
+        with_domains 4 (fun () -> Conv.conv2d_int_bit_true ~variant:v ~pad ~x ~w:wt ())
+      in
+      let want = Conv.conv2d_int_bit_true_ref ~variant:v ~pad ~x ~w:wt () in
+      Itensor.equal got want)
+
+(* -------------------------------------- generated F(m,r) via Gconv *)
+
+let prop_gconv =
+  QCheck2.Test.make ~count:20 ~name:"gconv compiled plans = matmul sandwich"
+    QCheck2.Gen.(tup4 (int_range 2 4) (oneofl [ 3; 5 ]) (int_range 1 4) seed_gen)
+    (fun (m, r, nd, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let gc = Gconv.create ~m ~r () in
+      let cin = 1 + Twq_util.Rng.int rng 3
+      and cout = 1 + Twq_util.Rng.int rng 3 in
+      let h = r + Twq_util.Rng.int rng 8 and w = r + Twq_util.Rng.int rng 8 in
+      let pad = Twq_util.Rng.int rng ((r / 2) + 1) in
+      let x = tensor_of_rng rng [| 1; cin; h; w |] in
+      let wt = tensor_of_rng rng [| cout; cin; r; r |] in
+      let got = with_domains nd (fun () -> Gconv.conv2d gc ~pad ~x ~w:wt ()) in
+      let want = Gconv.conv2d_ref gc ~pad ~x ~w:wt () in
+      float_eq got want)
+
+(* ------------------------------------ quantized tap-wise forward_int *)
+
+let prop_tapwise =
+  QCheck2.Test.make ~count:15 ~name:"tap-major forward_int = tile-major ref"
+    QCheck2.Gen.(
+      tup4 variant_gen
+        (oneofl [ Tapwise.Single_scale; Tapwise.Tap_wise; Tapwise.Channel_tap_wise ])
+        (int_range 1 4) seed_gen)
+    (fun (v, gran, nd, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let cin = 1 + Twq_util.Rng.int rng 3
+      and cout = 1 + Twq_util.Rng.int rng 3 in
+      let h = 6 + Twq_util.Rng.int rng 8 and wd = 6 + Twq_util.Rng.int rng 8 in
+      let w = Tensor.rand_gaussian rng [| cout; cin; 3; 3 |] ~mu:0.0 ~sigma:0.5 in
+      let bias = Tensor.rand_gaussian rng [| cout |] ~mu:0.0 ~sigma:0.1 in
+      let samples = [ tensor_of_rng rng [| 1; cin; h; wd |] ] in
+      let config = { (Tapwise.default_config v) with Tapwise.granularity = gran } in
+      let l = Tapwise.calibrate ~config ~w ~bias ~sample_inputs:samples ~pad:1 () in
+      let x = tensor_of_rng rng [| 1; cin; h; wd |] in
+      let xi =
+        Quantizer.quantize_tensor ~bits:config.Tapwise.act_bits ~scale:l.Tapwise.s_x x
+      in
+      let got = with_domains nd (fun () -> Tapwise.forward_int l xi) in
+      let want = Tapwise.forward_int_ref l xi in
+      Itensor.equal got want)
+
+(* -------------------------------------------- scratch arena behaviour *)
+
+let test_scratch_reuse () =
+  let a = Parallel.Scratch.create_float () in
+  let b1 = Parallel.Scratch.borrow a 16 in
+  Alcotest.(check bool) "sized up" true (Array.length b1 >= 16);
+  b1.(0) <- 42.0;
+  let b2 = Parallel.Scratch.borrow a 8 in
+  Alcotest.(check bool) "same buffer on re-borrow" true (b1 == b2);
+  let b3 = Parallel.Scratch.borrow a 64 in
+  Alcotest.(check bool) "grows" true (Array.length b3 >= 64)
+
+let test_scratch_per_domain () =
+  (* Each participating domain must see its own buffer: write a marker
+     from every chunk and check no cross-domain interference occurred. *)
+  let a = Parallel.Scratch.create_int () in
+  let ok = Array.make 64 false in
+  with_domains 4 (fun () ->
+      Parallel.parallel_for ~chunk:1 ~lo:0 ~hi:64 (fun i ->
+          let buf = Parallel.Scratch.borrow a 4 in
+          buf.(0) <- i;
+          (* If another domain shared this buffer concurrently, the
+             read-back would race; DLS guarantees it cannot. *)
+          ok.(i) <- buf.(0) = i));
+  Alcotest.(check bool) "per-domain buffers" true (Array.for_all Fun.id ok)
+
+(* ----------------------------------------------------------- registry *)
+
+let () =
+  let qsuite =
+    List.map QCheck_alcotest.to_alcotest
+      [
+        prop_float_tiles;
+        prop_int_tiles;
+        prop_conv_f32;
+        prop_conv_int;
+        prop_conv_f32_four_domains;
+        prop_conv_int_four_domains;
+        prop_gconv;
+        prop_tapwise;
+      ]
+  in
+  Alcotest.run "kernels"
+    [
+      ("qcheck", qsuite);
+      ( "scratch",
+        [
+          Alcotest.test_case "borrow reuses and grows" `Quick test_scratch_reuse;
+          Alcotest.test_case "per-domain isolation" `Quick test_scratch_per_domain;
+        ] );
+    ]
