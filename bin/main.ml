@@ -137,7 +137,107 @@ let layers_cmd =
   in
   Cmd.v (Cmd.info "layers" ~doc) Term.(const run $ network $ batch $ resolution)
 
+let train_cmd =
+  let doc =
+    "Train a small QAT model on the synthetic dataset, with optional \
+     crash-safe checkpointing.  History lines print losses/accuracies in \
+     hexadecimal float notation so that an interrupted-and-resumed run can \
+     be diffed bit-exactly against an uninterrupted one."
+  in
+  let epochs = Arg.(value & opt int 4 & info [ "epochs" ] ~doc:"Epochs.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"RNG seed.") in
+  let mode =
+    Arg.(value & opt string "int8" & info [ "mode" ] ~doc:"fp32, int8 or wa.")
+  in
+  let checkpoint =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "checkpoint" ] ~docv:"PATH"
+          ~doc:"Snapshot training state to $(docv) (atomically, rotated).")
+  in
+  let every =
+    Arg.(
+      value & opt int 4
+      & info [ "every" ]
+          ~doc:"Snapshot every N batches (besides epoch ends); 0 disables \
+                the mid-epoch cadence.")
+  in
+  let resume =
+    Arg.(
+      value & flag
+      & info [ "resume" ]
+          ~doc:"Resume from the newest valid snapshot at --checkpoint.")
+  in
+  let data_parallel =
+    Arg.(
+      value & flag
+      & info [ "data-parallel" ]
+          ~doc:"Split batches across the domain pool (TWQ_NUM_DOMAINS).")
+  in
+  let run epochs seed mode checkpoint every resume data_parallel =
+    let module Synth = Twq_dataset.Synth_images in
+    let module Qat = Twq_nn.Qat_model in
+    let module Trainer = Twq_nn.Trainer in
+    let conv_mode =
+      match String.lowercase_ascii mode with
+      | "fp32" -> Qat.Fp32
+      | "int8" -> Qat.Int8_spatial
+      | "wa" ->
+          Qat.Wa
+            {
+              variant = Twq_winograd.Transform.F4;
+              wino_bits = 8;
+              tapwise = true;
+              pow2 = false;
+              learned = true;
+            }
+      | s ->
+          Printf.eprintf "unknown mode %S (fp32 | int8 | wa)\n" s;
+          exit 2
+    in
+    if resume && checkpoint = None then begin
+      Printf.eprintf "--resume requires --checkpoint PATH\n";
+      exit 2
+    end;
+    let spec =
+      { Synth.default_spec with n_train = 96; n_valid = 32; n_test = 32 }
+    in
+    let dataset = Synth.generate ~spec ~seed:11 () in
+    let model =
+      Qat.create { (Qat.default_config conv_mode) with arch = Qat.Vgg_mini [ 4; 8 ] } ~seed
+    in
+    let options =
+      {
+        Trainer.default_options with
+        epochs;
+        seed;
+        data_parallel;
+        checkpoint =
+          Option.map
+            (fun p -> { Trainer.ckpt_path = p; ckpt_every = every })
+            checkpoint;
+      }
+    in
+    let history =
+      if resume then Trainer.train_resume model dataset options
+      else Trainer.train model dataset options
+    in
+    Array.iteri
+      (fun e loss ->
+        Printf.printf "epoch %d loss %h acc %h\n" e loss
+          history.Trainer.valid_acc.(e))
+      history.Trainer.train_loss;
+    Printf.printf "test %h\n" (Trainer.evaluate model dataset.Synth.test)
+  in
+  Cmd.v (Cmd.info "train" ~doc)
+    Term.(
+      const run $ epochs $ seed $ mode $ checkpoint $ every $ resume
+      $ data_parallel)
+
 let () =
   let doc = "Tap-wise quantized Winograd F4 — paper reproduction driver" in
   let info = Cmd.info "twq" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; trace_cmd; layers_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; layers_cmd; train_cmd ]))

@@ -18,17 +18,29 @@ let sgd ?(momentum = 0.0) ?(weight_decay = 0.0) ~lr params =
   { lr; momentum; weight_decay; params; velocity }
 
 let set_lr o lr = o.lr <- lr
+let lr o = o.lr
+
+let finite_array a = Array.for_all Float.is_finite a
+
+let grads_finite params =
+  List.for_all (fun p -> finite_array p.Var.grad.Tensor.data) params
 
 let sgd_step o =
   List.iter
     (fun p ->
-      let v = Hashtbl.find o.velocity p.Var.id in
-      let data = p.Var.data.Tensor.data and grad = p.Var.grad.Tensor.data in
-      for i = 0 to Array.length data - 1 do
-        let g = grad.(i) +. (o.weight_decay *. data.(i)) in
-        v.(i) <- (o.momentum *. v.(i)) +. g;
-        data.(i) <- data.(i) -. (o.lr *. v.(i))
-      done;
+      let grad = p.Var.grad.Tensor.data in
+      (* A non-finite gradient must never reach the momentum buffer — once
+         a NaN enters the velocity it poisons every later step.  Drop the
+         update for this parameter; the gradient is still cleared. *)
+      if finite_array grad then begin
+        let v = Hashtbl.find o.velocity p.Var.id in
+        let data = p.Var.data.Tensor.data in
+        for i = 0 to Array.length data - 1 do
+          let g = grad.(i) +. (o.weight_decay *. data.(i)) in
+          v.(i) <- (o.momentum *. v.(i)) +. g;
+          data.(i) <- data.(i) -. (o.lr *. v.(i))
+        done
+      end;
       Var.zero_grad p)
     o.params
 
@@ -42,7 +54,9 @@ let grad_norm params =
 
 let clip_grad_norm params ~max_norm =
   let n = grad_norm params in
-  if n > max_norm && n > 0.0 then begin
+  (* A non-finite norm would turn every gradient into NaN; leave them for
+     the caller's divergence guard instead. *)
+  if Float.is_finite n && n > max_norm && n > 0.0 then begin
     let k = max_norm /. n in
     List.iter
       (fun p ->
@@ -52,3 +66,20 @@ let clip_grad_norm params ~max_norm =
         done)
       params
   end
+
+let export_velocity o =
+  List.map (fun p -> Array.copy (Hashtbl.find o.velocity p.Var.id)) o.params
+
+let import_velocity o vs =
+  match
+    List.iter2
+      (fun p v ->
+        let dst = Hashtbl.find o.velocity p.Var.id in
+        if Array.length dst <> Array.length v then
+          invalid_arg "Optim.import_velocity: buffer size mismatch";
+        Array.blit v 0 dst 0 (Array.length v))
+      o.params vs
+  with
+  | () -> ()
+  | exception Invalid_argument _ ->
+      invalid_arg "Optim.import_velocity: buffer count/size mismatch"

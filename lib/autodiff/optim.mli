@@ -10,13 +10,32 @@ val sgd : ?momentum:float -> ?weight_decay:float -> lr:float -> Var.t list -> sg
 (** The parameter list is fixed at creation (momentum buffers attach to it). *)
 
 val sgd_step : sgd -> unit
-(** Apply one update from the accumulated gradients, then zero them. *)
+(** Apply one update from the accumulated gradients, then zero them.
+    Parameters whose gradient contains a non-finite value are skipped
+    (gradient cleared, velocity and weights untouched): NaNs must never
+    reach the momentum buffers, from which they would poison every
+    subsequent step. *)
 
 val set_lr : sgd -> float -> unit
+val lr : sgd -> float
 
 val zero_grads : Var.t list -> unit
 
 val grad_norm : Var.t list -> float
 (** Global L2 norm of all parameter gradients (diagnostics). *)
 
+val grads_finite : Var.t list -> bool
+(** [true] iff every accumulated gradient value is finite — the
+    divergence check run before an optimizer step is trusted. *)
+
 val clip_grad_norm : Var.t list -> max_norm:float -> unit
+(** No-op when the global norm is non-finite (scaling by [NaN] would
+    corrupt all gradients); the caller's divergence guard handles it. *)
+
+(** {2 State capture} — momentum buffers for training checkpoints, in the
+    creation-time parameter order. *)
+
+val export_velocity : sgd -> float array list
+
+val import_velocity : sgd -> float array list -> unit
+(** @raise Invalid_argument on a buffer count or size mismatch. *)

@@ -63,12 +63,36 @@ let grad p = p.g
 let log2_t p = p.theta
 
 let adam_step ?(lr = 0.01) ?(beta1 = 0.9) ?(beta2 = 0.99) ?(eps = 1e-8) p =
-  if p.learnable then begin
-    p.steps <- p.steps + 1;
-    p.m <- (beta1 *. p.m) +. ((1.0 -. beta1) *. p.g);
-    p.v <- (beta2 *. p.v) +. ((1.0 -. beta2) *. p.g *. p.g);
-    let m_hat = p.m /. (1.0 -. Float.pow beta1 (float_of_int p.steps)) in
-    let v_hat = p.v /. (1.0 -. Float.pow beta2 (float_of_int p.steps)) in
-    p.theta <- p.theta -. (lr *. m_hat /. (sqrt v_hat +. eps));
-    p.g <- 0.0
-  end
+  if p.learnable then
+    if not (Float.is_finite p.g) then
+      (* A poisoned gradient must not enter the first/second-moment EMAs
+         (they never forget it); drop the step instead. *)
+      p.g <- 0.0
+    else begin
+      p.steps <- p.steps + 1;
+      p.m <- (beta1 *. p.m) +. ((1.0 -. beta1) *. p.g);
+      p.v <- (beta2 *. p.v) +. ((1.0 -. beta2) *. p.g *. p.g);
+      let m_hat = p.m /. (1.0 -. Float.pow beta1 (float_of_int p.steps)) in
+      let v_hat = p.v /. (1.0 -. Float.pow beta2 (float_of_int p.steps)) in
+      p.theta <- p.theta -. (lr *. m_hat /. (sqrt v_hat +. eps));
+      p.g <- 0.0
+    end
+
+type snapshot = {
+  snap_theta : float;
+  snap_g : float;
+  snap_m : float;
+  snap_v : float;
+  snap_steps : int;
+}
+
+let snapshot p =
+  { snap_theta = p.theta; snap_g = p.g; snap_m = p.m; snap_v = p.v;
+    snap_steps = p.steps }
+
+let restore p s =
+  p.theta <- s.snap_theta;
+  p.g <- s.snap_g;
+  p.m <- s.snap_m;
+  p.v <- s.snap_v;
+  p.steps <- s.snap_steps

@@ -40,6 +40,22 @@ val zero_grad : t -> unit
 val grad : t -> float
 
 val adam_step : ?lr:float -> ?beta1:float -> ?beta2:float -> ?eps:float -> t -> unit
-(** One Adam update of [θ] (no-op for non-learnable scales). *)
+(** One Adam update of [θ] (no-op for non-learnable scales).  A non-finite
+    accumulated gradient is discarded instead of applied — NaNs must not
+    poison the Adam moment EMAs. *)
+
+(** {2 State capture} — full optimizer state of one scale parameter, for
+    bit-exact training checkpoints. *)
+
+type snapshot = {
+  snap_theta : float;
+  snap_g : float;
+  snap_m : float;
+  snap_v : float;
+  snap_steps : int;
+}
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
 
 val log2_t : t -> float

@@ -47,6 +47,41 @@ let create ~variant ?(wino_bits = 8) ?(pow2 = true) ?(tapwise = true)
 
 let set_frozen l b = l.frozen <- b
 
+type snapshot = {
+  snap_sb : Scale_param.snapshot array array;
+  snap_sg : Scale_param.snapshot array array;
+  snap_initialized : bool;
+  snap_b_max : float array array;
+  snap_g_max : float array array;
+}
+
+let snapshot l =
+  {
+    snap_sb = Array.map (Array.map Scale_param.snapshot) l.sb;
+    snap_sg = Array.map (Array.map Scale_param.snapshot) l.sg;
+    snap_initialized = l.initialized;
+    snap_b_max = Array.map Array.copy l.b_max;
+    snap_g_max = Array.map Array.copy l.g_max;
+  }
+
+let restore l s =
+  let t = Transform.t l.variant in
+  if
+    Array.length s.snap_sb <> t || Array.length s.snap_sg <> t
+    || Array.length s.snap_b_max <> t
+    || Array.length s.snap_g_max <> t
+  then invalid_arg "Wa_conv.restore: snapshot grid size mismatch";
+  let restore_grid dst src =
+    Array.iteri
+      (fun i row -> Array.iteri (fun j p -> Scale_param.restore p src.(i).(j)) row)
+      dst
+  in
+  restore_grid l.sb s.snap_sb;
+  restore_grid l.sg s.snap_sg;
+  l.initialized <- s.snap_initialized;
+  Array.iteri (fun i row -> Array.blit row 0 l.b_max.(i) 0 t) s.snap_b_max;
+  Array.iteri (fun i row -> Array.blit row 0 l.g_max.(i) 0 t) s.snap_g_max
+
 let scale_at l grid i j = if l.tapwise then grid.(i).(j) else grid.(0).(0)
 
 let scales l =

@@ -49,3 +49,22 @@ val weight_scale_grid : t -> float array array
 
 val set_frozen : t -> bool -> unit
 (** Freeze calibration (evaluation mode): static scales stop updating. *)
+
+(** {2 State capture} — everything mutable a training run accumulates in
+    the layer: the scale parameters (with their Adam state) and the
+    running-max calibration EMAs.  Restoring a snapshot makes resumed
+    training bit-identical to an uninterrupted run. *)
+
+type snapshot = {
+  snap_sb : Scale_param.snapshot array array;
+  snap_sg : Scale_param.snapshot array array;
+  snap_initialized : bool;
+  snap_b_max : float array array;
+  snap_g_max : float array array;
+}
+
+val snapshot : t -> snapshot
+
+val restore : t -> snapshot -> unit
+(** @raise Invalid_argument when grid sizes disagree with the layer's
+    transform variant. *)

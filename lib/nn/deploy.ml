@@ -201,28 +201,34 @@ let to_string net =
   Buffer.contents buf
 
 let of_string s =
-  (* The conv payloads are parsed with the layer parser, so split on our own
-     headers rather than scanning the whole string linearly. *)
-  let ic = Scanf.Scanning.from_string s in
-  Scanf.bscanf ic " twq-int8-net v1 " ();
-  let input_scale, output_scale =
-    Scanf.bscanf ic " scales %h %h" (fun a b -> (a, b))
-  in
-  let fc_w = Serialize.read_tensor ic in
-  let fc_b = Serialize.read_tensor ic in
-  let n_ops = Scanf.bscanf ic " ops %d" Fun.id in
-  let ops =
-    List.init n_ops (fun _ ->
-        match Scanf.bscanf ic " %s" Fun.id with
-        | "relu" -> Relu
-        | "avg-pool2" -> Avg_pool2
-        | "conv" ->
-            (* Re-parse the embedded layer with the shared reader. *)
-            Scanf.bscanf ic " tapwise-layer v1 " ();
-            Conv (Serialize.read_layer_body ic)
-        | tag -> failwith ("Deploy.of_string: unknown op " ^ tag))
-  in
-  { ops; input_scale; output_scale; fc_w; fc_b }
+  let r = Serialize.reader_of_string s in
+  try
+    Serialize.expect r "twq-int8-net";
+    Serialize.expect r "v1";
+    Serialize.expect r "scales";
+    let input_scale = Serialize.read_float r in
+    let output_scale = Serialize.read_float r in
+    let fc_w = Serialize.read_tensor r in
+    let fc_b = Serialize.read_tensor r in
+    Serialize.expect r "ops";
+    let n_ops = Serialize.read_int r in
+    if n_ops < 0 || n_ops > String.length s then
+      Serialize.parse_fail r "invalid op count";
+    let ops =
+      List.init n_ops (fun _ ->
+          match Serialize.read_word r with
+          | "relu" -> Relu
+          | "avg-pool2" -> Avg_pool2
+          | "conv" ->
+              (* Re-parse the embedded layer with the shared reader. *)
+              Serialize.expect r "tapwise-layer";
+              Serialize.expect r "v1";
+              Conv (Serialize.read_layer_body r)
+          | tag -> Serialize.parse_fail r ("unknown op " ^ tag))
+    in
+    { ops; input_scale; output_scale; fc_w; fc_b }
+  with Serialize.Parse_failure e ->
+    failwith ("Deploy.of_string: " ^ Serialize.error_to_string e)
 
 let save net path =
   let oc = open_out path in

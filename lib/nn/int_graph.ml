@@ -306,50 +306,69 @@ let to_string t =
   Buffer.contents buf
 
 let of_string s =
-  let ic = Scanf.Scanning.from_string s in
-  Scanf.bscanf ic " twq-int8-graph v1 " ();
-  let n, out = Scanf.bscanf ic " meta %d %d" (fun a b -> (a, b)) in
-  let inodes =
-    Array.init n (fun _ ->
-        let n_inputs, scale =
-          Scanf.bscanf ic " node %d %h" (fun a b -> (a, b))
-        in
-        let inputs = List.init n_inputs (fun _ -> Scanf.bscanf ic " %d" Fun.id) in
-        let tag = Scanf.bscanf ic " %s" Fun.id in
-        let iop =
-          match tag with
-          | "input" -> IInput (Scanf.bscanf ic " %h" Fun.id)
-          | "wino" ->
-              Scanf.bscanf ic " tapwise-layer v1 " ();
-              IWino (Serialize.read_layer_body ic)
-          | "spatial" ->
-              Scanf.bscanf ic " qconv-layer v1 " ();
-              ISpatial (Serialize.read_qconv_body ic)
-          | "relu" -> IRelu
-          | "leaky" -> ILeaky (Scanf.bscanf ic " %d" Fun.id)
-          | "max-pool" ->
-              let k, stride = Scanf.bscanf ic " %d %d" (fun a b -> (a, b)) in
-              IMax_pool { k; stride }
-          | "avg-pool2" -> IAvg_pool2
-          | "upsample" -> IUpsample (Scanf.bscanf ic " %d" Fun.id)
-          | "add" ->
-              let a, b, o = Scanf.bscanf ic " %d %d %h" (fun a b c -> (a, b, c)) in
-              IAdd { shift_a = a; shift_b = b; out_scale = o }
-          | "concat" ->
-              let a, b = Scanf.bscanf ic " %d %d" (fun a b -> (a, b)) in
-              IConcat { shift_a = a; shift_b = b }
-          | "head" ->
-              let in_scale, has_bias =
-                Scanf.bscanf ic " %h %d" (fun a b -> (a, b))
-              in
-              let w = Serialize.read_tensor ic in
-              let bias = if has_bias = 1 then Some (Serialize.read_tensor ic) else None in
-              IHead { w; bias; in_scale }
-          | tag -> failwith ("Int_graph.of_string: unknown op " ^ tag)
-        in
-        { iop; inputs; scale })
-  in
-  { inodes; out }
+  let r = Serialize.reader_of_string s in
+  try
+    Serialize.expect r "twq-int8-graph";
+    Serialize.expect r "v1";
+    Serialize.expect r "meta";
+    let n = Serialize.read_int r in
+    let out = Serialize.read_int r in
+    if n < 0 || n > String.length s then
+      Serialize.parse_fail r "invalid node count";
+    if out < 0 || out >= n then Serialize.parse_fail r "output id out of range";
+    let inodes =
+      Array.init n (fun _ ->
+          Serialize.expect r "node";
+          let n_inputs = Serialize.read_int r in
+          if n_inputs < 0 || n_inputs > String.length s then
+            Serialize.parse_fail r "invalid input count";
+          let scale = Serialize.read_float r in
+          let inputs = List.init n_inputs (fun _ -> Serialize.read_int r) in
+          if List.exists (fun i -> i < 0 || i >= n) inputs then
+            Serialize.parse_fail r "input id out of range";
+          let iop =
+            match Serialize.read_word r with
+            | "input" -> IInput (Serialize.read_float r)
+            | "wino" ->
+                Serialize.expect r "tapwise-layer";
+                Serialize.expect r "v1";
+                IWino (Serialize.read_layer_body r)
+            | "spatial" ->
+                Serialize.expect r "qconv-layer";
+                Serialize.expect r "v1";
+                ISpatial (Serialize.read_qconv_body r)
+            | "relu" -> IRelu
+            | "leaky" -> ILeaky (Serialize.read_int r)
+            | "max-pool" ->
+                let k = Serialize.read_int r in
+                let stride = Serialize.read_int r in
+                IMax_pool { k; stride }
+            | "avg-pool2" -> IAvg_pool2
+            | "upsample" -> IUpsample (Serialize.read_int r)
+            | "add" ->
+                let a = Serialize.read_int r in
+                let b = Serialize.read_int r in
+                let o = Serialize.read_float r in
+                IAdd { shift_a = a; shift_b = b; out_scale = o }
+            | "concat" ->
+                let a = Serialize.read_int r in
+                let b = Serialize.read_int r in
+                IConcat { shift_a = a; shift_b = b }
+            | "head" ->
+                let in_scale = Serialize.read_float r in
+                let has_bias = Serialize.read_int r in
+                let w = Serialize.read_tensor r in
+                let bias =
+                  if has_bias = 1 then Some (Serialize.read_tensor r) else None
+                in
+                IHead { w; bias; in_scale }
+            | tag -> Serialize.parse_fail r ("unknown op " ^ tag)
+          in
+          { iop; inputs; scale })
+    in
+    { inodes; out }
+  with Serialize.Parse_failure e ->
+    failwith ("Int_graph.of_string: " ^ Serialize.error_to_string e)
 
 let save t path =
   let oc = open_out path in

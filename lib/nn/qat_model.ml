@@ -179,6 +179,11 @@ let scale_params t =
          | Some wa -> List.filter Scale_param.learnable (Wa_conv.scales wa)
          | None -> [])
 
+let observers t =
+  Array.to_list t.convs |> List.map (fun l -> l.act_obs)
+
+let wa_layers t = Array.to_list t.convs |> List.map (fun l -> l.wa)
+
 let set_frozen t b =
   Array.iter
     (fun l ->

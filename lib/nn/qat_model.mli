@@ -56,6 +56,14 @@ val scale_params : t -> Twq_autodiff.Scale_param.t list
 val set_frozen : t -> bool -> unit
 (** Freeze all running-max calibration (switch to evaluation). *)
 
+val observers : t -> Twq_quant.Calibration.t list
+(** Per-conv activation observers, in layer order — mutable calibration
+    state that training checkpoints must capture. *)
+
+val wa_layers : t -> Twq_autodiff.Wa_conv.t option list
+(** Per-conv Winograd-aware layer (scale parameters + calibration EMAs),
+    in layer order; [None] for non-Winograd modes. *)
+
 val config : t -> config
 
 val num_parameters : t -> int

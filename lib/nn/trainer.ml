@@ -2,10 +2,19 @@ module Tensor = Twq_tensor.Tensor
 module Ops = Twq_tensor.Ops
 module Rng = Twq_util.Rng
 module Parallel = Twq_util.Parallel
+module Checkpoint = Twq_util.Checkpoint
 module Synth = Twq_dataset.Synth_images
+module Calibration = Twq_quant.Calibration
+module Serialize = Twq_quant.Serialize
 open Twq_autodiff
 
 type kd = { teacher : Qat_model.t; temperature : float; alpha : float }
+
+type checkpointing = { ckpt_path : string; ckpt_every : int }
+
+type divergence_policy = { max_failures : int; lr_backoff : float }
+
+let default_divergence = { max_failures = 3; lr_backoff = 0.5 }
 
 type options = {
   epochs : int;
@@ -18,6 +27,9 @@ type options = {
   grad_clip : float;
   seed : int;
   data_parallel : bool;
+  checkpoint : checkpointing option;
+  divergence : divergence_policy;
+  loss_tap : (epoch:int -> batch:int -> float -> float) option;
 }
 
 let default_options =
@@ -32,6 +44,9 @@ let default_options =
     grad_clip = 5.0;
     seed = 7;
     data_parallel = false;
+    checkpoint = None;
+    divergence = default_divergence;
+    loss_tap = None;
   }
 
 type history = { train_loss : float array; valid_acc : float array }
@@ -53,24 +68,25 @@ let stack_batch split lo size =
    domains; the first batch runs on the caller so that a model whose
    observers were never calibrated seeds them deterministically. *)
 let eval_batches model split count_batch =
-  Qat_model.set_frozen model true;
   let n = Array.length split in
-  let batch = 32 in
-  let nb = (n + batch - 1) / batch in
-  let count b =
-    let lo = b * batch in
-    let size = Stdlib.min batch (n - lo) in
-    count_batch ~lo ~size
-  in
-  let correct =
-    if nb = 0 then 0
-    else
+  if n = 0 then 0.0
+  else begin
+    Qat_model.set_frozen model true;
+    let batch = 32 in
+    let nb = (n + batch - 1) / batch in
+    let count b =
+      let lo = b * batch in
+      let size = Stdlib.min batch (n - lo) in
+      count_batch ~lo ~size
+    in
+    let correct =
       count 0
       + Parallel.parallel_for_reduce ~chunk:1 ~lo:1 ~hi:nb ~init:0
           ~combine:( + ) count
-  in
-  Qat_model.set_frozen model false;
-  float_of_int correct /. float_of_int n
+    in
+    Qat_model.set_frozen model false;
+    float_of_int correct /. float_of_int n
+  end
 
 let evaluate_topk ~k model split =
   eval_batches model split (fun ~lo ~size ->
@@ -154,7 +170,269 @@ let grad_accumulate_parallel options model ~params ~scale_params x labels =
     scale_sinks;
   Array.fold_left ( +. ) 0.0 chunk_loss
 
-let train model dataset options =
+(* ----------------------------------------------- training-state snapshots *)
+
+(* Everything mutable that one training step touches, bundled so that a
+   snapshot/restore pair brackets the full state: restoring a snapshot and
+   replaying the remaining batches is bit-identical to never having
+   stopped. *)
+type ctx = {
+  model : Qat_model.t;
+  params : Var.t list;
+  scale_params : Scale_param.t list;
+  obs : Calibration.t list;
+  wa : Wa_conv.t option list;
+  opt : Optim.sgd;
+  rng : Rng.t;
+  train_loss : float array;
+  valid_acc : float array;
+  mutable epoch : int;
+  mutable cursor : int;  (* next batch index within [epoch] *)
+  mutable epoch_rng : int64;  (* RNG state at the start of [epoch] *)
+  mutable total : float;  (* partial-epoch loss accumulator *)
+  mutable count : int;
+  mutable lr_scale : float;  (* divergence-policy LR decay, 1.0 normally *)
+  mutable failures : int;  (* consecutive poisoned steps *)
+}
+
+let snapshot_format = "twq-train-state v1"
+
+let write_float_grid buf (g : float array array) =
+  Buffer.add_string buf
+    (Printf.sprintf "%d %d\n" (Array.length g) (Array.length g.(0)));
+  Array.iter
+    (fun row ->
+      Array.iter (fun v -> Buffer.add_string buf (Printf.sprintf "%h " v)) row;
+      Buffer.add_char buf '\n')
+    g
+
+let read_float_grid r ~rows ~cols =
+  let rows' = Serialize.read_int r and cols' = Serialize.read_int r in
+  if rows' <> rows || cols' <> cols then
+    Serialize.parse_fail r
+      (Printf.sprintf "grid is %dx%d, expected %dx%d" rows' cols' rows cols);
+  Array.init rows (fun _ -> Array.init cols (fun _ -> Serialize.read_float r))
+
+let write_scale_snapshot buf (s : Scale_param.snapshot) =
+  Buffer.add_string buf
+    (Printf.sprintf "%h %h %h %h %d\n" s.Scale_param.snap_theta
+       s.Scale_param.snap_g s.Scale_param.snap_m s.Scale_param.snap_v
+       s.Scale_param.snap_steps)
+
+let read_scale_snapshot r =
+  let snap_theta = Serialize.read_float r in
+  let snap_g = Serialize.read_float r in
+  let snap_m = Serialize.read_float r in
+  let snap_v = Serialize.read_float r in
+  let snap_steps = Serialize.read_int r in
+  { Scale_param.snap_theta; snap_g; snap_m; snap_v; snap_steps }
+
+let snapshot_to_string c =
+  let buf = Buffer.create 65536 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  pf "%s\n" snapshot_format;
+  pf "cursor %d %d\n" c.epoch c.cursor;
+  pf "rng %s\n" (Int64.to_string c.epoch_rng);
+  pf "accum %h %d\n" c.total c.count;
+  pf "policy %h %d\n" c.lr_scale c.failures;
+  let n_done = Stdlib.min c.epoch (Array.length c.train_loss) in
+  pf "history %d\n" n_done;
+  for e = 0 to n_done - 1 do
+    pf "%h %h\n" c.train_loss.(e) c.valid_acc.(e)
+  done;
+  pf "params %d\n" (List.length c.params);
+  List.iter (fun p -> Serialize.write_tensor buf p.Var.data) c.params;
+  pf "velocity %d\n" (List.length c.params);
+  List.iter
+    (fun v ->
+      pf "%d\n" (Array.length v);
+      Array.iter (fun x -> pf "%h " x) v;
+      Buffer.add_char buf '\n')
+    (Optim.export_velocity c.opt);
+  pf "scales %d\n" (List.length c.scale_params);
+  List.iter
+    (fun sp -> write_scale_snapshot buf (Scale_param.snapshot sp))
+    c.scale_params;
+  pf "observers %d\n" (List.length c.obs);
+  List.iter
+    (fun o ->
+      let s = Calibration.snapshot o in
+      pf "%h %d\n" s.Calibration.snap_value
+        (if s.Calibration.snap_seen then 1 else 0))
+    c.obs;
+  pf "wa %d\n" (List.length c.wa);
+  List.iter
+    (function
+      | None -> pf "none\n"
+      | Some w ->
+          let s = Wa_conv.snapshot w in
+          let t = Array.length s.Wa_conv.snap_b_max in
+          pf "some %d %d\n" (if s.Wa_conv.snap_initialized then 1 else 0) t;
+          write_float_grid buf s.Wa_conv.snap_b_max;
+          write_float_grid buf s.Wa_conv.snap_g_max;
+          Array.iter (Array.iter (write_scale_snapshot buf)) s.Wa_conv.snap_sb;
+          Array.iter (Array.iter (write_scale_snapshot buf)) s.Wa_conv.snap_sg)
+    c.wa;
+  Buffer.contents buf
+
+(* Parse a snapshot payload and apply it to [c] in place.  Every count and
+   shape is validated against the live model before anything is mutated
+   beyond the already-validated prefix, and any parse failure is returned
+   as a typed error string (never an exception). *)
+let apply_snapshot c payload =
+  let r = Serialize.reader_of_string payload in
+  let check what expected got =
+    if expected <> got then
+      Serialize.parse_fail r
+        (Printf.sprintf "%s count mismatch: checkpoint has %d, model has %d"
+           what got expected)
+  in
+  match
+    Serialize.expect r "twq-train-state";
+    Serialize.expect r "v1";
+    Serialize.expect r "cursor";
+    let epoch = Serialize.read_int r in
+    let cursor = Serialize.read_int r in
+    if epoch < 0 || cursor < 0 then Serialize.parse_fail r "negative cursor";
+    Serialize.expect r "rng";
+    let rng_word = Serialize.read_word r in
+    let rng_state =
+      match Int64.of_string_opt rng_word with
+      | Some v -> v
+      | None -> Serialize.parse_fail r ("bad rng state " ^ rng_word)
+    in
+    Serialize.expect r "accum";
+    let total = Serialize.read_float r in
+    let count = Serialize.read_int r in
+    Serialize.expect r "policy";
+    let lr_scale = Serialize.read_float r in
+    let failures = Serialize.read_int r in
+    Serialize.expect r "history";
+    let n_done = Serialize.read_int r in
+    if n_done < 0 || n_done > epoch then
+      Serialize.parse_fail r "history length disagrees with cursor";
+    let hist =
+      Array.init n_done (fun _ ->
+          let tl = Serialize.read_float r in
+          let va = Serialize.read_float r in
+          (tl, va))
+    in
+    Serialize.expect r "params";
+    check "param" (List.length c.params) (Serialize.read_int r);
+    let tensors =
+      List.map
+        (fun p ->
+          let t = Serialize.read_tensor r in
+          if not (Twq_tensor.Shape.equal t.Tensor.shape p.Var.data.Tensor.shape)
+          then
+            Serialize.parse_fail r
+              (Printf.sprintf "param shape %s does not match model shape %s"
+                 (Twq_tensor.Shape.to_string t.Tensor.shape)
+                 (Twq_tensor.Shape.to_string p.Var.data.Tensor.shape));
+          t)
+        c.params
+    in
+    Serialize.expect r "velocity";
+    check "velocity" (List.length c.params) (Serialize.read_int r);
+    let velocity =
+      List.map
+        (fun p ->
+          let len = Serialize.read_int r in
+          if len <> Tensor.numel p.Var.data then
+            Serialize.parse_fail r "velocity length mismatch";
+          Array.init len (fun _ -> Serialize.read_float r))
+        c.params
+    in
+    Serialize.expect r "scales";
+    check "scale" (List.length c.scale_params) (Serialize.read_int r);
+    let scales = List.map (fun _ -> read_scale_snapshot r) c.scale_params in
+    Serialize.expect r "observers";
+    check "observer" (List.length c.obs) (Serialize.read_int r);
+    let observers =
+      List.map
+        (fun _ ->
+          let v = Serialize.read_float r in
+          let seen = Serialize.read_int r in
+          { Calibration.snap_value = v; snap_seen = seen = 1 })
+        c.obs
+    in
+    Serialize.expect r "wa";
+    check "wa layer" (List.length c.wa) (Serialize.read_int r);
+    let wa_snaps =
+      List.map
+        (fun live ->
+          match (Serialize.read_word r, live) with
+          | "none", None -> None
+          | "some", Some _ ->
+              let initialized = Serialize.read_int r = 1 in
+              let t = Serialize.read_int r in
+              if t < 1 || t > 16 then Serialize.parse_fail r "bad tile size";
+              let b_max = read_float_grid r ~rows:t ~cols:t in
+              let g_max = read_float_grid r ~rows:t ~cols:t in
+              let grid () =
+                Array.init t (fun _ ->
+                    Array.init t (fun _ -> read_scale_snapshot r))
+              in
+              let sb = grid () in
+              let sg = grid () in
+              Some
+                {
+                  Wa_conv.snap_sb = sb;
+                  snap_sg = sg;
+                  snap_initialized = initialized;
+                  snap_b_max = b_max;
+                  snap_g_max = g_max;
+                }
+          | tag, _ ->
+              Serialize.parse_fail r
+                ("wa entry " ^ tag ^ " does not match the model's layer mode"))
+        c.wa
+    in
+    (* Parsing and validation done — apply everything in place. *)
+    List.iter2
+      (fun p t ->
+        Array.blit t.Tensor.data 0 p.Var.data.Tensor.data 0
+          (Tensor.numel p.Var.data);
+        Var.zero_grad p)
+      c.params tensors;
+    Optim.import_velocity c.opt velocity;
+    List.iter2 Scale_param.restore c.scale_params scales;
+    List.iter2 Calibration.restore c.obs observers;
+    List.iter2
+      (fun live snap ->
+        match (live, snap) with
+        | Some w, Some s -> Wa_conv.restore w s
+        | _ -> ())
+      c.wa wa_snaps;
+    Rng.set_state c.rng rng_state;
+    c.epoch <- epoch;
+    c.cursor <- cursor;
+    c.epoch_rng <- rng_state;
+    c.total <- total;
+    c.count <- count;
+    c.lr_scale <- lr_scale;
+    c.failures <- failures;
+    let n_hist = Stdlib.min n_done (Array.length c.train_loss) in
+    Array.iteri
+      (fun e (tl, va) ->
+        if e < n_hist then begin
+          c.train_loss.(e) <- tl;
+          c.valid_acc.(e) <- va
+        end)
+      hist
+  with
+  | () -> Ok ()
+  | exception Serialize.Parse_failure e ->
+      Error (Serialize.error_to_string e)
+  | exception (Invalid_argument m | Failure m) -> Error m
+
+(* -------------------------------------------------------- training loop *)
+
+let run model dataset options ~resume =
+  if Array.length dataset.Synth.train = 0 then
+    invalid_arg "Trainer.train: empty training split";
+  if options.batch_size <= 0 then
+    invalid_arg "Trainer.train: non-positive batch size";
   let rng = Rng.create options.seed in
   let params = Qat_model.params model in
   let opt =
@@ -162,38 +440,163 @@ let train model dataset options =
       ~lr:options.lr params
   in
   let scale_params = Qat_model.scale_params model in
-  let train_loss = Array.make options.epochs 0.0 in
-  let valid_acc = Array.make options.epochs 0.0 in
+  let c =
+    {
+      model;
+      params;
+      scale_params;
+      obs = Qat_model.observers model;
+      wa = Qat_model.wa_layers model;
+      opt;
+      rng;
+      train_loss = Array.make options.epochs 0.0;
+      valid_acc = Array.make options.epochs 0.0;
+      epoch = 0;
+      cursor = 0;
+      epoch_rng = Rng.state rng;
+      total = 0.0;
+      count = 0;
+      lr_scale = 1.0;
+      failures = 0;
+    }
+  in
   (match options.kd with
   | Some kd -> Qat_model.set_frozen kd.teacher true
   | None -> ());
-  for epoch = 0 to options.epochs - 1 do
+  (if resume then
+     match options.checkpoint with
+     | None -> invalid_arg "Trainer.train_resume: options.checkpoint not set"
+     | Some ck -> (
+         match
+           Checkpoint.load_latest (Checkpoint.fallback_paths ck.ckpt_path)
+         with
+         | Ok (path, payload) -> (
+             match apply_snapshot c payload with
+             | Ok () -> ()
+             | Error msg ->
+                 Printf.eprintf
+                   "twq: checkpoint %s does not match this run (%s); starting \
+                    fresh\n\
+                    %!"
+                   path msg)
+         | Error (Checkpoint.Parse_error "no checkpoint found") -> ()
+         | Error e ->
+             Printf.eprintf "twq: no usable checkpoint (%s); starting fresh\n%!"
+               (Checkpoint.error_to_string e)));
+  (* The newest consistent snapshot, kept in memory as the rollback target
+     of the divergence policy (and mirrored to disk when checkpointing is
+     configured). *)
+  let last_good = ref None in
+  let note_good () =
+    let payload = snapshot_to_string c in
+    last_good := Some payload;
+    match options.checkpoint with
+    | Some ck -> Checkpoint.save ~rotate:true ck.ckpt_path payload
+    | None -> ()
+  in
+  note_good ();
+  (* After a rollback the replay is deterministic, so a data-dependent NaN
+     would recur and re-trigger the rollback forever; arm the rollback
+     only after at least one healthy step since the last one, and skip the
+     poisoned batch otherwise. *)
+  let rollback_armed = ref true in
+  while c.epoch < options.epochs do
+    let e = c.epoch in
     (* Simple step decay, as a stand-in for the paper's LR scheduler. *)
-    let lr = options.lr *. Float.pow 0.5 (float_of_int (epoch / 3)) in
-    Optim.set_lr opt lr;
+    let base_lr = options.lr *. Float.pow 0.5 (float_of_int (e / 3)) in
+    c.epoch_rng <- Rng.state rng;
     let batches =
-      Synth.shuffled_batches ~rng ~batch_size:options.batch_size dataset.Synth.train
+      Array.of_list
+        (Synth.shuffled_batches ~rng ~batch_size:options.batch_size
+           dataset.Synth.train)
     in
-    let total = ref 0.0 and count = ref 0 in
-    List.iter
-      (fun (x, labels) ->
-        let loss_v =
-          if options.data_parallel then
-            grad_accumulate_parallel options model ~params ~scale_params x
-              labels
-          else begin
-            let loss = batch_loss options model x labels in
-            Var.backward loss;
-            (Var.value loss).Tensor.data.(0)
-          end
-        in
+    let nb = Array.length batches in
+    if c.cursor > nb then c.cursor <- nb;
+    let rolled_back = ref false in
+    while (not !rolled_back) && c.cursor < nb do
+      let b = c.cursor in
+      let x, labels = batches.(b) in
+      let loss_v =
+        if options.data_parallel then
+          grad_accumulate_parallel options model ~params ~scale_params x labels
+        else begin
+          let loss = batch_loss options model x labels in
+          Var.backward loss;
+          (Var.value loss).Tensor.data.(0)
+        end
+      in
+      let loss_v =
+        match options.loss_tap with
+        | Some tap -> tap ~epoch:e ~batch:b loss_v
+        | None -> loss_v
+      in
+      let healthy =
+        Float.is_finite loss_v
+        && Optim.grads_finite params
+        && List.for_all
+             (fun sp -> Float.is_finite (Scale_param.grad sp))
+             scale_params
+      in
+      if healthy then begin
+        c.failures <- 0;
+        rollback_armed := true;
         Optim.clip_grad_norm params ~max_norm:options.grad_clip;
+        Optim.set_lr opt (base_lr *. c.lr_scale);
         Optim.sgd_step opt;
-        List.iter (Scale_param.adam_step ~lr:options.scale_lr) scale_params;
-        total := !total +. loss_v;
-        incr count)
-      batches;
-    train_loss.(epoch) <- (if !count = 0 then 0.0 else !total /. float_of_int !count);
-    valid_acc.(epoch) <- evaluate model dataset.Synth.valid
+        List.iter
+          (Scale_param.adam_step ~lr:(options.scale_lr *. c.lr_scale))
+          scale_params;
+        c.total <- c.total +. loss_v;
+        c.count <- c.count + 1;
+        c.cursor <- b + 1;
+        match options.checkpoint with
+        | Some ck
+          when ck.ckpt_every > 0
+               && c.cursor mod ck.ckpt_every = 0
+               && c.cursor < nb ->
+            note_good ()
+        | _ -> ()
+      end
+      else begin
+        (* Poisoned step: the gradients (and this batch's loss) never reach
+           the optimizer state. *)
+        Optim.zero_grads params;
+        List.iter Scale_param.zero_grad scale_params;
+        c.failures <- c.failures + 1;
+        c.lr_scale <- c.lr_scale *. options.divergence.lr_backoff;
+        let rollback () =
+          match !last_good with
+          | Some payload when !rollback_armed -> (
+              let decayed = c.lr_scale in
+              match apply_snapshot c payload with
+              | Ok () ->
+                  (* Keep the decayed LR: replaying the same trajectory at
+                     the same LR would diverge identically. *)
+                  c.lr_scale <- decayed;
+                  c.failures <- 0;
+                  rollback_armed := false;
+                  true
+              | Error _ -> false)
+          | _ -> false
+        in
+        if c.failures >= options.divergence.max_failures && rollback () then
+          rolled_back := true
+        else c.cursor <- b + 1
+      end
+    done;
+    if not !rolled_back then begin
+      c.train_loss.(e) <-
+        (if c.count = 0 then 0.0 else c.total /. float_of_int c.count);
+      c.valid_acc.(e) <- evaluate model dataset.Synth.valid;
+      c.epoch <- e + 1;
+      c.cursor <- 0;
+      c.total <- 0.0;
+      c.count <- 0;
+      c.epoch_rng <- Rng.state rng;
+      note_good ()
+    end
   done;
-  { train_loss; valid_acc }
+  { train_loss = c.train_loss; valid_acc = c.valid_acc }
+
+let train model dataset options = run model dataset options ~resume:false
+let train_resume model dataset options = run model dataset options ~resume:true

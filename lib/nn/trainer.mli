@@ -2,7 +2,36 @@
 
     Reproduces the paper's recipe: SGD (momentum) on network weights, Adam
     on the learnable quantization scales, optional knowledge distillation
-    from an FP32 teacher with the tempered-softmax KL loss. *)
+    from an FP32 teacher with the tempered-softmax KL loss.
+
+    Training is crash-safe: with {!options.checkpoint} set, the full
+    mutable training state — parameter tensors, SGD momentum buffers,
+    scale-parameter Adam state, calibration observers, Winograd-aware
+    layer EMAs, the RNG, and the epoch/batch cursor — is snapshotted
+    atomically (via {!Twq_util.Checkpoint}) every N batches and at every
+    epoch boundary, and {!train_resume} continues a killed run
+    bit-identically to one that was never interrupted.  Independent of
+    checkpointing, a divergence guard skips optimizer steps whose loss or
+    gradients are non-finite, decays the learning rate, and after enough
+    consecutive failures rolls the whole training state back to the last
+    good snapshot. *)
+
+type kd = { teacher : Qat_model.t; temperature : float; alpha : float }
+(** Loss = (1−α)·CE + α·KL(teacher ∥ student) at temperature T. *)
+
+type checkpointing = {
+  ckpt_path : string;  (** snapshot file; [path ^ ".1"] keeps the previous generation *)
+  ckpt_every : int;  (** also snapshot every N healthy batches (0 = epoch ends only) *)
+}
+
+type divergence_policy = {
+  max_failures : int;
+      (** consecutive non-finite steps tolerated before rolling back *)
+  lr_backoff : float;  (** LR multiplier applied per non-finite step *)
+}
+
+val default_divergence : divergence_policy
+(** 3 consecutive failures, halve the LR each time. *)
 
 type options = {
   epochs : int;
@@ -22,14 +51,22 @@ type options = {
           given seed trains identically on 1 or N domains (though not
           bit-identically to [data_parallel = false], whose calibration
           sees whole batches). *)
+  checkpoint : checkpointing option;
+      (** Persist training-state snapshots; [None] disables persistence
+          (the in-memory rollback target of the divergence guard is kept
+          either way).  KD teachers are not part of the snapshot — a
+          resuming caller must reconstruct the teacher itself. *)
+  divergence : divergence_policy;
+  loss_tap : (epoch:int -> batch:int -> float -> float) option;
+      (** Observes (and may replace) each batch loss before the health
+          check — a hook for diagnostics and fault injection in tests.
+          Raising from the tap aborts training at that exact batch. *)
 }
-
-and kd = { teacher : Qat_model.t; temperature : float; alpha : float }
-(** Loss = (1−α)·CE + α·KL(teacher ∥ student) at temperature T. *)
 
 val default_options : options
 (** 8 epochs, batch 16, lr 0.05, momentum 0.9, scale-lr 0.002, no KD,
-    clip 5.0, no data parallelism. *)
+    clip 5.0, no data parallelism, no checkpointing,
+    {!default_divergence}, no tap. *)
 
 type history = {
   train_loss : float array;  (** mean loss per epoch *)
@@ -37,6 +74,21 @@ type history = {
 }
 
 val train : Qat_model.t -> Twq_dataset.Synth_images.t -> options -> history
+(** Train from scratch.
+    @raise Invalid_argument on an empty training split or non-positive
+    batch size. *)
+
+val train_resume :
+  Qat_model.t -> Twq_dataset.Synth_images.t -> options -> history
+(** Resume from the newest valid snapshot under
+    [options.checkpoint.ckpt_path] (falling back to the previous
+    generation when the newest is truncated or corrupt).  The model must
+    have been created with the same configuration and seed as the
+    original run; shape or count mismatches reject the snapshot.  With a
+    valid snapshot, the returned history is bit-identical to the one an
+    uninterrupted {!train} would have produced.  When no usable snapshot
+    exists, a note goes to stderr and training starts fresh.
+    @raise Invalid_argument when [options.checkpoint] is [None]. *)
 
 val evaluate : Qat_model.t -> Twq_dataset.Synth_images.sample array -> float
 (** Top-1 accuracy (in [\[0,1\]]) on a split; calibration is frozen for the

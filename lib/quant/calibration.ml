@@ -34,6 +34,14 @@ let value o =
 
 let is_calibrated o = o.seen
 
+type snapshot = { snap_value : float; snap_seen : bool }
+
+let snapshot o = { snap_value = o.value; snap_seen = o.seen }
+
+let restore o s =
+  o.value <- s.snap_value;
+  o.seen <- s.snap_seen
+
 type taps = {
   observers : t array array;
   pending : float array array;  (* per-batch running max, folded on flush *)

@@ -28,6 +28,15 @@ val value : t -> float
 
 val is_calibrated : t -> bool
 
+(** {2 State capture} — for training checkpoints. The frozen flag is
+    transient (re-imposed by evaluation wrappers) and not part of the
+    snapshot. *)
+
+type snapshot = { snap_value : float; snap_seen : bool }
+
+val snapshot : t -> snapshot
+val restore : t -> snapshot -> unit
+
 (** {2 Per-tap observers} *)
 
 type taps

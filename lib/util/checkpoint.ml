@@ -1,0 +1,125 @@
+type error =
+  | Truncated of { expected : int; got : int }
+  | Corrupt_checksum of { expected : int; got : int }
+  | Bad_version of { found : int; expected : int }
+  | Parse_error of string
+
+let error_to_string = function
+  | Truncated { expected; got } ->
+      Printf.sprintf "truncated payload: expected %d bytes, got %d" expected got
+  | Corrupt_checksum { expected; got } ->
+      Printf.sprintf "checksum mismatch: header says %08x, payload is %08x"
+        expected got
+  | Bad_version { found; expected } ->
+      Printf.sprintf "unsupported version %d (expected %d)" found expected
+  | Parse_error msg -> msg
+
+let magic = "TWQCKPT1"
+let current_version = 1
+
+(* IEEE CRC-32, table-driven; OCaml's 63-bit ints hold the 32-bit state
+   directly. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let tbl = Lazy.force crc_table in
+  let c = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let write_atomic ~path data =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  (try
+     output_string oc data;
+     flush oc
+   with e ->
+     close_out_noerr oc;
+     raise e);
+  close_out oc;
+  Sys.rename tmp path
+
+let save ?(version = current_version) ?(rotate = false) path payload =
+  if rotate && Sys.file_exists path then
+    (try Sys.rename path (path ^ ".1") with Sys_error _ -> ());
+  let header =
+    Printf.sprintf "%s %d %d %08x\n" magic version (String.length payload)
+      (crc32 payload)
+  in
+  write_atomic ~path (header ^ payload)
+
+let fallback_paths path = [ path; path ^ ".1" ]
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error (Parse_error msg)
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match really_input_string ic (in_channel_length ic) with
+          | s -> Ok s
+          | exception End_of_file -> Error (Parse_error "unreadable file"))
+
+let load ?(version = current_version) path =
+  match read_file path with
+  | Error _ as e -> e
+  | Ok raw -> (
+      match String.index_opt raw '\n' with
+      | None -> Error (Parse_error "no header line")
+      | Some nl -> (
+          let header = String.sub raw 0 nl in
+          match String.split_on_char ' ' header with
+          | [ m; v; len; crc ] -> (
+              if m <> magic then Error (Parse_error "bad magic")
+              else
+                match
+                  (int_of_string_opt v, int_of_string_opt len,
+                   int_of_string_opt ("0x" ^ crc))
+                with
+                | Some v, Some len, Some crc when len >= 0 ->
+                    if v <> version then
+                      Error (Bad_version { found = v; expected = version })
+                    else
+                      let got_len = String.length raw - nl - 1 in
+                      if got_len < len then
+                        Error (Truncated { expected = len; got = got_len })
+                      else if got_len > len then
+                        Error
+                          (Parse_error
+                             (Printf.sprintf "%d trailing bytes after payload"
+                                (got_len - len)))
+                      else
+                        let payload = String.sub raw (nl + 1) len in
+                        let got_crc = crc32 payload in
+                        if got_crc <> crc then
+                          Error
+                            (Corrupt_checksum { expected = crc; got = got_crc })
+                        else Ok payload
+                | _ -> Error (Parse_error ("garbled header: " ^ header)))
+          | _ -> Error (Parse_error ("garbled header: " ^ header))))
+
+let load_latest ?version paths =
+  let rec go first_err = function
+    | [] -> (
+        match first_err with
+        | Some e -> Error e
+        | None -> Error (Parse_error "no checkpoint found"))
+    | p :: rest -> (
+        if not (Sys.file_exists p) then go first_err rest
+        else
+          match load ?version p with
+          | Ok payload -> Ok (p, payload)
+          | Error e ->
+              go (match first_err with None -> Some e | some -> some) rest)
+  in
+  go None paths

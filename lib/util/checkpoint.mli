@@ -1,0 +1,48 @@
+(** Crash-safe checkpoint files: atomic writes, versioned header, CRC-32.
+
+    A checkpoint is an opaque payload (any byte string) wrapped in a
+    one-line header [TWQCKPT1 <version> <length> <crc32>\n].  Writes go
+    through a temporary file followed by [Sys.rename], so a reader never
+    observes a half-written checkpoint: a crash mid-write leaves at worst
+    an orphaned [<path>.tmp] that the next save overwrites.  Loads verify
+    the magic, version, declared payload length and CRC-32 before
+    returning the payload, classifying every failure mode as a typed
+    error instead of leaking [Scanf]/[Sys_error]/[End_of_file]
+    exceptions. *)
+
+type error =
+  | Truncated of { expected : int; got : int }
+      (** fewer payload bytes than the header declares (torn file) *)
+  | Corrupt_checksum of { expected : int; got : int }
+      (** CRC-32 mismatch: bit rot or byte corruption inside the payload *)
+  | Bad_version of { found : int; expected : int }
+      (** well-formed checkpoint written by an incompatible format version *)
+  | Parse_error of string
+      (** missing file, bad magic, garbled header, trailing bytes, … *)
+
+val error_to_string : error -> string
+
+val crc32 : string -> int
+(** IEEE CRC-32 (the zlib/PNG polynomial), returned in [0, 2^32). *)
+
+val current_version : int
+
+val save : ?version:int -> ?rotate:bool -> string -> string -> unit
+(** [save path payload] atomically replaces [path] with a framed
+    checkpoint (write to [path ^ ".tmp"], then rename).  With
+    [~rotate:true] the previous checkpoint, if any, is first renamed to
+    [path ^ ".1"], keeping one older generation as a fallback for
+    recovery. *)
+
+val fallback_paths : string -> string list
+(** [[path; path ^ ".1"]] — newest first, matching [save ~rotate:true]. *)
+
+val load : ?version:int -> string -> (string, error) result
+(** Read and verify a checkpoint, returning its payload.  Never raises on
+    malformed, truncated or missing files. *)
+
+val load_latest : ?version:int -> string list -> (string * string, error) result
+(** [load_latest paths] tries each path in order and returns the first
+    [(path, payload)] that verifies.  If every candidate fails, the error
+    of the first existing candidate (the newest) is returned; if none
+    exists, [Parse_error]. *)

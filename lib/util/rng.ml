@@ -15,6 +15,8 @@ let int64 t =
 
 let split t = { state = int64 t }
 let copy t = { state = t.state }
+let state t = t.state
+let set_state t s = t.state <- s
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

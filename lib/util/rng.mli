@@ -14,6 +14,13 @@ val split : t -> t
 
 val copy : t -> t
 
+val state : t -> int64
+(** Raw generator state, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a state captured with {!state}; the stream continues exactly
+    where the captured generator left off. *)
+
 val int64 : t -> int64
 (** Next raw 64-bit output. *)
 
