@@ -151,6 +151,42 @@ let tap_vs_tile name tap tile =
     (name ^ "-tile", fun () -> Parallel.sequential tile);
   ]
 
+(* ---------------------- paired batch-1 vs batch-N serving episodes *)
+(* One full closed-loop serving episode (server up, 24 requests through
+   the dynamic batcher, graceful drain) per run.  The batch-1/batch-8
+   pair isolates what batching buys end-to-end: per-batch fixed costs
+   (tap-major weight re-layout, dispatch) amortized over the batch. *)
+
+module Serve = Twq.Serve
+
+let serve_model, serve_dims =
+  let g =
+    Twq.Nn.Passes.fold_bn
+      (Twq.Nn.Gmodels.resnet20 ~rng:(Twq.Rng.create 7) ~width_div:2 ())
+  in
+  let cal = Tensor.rand_gaussian rng [| 2; 3; 8; 8 |] ~mu:0.0 ~sigma:1.0 in
+  ( Serve.Model.Graph (Twq.Nn.Int_graph.quantize g ~calibration:cal ()),
+    [| 3; 8; 8 |] )
+
+let serve_input i =
+  Tensor.rand_gaussian (Twq.Rng.create (1000 + i)) [| 3; 8; 8 |] ~mu:0.0
+    ~sigma:1.0
+
+let serve_episode ~max_batch () =
+  let config =
+    { Serve.Server.default_config with
+      Serve.Server.max_batch;
+      max_delay = (if max_batch = 1 then 0.0 else 0.001);
+      capacity = 64 }
+  in
+  let server = Serve.Server.for_model ~config serve_model ~input_dims:serve_dims () in
+  let s =
+    Serve.Loadgen.run ~server ~make_input:serve_input ~requests:24
+      ~concurrency:8 ()
+  in
+  Serve.Server.shutdown server;
+  assert (s.Serve.Loadgen.completed = 24)
+
 (* One (name, thunk) per kernel; feeds both the Bechamel pass and the
    JSON timing pass. *)
 let kernels : (string * (unit -> unit)) list =
@@ -262,6 +298,10 @@ let kernels : (string * (unit -> unit)) list =
         ignore (Twq.Winograd.Gconv.conv2d gconv45 ~pad:2 ~x:x_par ~w:w45_par ()))
       (fun () ->
         ignore (Twq.Winograd.Gconv.conv2d_ref gconv45 ~pad:2 ~x:x_par ~w:w45_par ()))
+  @ [
+      ("serve-batch1", serve_episode ~max_batch:1);
+      ("serve-batch8", serve_episode ~max_batch:8);
+    ]
 
 (* ----------------------------------------------------- bechamel harness *)
 

@@ -235,9 +235,296 @@ let train_cmd =
       const run $ epochs $ seed $ mode $ checkpoint $ every $ resume
       $ data_parallel)
 
+(* ----------------------------------------------------------- serving *)
+
+module Serve = Twq_serve
+module STensor = Twq_tensor.Tensor
+
+let registry_dir_arg =
+  Arg.(
+    value & opt string "zoo"
+    & info [ "dir" ] ~docv:"DIR" ~doc:"Model registry directory.")
+
+let or_die ~what = function
+  | Ok v -> v
+  | Error e ->
+      Printf.eprintf "%s: %s\n" what (Serve.Registry.error_to_string e);
+      exit 1
+
+let open_registry dir =
+  let reg = or_die ~what:"registry" (Serve.Registry.open_dir dir) in
+  List.iter
+    (fun f -> Printf.eprintf "registry: removed orphan tmp %s\n" f)
+    (Serve.Registry.orphans_removed reg);
+  List.iter
+    (fun (f, e) ->
+      Printf.eprintf "registry: skipped %s (%s)\n" f
+        (Serve.Registry.error_to_string e))
+    (Serve.Registry.skipped reg);
+  reg
+
+let publish_cmd =
+  let doc =
+    "Build a small quantized model (integer graph over the tap-wise \
+     Winograd kernels) and publish it into a registry directory as a \
+     CRC-framed, atomically-written artifact."
+  in
+  let name_arg =
+    Arg.(value & opt string "tiny" & info [ "name" ] ~doc:"Model name.")
+  in
+  let version =
+    Arg.(value & opt int 1 & info [ "model-version" ] ~doc:"Model version.")
+  in
+  let arch =
+    Arg.(value & opt string "resnet20" & info [ "arch" ] ~doc:"resnet20 or vgg.")
+  in
+  let res =
+    Arg.(value & opt int 8 & info [ "res" ] ~doc:"Input resolution (H = W).")
+  in
+  let width_div =
+    Arg.(value & opt int 2 & info [ "width-div" ] ~doc:"Channel width divisor.")
+  in
+  let classes = Arg.(value & opt int 10 & info [ "classes" ] ~doc:"Classes.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Weight RNG seed.") in
+  let run dir name version arch res width_div classes seed =
+    let module Rng = Twq_util.Rng in
+    let rng = Rng.create seed in
+    let g =
+      match String.lowercase_ascii arch with
+      | "resnet20" -> Twq_nn.Gmodels.resnet20 ~rng ~classes ~width_div ()
+      | "vgg" -> Twq_nn.Gmodels.vgg_nagadomi ~rng ~classes ~width_div ()
+      | s ->
+          Printf.eprintf "unknown arch %S (resnet20 | vgg)\n" s;
+          exit 2
+    in
+    let g = Twq_nn.Passes.fold_bn g in
+    let cal = STensor.rand_gaussian rng [| 2; 3; res; res |] ~mu:0.0 ~sigma:1.0 in
+    let ig = Twq_nn.Int_graph.quantize g ~calibration:cal () in
+    let model = Serve.Model.Graph ig in
+    let reg = open_registry dir in
+    let entry =
+      or_die ~what:"publish"
+        (Serve.Registry.publish reg ~name ~version ~input_dims:[| 3; res; res |]
+           model)
+    in
+    Printf.printf
+      "published %s v%d to %s: %s %dx%dx%d, %d winograd / %d spatial layers, \
+       crc %08x\n"
+      entry.Serve.Registry.name entry.Serve.Registry.version dir
+      (Serve.Model.kind model) 3 res res
+      (Twq_nn.Int_graph.winograd_layer_count ig)
+      (Twq_nn.Int_graph.spatial_layer_count ig)
+      entry.Serve.Registry.crc
+  in
+  Cmd.v (Cmd.info "publish" ~doc)
+    Term.(
+      const run $ registry_dir_arg $ name_arg $ version $ arch $ res $ width_div
+      $ classes $ seed)
+
+let server_flags =
+  let max_batch =
+    Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Batch size cap.")
+  in
+  let max_delay_ms =
+    Arg.(
+      value & opt float 2.0
+      & info [ "max-delay-ms" ] ~doc:"Batch window in milliseconds.")
+  in
+  let capacity =
+    Arg.(value & opt int 64 & info [ "capacity" ] ~doc:"Request queue bound.")
+  in
+  let workers =
+    Arg.(value & opt int 1 & info [ "workers" ] ~doc:"Compute worker domains.")
+  in
+  let timeout_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout-ms" ] ~doc:"Per-request deadline in milliseconds.")
+  in
+  Term.(
+    const (fun max_batch max_delay_ms capacity workers timeout_ms ->
+        {
+          Serve.Server.max_batch;
+          max_delay = max_delay_ms /. 1e3;
+          capacity;
+          workers;
+          default_deadline = Option.map (fun t -> t /. 1e3) timeout_ms;
+        })
+    $ max_batch $ max_delay_ms $ capacity $ workers $ timeout_ms)
+
+let start_from_registry dir model_name version config =
+  let reg = open_registry dir in
+  let entry =
+    or_die ~what:"lookup" (Serve.Registry.lookup ?version reg model_name)
+  in
+  let resolve () =
+    match Serve.Registry.lookup ?version reg model_name with
+    | Ok e -> e.Serve.Registry.model
+    | Error _ -> entry.Serve.Registry.model
+  in
+  Printf.printf "serving %s v%d (input %dx%dx%d, max_batch %d, delay %.1f ms, \
+                 capacity %d, %d worker%s)\n%!"
+    entry.Serve.Registry.name entry.Serve.Registry.version
+    entry.Serve.Registry.input_dims.(0) entry.Serve.Registry.input_dims.(1)
+    entry.Serve.Registry.input_dims.(2) config.Serve.Server.max_batch
+    (1e3 *. config.Serve.Server.max_delay) config.Serve.Server.capacity
+    config.Serve.Server.workers
+    (if config.Serve.Server.workers = 1 then "" else "s");
+  let server =
+    Serve.Server.start ~config ~model:resolve
+      ~input_dims:entry.Serve.Registry.input_dims ()
+  in
+  (server, entry)
+
+let make_input_fn entry seed =
+  let module Rng = Twq_util.Rng in
+  let dims = entry.Serve.Registry.input_dims in
+  fun i ->
+    let rng = Rng.create (seed + (31 * i)) in
+    STensor.rand_gaussian rng [| dims.(0); dims.(1); dims.(2) |] ~mu:0.0
+      ~sigma:1.0
+
+let write_or_print ~label path contents =
+  match path with
+  | Some f ->
+      let oc = open_out f in
+      output_string oc contents;
+      close_out oc;
+      Printf.printf "%s written to %s\n" label f
+  | None -> print_string contents
+
+let metrics_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE" ~doc:"Write the metrics JSON here.")
+
+let serve_cmd =
+  let doc =
+    "Run the in-process inference server against a generated open-loop \
+     request stream (socket-free): requests arrive at --rate regardless of \
+     completion, so rates above capacity exercise load shedding.  Prints \
+     per-outcome counts and the server metrics JSON."
+  in
+  let model_name =
+    Arg.(value & opt string "tiny" & info [ "model" ] ~doc:"Model name.")
+  in
+  let version =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "model-version" ] ~doc:"Pin a version (default: newest).")
+  in
+  let requests =
+    Arg.(value & opt int 256 & info [ "requests" ] ~doc:"Stream length.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 200.0
+      & info [ "rate" ] ~doc:"Arrival rate, requests/second.")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Input RNG seed.") in
+  let run dir model_name version config requests rate seed metrics_out =
+    let server, entry = start_from_registry dir model_name version config in
+    let make_input = make_input_fn entry seed in
+    let t0 = Unix.gettimeofday () in
+    let tickets =
+      Array.init requests (fun i ->
+          (if rate > 0.0 then
+             let slot = t0 +. (float_of_int i /. rate) in
+             let wait = slot -. Unix.gettimeofday () in
+             if wait > 0.0 then Unix.sleepf wait);
+          Serve.Server.submit server (make_input i))
+    in
+    let counts = Hashtbl.create 8 in
+    Array.iter
+      (fun ticket ->
+        let label = Serve.Server.outcome_label (Serve.Server.await ticket) in
+        Hashtbl.replace counts label
+          (1 + Option.value ~default:0 (Hashtbl.find_opt counts label)))
+      tickets;
+    let wall = Unix.gettimeofday () -. t0 in
+    Serve.Server.shutdown server;
+    Printf.printf "%d requests in %.3f s (offered %.1f req/s):\n" requests wall
+      rate;
+    List.iter
+      (fun (label, n) -> Printf.printf "  %-18s %d\n" label n)
+      (List.sort compare
+         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) counts []));
+    write_or_print ~label:"metrics" metrics_out
+      (Serve.Metrics.to_json (Serve.Server.metrics server))
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ registry_dir_arg $ model_name $ version $ server_flags
+      $ requests $ rate $ seed $ metrics_out_arg)
+
+let loadgen_cmd =
+  let doc =
+    "Closed-loop load generator against the in-process server: \
+     --concurrency clients each keep one request outstanding (optionally \
+     paced by --rate).  Prints a latency/throughput summary and the server \
+     metrics JSON."
+  in
+  let model_name =
+    Arg.(value & opt string "tiny" & info [ "model" ] ~doc:"Model name.")
+  in
+  let version =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "model-version" ] ~doc:"Pin a version (default: newest).")
+  in
+  let requests =
+    Arg.(value & opt int 256 & info [ "requests" ] ~doc:"Total requests.")
+  in
+  let concurrency =
+    Arg.(value & opt int 8 & info [ "concurrency" ] ~doc:"Client domains.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.0
+      & info [ "rate" ] ~doc:"Pace requests/second (0 = unpaced closed loop).")
+  in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Input RNG seed.") in
+  let summary_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-out" ] ~docv:"FILE" ~doc:"Write the summary JSON here.")
+  in
+  let run dir model_name version config requests concurrency rate seed
+      metrics_out summary_out =
+    let server, entry = start_from_registry dir model_name version config in
+    let summary =
+      Serve.Loadgen.run ~server ~make_input:(make_input_fn entry seed)
+        ~requests ~concurrency ~rate ()
+    in
+    Serve.Server.shutdown server;
+    print_endline (Serve.Loadgen.summary_to_text summary);
+    (match summary_out with
+    | Some f ->
+        let oc = open_out f in
+        output_string oc (Serve.Loadgen.summary_to_json summary);
+        close_out oc;
+        Printf.printf "summary written to %s\n" f
+    | None -> ());
+    write_or_print ~label:"metrics" metrics_out
+      (Serve.Metrics.to_json (Serve.Server.metrics server))
+  in
+  Cmd.v (Cmd.info "loadgen" ~doc)
+    Term.(
+      const run $ registry_dir_arg $ model_name $ version $ server_flags
+      $ requests $ concurrency $ rate $ seed $ metrics_out_arg $ summary_out)
+
 let () =
   let doc = "Tap-wise quantized Winograd F4 — paper reproduction driver" in
   let info = Cmd.info "twq" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ list_cmd; run_cmd; trace_cmd; layers_cmd; train_cmd ]))
+       (Cmd.group info
+          [
+            list_cmd; run_cmd; trace_cmd; layers_cmd; train_cmd; publish_cmd;
+            serve_cmd; loadgen_cmd;
+          ]))

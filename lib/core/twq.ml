@@ -10,6 +10,8 @@ module Stats = Twq_util.Stats
 module Interval = Twq_util.Interval
 module Table = Twq_util.Table
 module Parallel = Twq_util.Parallel
+module Crc32 = Twq_util.Crc32
+module Checkpoint = Twq_util.Checkpoint
 
 module Shape = Twq_tensor.Shape
 module Tensor = Twq_tensor.Tensor
@@ -74,6 +76,16 @@ module Sim = struct
 end
 
 module Nvdla = Twq_nvdla.Nvdla
+
+(* Inference serving: model registry, dynamic batcher, load generator. *)
+module Serve = struct
+  module Metrics = Twq_serve.Metrics
+  module Model = Twq_serve.Model
+  module Registry = Twq_serve.Registry
+  module Batcher = Twq_serve.Batcher
+  module Server = Twq_serve.Server
+  module Loadgen = Twq_serve.Loadgen
+end
 
 (* Extensions beyond the paper's core pipeline. *)
 module Strided = Twq_winograd.Strided

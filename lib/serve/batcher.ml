@@ -1,0 +1,104 @@
+(* Dynamic batching queue with admission control.
+
+   Producers [submit] into a bounded FIFO; a full queue sheds the request
+   with [Overloaded] instead of blocking or raising — the server turns
+   that into a typed per-request outcome.  Consumers call [next_batch],
+   which blocks until at least one request is queued, then holds the
+   batch window open until either [max_batch] requests are available or
+   [max_delay] seconds have passed since the window opened, and returns
+   up to [max_batch] requests in FIFO order together with the window-open
+   timestamp (for batch-assembly metrics).
+
+   OCaml's stdlib [Condition] has no timed wait, so the delay window is a
+   short-sleep polling loop (0.2 ms grain) with the lock released while
+   sleeping; correctness never depends on the grain, only batch shapes
+   do.
+
+   [shutdown] closes admission and wakes everyone: subsequent [submit]s
+   return [Closed], while consumers keep draining — batch windows close
+   immediately once shut — until the queue is empty, then get [None]. *)
+
+type 'a t = {
+  capacity : int;
+  max_batch : int;
+  max_delay : float;
+  mutex : Mutex.t;
+  nonempty : Condition.t;
+  q : 'a Queue.t;
+  mutable closed : bool;
+}
+
+type submit_result = Accepted | Overloaded | Closed
+
+let create ~capacity ~max_batch ~max_delay () =
+  if capacity < 1 then invalid_arg "Batcher.create: capacity < 1";
+  if max_batch < 1 then invalid_arg "Batcher.create: max_batch < 1";
+  if max_delay < 0.0 then invalid_arg "Batcher.create: max_delay < 0";
+  {
+    capacity;
+    max_batch;
+    max_delay;
+    mutex = Mutex.create ();
+    nonempty = Condition.create ();
+    q = Queue.create ();
+    closed = false;
+  }
+
+let length t =
+  Mutex.lock t.mutex;
+  let n = Queue.length t.q in
+  Mutex.unlock t.mutex;
+  n
+
+let submit t x =
+  Mutex.lock t.mutex;
+  let r =
+    if t.closed then Closed
+    else if Queue.length t.q >= t.capacity then Overloaded
+    else begin
+      Queue.push x t.q;
+      Condition.signal t.nonempty;
+      Accepted
+    end
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let poll_grain = 0.0002
+
+let next_batch t =
+  Mutex.lock t.mutex;
+  while Queue.is_empty t.q && not t.closed do
+    Condition.wait t.nonempty t.mutex
+  done;
+  if Queue.is_empty t.q then begin
+    (* closed and drained *)
+    Mutex.unlock t.mutex;
+    None
+  end
+  else begin
+    let opened = Unix.gettimeofday () in
+    let deadline = opened +. t.max_delay in
+    let rec wait_window () =
+      if Queue.length t.q < t.max_batch && not t.closed then begin
+        let remaining = deadline -. Unix.gettimeofday () in
+        if remaining > 0.0 then begin
+          Mutex.unlock t.mutex;
+          Unix.sleepf (Float.min poll_grain remaining);
+          Mutex.lock t.mutex;
+          wait_window ()
+        end
+      end
+    in
+    if t.max_delay > 0.0 && t.max_batch > 1 then wait_window ();
+    let n = Stdlib.min t.max_batch (Queue.length t.q) in
+    let batch = List.init n (fun _ -> Queue.pop t.q) in
+    Mutex.unlock t.mutex;
+    Some (batch, opened)
+  end
+
+let shutdown t =
+  Mutex.lock t.mutex;
+  t.closed <- true;
+  Condition.broadcast t.nonempty;
+  Mutex.unlock t.mutex

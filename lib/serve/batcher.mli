@@ -1,0 +1,22 @@
+(** Bounded dynamic-batching queue with load shedding.
+
+    Producers {!submit} (never blocking: a full queue returns
+    [Overloaded], a shut-down one [Closed]).  Consumers {!next_batch},
+    which blocks for the first request, holds the batch window open until
+    [max_batch] requests are queued or [max_delay] seconds elapse, then
+    returns up to [max_batch] requests in FIFO order plus the window-open
+    timestamp.  After {!shutdown}, windows close immediately, remaining
+    requests drain in batches, and consumers finally receive [None]. *)
+
+type 'a t
+
+type submit_result = Accepted | Overloaded | Closed
+
+val create : capacity:int -> max_batch:int -> max_delay:float -> unit -> 'a t
+(** @raise Invalid_argument if [capacity] or [max_batch] < 1 or
+    [max_delay] < 0. *)
+
+val submit : 'a t -> 'a -> submit_result
+val next_batch : 'a t -> ('a list * float) option
+val length : 'a t -> int
+val shutdown : 'a t -> unit

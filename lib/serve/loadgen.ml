@@ -1,0 +1,126 @@
+(* Closed-loop load generator.
+
+   [concurrency] client domains each loop { claim next request id;
+   optionally wait for its paced start slot; submit; await; record }.
+   With [rate] = 0 the loop is purely closed (each client keeps exactly
+   one request outstanding — offered load adapts to the server); with
+   [rate] > 0 request [i] is not started before [t0 + i/rate], turning
+   the generator into a paced closed loop that can also push the server
+   into overload when [rate] exceeds capacity.
+
+   Client-side latency (submit -> outcome observed) is collected per
+   domain and merged after the joins, so the percentiles here are
+   end-to-end as a caller saw them — the server's own histograms break
+   the same time down by phase. *)
+
+module Tensor = Twq_tensor.Tensor
+
+type summary = {
+  requests : int;
+  completed : int;
+  rejected_overload : int;
+  deadline_expired : int;
+  other_rejected : int;
+  wall : float;
+  throughput : float; (* completed per wall second *)
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  latency_mean : float;
+  latency_max : float;
+}
+
+let percentile sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+
+let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
+    ?deadline () =
+  if requests < 0 then invalid_arg "Loadgen.run: requests < 0";
+  let concurrency = Stdlib.max 1 (Stdlib.min concurrency 64) in
+  let concurrency = Stdlib.max 1 (Stdlib.min concurrency requests) in
+  let next = Atomic.make 0 in
+  let completed = Atomic.make 0
+  and rejected_overload = Atomic.make 0
+  and deadline_expired = Atomic.make 0
+  and other = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let client () =
+    let lat = ref [] in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < requests then begin
+        if rate > 0.0 then begin
+          let slot = t0 +. (float_of_int i /. rate) in
+          let wait = slot -. Unix.gettimeofday () in
+          if wait > 0.0 then Unix.sleepf wait
+        end;
+        let x = make_input i in
+        let sub = Unix.gettimeofday () in
+        (match Server.infer ?deadline server x with
+        | Server.Output _ ->
+            Atomic.incr completed;
+            lat := (Unix.gettimeofday () -. sub) :: !lat
+        | Server.Rejected_overload -> Atomic.incr rejected_overload
+        | Server.Deadline_expired -> Atomic.incr deadline_expired
+        | Server.Rejected_invalid _ | Server.Rejected_closed
+        | Server.Failed _ ->
+            Atomic.incr other);
+        loop ()
+      end
+    in
+    loop ();
+    !lat
+  in
+  let clients = List.init concurrency (fun _ -> Domain.spawn client) in
+  let latencies = List.concat_map Domain.join clients in
+  let wall = Unix.gettimeofday () -. t0 in
+  let lat = Array.of_list latencies in
+  Array.sort compare lat;
+  let n_ok = Atomic.get completed in
+  {
+    requests;
+    completed = n_ok;
+    rejected_overload = Atomic.get rejected_overload;
+    deadline_expired = Atomic.get deadline_expired;
+    other_rejected = Atomic.get other;
+    wall;
+    throughput = (if wall > 0.0 then float_of_int n_ok /. wall else 0.0);
+    latency_p50 = percentile lat 0.50;
+    latency_p95 = percentile lat 0.95;
+    latency_p99 = percentile lat 0.99;
+    latency_mean =
+      (if Array.length lat = 0 then 0.0
+       else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat));
+    latency_max = (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+  }
+
+let summary_to_json s =
+  Printf.sprintf
+    "{\n\
+    \  \"requests\": %d,\n\
+    \  \"completed\": %d,\n\
+    \  \"rejected_overload\": %d,\n\
+    \  \"deadline_expired\": %d,\n\
+    \  \"other_rejected\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"throughput_rps\": %.2f,\n\
+    \  \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, \
+     \"mean\": %.4f, \"max\": %.4f}\n\
+     }\n"
+    s.requests s.completed s.rejected_overload s.deadline_expired
+    s.other_rejected s.wall s.throughput (1e3 *. s.latency_p50)
+    (1e3 *. s.latency_p95) (1e3 *. s.latency_p99) (1e3 *. s.latency_mean)
+    (1e3 *. s.latency_max)
+
+let summary_to_text s =
+  Printf.sprintf
+    "%d requests in %.3f s: %d ok (%.1f req/s), %d shed, %d expired, %d \
+     other\nlatency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f"
+    s.requests s.wall s.completed s.throughput s.rejected_overload
+    s.deadline_expired s.other_rejected (1e3 *. s.latency_p50)
+    (1e3 *. s.latency_p95) (1e3 *. s.latency_p99) (1e3 *. s.latency_mean)
+    (1e3 *. s.latency_max)

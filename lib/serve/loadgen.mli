@@ -1,0 +1,39 @@
+(** Closed-loop load generator for a {!Server.t}.
+
+    Spawns [concurrency] client domains that each keep one request
+    outstanding (claim id, optionally wait for the paced start slot,
+    submit, await, record).  With [rate] > 0, request [i] does not start
+    before [t0 + i/rate], so a rate above the server's capacity drives it
+    into overload and exercises shedding.  Latency percentiles are
+    client-observed end-to-end times of completed requests. *)
+
+type summary = {
+  requests : int;
+  completed : int;
+  rejected_overload : int;
+  deadline_expired : int;
+  other_rejected : int;  (** invalid / closed / failed *)
+  wall : float;
+  throughput : float;  (** completed requests per wall second *)
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
+  latency_mean : float;
+  latency_max : float;
+}
+
+val run :
+  server:Server.t ->
+  make_input:(int -> Twq_tensor.Tensor.t) ->
+  requests:int ->
+  ?concurrency:int ->
+  ?rate:float ->
+  ?deadline:float ->
+  unit ->
+  summary
+(** [concurrency] is clamped to [1, 64] (and to [requests]); [rate] is in
+    requests/second over the whole run, 0 = unpaced closed loop;
+    [deadline] is the per-request relative deadline in seconds. *)
+
+val summary_to_json : summary -> string
+val summary_to_text : summary -> string

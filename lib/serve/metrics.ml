@@ -1,0 +1,212 @@
+(* Serving metrics: monotonic counters, gauges and log-bucketed latency
+   histograms, all safe to update from many domains at once.  Snapshots
+   are plain JSON so CI can parse them with any tool.
+
+   Histogram buckets are geometric with four sub-buckets per octave of
+   nanoseconds: bucket [i] covers (2^((i-1)/4), 2^(i/4)] ns, so the
+   relative quantile error is bounded by 2^(1/4) - 1 ≈ 19% across the
+   whole range (1 ns .. ~2 min) with only 256 slots. *)
+
+module Counter = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let create name = { name; v = Atomic.make 0 }
+  let incr c = Atomic.incr c.v
+  let add c n = ignore (Atomic.fetch_and_add c.v n)
+  let value c = Atomic.get c.v
+  let name c = c.name
+end
+
+module Gauge = struct
+  type t = { name : string; v : int Atomic.t }
+
+  let create name = { name; v = Atomic.make 0 }
+  let set g n = Atomic.set g.v n
+  let incr g = Atomic.incr g.v
+  let decr g = Atomic.decr g.v
+  let value g = Atomic.get g.v
+  let name g = g.name
+end
+
+module Histogram = struct
+  let n_buckets = 256
+  let sub_per_octave = 4.0
+
+  type t = {
+    name : string;
+    mutex : Mutex.t;
+    buckets : int array; (* counts per log bucket, in nanoseconds *)
+    mutable count : int;
+    mutable sum : float; (* seconds *)
+    mutable max : float; (* seconds *)
+  }
+
+  let create name =
+    {
+      name;
+      mutex = Mutex.create ();
+      buckets = Array.make n_buckets 0;
+      count = 0;
+      sum = 0.0;
+      max = 0.0;
+    }
+
+  let bucket_of_ns ns =
+    if ns <= 1.0 then 0
+    else
+      let i = int_of_float (Float.ceil (sub_per_octave *. Float.log2 ns)) in
+      if i < 0 then 0 else if i >= n_buckets then n_buckets - 1 else i
+
+  (* Upper edge of bucket [i], back in seconds. *)
+  let bucket_upper_s i = Float.pow 2.0 (float_of_int i /. sub_per_octave) *. 1e-9
+
+  let observe h seconds =
+    let s = if Float.is_nan seconds || seconds < 0.0 then 0.0 else seconds in
+    let b = bucket_of_ns (s *. 1e9) in
+    Mutex.lock h.mutex;
+    h.buckets.(b) <- h.buckets.(b) + 1;
+    h.count <- h.count + 1;
+    h.sum <- h.sum +. s;
+    if s > h.max then h.max <- s;
+    Mutex.unlock h.mutex
+
+  let count h =
+    Mutex.lock h.mutex;
+    let c = h.count in
+    Mutex.unlock h.mutex;
+    c
+
+  let mean h =
+    Mutex.lock h.mutex;
+    let m = if h.count = 0 then 0.0 else h.sum /. float_of_int h.count in
+    Mutex.unlock h.mutex;
+    m
+
+  (* Upper edge of the first bucket whose cumulative count reaches
+     [q * count], clamped to the observed max; 0 for an empty
+     histogram. *)
+  let quantile h q =
+    Mutex.lock h.mutex;
+    let r =
+      if h.count = 0 then 0.0
+      else begin
+        let rank = Float.max 1.0 (Float.ceil (q *. float_of_int h.count)) in
+        let acc = ref 0 and res = ref (bucket_upper_s (n_buckets - 1)) in
+        (try
+           for i = 0 to n_buckets - 1 do
+             acc := !acc + h.buckets.(i);
+             if float_of_int !acc >= rank then begin
+               res := bucket_upper_s i;
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        Float.min !res h.max
+      end
+    in
+    Mutex.unlock h.mutex;
+    r
+
+  let name h = h.name
+end
+
+type t = {
+  accepted : Counter.t;
+  completed : Counter.t;
+  rejected_overload : Counter.t;
+  deadline_expired : Counter.t;
+  rejected_invalid : Counter.t;
+  rejected_closed : Counter.t;
+  failed : Counter.t;
+  batches : Counter.t;
+  images : Counter.t;
+  queue_depth : Gauge.t;
+  in_flight : Gauge.t;
+  queue_wait : Histogram.t;
+  batch_assembly : Histogram.t;
+  compute : Histogram.t;
+  total_latency : Histogram.t;
+  batch_size : Histogram.t;
+}
+
+let create () =
+  {
+    accepted = Counter.create "accepted";
+    completed = Counter.create "completed";
+    rejected_overload = Counter.create "rejected_overload";
+    deadline_expired = Counter.create "deadline_expired";
+    rejected_invalid = Counter.create "rejected_invalid";
+    rejected_closed = Counter.create "rejected_closed";
+    failed = Counter.create "failed";
+    batches = Counter.create "batches";
+    images = Counter.create "images";
+    queue_depth = Gauge.create "queue_depth";
+    in_flight = Gauge.create "in_flight";
+    queue_wait = Histogram.create "queue_wait";
+    batch_assembly = Histogram.create "batch_assembly";
+    compute = Histogram.create "compute";
+    total_latency = Histogram.create "total_latency";
+    batch_size = Histogram.create "batch_size";
+  }
+
+let counters m =
+  [
+    m.accepted; m.completed; m.rejected_overload; m.deadline_expired;
+    m.rejected_invalid; m.rejected_closed; m.failed; m.batches; m.images;
+  ]
+
+let gauges m = [ m.queue_depth; m.in_flight ]
+
+let histograms m =
+  [ m.queue_wait; m.batch_assembly; m.compute; m.total_latency; m.batch_size ]
+
+(* All durations reported in milliseconds; batch_size buckets are in
+   "nanoseconds" of the raw count, so its quantiles are reported as raw
+   values instead. *)
+let histogram_json ?(unit_ms = true) h =
+  let conv v = if unit_ms then v *. 1e3 else v *. 1e9 in
+  Printf.sprintf
+    "{\"count\": %d, \"mean%s\": %.6f, \"p50%s\": %.6f, \"p95%s\": %.6f, \
+     \"p99%s\": %.6f, \"max%s\": %.6f}"
+    (Histogram.count h)
+    (if unit_ms then "_ms" else "")
+    (conv (Histogram.mean h))
+    (if unit_ms then "_ms" else "")
+    (conv (Histogram.quantile h 0.50))
+    (if unit_ms then "_ms" else "")
+    (conv (Histogram.quantile h 0.95))
+    (if unit_ms then "_ms" else "")
+    (conv (Histogram.quantile h 0.99))
+    (if unit_ms then "_ms" else "")
+    (conv h.Histogram.max)
+
+let to_json m =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"counters\": {";
+  List.iteri
+    (fun i c ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %d"
+           (if i = 0 then "" else ", ")
+           (Counter.name c) (Counter.value c)))
+    (counters m);
+  Buffer.add_string buf "},\n  \"gauges\": {";
+  List.iteri
+    (fun i g ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s\"%s\": %d"
+           (if i = 0 then "" else ", ")
+           (Gauge.name g) (Gauge.value g)))
+    (gauges m);
+  Buffer.add_string buf "},\n  \"histograms\": {\n";
+  List.iteri
+    (fun i h ->
+      let unit_ms = Histogram.name h <> "batch_size" in
+      Buffer.add_string buf
+        (Printf.sprintf "%s    \"%s\": %s"
+           (if i = 0 then "" else ",\n")
+           (Histogram.name h)
+           (histogram_json ~unit_ms h)))
+    (histograms m);
+  Buffer.add_string buf "\n  }\n}\n";
+  Buffer.contents buf

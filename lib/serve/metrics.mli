@@ -1,0 +1,74 @@
+(** Serving metrics: counters, gauges, log-bucketed latency histograms.
+
+    Every primitive is safe to update concurrently from many domains.
+    Histograms bucket geometrically (four sub-buckets per octave of
+    nanoseconds, 256 buckets), so {!Histogram.quantile} is exact to
+    within a bucket width (≈19% relative) over 1 ns .. minutes.
+
+    {!to_json} renders a snapshot as plain JSON: duration histograms in
+    milliseconds, the [batch_size] histogram in raw request counts
+    (recorded via the 1e-9 seconds-per-unit convention used by
+    {!Server}). *)
+
+module Counter : sig
+  type t
+
+  val create : string -> t
+  val incr : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Gauge : sig
+  type t
+
+  val create : string -> t
+  val set : t -> int -> unit
+  val incr : t -> unit
+  val decr : t -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+module Histogram : sig
+  type t
+
+  val create : string -> t
+
+  val observe : t -> float -> unit
+  (** Record a duration in seconds (negative / NaN clamp to 0). *)
+
+  val count : t -> int
+  val mean : t -> float
+
+  val quantile : t -> float -> float
+  (** [quantile h q] for [q] in [0,1]: the upper edge, in seconds, of the
+      first bucket whose cumulative count reaches [q]·count, clamped to
+      the observed maximum; [0.] when empty. *)
+
+  val name : t -> string
+end
+
+(** The fixed metric set of one {!Server.t}. *)
+type t = {
+  accepted : Counter.t;
+  completed : Counter.t;
+  rejected_overload : Counter.t;
+  deadline_expired : Counter.t;
+  rejected_invalid : Counter.t;
+  rejected_closed : Counter.t;
+  failed : Counter.t;
+  batches : Counter.t;
+  images : Counter.t;
+  queue_depth : Gauge.t;
+  in_flight : Gauge.t;
+  queue_wait : Histogram.t;  (** submit → picked into a batch *)
+  batch_assembly : Histogram.t;  (** batch opened → dispatched to compute *)
+  compute : Histogram.t;  (** model forward on the assembled batch *)
+  total_latency : Histogram.t;  (** submit → completion, per request *)
+  batch_size : Histogram.t;  (** raw counts (1e-9 s per request) *)
+}
+
+val create : unit -> t
+val to_json : t -> string

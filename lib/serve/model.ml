@@ -1,0 +1,39 @@
+(* A servable artifact: either a linear Deploy net or a quantized
+   Int_graph.  Both take a float NCHW batch (quantized internally at the
+   recorded input scale) and return float logits [n; classes]; every
+   per-sample computation is independent of the batch dimension, which is
+   what lets the dynamic batcher promise bit-identical results. *)
+
+module Tensor = Twq_tensor.Tensor
+module Deploy = Twq_nn.Deploy
+module Int_graph = Twq_nn.Int_graph
+
+type t = Net of Deploy.t | Graph of Int_graph.t
+
+let kind = function Net _ -> "net" | Graph _ -> "graph"
+
+let to_string = function
+  | Net d -> Deploy.to_string d
+  | Graph g -> Int_graph.to_string g
+
+(* Dispatch on the payload's own magic line; both parsers funnel their
+   typed reader errors through Failure. *)
+let of_string s =
+  let magic =
+    match String.index_opt s ' ' with
+    | Some i -> String.sub s 0 i
+    | None -> s
+  in
+  match magic with
+  | "twq-int8-net" -> (
+      match Deploy.of_string s with
+      | d -> Ok (Net d)
+      | exception Failure msg -> Error msg)
+  | "twq-int8-graph" -> (
+      match Int_graph.of_string s with
+      | g -> Ok (Graph g)
+      | exception Failure msg -> Error msg)
+  | m -> Error (Printf.sprintf "unknown model magic %S" m)
+
+let run_batch t x =
+  match t with Net d -> Deploy.forward d x | Graph g -> Int_graph.run g x

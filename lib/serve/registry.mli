@@ -1,0 +1,61 @@
+(** Model registry: a directory of versioned, CRC-checked model artifacts
+    with an in-memory table and atomic hot-swap.
+
+    Artifacts live one per file ("<name>@v<version>.twqm"), framed by a
+    header carrying name, version, kind, the per-request input dims and a
+    CRC-32 ({!Twq_util.Crc32}) of the serialized model.  Writes are
+    atomic (tmp + rename); {!open_dir} removes any orphaned [.tmp] files
+    a killed writer left behind and skips — with a typed reason — any
+    artifact that fails its header, CRC or parse checks.
+
+    {!publish} installs the new entry in the live table only after the
+    rename lands, so a concurrent {!lookup} atomically flips from the old
+    model to the new one while in-flight batches keep whichever version
+    they already resolved.  All results are typed; no function raises on
+    malformed input. *)
+
+type error =
+  | Io_error of string
+  | Bad_name of string
+  | Bad_artifact of { file : string; reason : string }
+  | Corrupt_artifact of { file : string; expected : int; got : int }
+  | No_such_model of { name : string; version : int option }
+
+val error_to_string : error -> string
+
+type entry = {
+  name : string;
+  version : int;
+  input_dims : int array;  (** per-request [| c; h; w |] *)
+  crc : int;
+  model : Model.t;
+}
+
+type t
+
+val open_dir : string -> (t, error) result
+(** Open (creating if missing) a registry directory: clean orphan [.tmp]
+    files, load every valid artifact, record skipped ones. *)
+
+val orphans_removed : t -> string list
+(** Stale [.tmp] files deleted by {!open_dir} / {!refresh}. *)
+
+val skipped : t -> (string * error) list
+(** Artifact files present on disk but not loaded, with the reason. *)
+
+val publish :
+  t -> name:string -> version:int -> input_dims:int array -> Model.t ->
+  (entry, error) result
+(** Serialize, write atomically into the registry directory, then
+    hot-swap the in-memory table. Re-publishing an existing name+version
+    replaces it. *)
+
+val lookup : ?version:int -> t -> string -> (entry, error) result
+(** Current (highest-version) entry for a name, or a pinned version. *)
+
+val names : t -> (string * int list) list
+(** All model names with their available versions, newest first. *)
+
+val refresh : t -> (unit, error) result
+(** Rescan the directory (picking up artifacts published by other
+    processes) and atomically replace the table. *)

@@ -1,0 +1,266 @@
+(* Inference server: admission-controlled dynamic batcher in front of a
+   worker pool of compute domains.
+
+   A request is one image [c; h; w]; the batcher coalesces up to
+   [max_batch] of them (waiting at most [max_delay] for stragglers) into
+   one [n; c; h; w] batch, the worker runs the model once, and each
+   request gets its own logits row back.  Because every model op is
+   per-sample independent, the row a request receives is bit-identical to
+   what a batch-of-1 run would have produced — the qcheck property in
+   test/test_serve.ml pins this.
+
+   Worker-pool / domain-pool interaction: with [workers = 1] the single
+   compute worker may freely use the global [Parallel] domain pool inside
+   kernels (intra-batch parallelism).  With [workers > 1] each batch runs
+   under [Parallel.sequential] instead — the pool executes one job at a
+   time, so concurrent workers must not submit to it; they provide
+   inter-batch parallelism themselves.  Either way results are
+   bit-identical (PR 1's seq/par equality).
+
+   Nothing here raises across the API: overload, expired deadlines,
+   malformed inputs, post-shutdown submits and even exceptions escaping
+   the model all turn into typed per-request outcomes. *)
+
+module Tensor = Twq_tensor.Tensor
+module Parallel = Twq_util.Parallel
+
+type config = {
+  max_batch : int;
+  max_delay : float; (* seconds the batch window stays open *)
+  capacity : int; (* bound on the request queue; excess sheds *)
+  workers : int; (* compute worker domains *)
+  default_deadline : float option; (* relative seconds, per request *)
+}
+
+let default_config =
+  {
+    max_batch = 8;
+    max_delay = 0.002;
+    capacity = 64;
+    workers = 1;
+    default_deadline = None;
+  }
+
+type outcome =
+  | Output of Tensor.t
+  | Rejected_overload
+  | Deadline_expired
+  | Rejected_invalid of string
+  | Rejected_closed
+  | Failed of string
+
+let outcome_label = function
+  | Output _ -> "output"
+  | Rejected_overload -> "rejected-overload"
+  | Deadline_expired -> "deadline-expired"
+  | Rejected_invalid _ -> "rejected-invalid"
+  | Rejected_closed -> "rejected-closed"
+  | Failed _ -> "failed"
+
+type ticket = {
+  input : Tensor.t;
+  submitted : float;
+  deadline : float option; (* absolute *)
+  cell_mutex : Mutex.t;
+  cell_cond : Condition.t;
+  mutable cell : outcome option;
+}
+
+type t = {
+  config : config;
+  resolve : unit -> Model.t;
+  input_dims : int array; (* [| c; h; w |] *)
+  numel : int;
+  batcher : ticket Batcher.t;
+  metrics : Metrics.t;
+  mutable domains : unit Domain.t list;
+  mutable stopped : bool;
+  stop_mutex : Mutex.t;
+}
+
+let now = Unix.gettimeofday
+
+let complete t ticket outcome =
+  (match outcome with
+  | Output _ ->
+      Metrics.Counter.incr t.metrics.Metrics.completed;
+      Metrics.Histogram.observe t.metrics.Metrics.total_latency
+        (now () -. ticket.submitted)
+  | Rejected_overload -> Metrics.Counter.incr t.metrics.Metrics.rejected_overload
+  | Deadline_expired -> Metrics.Counter.incr t.metrics.Metrics.deadline_expired
+  | Rejected_invalid _ -> Metrics.Counter.incr t.metrics.Metrics.rejected_invalid
+  | Rejected_closed -> Metrics.Counter.incr t.metrics.Metrics.rejected_closed
+  | Failed _ -> Metrics.Counter.incr t.metrics.Metrics.failed);
+  Mutex.lock ticket.cell_mutex;
+  if ticket.cell = None then ticket.cell <- Some outcome;
+  Condition.broadcast ticket.cell_cond;
+  Mutex.unlock ticket.cell_mutex
+
+let run_batch t tickets ~opened =
+  let dispatch = now () in
+  let m = t.metrics in
+  List.iter
+    (fun ticket ->
+      Metrics.Histogram.observe m.Metrics.queue_wait
+        (dispatch -. ticket.submitted))
+    tickets;
+  Metrics.Gauge.set m.Metrics.queue_depth (Batcher.length t.batcher);
+  (* Split expired requests out before paying for their compute. *)
+  let live, dead =
+    List.partition
+      (fun ticket ->
+        match ticket.deadline with None -> true | Some d -> dispatch <= d)
+      tickets
+  in
+  List.iter (fun ticket -> complete t ticket Deadline_expired) dead;
+  if live <> [] then begin
+    let n = List.length live in
+    Metrics.Gauge.incr m.Metrics.in_flight;
+    Metrics.Counter.incr m.Metrics.batches;
+    Metrics.Counter.add m.Metrics.images n;
+    Metrics.Histogram.observe m.Metrics.batch_size (float_of_int n *. 1e-9);
+    Metrics.Histogram.observe m.Metrics.batch_assembly (dispatch -. opened);
+    match
+      let xb =
+        Tensor.zeros
+          [| n; t.input_dims.(0); t.input_dims.(1); t.input_dims.(2) |]
+      in
+      List.iteri
+        (fun i ticket ->
+          Array.blit ticket.input.Tensor.data 0 xb.Tensor.data (i * t.numel)
+            t.numel)
+        live;
+      let model = t.resolve () in
+      let y =
+        if t.config.workers = 1 then Model.run_batch model xb
+        else Parallel.sequential (fun () -> Model.run_batch model xb)
+      in
+      if Tensor.rank y <> 2 || Tensor.dim y 0 <> n then
+        failwith "model returned a non-[n; classes] output";
+      y
+    with
+    | exception e ->
+        Metrics.Gauge.decr m.Metrics.in_flight;
+        let msg = Printexc.to_string e in
+        List.iter (fun ticket -> complete t ticket (Failed msg)) live
+    | y ->
+        Metrics.Histogram.observe m.Metrics.compute (now () -. dispatch);
+        Metrics.Gauge.decr m.Metrics.in_flight;
+        let classes = Tensor.dim y 1 in
+        List.iteri
+          (fun i ticket ->
+            let row = Tensor.zeros [| classes |] in
+            Array.blit y.Tensor.data (i * classes) row.Tensor.data 0 classes;
+            complete t ticket (Output row))
+          live
+  end
+
+let worker t () =
+  let rec loop () =
+    match Batcher.next_batch t.batcher with
+    | None -> ()
+    | Some (tickets, opened) ->
+        run_batch t tickets ~opened;
+        loop ()
+  in
+  loop ()
+
+let start ?(config = default_config) ~model ~input_dims () =
+  if Array.length input_dims <> 3 || Array.exists (fun d -> d <= 0) input_dims
+  then invalid_arg "Server.start: input_dims must be [| c; h; w |] > 0";
+  if config.workers < 1 then invalid_arg "Server.start: workers < 1";
+  let t =
+    {
+      config;
+      resolve = model;
+      input_dims = Array.copy input_dims;
+      numel = input_dims.(0) * input_dims.(1) * input_dims.(2);
+      batcher =
+        Batcher.create ~capacity:config.capacity ~max_batch:config.max_batch
+          ~max_delay:config.max_delay ();
+      metrics = Metrics.create ();
+      domains = [];
+      stopped = false;
+      stop_mutex = Mutex.create ();
+    }
+  in
+  t.domains <- List.init config.workers (fun _ -> Domain.spawn (worker t));
+  t
+
+let for_model ?config model ~input_dims () =
+  start ?config ~model:(fun () -> model) ~input_dims ()
+
+let valid_shape t x =
+  Tensor.rank x = 3
+  && Tensor.dim x 0 = t.input_dims.(0)
+  && Tensor.dim x 1 = t.input_dims.(1)
+  && Tensor.dim x 2 = t.input_dims.(2)
+
+let submit ?deadline t x =
+  let submitted = now () in
+  let rel =
+    match deadline with Some _ -> deadline | None -> t.config.default_deadline
+  in
+  let ticket =
+    {
+      input = x;
+      submitted;
+      deadline = Option.map (fun d -> submitted +. d) rel;
+      cell_mutex = Mutex.create ();
+      cell_cond = Condition.create ();
+      cell = None;
+    }
+  in
+  if not (valid_shape t x) then begin
+    let got =
+      String.concat "x"
+        (List.init (Tensor.rank x) (fun i -> string_of_int (Tensor.dim x i)))
+    in
+    complete t ticket
+      (Rejected_invalid
+         (Printf.sprintf "input shape %s, expected %dx%dx%d" got
+            t.input_dims.(0) t.input_dims.(1) t.input_dims.(2)))
+  end
+  else begin
+    Metrics.Counter.incr t.metrics.Metrics.accepted;
+    match Batcher.submit t.batcher ticket with
+    | Batcher.Accepted ->
+        Metrics.Gauge.set t.metrics.Metrics.queue_depth
+          (Batcher.length t.batcher)
+    | Batcher.Overloaded -> complete t ticket Rejected_overload
+    | Batcher.Closed -> complete t ticket Rejected_closed
+  end;
+  ticket
+
+let await ticket =
+  Mutex.lock ticket.cell_mutex;
+  while ticket.cell = None do
+    Condition.wait ticket.cell_cond ticket.cell_mutex
+  done;
+  let r = Option.get ticket.cell in
+  Mutex.unlock ticket.cell_mutex;
+  r
+
+let peek ticket =
+  Mutex.lock ticket.cell_mutex;
+  let r = ticket.cell in
+  Mutex.unlock ticket.cell_mutex;
+  r
+
+let infer ?deadline t x = await (submit ?deadline t x)
+let metrics t = t.metrics
+let queue_depth t = Batcher.length t.batcher
+let config t = t.config
+
+let shutdown t =
+  Mutex.lock t.stop_mutex;
+  let already = t.stopped in
+  t.stopped <- true;
+  Mutex.unlock t.stop_mutex;
+  if not already then begin
+    (* Close admission; workers drain the remaining queue, see [None],
+       and exit — every accepted ticket still gets a real outcome. *)
+    Batcher.shutdown t.batcher;
+    List.iter Domain.join t.domains;
+    t.domains <- []
+  end

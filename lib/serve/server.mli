@@ -1,0 +1,73 @@
+(** Dynamic-batching inference server with admission control.
+
+    Requests are single images [| c; h; w |]; the server coalesces up to
+    [max_batch] of them (holding the batch window at most [max_delay]
+    seconds) into one batched forward pass and hands each request its own
+    logits row — bit-identical to running that request alone.
+
+    Admission control: the queue is bounded by [capacity]; overflow sheds
+    with {!Rejected_overload}.  Requests carry optional relative
+    deadlines; ones that expire before compute dispatch get
+    {!Deadline_expired}.  No function raises across this API — malformed
+    inputs, post-shutdown submits and model exceptions all surface as
+    typed outcomes.
+
+    With [workers = 1] (default) the compute worker uses the global
+    {!Twq_util.Parallel} pool inside kernels; with more workers each
+    batch runs under [Parallel.sequential] and the workers provide the
+    parallelism between batches. *)
+
+type config = {
+  max_batch : int;
+  max_delay : float;  (** seconds the batch window stays open *)
+  capacity : int;  (** request-queue bound; overflow sheds *)
+  workers : int;  (** compute worker domains *)
+  default_deadline : float option;  (** relative seconds, per request *)
+}
+
+val default_config : config
+(** [{ max_batch = 8; max_delay = 0.002; capacity = 64; workers = 1;
+      default_deadline = None }] *)
+
+type outcome =
+  | Output of Twq_tensor.Tensor.t  (** logits row, shape [| classes |] *)
+  | Rejected_overload  (** queue was full at submit *)
+  | Deadline_expired  (** deadline passed before compute dispatch *)
+  | Rejected_invalid of string  (** input shape mismatch *)
+  | Rejected_closed  (** submitted after shutdown *)
+  | Failed of string  (** exception escaped the model *)
+
+val outcome_label : outcome -> string
+
+type t
+type ticket
+
+val start :
+  ?config:config -> model:(unit -> Model.t) -> input_dims:int array -> unit -> t
+(** Spawn the worker domains.  [model] is resolved once per batch, so a
+    registry-backed resolver hot-swaps versions between batches.
+    @raise Invalid_argument on malformed [input_dims] or [workers < 1]. *)
+
+val for_model : ?config:config -> Model.t -> input_dims:int array -> unit -> t
+(** [start] with a constant model. *)
+
+val submit : ?deadline:float -> t -> Twq_tensor.Tensor.t -> ticket
+(** Non-blocking; sheds (typed) instead of waiting.  [deadline] is in
+    relative seconds and overrides [config.default_deadline]. *)
+
+val await : ticket -> outcome
+(** Block until the request completes. *)
+
+val peek : ticket -> outcome option
+(** Non-blocking completion check. *)
+
+val infer : ?deadline:float -> t -> Twq_tensor.Tensor.t -> outcome
+(** [submit] then [await]. *)
+
+val metrics : t -> Metrics.t
+val queue_depth : t -> int
+val config : t -> config
+
+val shutdown : t -> unit
+(** Graceful drain: close admission, let workers finish every queued
+    request, join the worker domains.  Idempotent. *)

@@ -17,24 +17,7 @@ let error_to_string = function
 let magic = "TWQCKPT1"
 let current_version = 1
 
-(* IEEE CRC-32, table-driven; OCaml's 63-bit ints hold the 32-bit state
-   directly. *)
-let crc_table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
-
-let crc32 s =
-  let tbl = Lazy.force crc_table in
-  let c = ref 0xFFFFFFFF in
-  String.iter
-    (fun ch -> c := tbl.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
-    s;
-  !c lxor 0xFFFFFFFF
+let crc32 = Crc32.digest
 
 let write_atomic ~path data =
   let tmp = path ^ ".tmp" in

@@ -1,0 +1,25 @@
+(* IEEE CRC-32 (the zlib/PNG polynomial), table-driven; OCaml's 63-bit
+   ints hold the 32-bit state directly.  Shared by checkpoint framing and
+   the serving model registry so there is exactly one table in the
+   binary. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let digest_sub s ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > String.length s then
+    invalid_arg "Crc32.digest_sub";
+  let tbl = Lazy.force table in
+  let c = ref 0xFFFFFFFF in
+  for i = pos to pos + len - 1 do
+    c := tbl.((!c lxor Char.code (String.unsafe_get s i)) land 0xff) lxor (!c lsr 8)
+  done;
+  !c lxor 0xFFFFFFFF
+
+let digest s = digest_sub s ~pos:0 ~len:(String.length s)

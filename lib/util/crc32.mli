@@ -1,0 +1,12 @@
+(** IEEE CRC-32 (the zlib/PNG polynomial).
+
+    The single shared implementation behind {!Checkpoint} framing and the
+    serving model registry's artifact integrity checks.  Returned values
+    lie in [0, 2^32). *)
+
+val digest : string -> int
+(** CRC-32 of the whole string.  [digest "123456789" = 0xCBF43926]. *)
+
+val digest_sub : string -> pos:int -> len:int -> int
+(** CRC-32 of the substring [s.[pos .. pos+len-1]], without copying.
+    @raise Invalid_argument on an out-of-bounds range. *)

@@ -1,0 +1,474 @@
+(* Tests for the serving subsystem (PR 4): batching equivalence (any
+   interleaving of requests through the dynamic batcher yields
+   bit-identical outputs to sequential single-image execution), admission
+   control (overload shedding, deadline expiry, post-shutdown submits —
+   all typed, never exceptions), registry integrity (CRC, orphan-tmp
+   cleanup, hot-swap) and the metrics layer. *)
+
+module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
+module Crc32 = Twq_util.Crc32
+module Checkpoint = Twq_util.Checkpoint
+module Metrics = Twq_serve.Metrics
+module Model = Twq_serve.Model
+module Registry = Twq_serve.Registry
+module Batcher = Twq_serve.Batcher
+module Server = Twq_serve.Server
+module Loadgen = Twq_serve.Loadgen
+
+let tmp_dir prefix =
+  let p = Filename.temp_file prefix "" in
+  Sys.remove p;
+  Unix.mkdir p 0o755;
+  p
+
+let rm_rf dir =
+  if Sys.file_exists dir then begin
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+    Unix.rmdir dir
+  end
+
+let read_raw path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let write_raw path data =
+  let oc = open_out_bin path in
+  output_string oc data;
+  close_out oc
+
+(* A small servable model: resnet20/4 at low resolution keeps each test
+   in the tens of milliseconds while still crossing Winograd, spatial,
+   residual-add and head paths. *)
+let make_model ?(res = 8) ?(width_div = 4) ~seed () =
+  let rng = Rng.create seed in
+  let g =
+    Twq_nn.Passes.fold_bn (Twq_nn.Gmodels.resnet20 ~rng ~width_div ())
+  in
+  let cal = Tensor.rand_gaussian rng [| 2; 3; res; res |] ~mu:0.0 ~sigma:1.0 in
+  (Model.Graph (Twq_nn.Int_graph.quantize g ~calibration:cal ()), [| 3; res; res |])
+
+let the_model, the_dims = make_model ~seed:3 ()
+
+let rand_input ?(dims = the_dims) seed =
+  let rng = Rng.create seed in
+  Tensor.rand_gaussian rng dims ~mu:0.0 ~sigma:1.0
+
+let tensor_equal_bits a b =
+  Tensor.numel a = Tensor.numel b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a.Tensor.data b.Tensor.data
+
+(* Reference: the model run on the single image alone. *)
+let reference_row model dims x =
+  let c = dims.(0) and h = dims.(1) and w = dims.(2) in
+  let x1 = Tensor.zeros [| 1; c; h; w |] in
+  Array.blit x.Tensor.data 0 x1.Tensor.data 0 (c * h * w);
+  let y = Model.run_batch model x1 in
+  let classes = Tensor.dim y 1 in
+  let row = Tensor.zeros [| classes |] in
+  Array.blit y.Tensor.data 0 row.Tensor.data 0 classes;
+  row
+
+(* ------------------------------------------------ batching equivalence *)
+
+let prop_batching_bit_identical =
+  QCheck.Test.make
+    ~name:"server batching == sequential single-image execution (bit-exact)"
+    ~count:12
+    QCheck.(triple (int_range 1 20) (int_range 1 8) (int_range 0 10_000))
+    (fun (n_req, max_batch, seed) ->
+      let config =
+        {
+          Server.default_config with
+          Server.max_batch;
+          max_delay = (if seed mod 2 = 0 then 0.0 else 0.001);
+          capacity = n_req + 8;
+        }
+      in
+      let server = Server.for_model ~config the_model ~input_dims:the_dims () in
+      let inputs = Array.init n_req (fun i -> rand_input (seed + (17 * i))) in
+      (* Submitting from one domain while the worker drains concurrently
+         yields whatever interleaving the scheduler produces; batch
+         shapes vary with max_batch/max_delay/timing. *)
+      let tickets = Array.map (Server.submit server) inputs in
+      let outcomes = Array.map Server.await tickets in
+      Server.shutdown server;
+      Array.for_all2
+        (fun x outcome ->
+          match outcome with
+          | Server.Output row ->
+              tensor_equal_bits row (reference_row the_model the_dims x)
+          | _ -> false)
+        inputs outcomes)
+
+let test_batch_submit_after_await () =
+  (* Several waves through the same server: batches of earlier waves must
+     not perturb later ones. *)
+  let server = Server.for_model the_model ~input_dims:the_dims () in
+  for wave = 0 to 2 do
+    let inputs = Array.init 5 (fun i -> rand_input ((100 * wave) + i)) in
+    let tickets = Array.map (Server.submit server) inputs in
+    Array.iteri
+      (fun i ticket ->
+        match Server.await ticket with
+        | Server.Output row ->
+            Alcotest.(check bool)
+              (Printf.sprintf "wave %d req %d bit-identical" wave i)
+              true
+              (tensor_equal_bits row (reference_row the_model the_dims inputs.(i)))
+        | o -> Alcotest.failf "unexpected outcome %s" (Server.outcome_label o))
+      tickets
+  done;
+  Server.shutdown server
+
+(* --------------------------------------------------- admission control *)
+
+let count_outcomes outcomes =
+  Array.fold_left
+    (fun (ok, shed, exp, other) o ->
+      match o with
+      | Server.Output _ -> (ok + 1, shed, exp, other)
+      | Server.Rejected_overload -> (ok, shed + 1, exp, other)
+      | Server.Deadline_expired -> (ok, shed, exp + 1, other)
+      | _ -> (ok, shed, exp, other + 1))
+    (0, 0, 0, 0) outcomes
+
+let test_overload_sheds_typed () =
+  (* Tiny queue, batch-1 server, a flood of instant submits: almost all
+     must shed as typed Rejected_overload; every request still gets
+     exactly one outcome and nothing raises. *)
+  let config =
+    { Server.default_config with Server.max_batch = 1; max_delay = 0.0;
+      capacity = 2 }
+  in
+  let server = Server.for_model ~config the_model ~input_dims:the_dims () in
+  let n = 40 in
+  let tickets = Array.init n (fun i -> Server.submit server (rand_input i)) in
+  let outcomes = Array.map Server.await tickets in
+  Server.shutdown server;
+  let ok, shed, expired, other = count_outcomes outcomes in
+  Alcotest.(check int) "all requests resolved" n (ok + shed + expired + other);
+  Alcotest.(check int) "no expiries or failures" 0 (expired + other);
+  Alcotest.(check bool) "some requests shed" true (shed > 0);
+  Alcotest.(check bool) "some requests served" true (ok > 0);
+  let m = Server.metrics server in
+  Alcotest.(check int) "metrics shed count" shed
+    (Metrics.Counter.value m.Metrics.rejected_overload);
+  Alcotest.(check int) "metrics completed count" ok
+    (Metrics.Counter.value m.Metrics.completed)
+
+let test_deadline_expiry () =
+  let server = Server.for_model the_model ~input_dims:the_dims () in
+  (match Server.infer ~deadline:(-1.0) server (rand_input 1) with
+  | Server.Deadline_expired -> ()
+  | o -> Alcotest.failf "expected expiry, got %s" (Server.outcome_label o));
+  (match Server.infer ~deadline:30.0 server (rand_input 2) with
+  | Server.Output _ -> ()
+  | o -> Alcotest.failf "expected output, got %s" (Server.outcome_label o));
+  Server.shutdown server;
+  let m = Server.metrics server in
+  Alcotest.(check int) "expiry counted" 1
+    (Metrics.Counter.value m.Metrics.deadline_expired)
+
+let test_invalid_shape_and_closed () =
+  let server = Server.for_model the_model ~input_dims:the_dims () in
+  (match Server.infer server (Tensor.zeros [| 3; 4; 4 |]) with
+  | Server.Rejected_invalid _ -> ()
+  | o -> Alcotest.failf "expected invalid, got %s" (Server.outcome_label o));
+  Server.shutdown server;
+  Server.shutdown server (* idempotent *);
+  match Server.infer server (rand_input 3) with
+  | Server.Rejected_closed -> ()
+  | o -> Alcotest.failf "expected closed, got %s" (Server.outcome_label o)
+
+let test_shutdown_drains () =
+  (* Everything accepted before shutdown completes with a real output. *)
+  let config =
+    { Server.default_config with Server.max_batch = 4; max_delay = 0.002;
+      capacity = 64 }
+  in
+  let server = Server.for_model ~config the_model ~input_dims:the_dims () in
+  let inputs = Array.init 12 (fun i -> rand_input (500 + i)) in
+  let tickets = Array.map (Server.submit server) inputs in
+  Server.shutdown server;
+  Array.iteri
+    (fun i ticket ->
+      match Server.await ticket with
+      | Server.Output row ->
+          Alcotest.(check bool) "drained output bit-identical" true
+            (tensor_equal_bits row (reference_row the_model the_dims inputs.(i)))
+      | o -> Alcotest.failf "request %d: %s after drain" i (Server.outcome_label o))
+    tickets
+
+let test_loadgen_closed_loop () =
+  let server = Server.for_model the_model ~input_dims:the_dims () in
+  let s =
+    Loadgen.run ~server ~make_input:rand_input ~requests:20 ~concurrency:4 ()
+  in
+  Server.shutdown server;
+  Alcotest.(check int) "all completed" 20 s.Loadgen.completed;
+  Alcotest.(check int) "none shed" 0 s.Loadgen.rejected_overload;
+  Alcotest.(check bool) "throughput positive" true (s.Loadgen.throughput > 0.0);
+  Alcotest.(check bool) "p50 <= p99" true
+    (s.Loadgen.latency_p50 <= s.Loadgen.latency_p99);
+  let json = Loadgen.summary_to_json s in
+  let contains needle =
+    let ln = String.length needle and lj = String.length json in
+    let rec go i = i + ln <= lj && (String.sub json i ln = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "summary json has completed count" true
+    (contains "\"completed\": 20")
+
+(* -------------------------------------------------------------- batcher *)
+
+let test_batcher_fifo_and_bounds () =
+  let b = Batcher.create ~capacity:3 ~max_batch:2 ~max_delay:0.0 () in
+  Alcotest.(check bool) "accept 1" true (Batcher.submit b 1 = Batcher.Accepted);
+  Alcotest.(check bool) "accept 2" true (Batcher.submit b 2 = Batcher.Accepted);
+  Alcotest.(check bool) "accept 3" true (Batcher.submit b 3 = Batcher.Accepted);
+  Alcotest.(check bool) "overflow sheds" true
+    (Batcher.submit b 4 = Batcher.Overloaded);
+  (match Batcher.next_batch b with
+  | Some ([ 1; 2 ], _) -> ()
+  | Some (l, _) ->
+      Alcotest.failf "wrong batch [%s]"
+        (String.concat ";" (List.map string_of_int l))
+  | None -> Alcotest.fail "no batch");
+  (match Batcher.next_batch b with
+  | Some ([ 3 ], _) -> ()
+  | _ -> Alcotest.fail "expected tail batch [3]");
+  Batcher.shutdown b;
+  Alcotest.(check bool) "closed rejects" true (Batcher.submit b 5 = Batcher.Closed);
+  Alcotest.(check bool) "drained -> None" true (Batcher.next_batch b = None)
+
+let test_batcher_delay_window () =
+  let b = Batcher.create ~capacity:16 ~max_batch:4 ~max_delay:0.05 () in
+  ignore (Batcher.submit b 1);
+  (* A second producer lands inside the window: the batch must contain
+     both even though they were not simultaneous. *)
+  let d =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.005;
+        ignore (Batcher.submit b 2))
+  in
+  (match Batcher.next_batch b with
+  | Some (l, _) ->
+      Alcotest.(check (list int)) "window collects both" [ 1; 2 ] l
+  | None -> Alcotest.fail "no batch");
+  Domain.join d;
+  Batcher.shutdown b
+
+(* ------------------------------------------------------------- registry *)
+
+let publish_tiny reg ~name ~version ~seed =
+  let model, dims = make_model ~res:8 ~width_div:4 ~seed () in
+  match Registry.publish reg ~name ~version ~input_dims:dims model with
+  | Ok e -> e
+  | Error e -> Alcotest.failf "publish: %s" (Registry.error_to_string e)
+
+let with_registry f =
+  let dir = tmp_dir "twq_registry" in
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+let test_registry_roundtrip () =
+  with_registry (fun dir ->
+      let reg =
+        match Registry.open_dir dir with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "open: %s" (Registry.error_to_string e)
+      in
+      let e = publish_tiny reg ~name:"m" ~version:1 ~seed:11 in
+      (* Reload from disk in a fresh registry: the model must produce
+         bit-identical outputs. *)
+      let reg2 =
+        match Registry.open_dir dir with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "reopen: %s" (Registry.error_to_string e)
+      in
+      match Registry.lookup reg2 "m" with
+      | Error e -> Alcotest.failf "lookup: %s" (Registry.error_to_string e)
+      | Ok e2 ->
+          Alcotest.(check int) "version" 1 e2.Registry.version;
+          Alcotest.(check int) "crc stable" e.Registry.crc e2.Registry.crc;
+          let x = Tensor.zeros [| 1; 3; 8; 8 |] in
+          Alcotest.(check bool) "reloaded model bit-identical" true
+            (tensor_equal_bits
+               (Model.run_batch e.Registry.model x)
+               (Model.run_batch e2.Registry.model x)))
+
+let test_registry_orphan_tmp_cleanup () =
+  with_registry (fun dir ->
+      let reg =
+        match Registry.open_dir dir with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "open: %s" (Registry.error_to_string e)
+      in
+      ignore (publish_tiny reg ~name:"m" ~version:1 ~seed:11);
+      (* Simulate a writer killed mid-publish. *)
+      write_raw (Filename.concat dir "m@v2.twqm.tmp") "half-written";
+      write_raw (Filename.concat dir "other@v1.twqm.tmp") "also dead";
+      let reg2 =
+        match Registry.open_dir dir with
+        | Ok r -> r
+        | Error e -> Alcotest.failf "reopen: %s" (Registry.error_to_string e)
+      in
+      Alcotest.(check int) "orphans removed" 2
+        (List.length (Registry.orphans_removed reg2));
+      Alcotest.(check bool) "tmp files gone" true
+        (Array.for_all
+           (fun f -> not (Filename.check_suffix f ".tmp"))
+           (Sys.readdir dir));
+      Alcotest.(check bool) "real artifact survives" true
+        (Result.is_ok (Registry.lookup reg2 "m")))
+
+let test_registry_corrupt_artifact_skipped () =
+  with_registry (fun dir ->
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      ignore (publish_tiny reg ~name:"m" ~version:1 ~seed:11);
+      let file = Filename.concat dir "m@v1.twqm" in
+      let raw = read_raw file in
+      (* Flip one payload byte, far from the header. *)
+      let b = Bytes.of_string raw in
+      let pos = Bytes.length b - 7 in
+      Bytes.set b pos (Char.chr (Char.code (Bytes.get b pos) lxor 0x20));
+      write_raw file (Bytes.to_string b);
+      let reg2 = Result.get_ok (Registry.open_dir dir) in
+      Alcotest.(check bool) "lookup fails" true
+        (Result.is_error (Registry.lookup reg2 "m"));
+      match Registry.skipped reg2 with
+      | [ (_, Registry.Corrupt_artifact _) ] -> ()
+      | [ (_, e) ] ->
+          Alcotest.failf "wrong error: %s" (Registry.error_to_string e)
+      | l -> Alcotest.failf "expected one skipped artifact, got %d" (List.length l))
+
+let test_registry_hot_swap () =
+  with_registry (fun dir ->
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      let e1 = publish_tiny reg ~name:"m" ~version:1 ~seed:11 in
+      let e2 = publish_tiny reg ~name:"m" ~version:2 ~seed:99 in
+      Alcotest.(check bool) "distinct models" true (e1.Registry.crc <> e2.Registry.crc);
+      (match Registry.lookup reg "m" with
+      | Ok e -> Alcotest.(check int) "newest wins" 2 e.Registry.version
+      | Error e -> Alcotest.failf "lookup: %s" (Registry.error_to_string e));
+      (match Registry.lookup ~version:1 reg "m" with
+      | Ok e -> Alcotest.(check int) "pinned version" 1 e.Registry.version
+      | Error e -> Alcotest.failf "lookup v1: %s" (Registry.error_to_string e));
+      (* A server resolving through the registry flips between batches. *)
+      let x = rand_input 5 in
+      let resolve () = (Result.get_ok (Registry.lookup reg "m")).Registry.model in
+      let server = Server.start ~model:resolve ~input_dims:the_dims () in
+      let y2 =
+        match Server.infer server x with
+        | Server.Output row -> row
+        | o -> Alcotest.failf "infer: %s" (Server.outcome_label o)
+      in
+      Alcotest.(check bool) "serves v2" true
+        (tensor_equal_bits y2 (reference_row e2.Registry.model the_dims x));
+      Server.shutdown server;
+      Alcotest.(check bool) "names lists both versions" true
+        (Registry.names reg = [ ("m", [ 2; 1 ]) ]))
+
+let test_registry_rejects_bad_names () =
+  with_registry (fun dir ->
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      let model, dims = (the_model, the_dims) in
+      match Registry.publish reg ~name:"bad name" ~version:1 ~input_dims:dims model with
+      | Error (Registry.Bad_name _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Registry.error_to_string e)
+      | Ok _ -> Alcotest.fail "accepted a name with spaces")
+
+(* ------------------------------------------------------- crc32 / metrics *)
+
+let test_crc32_known_vector () =
+  Alcotest.(check int) "crc32 check vector" 0xCBF43926 (Crc32.digest "123456789");
+  Alcotest.(check int) "checkpoint delegates to Crc32" (Crc32.digest "payload")
+    (Checkpoint.crc32 "payload");
+  Alcotest.(check int) "digest_sub windows" (Crc32.digest "345")
+    (Crc32.digest_sub "123456789" ~pos:2 ~len:3)
+
+let test_histogram_quantiles () =
+  let h = Metrics.Histogram.create "t" in
+  for i = 1 to 100 do
+    Metrics.Histogram.observe h (float_of_int i *. 1e-3)
+  done;
+  Alcotest.(check int) "count" 100 (Metrics.Histogram.count h);
+  let within q lo hi =
+    let v = Metrics.Histogram.quantile h q in
+    v >= lo && v <= hi
+  in
+  (* Log buckets are exact to within one bucket width (2^1/4 ≈ 19%). *)
+  Alcotest.(check bool) "p50 near 50ms" true (within 0.50 0.045 0.065);
+  Alcotest.(check bool) "p99 near 99ms" true (within 0.99 0.09 0.125);
+  Alcotest.(check bool) "mean exact" true
+    (Float.abs (Metrics.Histogram.mean h -. 0.0505) < 1e-9)
+
+let test_metrics_json_snapshot () =
+  let server = Server.for_model the_model ~input_dims:the_dims () in
+  (match Server.infer server (rand_input 9) with
+  | Server.Output _ -> ()
+  | o -> Alcotest.failf "infer: %s" (Server.outcome_label o));
+  Server.shutdown server;
+  let json = Metrics.to_json (Server.metrics server) in
+  List.iter
+    (fun needle ->
+      let contains =
+        let ln = String.length needle and lj = String.length json in
+        let rec go i = i + ln <= lj && (String.sub json i ln = needle || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) ("json contains " ^ needle) true contains)
+    [
+      "\"counters\""; "\"completed\": 1"; "\"histograms\""; "\"queue_wait\"";
+      "\"batch_assembly\""; "\"compute\""; "\"p99"; "\"batch_size\"";
+    ]
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "batching",
+        [
+          QCheck_alcotest.to_alcotest prop_batching_bit_identical;
+          Alcotest.test_case "waves stay bit-identical" `Quick
+            test_batch_submit_after_await;
+        ] );
+      ( "admission",
+        [
+          Alcotest.test_case "overload sheds typed" `Quick
+            test_overload_sheds_typed;
+          Alcotest.test_case "deadline expiry" `Quick test_deadline_expiry;
+          Alcotest.test_case "invalid shape + closed" `Quick
+            test_invalid_shape_and_closed;
+          Alcotest.test_case "shutdown drains" `Quick test_shutdown_drains;
+          Alcotest.test_case "loadgen closed loop" `Quick
+            test_loadgen_closed_loop;
+        ] );
+      ( "batcher",
+        [
+          Alcotest.test_case "fifo + bounds" `Quick test_batcher_fifo_and_bounds;
+          Alcotest.test_case "delay window" `Quick test_batcher_delay_window;
+        ] );
+      ( "registry",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_registry_roundtrip;
+          Alcotest.test_case "orphan tmp cleanup" `Quick
+            test_registry_orphan_tmp_cleanup;
+          Alcotest.test_case "corrupt artifact skipped" `Quick
+            test_registry_corrupt_artifact_skipped;
+          Alcotest.test_case "hot swap" `Quick test_registry_hot_swap;
+          Alcotest.test_case "bad names rejected" `Quick
+            test_registry_rejects_bad_names;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "crc32 vectors" `Quick test_crc32_known_vector;
+          Alcotest.test_case "histogram quantiles" `Quick
+            test_histogram_quantiles;
+          Alcotest.test_case "metrics json snapshot" `Quick
+            test_metrics_json_snapshot;
+        ] );
+    ]
