@@ -117,7 +117,24 @@ let winof4_once () =
 let netsim_once () =
   ignore (NR.run Arch.default (NR.P_winograd T.F4) (Zoo.resnet34 ()) ~batch:1)
 
-let paired name f = [ (name ^ "-seq", fun () -> Parallel.sequential f); (name ^ "-par", f) ]
+(* The -par rows must actually run a worker pool: on boxes where
+   [Domain.recommended_domain_count () = 1] (single-core CI runners) the
+   pool degenerates to the sequential path and the pair times the same
+   code twice — the flat gconv/qconv seq≈par rows in older baselines.
+   Force at least two domains around each -par invocation (the override
+   is a cheap ref write; the pool itself persists between calls).  On
+   single-core hosts the pair therefore measures pool overhead; on
+   multicore hosts, real scaling. *)
+let par_domains = Stdlib.max 2 (Stdlib.min 4 (Parallel.num_domains ()))
+
+let paired name f =
+  [
+    (name ^ "-seq", fun () -> Parallel.sequential f);
+    ( name ^ "-par",
+      fun () ->
+        Parallel.set_num_domains par_domains;
+        Fun.protect ~finally:Parallel.clear_num_domains_override f );
+  ]
 
 (* ------------------------- paired tile-major vs tap-major kernel runs *)
 (* Same workload through the reference (tile-major, per-tile tensors) and
@@ -186,6 +203,28 @@ let serve_episode ~max_batch () =
   in
   Serve.Server.shutdown server;
   assert (s.Serve.Loadgen.completed = 24)
+
+(* ------------------------ planned vs interpreted integer inference *)
+
+let serve_graph =
+  match serve_model with Serve.Model.Graph g -> g | Serve.Model.Net _ -> assert false
+
+let plan_input =
+  Tensor.rand_gaussian (Twq.Rng.create 31) [| 4; 3; 8; 8 |] ~mu:0.0 ~sigma:1.0
+
+let deploy_net =
+  let model =
+    Twq.Nn.Qat_model.create
+      (Twq.Nn.Qat_model.default_config Twq.Nn.Qat_model.Fp32)
+      ~seed:41
+  in
+  let cal =
+    Tensor.rand_gaussian (Twq.Rng.create 42) [| 2; 3; 12; 12 |] ~mu:0.0 ~sigma:1.0
+  in
+  Twq.Nn.Deploy.export model ~calibration:cal ()
+
+let deploy_input =
+  Tensor.rand_gaussian (Twq.Rng.create 43) [| 2; 3; 12; 12 |] ~mu:0.0 ~sigma:1.0
 
 (* One (name, thunk) per kernel; feeds both the Bechamel pass and the
    JSON timing pass. *)
@@ -302,6 +341,19 @@ let kernels : (string * (unit -> unit)) list =
       ("serve-batch1", serve_episode ~max_batch:1);
       ("serve-batch8", serve_episode ~max_batch:8);
     ]
+  (* Planned vs interpreted execution of the same integer graphs: the
+     compiled plan (fused epilogues, arena reuse, zero steady-state
+     allocation) against the node-by-node reference interpreter. *)
+  @ [
+      ( "intgraph-resnet20-planned",
+        fun () -> ignore (Twq.Nn.Int_graph.run serve_graph plan_input) );
+      ( "intgraph-resnet20-interp",
+        fun () -> ignore (Twq.Nn.Int_graph.run_ref serve_graph plan_input) );
+      ( "deploy-forward-planned",
+        fun () -> ignore (Twq.Nn.Deploy.forward deploy_net deploy_input) );
+      ( "deploy-forward-interp",
+        fun () -> ignore (Twq.Nn.Deploy.forward_ref deploy_net deploy_input) );
+    ]
 
 (* ----------------------------------------------------- bechamel harness *)
 
@@ -337,7 +389,13 @@ let benchmark () =
 
 (* Hand-rolled timing for CI: cheap, bounded, and dependency-light.  Each
    kernel is timed over [samples] batches of [reps] runs; mean and stddev
-   are per-run nanoseconds across batches. *)
+   are per-run nanoseconds across batches; minor heap words are
+   [Gc.minor_words] deltas per run ([Gc.quick_stat].minor_words only
+   advances at minor collections, undercounting low-allocation
+   kernels), major words are [Gc.quick_stat] deltas.  Both are this
+   domain only — kernels that farm work to pool domains allocate there
+   too, but the caller's share is what steady-state serving cares
+   about. *)
 let time_kernel f =
   let now = Unix.gettimeofday in
   f ();
@@ -351,6 +409,8 @@ let time_kernel f =
     else (max 1 (int_of_float (0.01 /. Float.max 1e-7 once)), 7)
   in
   let per_run = Array.make samples 0.0 in
+  let m0 = Gc.minor_words () in
+  let g0 = Gc.quick_stat () in
   for s = 0 to samples - 1 do
     let t0 = now () in
     for _ = 1 to reps do
@@ -358,7 +418,13 @@ let time_kernel f =
     done;
     per_run.(s) <- (now () -. t0) /. float_of_int reps *. 1e9
   done;
-  (Twq.Stats.mean per_run, Twq.Stats.stddev per_run)
+  let g1 = Gc.quick_stat () in
+  let m1 = Gc.minor_words () in
+  let runs = float_of_int (samples * reps) in
+  ( Twq.Stats.mean per_run,
+    Twq.Stats.stddev per_run,
+    (m1 -. m0) /. runs,
+    (g1.Gc.major_words -. g0.Gc.major_words) /. runs )
 
 let json_escape s =
   String.concat ""
@@ -372,11 +438,15 @@ let run_json out_file =
   let records =
     List.map
       (fun (name, f) ->
-        let mean_ns, stddev = time_kernel f in
-        Printf.printf "  %-40s %14.0f ns  ± %.0f\n%!" name mean_ns stddev;
+        let mean_ns, stddev, minor_w, major_w = time_kernel f in
+        Printf.printf "  %-40s %14.0f ns  ± %-10.0f %12.0f minor-w\n%!" name
+          mean_ns stddev minor_w;
+        (* New fields go after stddev so older parsers' prefix scan still
+           matches. *)
         Printf.sprintf
-          "  {\"kernel\": \"%s\", \"mean_ns\": %.1f, \"stddev\": %.1f}"
-          (json_escape name) mean_ns stddev)
+          "  {\"kernel\": \"%s\", \"mean_ns\": %.1f, \"stddev\": %.1f, \
+           \"minor_w\": %.0f, \"major_w\": %.0f}"
+          (json_escape name) mean_ns stddev minor_w major_w)
       kernels
   in
   let oc = open_out out_file in
@@ -388,7 +458,9 @@ let run_json out_file =
 (* -------------------------------------------------------- compare mode *)
 
 (* Parses the records [run_json] writes: one
-   {"kernel": ..., "mean_ns": ..., "stddev": ...} object per line. *)
+   {"kernel": ..., "mean_ns": ..., "stddev": ..., "minor_w": ...,
+   "major_w": ...} object per line.  Pre-allocation-counter baselines
+   lack the word fields; they parse with [minor_w = None]. *)
 let parse_bench file =
   let ic = open_in file in
   let records = ref [] in
@@ -396,11 +468,21 @@ let parse_bench file =
      while true do
        let line = input_line ic in
        match
-         Scanf.sscanf line " {\"kernel\": %S, \"mean_ns\": %f, \"stddev\": %f"
-           (fun k m s -> (k, (m, s)))
+         Scanf.sscanf line
+           " {\"kernel\": %S, \"mean_ns\": %f, \"stddev\": %f, \
+            \"minor_w\": %f"
+           (fun k m s mw -> (k, (m, s, Some mw)))
        with
        | r -> records := r :: !records
-       | exception Scanf.Scan_failure _ -> ()
+       | exception Scanf.Scan_failure _ -> (
+           match
+             Scanf.sscanf line
+               " {\"kernel\": %S, \"mean_ns\": %f, \"stddev\": %f"
+               (fun k m s -> (k, (m, s, None)))
+           with
+           | r -> records := r :: !records
+           | exception Scanf.Scan_failure _ -> ()
+           | exception End_of_file -> ())
        | exception End_of_file -> ()
      done
    with End_of_file -> ());
@@ -412,20 +494,35 @@ let parse_bench file =
    [threshold]; always exits 0 so noisy CI runners never block a merge. *)
 let run_compare old_file new_file =
   let threshold = 0.25 in
+  (* Allocation warnings need both a relative and an absolute floor:
+     tiny kernels jitter by a few words, which is not a regression. *)
+  let alloc_threshold = 0.5 and alloc_floor = 1024.0 in
   let old_r = parse_bench old_file and new_r = parse_bench new_file in
   if old_r = [] then Printf.printf "compare: no records in %s (baseline regenerating?)\n" old_file;
-  Printf.printf "%-40s %14s %14s %9s\n" "kernel" "old ns" "new ns" "delta";
-  Printf.printf "%s\n" (String.make 80 '-');
-  let regressions = ref [] in
+  Printf.printf "%-40s %14s %14s %9s %12s\n" "kernel" "old ns" "new ns" "delta"
+    "minor-w";
+  Printf.printf "%s\n" (String.make 94 '-');
+  let regressions = ref [] and alloc_regressions = ref [] in
   List.iter
-    (fun (name, (new_mean, _)) ->
+    (fun (name, (new_mean, _, new_mw)) ->
+      let mw_str =
+        match new_mw with None -> "-" | Some w -> Printf.sprintf "%.0f" w
+      in
       match List.assoc_opt name old_r with
-      | None -> Printf.printf "%-40s %14s %14.0f %9s\n" name "-" new_mean "new"
-      | Some (old_mean, _) ->
+      | None ->
+          Printf.printf "%-40s %14s %14.0f %9s %12s\n" name "-" new_mean "new"
+            mw_str
+      | Some (old_mean, _, old_mw) ->
           let delta = (new_mean -. old_mean) /. Float.max 1e-9 old_mean in
-          Printf.printf "%-40s %14.0f %14.0f %+8.1f%%\n" name old_mean new_mean
-            (100.0 *. delta);
-          if delta > threshold then regressions := (name, delta) :: !regressions)
+          Printf.printf "%-40s %14.0f %14.0f %+8.1f%% %12s\n" name old_mean
+            new_mean (100.0 *. delta) mw_str;
+          if delta > threshold then regressions := (name, delta) :: !regressions;
+          (match (old_mw, new_mw) with
+          | Some ow, Some nw
+            when nw -. ow > alloc_floor
+                 && nw > ow *. (1.0 +. alloc_threshold) ->
+              alloc_regressions := (name, ow, nw) :: !alloc_regressions
+          | _ -> ()))
     new_r;
   List.iter
     (fun (name, _) ->
@@ -446,6 +543,15 @@ let run_compare old_file new_file =
       Printf.printf
         "\ncompare: %d kernel(s) above the %.0f%% threshold (non-blocking)\n"
         (List.length rs) (100.0 *. threshold));
+  List.iter
+    (fun (name, ow, nw) ->
+      Printf.printf
+        "::warning title=bench allocation regression::%s minor words per \
+         run grew %.0f -> %.0f (> +%.0f%% and > %.0f words)\n"
+        name ow nw
+        (100.0 *. alloc_threshold)
+        alloc_floor)
+    (List.rev !alloc_regressions);
   exit 0
 
 let usage () =

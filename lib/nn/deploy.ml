@@ -17,7 +17,46 @@ type t = {
   output_scale : float;  (* s_y of the last conv (relu/pool preserve it) *)
   fc_w : Tensor.t;
   fc_b : Tensor.t;
+  plans : Plan.cache;
 }
+
+(* Lower the op pipeline to the planner IR once at export/load time:
+   quantize → convs/relus/pools in a chain → float head. *)
+let lower ~ops ~input_scale ~output_scale ~fc_w ~fc_b =
+  let n_ops = List.length ops in
+  let pnodes =
+    Array.make (n_ops + 2)
+      { Plan.prim = Plan.P_quantize input_scale; args = [] }
+  in
+  List.iteri
+    (fun i op ->
+      let prim =
+        match op with
+        | Conv l -> Plan.P_wino (Tapwise.pack l)
+        | Relu -> Plan.P_relu
+        | Avg_pool2 -> Plan.P_avg_pool2
+      in
+      pnodes.(i + 1) <- { Plan.prim; args = [ i ] })
+    ops;
+  pnodes.(n_ops + 1) <-
+    {
+      Plan.prim =
+        Plan.P_head { w = fc_w; bias = Some fc_b; in_scale = output_scale };
+      args = [ n_ops ];
+    };
+  Plan.cache { Plan.pnodes; out = n_ops + 1 }
+
+let make ~ops ~input_scale ~output_scale ~fc_w ~fc_b =
+  {
+    ops;
+    input_scale;
+    output_scale;
+    fc_w;
+    fc_b;
+    plans = lower ~ops ~input_scale ~output_scale ~fc_w ~fc_b;
+  }
+
+let plans t = t.plans
 
 (* Fold batch-norm statistics (from the calibration activations) into the
    conv weights and bias: y = γ(conv(x) − μ)/σ + β. *)
@@ -117,15 +156,11 @@ let export model ~calibration ?(variant = Transform.F4) ?(wino_bits = 8) () =
       x_cal := float_avg_pool2 !x_cal)
     stages;
   let fc_w, fc_b = Qat_model.head_params model in
-  {
-    ops = List.rev !ops;
-    input_scale = !input_scale;
-    output_scale = !last_out_scale;
-    fc_w = Tensor.copy fc_w;
-    fc_b = Tensor.copy fc_b;
-  }
+  make ~ops:(List.rev !ops) ~input_scale:!input_scale
+    ~output_scale:!last_out_scale ~fc_w:(Tensor.copy fc_w)
+    ~fc_b:(Tensor.copy fc_b)
 
-let forward net x =
+let forward_ref net x =
   let x_int = ref (Quantizer.quantize_tensor ~bits:8 ~scale:net.input_scale x) in
   List.iter
     (fun op ->
@@ -139,6 +174,8 @@ let forward net x =
   let feat = Quantizer.dequantize_tensor ~scale:net.output_scale !x_int in
   let pooled = Ops.global_avg_pool feat in
   Ops.linear ~x:pooled ~w:net.fc_w ~b:net.fc_b ()
+
+let forward net x = Plan.run net.plans x
 
 let accuracy net split =
   let n = Array.length split in
@@ -226,7 +263,7 @@ let of_string s =
               Conv (Serialize.read_layer_body r)
           | tag -> Serialize.parse_fail r ("unknown op " ^ tag))
     in
-    { ops; input_scale; output_scale; fc_w; fc_b }
+    make ~ops ~input_scale ~output_scale ~fc_w ~fc_b
   with Serialize.Parse_failure e ->
     failwith ("Deploy.of_string: " ^ Serialize.error_to_string e)
 

@@ -32,7 +32,18 @@ val export :
     @raise Invalid_argument for non-[Vgg_mini] architectures. *)
 
 val forward : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
-(** Logits for a batch; everything up to the head runs on integers. *)
+(** Logits for a batch; everything up to the head runs on integers.
+    Executes the compiled {!Plan} for the batch shape (compiled once per
+    shape, cached): fused requant/ReLU epilogues, liveness-based arena
+    reuse, near-zero steady-state allocation.  Bit-identical to
+    {!forward_ref}. *)
+
+val forward_ref : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Reference op-by-op interpreter — the oracle {!forward} is tested
+    against. *)
+
+val plans : t -> Plan.cache
+(** The network's plan cache (one plan per batch shape). *)
 
 val accuracy : t -> Twq_dataset.Synth_images.sample array -> float
 (** Top-1 accuracy of the integer network on a dataset split. *)

@@ -24,7 +24,42 @@ type iop =
 
 type inode = { iop : iop; inputs : int list; scale : float }
 
-type t = { inodes : inode array; out : int }
+type t = { inodes : inode array; out : int; plans : Plan.cache option }
+
+(* Lower the graph to the planner IR once at load time: Winograd layers
+   are pre-packed and the GAP→Linear head becomes an explicit [P_head].
+   Graphs whose output is not a head (possible only through hand-edited
+   serialized files) keep [plans = None] and run on the interpreter. *)
+let lower inodes out =
+  match inodes.(out).iop with
+  | IHead _ ->
+      let pnodes =
+        Array.map
+          (fun { iop; inputs; _ } ->
+            let prim =
+              match iop with
+              | IInput s -> Plan.P_quantize s
+              | IWino l -> Plan.P_wino (Tapwise.pack l)
+              | ISpatial l -> Plan.P_spatial l
+              | IRelu -> Plan.P_relu
+              | ILeaky k -> Plan.P_leaky k
+              | IMax_pool { k; stride } -> Plan.P_max_pool { k; stride }
+              | IAvg_pool2 -> Plan.P_avg_pool2
+              | IUpsample f -> Plan.P_upsample f
+              | IAdd { shift_a; shift_b; _ } -> Plan.P_add { shift_a; shift_b }
+              | IConcat { shift_a; shift_b } ->
+                  Plan.P_concat { shift_a; shift_b }
+              | IHead { w; bias; in_scale } -> Plan.P_head { w; bias; in_scale }
+            in
+            { Plan.prim; args = inputs })
+          inodes
+      in
+      Some (Plan.cache { Plan.pnodes; out })
+  | _ -> None
+
+let make inodes out = { inodes; out; plans = lower inodes out }
+
+let plans t = t.plans
 
 let pow2_scale ~bits x_max =
   Quantizer.pow2_round_up (Quantizer.scale_for ~bits ~max_abs:(Float.max 1e-9 x_max))
@@ -155,7 +190,7 @@ let quantize g ~calibration ?(variant = Transform.F4) ?(wino_bits = 8) () =
           inodes.(gap) <- { (inodes.(gap)) with iop = IRelu }
       | _ -> invalid_arg "Int_graph.quantize: expected GAP before the head")
   | _ -> invalid_arg "Int_graph.quantize: expected a Linear output head");
-  { inodes; out }
+  make inodes out
 
 let int_relu = Itensor.map (fun v -> Stdlib.max 0 v)
 
@@ -196,13 +231,22 @@ let int_upsample f x =
   Itensor.init [| n; c; h * f; w * f |] (fun idx ->
       Itensor.get4 x idx.(0) idx.(1) (idx.(2) / f) (idx.(3) / f))
 
-let run t x =
-  let int_values : Itensor.t option array = Array.make (Array.length t.inodes) None in
+let run_ref t x =
+  let n = Array.length t.inodes in
+  let int_values : Itensor.t option array = Array.make n None in
+  (* Last consumer of each node, so dead intermediate activations are
+     dropped as the interpreter walks forward — the reference stays an
+     oracle but no longer retains the whole network's activations. *)
+  let last_use = Array.make n (-1) in
+  Array.iteri
+    (fun i { inputs; _ } ->
+      List.iter (fun j -> if i > last_use.(j) then last_use.(j) <- i) inputs)
+    t.inodes;
   let float_out = ref None in
   Array.iteri
     (fun i { iop; inputs; _ } ->
       let arg j = Option.get int_values.(j) in
-      match iop with
+      (match iop with
       | IInput s ->
           int_values.(i) <- Some (Quantizer.quantize_tensor ~bits:8 ~scale:s x)
       | IWino layer ->
@@ -241,11 +285,18 @@ let run t x =
             Quantizer.dequantize_tensor ~scale:in_scale (arg (List.hd inputs))
           in
           let pooled = Ops.global_avg_pool feat in
-          float_out := Some (Ops.linear ~x:pooled ~w ?b:bias ()))
+          float_out := Some (Ops.linear ~x:pooled ~w ?b:bias ()));
+      List.iter
+        (fun j -> if last_use.(j) = i then int_values.(j) <- None)
+        inputs;
+      if last_use.(i) < 0 then int_values.(i) <- None)
     t.inodes;
   match !float_out with
   | Some v -> v
   | None -> invalid_arg "Int_graph.run: graph has no head"
+
+let run t x =
+  match t.plans with Some c -> Plan.run c x | None -> run_ref t x
 
 let noise_vs_float t g x =
   let reference = Graph.run g x in
@@ -366,7 +417,7 @@ let of_string s =
           in
           { iop; inputs; scale })
     in
-    { inodes; out }
+    make inodes out
   with Serialize.Parse_failure e ->
     failwith ("Int_graph.of_string: " ^ Serialize.error_to_string e)
 

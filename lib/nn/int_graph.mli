@@ -31,7 +31,19 @@ val quantize :
 (** @raise Invalid_argument on BN nodes or unsupported pooling sizes. *)
 
 val run : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
-(** Float in (quantized at the input scale), logits out. *)
+(** Float in (quantized at the input scale), logits out.  Executes the
+    compiled {!Plan} for the input's shape (compiled once per shape,
+    cached): fused requant/ReLU/add epilogues, liveness-based arena
+    reuse, near-zero steady-state allocation.  Bit-identical to
+    {!run_ref}. *)
+
+val run_ref : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
+(** Reference node-by-node interpreter — the oracle {!run} is tested
+    against.  Drops intermediate activations after their last use. *)
+
+val plans : t -> Plan.cache option
+(** The graph's plan cache ([None] only for deserialized graphs whose
+    output is not a GAP→Linear head). *)
 
 val noise_vs_float : t -> Graph.t -> Twq_tensor.Tensor.t -> float
 (** Relative RMS error of the integer graph's logits against the float

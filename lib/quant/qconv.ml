@@ -2,6 +2,7 @@ module Tensor = Twq_tensor.Tensor
 module Itensor = Twq_tensor.Itensor
 module Ops = Twq_tensor.Ops
 module Shape = Twq_tensor.Shape
+module Kernels = Twq_winograd.Kernels
 
 type layer = {
   act_bits : int;
@@ -73,22 +74,35 @@ let calibrate ?(act_bits = 8) ?(pow2 = false) ?(per_channel = false) ~w ?bias
   let s_y = snap (Quantizer.scale_for ~bits:act_bits ~max_abs:y_max) in
   { act_bits; s_x; s_w; s_w_channel; s_y; wq; bias; stride; pad }
 
-let forward_int l x =
+(* In-place int8 spatial conv with a fused elementwise epilogue in the
+   output store — the planner's entry point.  Output channels are
+   independent (each owns its out[ni][co] plane and its own requant
+   scale), so the (image, channel) loop is the paper's channel-parallel
+   axis — lock-free and bit-identical sequentially. *)
+let forward_int_into ?(epilogue = Kernels.no_epilogue) l x ~out =
   let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
   let h = Itensor.dim x 2 and w = Itensor.dim x 3 in
   let cout = Itensor.dim l.wq 0 in
   let kh = Itensor.dim l.wq 2 and kw = Itensor.dim l.wq 3 in
   if Itensor.dim l.wq 1 <> cin then invalid_arg "Qconv.forward_int: channel mismatch";
   let ho, wo = Shape.conv2d_out ~h ~w ~kh ~kw ~stride:l.stride ~pad:l.pad in
-  let out = Itensor.zeros [| n; cout; ho; wo |] in
-  (* Output channels are independent (each owns its out[ni][co] plane and
-     its own requant scale), so the (image, channel) loop is the paper's
-     channel-parallel axis — lock-free and bit-identical sequentially. *)
+  if
+    Itensor.dim out 0 <> n || Itensor.dim out 1 <> cout
+    || Itensor.dim out 2 <> ho || Itensor.dim out 3 <> wo
+  then invalid_arg "Qconv.forward_int_into: out shape mismatch";
+  let od = out.Itensor.data in
+  (* Hoisted so the inner store is unboxed arithmetic: a
+     [Quantizer.quantize] call per element boxes its float arguments
+     (no flambda) and dominates steady-state allocation. *)
+  let a_hi = (1 lsl (l.act_bits - 1)) - 1 in
+  let a_lo = -(a_hi + 1) in
+  let s_y = l.s_y in
   Twq_util.Parallel.parallel_for ~lo:0 ~hi:(n * cout) (fun idx ->
       let ni = idx / cout and co = idx mod cout in
       let bias_v = match l.bias with None -> 0.0 | Some b -> b.Tensor.data.(co) in
       let requant_scale = l.s_x *. weight_scale l co in
       for oh = 0 to ho - 1 do
+        let orow = (((((ni * cout) + co) * ho) + oh) * wo) in
         for ow = 0 to wo - 1 do
           let acc = ref 0 in
           for ci = 0 to cin - 1 do
@@ -102,10 +116,21 @@ let forward_int l x =
             done
           done;
           let real = (float_of_int !acc *. requant_scale) +. bias_v in
-          Itensor.set4 out ni co oh ow
-            (Quantizer.quantize ~bits:l.act_bits ~scale:l.s_y real)
+          (* Inlined [Quantizer.quantize ~bits:l.act_bits ~scale:s_y]. *)
+          let r = int_of_float (Float.round (real /. s_y)) in
+          let q = if r > a_hi then a_hi else if r < a_lo then a_lo else r in
+          Kernels.epilogue_store epilogue od (orow + ow) q
         done
-      done);
+      done)
+
+let forward_int l x =
+  let n = Itensor.dim x 0 in
+  let h = Itensor.dim x 2 and w = Itensor.dim x 3 in
+  let cout = Itensor.dim l.wq 0 in
+  let kh = Itensor.dim l.wq 2 and kw = Itensor.dim l.wq 3 in
+  let ho, wo = Shape.conv2d_out ~h ~w ~kh ~kw ~stride:l.stride ~pad:l.pad in
+  let out = Itensor.zeros [| n; cout; ho; wo |] in
+  forward_int_into l x ~out;
   out
 
 let forward l x =

@@ -36,6 +36,17 @@ val calibrate :
     scales (the spatial-domain refinement of Sec. V-A4, ~1.7× lower weight
     quantization error). *)
 
+val forward_int_into :
+  ?epilogue:Twq_winograd.Kernels.epilogue ->
+  layer ->
+  Twq_tensor.Itensor.t ->
+  out:Twq_tensor.Itensor.t ->
+  unit
+(** In-place forward: writes the requantized int8 activations into [out]
+    (shape [\[n; cout; ho; wo\]], typically a planner arena buffer),
+    applying [epilogue] in the output store — requant to [s_y], then
+    optional saturating residual add and ReLU, in one pass. *)
+
 val forward_int : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
 (** int8 in → int8 out; int32 accumulation internally. *)
 

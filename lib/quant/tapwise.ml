@@ -304,12 +304,65 @@ let ta_yw = P.Scratch.create_float ()
 let ta_yo = P.Scratch.create_float ()
 let ta_ftmp = P.Scratch.create_float ()
 
+(* Everything about the layer that does not depend on the input shape,
+   staged once: the tap-major Winograd weight panel [u], the flattened
+   tap-scale lookups and the requant source scale.  [forward_int]
+   rebuilt these on every call before the planner existed; packing at
+   plan/lowering time removes that per-forward cost entirely. *)
+type packed = {
+  layer : layer;
+  u : int array;  (* Winograd weights, tap-major: u[((tap·cin)+ci)·cout + co] *)
+  sb_flat : float array;
+  ws_flat : float array;
+  s_from : float;
+  (* Requant lookups, one entry per tap.  The scatter loop runs per
+     element; going through [requant_tap] there boxes its float
+     arguments on every call (no flambda), which was the dominant
+     steady-state allocation of the whole forward.  Precomputing the
+     pow2 shift per tap lets the hot loop stay in unboxed int/float
+     arithmetic. *)
+  shift_flat : int array;  (* pow2: requant shift, s_b(tap)/s_from = 2^k *)
+}
+
+let pack l =
+  let { variant; _ } = l.config in
+  let t = Transform.t variant in
+  let tt = t * t in
+  let cout = Itensor.dim l.wq 0 and cin = Itensor.dim l.wq 1 in
+  let bt2 =
+    float_of_int (Transform.bt_scale variant * Transform.bt_scale variant)
+  in
+  let sb_flat = Array.init tt (fun tap -> l.s_b.(tap / t).(tap mod t)) in
+  let ws_flat =
+    Array.init (cout * tt) (fun idx ->
+        let co = idx / tt and tap = idx mod tt in
+        weight_scale l co (tap / t) (tap mod t))
+  in
+  let u = Array.make (tt * cin * cout) 0 in
+  P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
+      let co = idx / cin and ci = idx mod cin in
+      for tap = 0 to tt - 1 do
+        u.((((tap * cin) + ci) * cout) + co) <-
+          Itensor.get4 l.wq co ci (tap / t) (tap mod t)
+      done);
+  let s_from = l.s_x /. bt2 in
+  let shift_flat =
+    Array.init tt (fun tap -> shift_of_ratio (sb_flat.(tap) /. s_from))
+  in
+  { layer = l; u; sb_flat; ws_flat; s_from; shift_flat }
+
+let packed_layer p = p.layer
+
 (* Production path: the same integer pipeline reformulated tap-major —
    transform + per-tap requantize each tile once, run one flat int GEMM
    per tap against the pre-quantized Winograd weights, rescale with
    [S_BG], back-transform, requantize with [s_y].  Bit-identical to
-   [forward_int_ref] and parallelized over tile blocks. *)
-let forward_int l x_int =
+   [forward_int_ref] and parallelized over tile blocks.  Writes into the
+   caller-provided [out] and applies [epilogue] in the gather store, so
+   the planner can fuse requant/ReLU/residual-add into this single output
+   pass. *)
+let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
+  let l = p.layer in
   let { variant; act_bits; wino_bits; pow2; _ } = l.config in
   let pad = l.pad in
   let t = Transform.t variant and m = Transform.m variant in
@@ -320,28 +373,23 @@ let forward_int l x_int =
   if Itensor.dim l.wq 1 <> cin then
     invalid_arg "Tapwise.forward_int: channel mismatch";
   let ho, wo = Shape.conv2d_out ~h ~w ~kh:3 ~kw:3 ~stride:1 ~pad in
-  let out = Itensor.zeros [| n; cout; ho; wo |] in
+  if
+    Itensor.dim out 0 <> n || Itensor.dim out 1 <> cout
+    || Itensor.dim out 2 <> ho || Itensor.dim out 3 <> wo
+  then invalid_arg "Tapwise.forward_int_into: out shape mismatch";
   let od = out.Itensor.data and xd = x_int.Itensor.data in
   let ki = Kernels.i32_specialized variant in
   let kf = Kernels.f32_specialized variant in
-  let bt2 =
-    float_of_int (Transform.bt_scale variant * Transform.bt_scale variant)
-  in
-  let s_from = l.s_x /. bt2 in
-  let sb_flat = Array.init tt (fun tap -> l.s_b.(tap / t).(tap mod t)) in
-  let ws_flat =
-    Array.init (cout * tt) (fun idx ->
-        let co = idx / tt and tap = idx mod tt in
-        weight_scale l co (tap / t) (tap mod t))
-  in
-  (* Winograd weights, tap-major: u[((tap·cin)+ci)·cout + co]. *)
-  let u = Array.make (tt * cin * cout) 0 in
-  P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
-      let co = idx / cin and ci = idx mod cin in
-      for tap = 0 to tt - 1 do
-        u.((((tap * cin) + ci) * cout) + co) <-
-          Itensor.get4 l.wq co ci (tap / t) (tap mod t)
-      done);
+  let s_from = p.s_from in
+  let sb_flat = p.sb_flat and ws_flat = p.ws_flat and u = p.u in
+  let shift_flat = p.shift_flat in
+  (* Clamp bounds and the output scale, hoisted so the per-element
+     loops below are pure unboxed arithmetic (no allocating calls). *)
+  let w_hi = (1 lsl (wino_bits - 1)) - 1 in
+  let w_lo = -(w_hi + 1) in
+  let a_hi = (1 lsl (act_bits - 1)) - 1 in
+  let a_lo = -(a_hi + 1) in
+  let s_y = l.s_y in
   let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
   let tiles_per_img = n_th * n_tw in
   let total = n * tiles_per_img in
@@ -369,10 +417,35 @@ let forward_int l x_int =
             ~base:(((ni * cin) + ci) * h * w)
             ~pad ~h0:(th * m) ~w0:(tw * m) ~t tile;
           ki.Kernels.input tile 0 xt 0 tmp;
+          (* Per-tap requant, inlined bit-identically to [requant_tap]:
+             calling it here would box the float scales every element. *)
           for tap = 0 to tt - 1 do
-            v.((((tap * tb) + bidx) * cin) + ci) <-
-              requant_tap ~pow2 ~bits:wino_bits ~s_from ~s_to:sb_flat.(tap)
-                xt.(tap)
+            let vv = xt.(tap) in
+            let q =
+              if pow2 then begin
+                let k = shift_flat.(tap) in
+                let shifted =
+                  if k > 0 then begin
+                    let half = 1 lsl (k - 1) in
+                    if vv >= 0 then (vv + half) asr k
+                    else -((-vv + half) asr k)
+                  end
+                  else if k = 0 then vv
+                  else vv lsl -k
+                in
+                if shifted > w_hi then w_hi
+                else if shifted < w_lo then w_lo
+                else shifted
+              end
+              else begin
+                let r =
+                  int_of_float
+                    (Float.round (float_of_int vv *. s_from /. sb_flat.(tap)))
+                in
+                if r > w_hi then w_hi else if r < w_lo then w_lo else r
+              end
+            in
+            v.((((tap * tb) + bidx) * cin) + ci) <- q
           done
         done
       done;
@@ -418,13 +491,27 @@ let forward_int l x_int =
             let orow = (((((ni * cout) + co) * ho) + h0 + dy) * wo) + w0 in
             let yrow = dy * m in
             for dx = 0 to rw - 1 do
-              od.(orow + dx) <-
-                Quantizer.quantize ~bits:act_bits ~scale:l.s_y
-                  (yo.(yrow + dx) +. bias_v)
+              (* Inlined [Quantizer.quantize ~bits:act_bits ~scale:s_y]. *)
+              let r =
+                int_of_float (Float.round ((yo.(yrow + dx) +. bias_v) /. s_y))
+              in
+              let q =
+                if r > a_hi then a_hi else if r < a_lo then a_lo else r
+              in
+              Kernels.epilogue_store epilogue od (orow + dx) q
             done
           done
         done
-      done);
+      done)
+
+let forward_int l x_int =
+  let p = pack l in
+  let n = Itensor.dim x_int 0 in
+  let h = Itensor.dim x_int 2 and w = Itensor.dim x_int 3 in
+  let cout = Itensor.dim l.wq 0 in
+  let ho, wo = Shape.conv2d_out ~h ~w ~kh:3 ~kw:3 ~stride:1 ~pad:l.pad in
+  let out = Itensor.zeros [| n; cout; ho; wo |] in
+  forward_int_into p x_int ~out;
   out
 
 let forward l x =

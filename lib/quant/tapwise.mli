@@ -79,10 +79,35 @@ val input_shift : layer -> int -> int -> int
 val weight_shift : layer -> int -> int -> int
 (** Same for the weight taps (2–10 bits in the paper). *)
 
+type packed
+(** A layer plus everything shape-independent the tap-major forward
+    needs, staged once: the tap-major Winograd weight panel, flattened
+    tap-scale lookups and the requant source scale.  Packing at plan
+    time removes the per-forward weight-panel rebuild. *)
+
+val pack : layer -> packed
+
+val packed_layer : packed -> layer
+(** The underlying layer (scales, bias, config). *)
+
+val forward_int_into :
+  ?epilogue:Twq_winograd.Kernels.epilogue ->
+  packed ->
+  Twq_tensor.Itensor.t ->
+  out:Twq_tensor.Itensor.t ->
+  unit
+(** In-place tap-major integer forward: writes the requantized int8
+    activations into [out] (shape [\[n; cout; ho; wo\]], typically a
+    planner arena buffer) and applies [epilogue] inside the gather store
+    — requant to [s_y], then optional saturating residual add and ReLU,
+    all in one pass over the output.  Bit-identical to running
+    {!forward_int} followed by the separate elementwise ops. *)
+
 val forward_int : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
 (** int8 NCHW in → int8 NCHW out (requantized with [s_y]).  Runs the
-    allocation-free tap-major {!Twq_winograd.Kernels} path; bit-identical
-    to {!forward_int_ref}. *)
+    allocation-free tap-major {!Twq_winograd.Kernels} path ({!pack} +
+    {!forward_int_into} with the identity epilogue); bit-identical to
+    {!forward_int_ref}. *)
 
 val forward_int_ref : layer -> Twq_tensor.Itensor.t -> Twq_tensor.Itensor.t
 (** Tile-major reference implementation of the integer pipeline — the

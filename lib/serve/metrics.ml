@@ -120,6 +120,8 @@ type t = {
   failed : Counter.t;
   batches : Counter.t;
   images : Counter.t;
+  alloc_minor_words : Counter.t;
+  alloc_major_words : Counter.t;
   queue_depth : Gauge.t;
   in_flight : Gauge.t;
   queue_wait : Histogram.t;
@@ -140,6 +142,8 @@ let create () =
     failed = Counter.create "failed";
     batches = Counter.create "batches";
     images = Counter.create "images";
+    alloc_minor_words = Counter.create "alloc_minor_words";
+    alloc_major_words = Counter.create "alloc_major_words";
     queue_depth = Gauge.create "queue_depth";
     in_flight = Gauge.create "in_flight";
     queue_wait = Histogram.create "queue_wait";
@@ -153,6 +157,7 @@ let counters m =
   [
     m.accepted; m.completed; m.rejected_overload; m.deadline_expired;
     m.rejected_invalid; m.rejected_closed; m.failed; m.batches; m.images;
+    m.alloc_minor_words; m.alloc_major_words;
   ]
 
 let gauges m = [ m.queue_depth; m.in_flight ]

@@ -61,6 +61,10 @@ type t = {
   failed : Counter.t;
   batches : Counter.t;
   images : Counter.t;
+  alloc_minor_words : Counter.t;
+      (** words allocated on the worker's minor heap during model
+          forwards (steady-state should stay near the logits size) *)
+  alloc_major_words : Counter.t;
   queue_depth : Gauge.t;
   in_flight : Gauge.t;
   queue_wait : Histogram.t;  (** submit → picked into a batch *)

@@ -37,3 +37,26 @@ let of_string s =
 
 let run_batch t x =
   match t with Net d -> Deploy.forward d x | Graph g -> Int_graph.run g x
+
+(* Compile the execution plans for the batch shapes the server will
+   actually dispatch, so no request ever pays for planning.  Plan
+   compilation is pure scheduling (the Winograd weights were already
+   packed when the artifact was loaded), so warming even a dozen batch
+   sizes is milliseconds. *)
+let warm t ~input_dims ~batch_sizes =
+  let plan_cache =
+    match t with
+    | Net d -> Some (Deploy.plans d)
+    | Graph g -> Int_graph.plans g
+  in
+  match plan_cache with
+  | None -> ()
+  | Some c ->
+      List.iter
+        (fun n ->
+          if n > 0 then
+            ignore
+              (Twq_nn.Plan.plan c
+                 ~input_shape:
+                   [| n; input_dims.(0); input_dims.(1); input_dims.(2) |]))
+        batch_sizes

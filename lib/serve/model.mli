@@ -19,3 +19,9 @@ val of_string : string -> (t, string) result
 val run_batch : t -> Twq_tensor.Tensor.t -> Twq_tensor.Tensor.t
 (** [run_batch m x] with [x : [n; c; h; w]] returns logits
     [[n; classes]]. *)
+
+val warm : t -> input_dims:int array -> batch_sizes:int list -> unit
+(** Pre-compile the execution plans for batches [n; c; h; w] with [n]
+    drawn from [batch_sizes] and [input_dims = [| c; h; w |]], so no
+    request pays for planning.  Cheap (pure scheduling); no-op for
+    graphs without a plan cache. *)

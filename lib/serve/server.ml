@@ -73,6 +73,7 @@ type t = {
   numel : int;
   batcher : ticket Batcher.t;
   metrics : Metrics.t;
+  mutable warmed : Model.t option; (* last model whose plans were warmed *)
   mutable domains : unit Domain.t list;
   mutable stopped : bool;
   stop_mutex : Mutex.t;
@@ -131,10 +132,31 @@ let run_batch t tickets ~opened =
             t.numel)
         live;
       let model = t.resolve () in
+      (* A hot-swapped artifact arrives with packed weights but no
+         compiled plans yet; warm every servable batch size once so
+         only the first post-swap batch pays the (cheap) planning. *)
+      (match t.warmed with
+      | Some m when m == model -> ()
+      | _ ->
+          Model.warm model ~input_dims:t.input_dims
+            ~batch_sizes:(List.init t.config.max_batch (fun i -> i + 1));
+          t.warmed <- Some model);
+      (* Allocation accounting runs on this worker domain.
+         [Gc.minor_words] is the per-domain allocation clock —
+         [Gc.quick_stat].minor_words only advances at minor
+         collections on spawned domains, so it would read 0 for
+         forwards that never fill the nursery. *)
+      let m0 = Gc.minor_words () in
+      let g0 = Gc.quick_stat () in
       let y =
         if t.config.workers = 1 then Model.run_batch model xb
         else Parallel.sequential (fun () -> Model.run_batch model xb)
       in
+      let g1 = Gc.quick_stat () in
+      Metrics.Counter.add m.Metrics.alloc_minor_words
+        (int_of_float (Gc.minor_words () -. m0));
+      Metrics.Counter.add m.Metrics.alloc_major_words
+        (int_of_float (g1.Gc.major_words -. g0.Gc.major_words));
       if Tensor.rank y <> 2 || Tensor.dim y 0 <> n then
         failwith "model returned a non-[n; classes] output";
       y
@@ -179,11 +201,18 @@ let start ?(config = default_config) ~model ~input_dims () =
         Batcher.create ~capacity:config.capacity ~max_batch:config.max_batch
           ~max_delay:config.max_delay ();
       metrics = Metrics.create ();
+      warmed = None;
       domains = [];
       stopped = false;
       stop_mutex = Mutex.create ();
     }
   in
+  (* Plan-aware serving: compile the initial model's plans for every
+     batch size the batcher can emit before accepting traffic. *)
+  (let m = model () in
+   Model.warm m ~input_dims
+     ~batch_sizes:(List.init config.max_batch (fun i -> i + 1));
+   t.warmed <- Some m);
   t.domains <- List.init config.workers (fun _ -> Domain.spawn (worker t));
   t
 

@@ -35,6 +35,34 @@ type 'a kernel = {
   output : 'a array -> int -> 'a array -> int -> 'a array -> unit;
 }
 
+(* Fused elementwise epilogue, applied inside the producing conv's output
+   write loop (the software analogue of the accelerator's FixPipe
+   post-processing): optional saturating residual add of an already
+   computed activation map (both operands round-shifted onto the common
+   output grid), then optional ReLU.  [other] must share the output's
+   row-major layout so the flat offset lines up. *)
+type epilogue = { relu : bool; add : add_spec option }
+
+and add_spec = {
+  other : int array;  (* residual operand, same layout as the output *)
+  shift_self : int;   (* right shift aligning the conv's own output *)
+  shift_other : int;  (* right shift aligning [other] *)
+  bits : int;         (* saturation width of the sum (8 for int8) *)
+}
+
+let no_epilogue = { relu = false; add = None }
+
+let[@inline] epilogue_store e dst off v =
+  let v =
+    match e.add with
+    | None -> v
+    | Some a ->
+        Itensor.clamp_int ~bits:a.bits
+          (Itensor.round_shift v a.shift_self
+          + Itensor.round_shift a.other.(off) a.shift_other)
+  in
+  dst.(off) <- (if e.relu && v < 0 then 0 else v)
+
 (* Apply [step] as the sandwich t_m · x · t_mᵀ: stage 1 maps the columns
    of the square [inner×inner] source into [tmp] ([rows×inner]), stage 2
    maps the rows of [tmp] into the [rows×rows] destination.  Identical
@@ -581,7 +609,7 @@ let conv2d_f32 k ~pad ~x ~w =
       done);
   out
 
-let conv2d_i32_exact k ~scale2 ~pad ~x ~w =
+let conv2d_i32_exact ?(epilogue = no_epilogue) ?out k ~scale2 ~pad ~x ~w =
   let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
   let h = Itensor.dim x 2 and wd = Itensor.dim x 3 in
   let cout = Itensor.dim w 0 in
@@ -593,7 +621,16 @@ let conv2d_i32_exact k ~scale2 ~pad ~x ~w =
     invalid_arg "Kernels.conv2d_i32_exact: kernel size mismatch";
   let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh:r ~kw:r ~stride:1 ~pad in
   let tt = t * t in
-  let out = Itensor.zeros [| n; cout; ho; wo |] in
+  let out =
+    match out with
+    | None -> Itensor.zeros [| n; cout; ho; wo |]
+    | Some o ->
+        if
+          Itensor.dim o 0 <> n || Itensor.dim o 1 <> cout
+          || Itensor.dim o 2 <> ho || Itensor.dim o 3 <> wo
+        then invalid_arg "Kernels.conv2d_i32_exact: out shape mismatch";
+        o
+  in
   let od = out.Itensor.data and xd = x.Itensor.data in
   let u = Array.make (tt * cin * cout) 0 in
   P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
@@ -675,7 +712,7 @@ let conv2d_i32_exact k ~scale2 ~pad ~x ~w =
                  the squared transform scale; assert rather than
                  truncate. *)
               assert (raw mod scale2 = 0);
-              od.(orow + dx) <- raw / scale2
+              epilogue_store epilogue od (orow + dx) (raw / scale2)
             done
           done
         done

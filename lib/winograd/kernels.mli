@@ -34,6 +34,31 @@ type 'a kernel = {
           [m×m]; [tmp] at least [m·t]. *)
 }
 
+(** Fused elementwise epilogue applied in the producing conv driver's
+    output write loop — the software analogue of the accelerator's FixPipe
+    post-processing stage.  The optional saturating residual add aligns
+    both operands onto the common power-of-two output grid with hardware
+    round-shifts before saturating to [bits]; ReLU clamps negatives last.
+    [other] must share the destination's row-major layout (same shape),
+    because the fused store indexes it with the destination's flat
+    offset. *)
+type epilogue = { relu : bool; add : add_spec option }
+
+and add_spec = {
+  other : int array;  (** residual operand, same layout as the output *)
+  shift_self : int;   (** right shift aligning the producer's output *)
+  shift_other : int;  (** right shift aligning [other] *)
+  bits : int;         (** saturation width of the sum (8 for int8) *)
+}
+
+val no_epilogue : epilogue
+(** Identity epilogue: plain store. *)
+
+val epilogue_store : epilogue -> int array -> int -> int -> unit
+(** [epilogue_store e dst off v] — apply [e] to the requantized value [v]
+    and store the result at [dst.(off)]:
+    [add] (round-shift both operands, sum, saturate), then [relu]. *)
+
 val f32_specialized : Transform.variant -> float kernel
 (** Fully unrolled float transforms for F2/F4/F6 with shared
     sign-symmetric products; identical (up to zero sign) to the
@@ -94,6 +119,8 @@ val conv2d_f32 :
     the matching kernel). *)
 
 val conv2d_i32_exact :
+  ?epilogue:epilogue ->
+  ?out:Twq_tensor.Itensor.t ->
   int kernel ->
   scale2:int ->
   pad:int ->
@@ -103,4 +130,7 @@ val conv2d_i32_exact :
 (** Bit-true integer tap-major convolution; every output of the scaled
     integral sandwich is asserted divisible by [scale2 =
     (bt_scale·g_scale·at_scale)²] and divided back down, exactly as
-    {!Conv.conv2d_int_bit_true_ref}. *)
+    {!Conv.conv2d_int_bit_true_ref}.  [epilogue] fuses the elementwise
+    post-processing into the output write loop; [out] writes into a
+    caller-provided [\[n; cout; ho; wo\]] tensor (planner arena buffers)
+    instead of allocating — the returned tensor is [out] itself. *)

@@ -373,6 +373,47 @@ let test_registry_hot_swap () =
       Alcotest.(check bool) "names lists both versions" true
         (Registry.names reg = [ ("m", [ 2; 1 ]) ]))
 
+(* Hot-swapping must leave the server with compiled plans for the new
+   artifact: the initial model is warmed at [start], a swapped-in model
+   at its first batch — after that no request plans anything. *)
+let plan_shapes = function
+  | Model.Graph g -> (
+      match Twq_nn.Int_graph.plans g with
+      | Some c -> Twq_nn.Plan.cached_shapes c
+      | None -> [])
+  | Model.Net d -> Twq_nn.Plan.cached_shapes (Twq_nn.Deploy.plans d)
+
+let test_hot_swap_rebuilds_plans () =
+  with_registry (fun dir ->
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      let e1 = publish_tiny reg ~name:"m" ~version:1 ~seed:11 in
+      let resolve () = (Result.get_ok (Registry.lookup reg "m")).Registry.model in
+      let config = { Server.default_config with Server.max_batch = 4 } in
+      let server = Server.start ~config ~model:resolve ~input_dims:the_dims () in
+      (* Initial model warmed at start: one plan per servable batch size. *)
+      Alcotest.(check int) "v1 warmed for all batch sizes" 4
+        (List.length (plan_shapes e1.Registry.model));
+      let x = rand_input 5 in
+      (match Server.infer server x with
+      | Server.Output _ -> ()
+      | o -> Alcotest.failf "infer v1: %s" (Server.outcome_label o));
+      (* Swap in v2: a fresh artifact with no compiled plans yet. *)
+      let e2 = publish_tiny reg ~name:"m" ~version:2 ~seed:99 in
+      Alcotest.(check int) "v2 starts unplanned" 0
+        (List.length (plan_shapes e2.Registry.model));
+      let y2 =
+        match Server.infer server x with
+        | Server.Output row -> row
+        | o -> Alcotest.failf "infer v2: %s" (Server.outcome_label o)
+      in
+      Server.shutdown server;
+      (* The swapped model got its own plans, and the served row is
+         bit-identical to running the new artifact directly. *)
+      Alcotest.(check int) "v2 warmed after swap" 4
+        (List.length (plan_shapes e2.Registry.model));
+      Alcotest.(check bool) "serves v2 bit-identically" true
+        (tensor_equal_bits y2 (reference_row e2.Registry.model the_dims x)))
+
 let test_registry_rejects_bad_names () =
   with_registry (fun dir ->
       let reg = Result.get_ok (Registry.open_dir dir) in
@@ -460,6 +501,8 @@ let () =
           Alcotest.test_case "corrupt artifact skipped" `Quick
             test_registry_corrupt_artifact_skipped;
           Alcotest.test_case "hot swap" `Quick test_registry_hot_swap;
+          Alcotest.test_case "hot swap rebuilds plans" `Quick
+            test_hot_swap_rebuilds_plans;
           Alcotest.test_case "bad names rejected" `Quick
             test_registry_rejects_bad_names;
         ] );
