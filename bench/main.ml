@@ -17,10 +17,13 @@
      bench/main.exe --json [-o F]   machine-readable {kernel, mean_ns,
                                     stddev} records written to F (default
                                     BENCH_ci.json) — the CI smoke stage.
-     bench/main.exe --compare OLD.json NEW.json
-                                    diff two --json outputs; warns
-                                    (non-blocking, exit 0) on kernels whose
-                                    mean regressed by more than 25%. *)
+     bench/main.exe --compare [--strict] OLD.json NEW.json
+                                    diff two --json outputs; warns on
+                                    kernels whose mean regressed by more
+                                    than 25%.  With --strict a tier-1
+                                    regression is an error (exit 1) —
+                                    CI's blocking gate, skippable with
+                                    the allow-bench-regression label. *)
 
 open Bechamel
 open Toolkit
@@ -354,6 +357,31 @@ let kernels : (string * (unit -> unit)) list =
       ( "deploy-forward-interp",
         fun () -> ignore (Twq.Nn.Deploy.forward_ref deploy_net deploy_input) );
     ]
+  (* Fleet serving hot paths: one full wire frame encode+decode of a
+     shard-sized inference request, and the router's per-request ring
+     walk over a fleet-sized ring. *)
+  @ [
+      ( "serve-wire-roundtrip",
+        let data = Array.init 192 (fun i -> float_of_int i *. 0.173) in
+        fun () ->
+          let frame =
+            Serve.Wire.encode ~id:42L
+              (Serve.Wire.Infer
+                 { key = "bench-key"; deadline = None; dims = [| 3; 8; 8 |]; data })
+          in
+          match Serve.Wire.decode_string frame with
+          | Ok _ -> ()
+          | Error _ -> assert false );
+      ( "router-hash",
+        let ring =
+          Serve.Router.Ring.create
+            (List.init 8 (fun i -> Printf.sprintf "/run/twq/shard-%d.sock" i))
+        in
+        fun () ->
+          for i = 0 to 63 do
+            ignore (Serve.Router.Ring.route ring (Printf.sprintf "key-%d" i))
+          done );
+    ]
 
 (* ----------------------------------------------------- bechamel harness *)
 
@@ -489,10 +517,30 @@ let parse_bench file =
   close_in ic;
   List.rev !records
 
-(* Non-blocking regression gate: prints a table of old-vs-new means and a
-   GitHub-annotated warning per kernel whose mean regressed by more than
-   [threshold]; always exits 0 so noisy CI runners never block a merge. *)
-let run_compare old_file new_file =
+(* Kernels whose timings gate merges under [--strict]: the single-domain
+   library hot paths and the serving fast paths — deterministic
+   workloads with low run-to-run variance.  Parallel rows, the
+   batching-server episodes and the full-table experiment rows stay
+   advisory: their means move with runner load and domain scheduling. *)
+let tier1 =
+  [
+    "kernel-winograd-f4-conv-fp32";
+    "kernel-tapwise-int8-forward";
+    "kernel-im2col-conv-fp32";
+    "tab1-dfg-cse";
+    "intgraph-resnet20-planned";
+    "deploy-forward-planned";
+    "serve-wire-roundtrip";
+    "router-hash";
+  ]
+
+(* Regression gate: prints a table of old-vs-new means, then annotates
+   every kernel whose mean regressed by more than [threshold].  Without
+   [--strict] all regressions are warnings and the exit code is 0 (noisy
+   runners never block anything).  With [--strict] — what CI passes
+   unless the PR carries the [allow-bench-regression] label — a tier-1
+   regression becomes a [::error] and the process exits 1. *)
+let run_compare ?(strict = false) old_file new_file =
   let threshold = 0.25 in
   (* Allocation warnings need both a relative and an absolute floor:
      tiny kernels jitter by a few words, which is not a regression. *)
@@ -529,20 +577,30 @@ let run_compare old_file new_file =
       if not (List.mem_assoc name new_r) then
         Printf.printf "%-40s %14s %14s %9s\n" name "-" "-" "gone")
     old_r;
+  let blocking = ref [] in
   (match List.rev !regressions with
   | [] -> Printf.printf "\ncompare: no kernel regressed by more than %.0f%%\n" (100.0 *. threshold)
   | rs ->
       List.iter
         (fun (name, delta) ->
-          (* GitHub Actions annotation; informational only. *)
-          Printf.printf
-            "::warning title=bench regression::%s mean regressed %.1f%% \
-             (threshold %.0f%%)\n"
-            name (100.0 *. delta) (100.0 *. threshold))
+          if strict && List.mem name tier1 then begin
+            blocking := name :: !blocking;
+            Printf.printf
+              "::error title=bench regression::tier-1 kernel %s mean \
+               regressed %.1f%% (threshold %.0f%%); label the PR \
+               allow-bench-regression to merge anyway\n"
+              name (100.0 *. delta) (100.0 *. threshold)
+          end
+          else
+            Printf.printf
+              "::warning title=bench regression::%s mean regressed %.1f%% \
+               (threshold %.0f%%)\n"
+              name (100.0 *. delta) (100.0 *. threshold))
         rs;
       Printf.printf
-        "\ncompare: %d kernel(s) above the %.0f%% threshold (non-blocking)\n"
-        (List.length rs) (100.0 *. threshold));
+        "\ncompare: %d kernel(s) above the %.0f%% threshold (%d blocking)\n"
+        (List.length rs) (100.0 *. threshold)
+        (List.length !blocking));
   List.iter
     (fun (name, ow, nw) ->
       Printf.printf
@@ -552,19 +610,27 @@ let run_compare old_file new_file =
         (100.0 *. alloc_threshold)
         alloc_floor)
     (List.rev !alloc_regressions);
-  exit 0
+  exit (if !blocking <> [] then 1 else 0)
 
 let usage () =
   prerr_endline
-    "usage: bench [--json] [-o|--out FILE] | bench --compare OLD.json NEW.json";
+    "usage: bench [--json] [-o|--out FILE] | bench --compare [--strict] \
+     OLD.json NEW.json";
   exit 2
 
 type mode = Tables | Json | Compare of string * string
 
 let () =
+  let strict = ref false in
   let rec parse mode out = function
     | [] -> (mode, out)
     | "--json" :: rest -> parse Json out rest
+    | "--strict" :: rest ->
+        strict := true;
+        parse mode out rest
+    | "--compare" :: "--strict" :: old_f :: new_f :: rest ->
+        strict := true;
+        parse (Compare (old_f, new_f)) out rest
     | "--compare" :: old_f :: new_f :: rest -> parse (Compare (old_f, new_f)) out rest
     | [ "--compare" ] | [ "--compare"; _ ] ->
         prerr_endline "bench: --compare requires OLD.json and NEW.json";
@@ -581,7 +647,7 @@ let () =
     parse Tables "BENCH_ci.json" (List.tl (Array.to_list Sys.argv))
   in
   match mode with
-  | Compare (old_f, new_f) -> run_compare old_f new_f
+  | Compare (old_f, new_f) -> run_compare ~strict:!strict old_f new_f
   | Json -> run_json out_file
   | Tables ->
       print_all_tables ();

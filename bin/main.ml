@@ -263,11 +263,42 @@ let open_registry dir =
     (Serve.Registry.skipped reg);
   reg
 
+(* Daemon foreground loop: SIGTERM/SIGINT (or [until] turning true, e.g.
+   a remote Drain) requests a graceful stop.  The handler only flips a
+   flag — the main thread does the actual teardown, because stopping
+   joins threads and signal-handler context is the wrong place for
+   that. *)
+let wait_for_stop ?(until = fun () -> false) () =
+  let stop = ref false in
+  let h = Sys.Signal_handle (fun _ -> stop := true) in
+  (try Sys.set_signal Sys.sigterm h with Invalid_argument _ | Sys_error _ -> ());
+  (try Sys.set_signal Sys.sigint h with Invalid_argument _ | Sys_error _ -> ());
+  while not (!stop || until ()) do
+    Thread.delay 0.2
+  done
+
+let build_graph_model ~arch ~res ~width_div ~classes ~seed =
+  let module Rng = Twq_util.Rng in
+  let rng = Rng.create seed in
+  let g =
+    match String.lowercase_ascii arch with
+    | "resnet20" -> Twq_nn.Gmodels.resnet20 ~rng ~classes ~width_div ()
+    | "vgg" -> Twq_nn.Gmodels.vgg_nagadomi ~rng ~classes ~width_div ()
+    | s ->
+        Printf.eprintf "unknown arch %S (resnet20 | vgg)\n" s;
+        exit 2
+  in
+  let g = Twq_nn.Passes.fold_bn g in
+  let cal = STensor.rand_gaussian rng [| 2; 3; res; res |] ~mu:0.0 ~sigma:1.0 in
+  Twq_nn.Int_graph.quantize g ~calibration:cal ()
+
 let publish_cmd =
   let doc =
     "Build a small quantized model (integer graph over the tap-wise \
      Winograd kernels) and publish it into a registry directory as a \
-     CRC-framed, atomically-written artifact."
+     CRC-framed, atomically-written artifact — or, with --fleet, stage it \
+     on every listed shard daemon and atomically flip the fleet's active \
+     version (rolling back on partial failure)."
   in
   let name_arg =
     Arg.(value & opt string "tiny" & info [ "name" ] ~doc:"Model name.")
@@ -286,40 +317,62 @@ let publish_cmd =
   in
   let classes = Arg.(value & opt int 10 & info [ "classes" ] ~doc:"Classes.") in
   let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Weight RNG seed.") in
-  let run dir name version arch res width_div classes seed =
-    let module Rng = Twq_util.Rng in
-    let rng = Rng.create seed in
-    let g =
-      match String.lowercase_ascii arch with
-      | "resnet20" -> Twq_nn.Gmodels.resnet20 ~rng ~classes ~width_div ()
-      | "vgg" -> Twq_nn.Gmodels.vgg_nagadomi ~rng ~classes ~width_div ()
-      | s ->
-          Printf.eprintf "unknown arch %S (resnet20 | vgg)\n" s;
-          exit 2
-    in
-    let g = Twq_nn.Passes.fold_bn g in
-    let cal = STensor.rand_gaussian rng [| 2; 3; res; res |] ~mu:0.0 ~sigma:1.0 in
-    let ig = Twq_nn.Int_graph.quantize g ~calibration:cal () in
+  let fleet =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "fleet" ] ~docv:"SOCK,..."
+          ~doc:
+            "Comma-separated shard daemon sockets: stage the artifact on \
+             every shard, then flip all their active versions (two-phase; \
+             rolls back on partial failure).  Exits non-zero if the fleet \
+             did not commit.")
+  in
+  let run dir name version arch res width_div classes seed fleet =
+    let ig = build_graph_model ~arch ~res ~width_div ~classes ~seed in
     let model = Serve.Model.Graph ig in
-    let reg = open_registry dir in
-    let entry =
-      or_die ~what:"publish"
-        (Serve.Registry.publish reg ~name ~version ~input_dims:[| 3; res; res |]
-           model)
-    in
-    Printf.printf
-      "published %s v%d to %s: %s %dx%dx%d, %d winograd / %d spatial layers, \
-       crc %08x\n"
-      entry.Serve.Registry.name entry.Serve.Registry.version dir
-      (Serve.Model.kind model) 3 res res
-      (Twq_nn.Int_graph.winograd_layer_count ig)
-      (Twq_nn.Int_graph.spatial_layer_count ig)
-      entry.Serve.Registry.crc
+    let input_dims = [| 3; res; res |] in
+    match fleet with
+    | None ->
+        let reg = open_registry dir in
+        let entry =
+          or_die ~what:"publish"
+            (Serve.Registry.publish reg ~name ~version ~input_dims model)
+        in
+        Printf.printf
+          "published %s v%d to %s: %s %dx%dx%d, %d winograd / %d spatial \
+           layers, crc %08x\n"
+          entry.Serve.Registry.name entry.Serve.Registry.version dir
+          (Serve.Model.kind model) 3 res res
+          (Twq_nn.Int_graph.winograd_layer_count ig)
+          (Twq_nn.Int_graph.spatial_layer_count ig)
+          entry.Serve.Registry.crc
+    | Some endpoints ->
+        let outcome =
+          or_die ~what:"fleet publish"
+            (Serve.Registry.publish_fleet ~endpoints ~name ~version
+               ~input_dims model)
+        in
+        List.iter
+          (fun r ->
+            Printf.printf "  %-30s staged=%b active=%b rolled_back=%b  %s\n"
+              r.Serve.Registry.endpoint r.Serve.Registry.prepared
+              r.Serve.Registry.activated r.Serve.Registry.rolled_back
+              r.Serve.Registry.detail)
+          outcome.Serve.Registry.reports;
+        if outcome.Serve.Registry.committed then
+          Printf.printf "fleet publish committed: %s v%d on %d shard(s)\n"
+            name version
+            (List.length outcome.Serve.Registry.reports)
+        else begin
+          Printf.eprintf "fleet publish did NOT commit (rolled back)\n";
+          exit 1
+        end
   in
   Cmd.v (Cmd.info "publish" ~doc)
     Term.(
       const run $ registry_dir_arg $ name_arg $ version $ arch $ res $ width_div
-      $ classes $ seed)
+      $ classes $ seed $ fleet)
 
 let server_flags =
   let max_batch =
@@ -402,10 +455,20 @@ let metrics_out_arg =
 
 let serve_cmd =
   let doc =
-    "Run the in-process inference server against a generated open-loop \
-     request stream (socket-free): requests arrive at --rate regardless of \
-     completion, so rates above capacity exercise load shedding.  Prints \
-     per-outcome counts and the server metrics JSON."
+    "Run the inference server.  Default (socket-free): generate an \
+     open-loop request stream in-process and print per-outcome counts \
+     plus the server metrics JSON.  With --listen SOCK: run as a shard \
+     daemon speaking the length-prefixed CRC-framed wire protocol on a \
+     Unix-domain socket until SIGTERM/SIGINT or a remote Drain."
+  in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"SOCK"
+          ~doc:
+            "Serve the registry over a Unix-domain socket at $(docv) \
+             (daemon mode; ignores --requests/--rate/--seed).")
   in
   let model_name =
     Arg.(value & opt string "tiny" & info [ "model" ] ~doc:"Model name.")
@@ -425,7 +488,22 @@ let serve_cmd =
       & info [ "rate" ] ~doc:"Arrival rate, requests/second.")
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Input RNG seed.") in
-  let run dir model_name version config requests rate seed metrics_out =
+  let run dir model_name version config requests rate seed metrics_out listen =
+    match listen with
+    | Some path -> (
+        let reg = open_registry dir in
+        match Serve.Server.listen ~config ~registry:reg ~path () with
+        | Error e ->
+            Printf.eprintf "listen: %s\n" e;
+            exit 1
+        | Ok d ->
+            Printf.printf "shard daemon listening on %s (registry %s)\n%!" path
+              dir;
+            wait_for_stop ~until:(fun () -> Serve.Server.daemon_draining d) ();
+            Serve.Server.stop_daemon d;
+            write_or_print ~label:"stats" metrics_out
+              (Serve.Server.daemon_stats_json d))
+    | None ->
     let server, entry = start_from_registry dir model_name version config in
     let make_input = make_input_fn entry seed in
     let t0 = Unix.gettimeofday () in
@@ -458,14 +536,97 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ registry_dir_arg $ model_name $ version $ server_flags
-      $ requests $ rate $ seed $ metrics_out_arg)
+      $ requests $ rate $ seed $ metrics_out_arg $ listen)
+
+let route_cmd =
+  let doc =
+    "Run the consistent-hash router daemon: hash each request's routing \
+     key onto a ring over --shards, proxy to the owning shard, fail over \
+     to the next ring node when a shard dies or sheds (idempotent \
+     requests only), and heartbeat every shard for health."
+  in
+  let listen =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"SOCK" ~doc:"Router's own socket path.")
+  in
+  let shards =
+    Arg.(
+      required
+      & opt (some (list string)) None
+      & info [ "shards" ] ~docv:"SOCK,..." ~doc:"Shard daemon socket paths.")
+  in
+  let vnodes =
+    Arg.(value & opt int 64 & info [ "vnodes" ] ~doc:"Ring points per shard.")
+  in
+  let heartbeat_ms =
+    Arg.(
+      value & opt float 250.0
+      & info [ "heartbeat-ms" ] ~doc:"Health ping interval, milliseconds.")
+  in
+  let stats_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-out" ] ~docv:"FILE"
+          ~doc:"Write the router stats JSON here on exit.")
+  in
+  let run listen shards vnodes heartbeat_ms stats_out =
+    let config =
+      {
+        Serve.Router.default_config with
+        vnodes;
+        heartbeat_interval = heartbeat_ms /. 1e3;
+      }
+    in
+    match Serve.Router.start ~config ~shards ~path:listen () with
+    | Error e ->
+        Printf.eprintf "route: %s\n" e;
+        exit 1
+    | Ok r ->
+        Printf.printf "router listening on %s over %d shard(s)\n%!" listen
+          (List.length shards);
+        wait_for_stop ();
+        Serve.Router.stop r;
+        write_or_print ~label:"stats" stats_out (Serve.Router.stats_json r)
+  in
+  Cmd.v (Cmd.info "route" ~doc)
+    Term.(const run $ listen $ shards $ vnodes $ heartbeat_ms $ stats_out)
+
+let stats_cmd =
+  let doc = "Fetch the stats JSON from a running shard daemon or router." in
+  let connect =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCK" ~doc:"Endpoint socket path.")
+  in
+  let run connect =
+    match Serve.Shard_client.connect connect with
+    | Error e ->
+        Printf.eprintf "stats: %s\n" (Serve.Shard_client.error_to_string e);
+        exit 1
+    | Ok c -> (
+        match Serve.Shard_client.stats c with
+        | Ok json ->
+            Serve.Shard_client.close c;
+            print_string json
+        | Error e ->
+            Serve.Shard_client.close c;
+            Printf.eprintf "stats: %s\n" (Serve.Shard_client.error_to_string e);
+            exit 1)
+  in
+  Cmd.v (Cmd.info "stats" ~doc) Term.(const run $ connect)
 
 let loadgen_cmd =
   let doc =
-    "Closed-loop load generator against the in-process server: \
-     --concurrency clients each keep one request outstanding (optionally \
-     paced by --rate).  Prints a latency/throughput summary and the server \
-     metrics JSON."
+    "Load generator.  Default: closed loop against the in-process server \
+     (--concurrency clients each keep one request outstanding).  With \
+     --connect SOCK: open-loop Poisson arrivals over the wire against a \
+     shard daemon or router, measuring latency from each request's \
+     scheduled arrival (coordinated-omission corrected) and reporting \
+     SLO attainment against --slo-ms."
   in
   let model_name =
     Arg.(value & opt string "tiny" & info [ "model" ] ~doc:"Model name.")
@@ -494,8 +655,48 @@ let loadgen_cmd =
       & opt (some string) None
       & info [ "summary-out" ] ~docv:"FILE" ~doc:"Write the summary JSON here.")
   in
+  let connect =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "connect" ] ~docv:"SOCK"
+          ~doc:"Wire endpoint (shard or router): open-loop Poisson mode.")
+  in
+  let slo_ms =
+    Arg.(
+      value & opt float 50.0
+      & info [ "slo-ms" ] ~doc:"Latency budget for SLO attainment (wire mode).")
+  in
+  let res =
+    Arg.(
+      value & opt int 8
+      & info [ "res" ] ~doc:"Input resolution H = W (wire mode).")
+  in
   let run dir model_name version config requests concurrency rate seed
-      metrics_out summary_out =
+      metrics_out summary_out connect slo_ms res =
+    match connect with
+    | Some endpoint ->
+        let rate = if rate > 0.0 then rate else 100.0 in
+        let make_input i =
+          let module Rng = Twq_util.Rng in
+          let rng = Rng.create (seed + (31 * i)) in
+          STensor.rand_gaussian rng [| 3; res; res |] ~mu:0.0 ~sigma:1.0
+        in
+        let s =
+          Serve.Loadgen.run_poisson
+            ~connect:(fun () -> Serve.Shard_client.connect endpoint)
+            ~make_input ~requests ~rate ~slo:(slo_ms /. 1e3)
+            ~connections:concurrency ~seed ()
+        in
+        print_endline (Serve.Loadgen.slo_to_text s);
+        (match summary_out with
+        | Some f ->
+            let oc = open_out f in
+            output_string oc (Serve.Loadgen.slo_to_json s);
+            close_out oc;
+            Printf.printf "summary written to %s\n" f
+        | None -> ())
+    | None ->
     let server, entry = start_from_registry dir model_name version config in
     let summary =
       Serve.Loadgen.run ~server ~make_input:(make_input_fn entry seed)
@@ -516,7 +717,8 @@ let loadgen_cmd =
   Cmd.v (Cmd.info "loadgen" ~doc)
     Term.(
       const run $ registry_dir_arg $ model_name $ version $ server_flags
-      $ requests $ concurrency $ rate $ seed $ metrics_out_arg $ summary_out)
+      $ requests $ concurrency $ rate $ seed $ metrics_out_arg $ summary_out
+      $ connect $ slo_ms $ res)
 
 let () =
   let doc = "Tap-wise quantized Winograd F4 — paper reproduction driver" in
@@ -526,5 +728,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; layers_cmd; train_cmd; publish_cmd;
-            serve_cmd; loadgen_cmd;
+            serve_cmd; loadgen_cmd; route_cmd; stats_cmd;
           ]))

@@ -77,7 +77,8 @@ end
 
 module Nvdla = Twq_nvdla.Nvdla
 
-(* Inference serving: model registry, dynamic batcher, load generator. *)
+(* Inference serving: model registry, dynamic batcher, wire protocol,
+   shard router, load generator. *)
 module Serve = struct
   module Metrics = Twq_serve.Metrics
   module Model = Twq_serve.Model
@@ -85,6 +86,9 @@ module Serve = struct
   module Batcher = Twq_serve.Batcher
   module Server = Twq_serve.Server
   module Loadgen = Twq_serve.Loadgen
+  module Wire = Twq_serve.Wire
+  module Shard_client = Twq_serve.Shard_client
+  module Router = Twq_serve.Router
 end
 
 (* Extensions beyond the paper's core pipeline. *)

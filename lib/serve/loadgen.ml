@@ -1,19 +1,27 @@
-(* Closed-loop load generator.
+(* Load generators.
 
-   [concurrency] client domains each loop { claim next request id;
-   optionally wait for its paced start slot; submit; await; record }.
-   With [rate] = 0 the loop is purely closed (each client keeps exactly
-   one request outstanding — offered load adapts to the server); with
-   [rate] > 0 request [i] is not started before [t0 + i/rate], turning
-   the generator into a paced closed loop that can also push the server
-   into overload when [rate] exceeds capacity.
+   [run] is the closed-loop generator: [concurrency] client domains each
+   keep one request outstanding against an in-process Server.  Closed
+   loops measure the server at its own pace — offered load adapts to
+   service speed, so they understate latency under overload.
 
-   Client-side latency (submit -> outcome observed) is collected per
-   domain and merged after the joins, so the percentiles here are
-   end-to-end as a caller saw them — the server's own histograms break
-   the same time down by phase. *)
+   [run_poisson] is the open-loop generator for wire endpoints: request
+   arrival times are drawn up front from an exponential inter-arrival
+   distribution (deterministic under [seed]) and latency is measured
+   from each request's *scheduled* arrival instant, not from when a
+   client thread got around to sending it.  That is the standard
+   coordinated-omission correction: when the fleet stalls, the requests
+   that should have been sent during the stall still charge their wait
+   to the fleet.  SLO attainment is then the fraction of all scheduled
+   requests answered with logits within the budget.
+
+   Client-side latency is end-to-end as a caller saw it; the server's
+   own phase histograms split the same time into queue wait vs service,
+   and both generators report that split rather than conflating the two
+   (a saturated queue and a slow model need different fixes). *)
 
 module Tensor = Twq_tensor.Tensor
+module Rng = Twq_util.Rng
 
 type summary = {
   requests : int;
@@ -28,14 +36,11 @@ type summary = {
   latency_p99 : float;
   latency_mean : float;
   latency_max : float;
+  queue_wait : Metrics.hsnap; (* server-side: submit -> batch dispatch *)
+  service : Metrics.hsnap; (* server-side: per-batch compute *)
 }
 
-let percentile sorted q =
-  let n = Array.length sorted in
-  if n = 0 then 0.0
-  else
-    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
-    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
+let percentile = Metrics.percentile_of_sorted
 
 let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
     ?deadline () =
@@ -81,6 +86,7 @@ let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
   let lat = Array.of_list latencies in
   Array.sort compare lat;
   let n_ok = Atomic.get completed in
+  let m = Server.metrics server in
   {
     requests;
     completed = n_ok;
@@ -96,7 +102,16 @@ let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
       (if Array.length lat = 0 then 0.0
        else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat));
     latency_max = (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+    queue_wait = Metrics.snapshot m.Metrics.queue_wait;
+    service = Metrics.snapshot m.Metrics.compute;
   }
+
+let hsnap_json (h : Metrics.hsnap) =
+  Printf.sprintf
+    "{\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, \"mean\": %.4f, \"max\": \
+     %.4f}"
+    (1e3 *. h.Metrics.hp50) (1e3 *. h.Metrics.hp95) (1e3 *. h.Metrics.hp99)
+    (1e3 *. h.Metrics.hmean) (1e3 *. h.Metrics.hmax)
 
 let summary_to_json s =
   Printf.sprintf
@@ -109,18 +124,246 @@ let summary_to_json s =
     \  \"wall_s\": %.6f,\n\
     \  \"throughput_rps\": %.2f,\n\
     \  \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, \
-     \"mean\": %.4f, \"max\": %.4f}\n\
+     \"mean\": %.4f, \"max\": %.4f},\n\
+    \  \"queue_wait_ms\": %s,\n\
+    \  \"service_ms\": %s\n\
      }\n"
     s.requests s.completed s.rejected_overload s.deadline_expired
     s.other_rejected s.wall s.throughput (1e3 *. s.latency_p50)
     (1e3 *. s.latency_p95) (1e3 *. s.latency_p99) (1e3 *. s.latency_mean)
-    (1e3 *. s.latency_max)
+    (1e3 *. s.latency_max) (hsnap_json s.queue_wait) (hsnap_json s.service)
 
 let summary_to_text s =
   Printf.sprintf
     "%d requests in %.3f s: %d ok (%.1f req/s), %d shed, %d expired, %d \
-     other\nlatency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f"
+     other\n\
+     latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f\n\
+     queue-wait ms: p50 %.3f  p95 %.3f  p99 %.3f | service ms: p50 %.3f  \
+     p95 %.3f  p99 %.3f"
     s.requests s.wall s.completed s.throughput s.rejected_overload
     s.deadline_expired s.other_rejected (1e3 *. s.latency_p50)
     (1e3 *. s.latency_p95) (1e3 *. s.latency_p99) (1e3 *. s.latency_mean)
     (1e3 *. s.latency_max)
+    (1e3 *. s.queue_wait.Metrics.hp50)
+    (1e3 *. s.queue_wait.Metrics.hp95)
+    (1e3 *. s.queue_wait.Metrics.hp99)
+    (1e3 *. s.service.Metrics.hp50)
+    (1e3 *. s.service.Metrics.hp95)
+    (1e3 *. s.service.Metrics.hp99)
+
+(* ------------------------------------------------------------------ *)
+(* Open-loop Poisson generator over the wire. *)
+
+type slo_summary = {
+  p_requests : int;
+  p_completed : int;
+  p_overloaded : int;
+  p_expired : int;
+  p_other_rejected : int; (* invalid / closed / failed / no-model / unavailable *)
+  p_lost : int; (* scheduled but never answered (transport death) *)
+  p_wall : float;
+  p_offered_rate : float;
+  p_throughput : float;
+  p_slo_budget : float; (* seconds *)
+  p_slo_attained : float; (* completed-within-budget / requests *)
+  p_latency_p50 : float;
+  p_latency_p95 : float;
+  p_latency_p99 : float;
+  p_latency_mean : float;
+  p_latency_max : float;
+  p_queue_wait_p50 : float; (* server-reported, per completed request *)
+  p_queue_wait_p95 : float;
+  p_queue_wait_p99 : float;
+  p_service_p50 : float;
+  p_service_p95 : float;
+  p_service_p99 : float;
+}
+
+type client_tally = {
+  mutable k_lat : float list; (* from scheduled arrival, completed only *)
+  mutable k_qw : float list;
+  mutable k_sv : float list;
+  mutable k_completed : int;
+  mutable k_in_budget : int;
+  mutable k_overloaded : int;
+  mutable k_expired : int;
+  mutable k_other : int;
+  mutable k_lost : int;
+}
+
+let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
+    ?(seed = 0x9e3779b9) ?deadline () =
+  if requests < 0 then invalid_arg "Loadgen.run_poisson: requests < 0";
+  if rate <= 0.0 then invalid_arg "Loadgen.run_poisson: rate <= 0";
+  if slo <= 0.0 then invalid_arg "Loadgen.run_poisson: slo <= 0";
+  let connections = Stdlib.max 1 (Stdlib.min connections 64) in
+  let connections = Stdlib.max 1 (Stdlib.min connections requests) in
+  (* The whole arrival schedule is drawn up front so it is independent
+     of anything the fleet does — the definition of open loop. *)
+  let schedule = Array.make requests 0.0 in
+  let rng = Rng.create seed in
+  let t = ref 0.0 in
+  for i = 0 to requests - 1 do
+    let u = Rng.float rng 1.0 in
+    t := !t +. (-.Float.log (1.0 -. u) /. rate);
+    schedule.(i) <- !t
+  done;
+  let next = Atomic.make 0 in
+  let t0 = Unix.gettimeofday () in
+  let client () =
+    let k =
+      {
+        k_lat = [];
+        k_qw = [];
+        k_sv = [];
+        k_completed = 0;
+        k_in_budget = 0;
+        k_overloaded = 0;
+        k_expired = 0;
+        k_other = 0;
+        k_lost = 0;
+      }
+    in
+    let conn = ref (Result.to_option (connect ())) in
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < requests then begin
+        let scheduled = t0 +. schedule.(i) in
+        let wait = scheduled -. Unix.gettimeofday () in
+        if wait > 0.0 then Thread.delay wait;
+        let x = make_input i in
+        (if !conn = None then conn := Result.to_option (connect ()));
+        (match !conn with
+        | None -> k.k_lost <- k.k_lost + 1
+        | Some c -> (
+            match
+              Shard_client.infer ?deadline ~key:(Printf.sprintf "req-%d" i) c x
+            with
+            | Error _ ->
+                (* No reply for this request: it is lost, and the
+                   connection is in an unknown state.  No client-side
+                   retry — masking a lost ack here would hide exactly
+                   what the chaos smoke exists to measure. *)
+                Shard_client.close c;
+                conn := None;
+                k.k_lost <- k.k_lost + 1
+            | Ok { outcome; _ } -> (
+                let done_at = Unix.gettimeofday () in
+                match outcome with
+                | Wire.Logits { queue_wait; service; _ } ->
+                    let lat = done_at -. scheduled in
+                    k.k_completed <- k.k_completed + 1;
+                    if lat <= slo then k.k_in_budget <- k.k_in_budget + 1;
+                    k.k_lat <- lat :: k.k_lat;
+                    k.k_qw <- queue_wait :: k.k_qw;
+                    k.k_sv <- service :: k.k_sv
+                | Wire.Overloaded -> k.k_overloaded <- k.k_overloaded + 1
+                | Wire.Expired -> k.k_expired <- k.k_expired + 1
+                | Wire.Invalid _ | Wire.Closed | Wire.Failed _
+                | Wire.No_model | Wire.Unavailable _ ->
+                    k.k_other <- k.k_other + 1)));
+        loop ()
+      end
+    in
+    loop ();
+    (match !conn with Some c -> Shard_client.close c | None -> ());
+    k
+  in
+  (* Thread.join has no return value; clients deposit their tallies in a
+     mutex-guarded list instead. *)
+  let results = ref [] and results_mutex = Mutex.create () in
+  let wrapped () =
+    let k = client () in
+    Mutex.lock results_mutex;
+    results := k :: !results;
+    Mutex.unlock results_mutex
+  in
+  let threads = List.init connections (fun _ -> Thread.create wrapped ()) in
+  List.iter Thread.join threads;
+  let wall = Unix.gettimeofday () -. t0 in
+  let ks = !results in
+  let sum f = List.fold_left (fun acc k -> acc + f k) 0 ks in
+  let sorted f =
+    let a = Array.of_list (List.concat_map f ks) in
+    Array.sort compare a;
+    a
+  in
+  let lat = sorted (fun k -> k.k_lat)
+  and qw = sorted (fun k -> k.k_qw)
+  and sv = sorted (fun k -> k.k_sv) in
+  let completed = sum (fun k -> k.k_completed) in
+  let in_budget = sum (fun k -> k.k_in_budget) in
+  {
+    p_requests = requests;
+    p_completed = completed;
+    p_overloaded = sum (fun k -> k.k_overloaded);
+    p_expired = sum (fun k -> k.k_expired);
+    p_other_rejected = sum (fun k -> k.k_other);
+    p_lost = sum (fun k -> k.k_lost);
+    p_wall = wall;
+    p_offered_rate = rate;
+    p_throughput = (if wall > 0.0 then float_of_int completed /. wall else 0.0);
+    p_slo_budget = slo;
+    p_slo_attained =
+      (if requests = 0 then 1.0
+       else float_of_int in_budget /. float_of_int requests);
+    p_latency_p50 = percentile lat 0.50;
+    p_latency_p95 = percentile lat 0.95;
+    p_latency_p99 = percentile lat 0.99;
+    p_latency_mean =
+      (if Array.length lat = 0 then 0.0
+       else Array.fold_left ( +. ) 0.0 lat /. float_of_int (Array.length lat));
+    p_latency_max =
+      (if Array.length lat = 0 then 0.0 else lat.(Array.length lat - 1));
+    p_queue_wait_p50 = percentile qw 0.50;
+    p_queue_wait_p95 = percentile qw 0.95;
+    p_queue_wait_p99 = percentile qw 0.99;
+    p_service_p50 = percentile sv 0.50;
+    p_service_p95 = percentile sv 0.95;
+    p_service_p99 = percentile sv 0.99;
+  }
+
+let slo_to_json s =
+  Printf.sprintf
+    "{\n\
+    \  \"requests\": %d,\n\
+    \  \"completed\": %d,\n\
+    \  \"overloaded\": %d,\n\
+    \  \"expired\": %d,\n\
+    \  \"other_rejected\": %d,\n\
+    \  \"lost\": %d,\n\
+    \  \"wall_s\": %.6f,\n\
+    \  \"offered_rps\": %.2f,\n\
+    \  \"throughput_rps\": %.2f,\n\
+    \  \"slo_budget_ms\": %.3f,\n\
+    \  \"slo_attained\": %.6f,\n\
+    \  \"latency_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f, \
+     \"mean\": %.4f, \"max\": %.4f},\n\
+    \  \"queue_wait_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f},\n\
+    \  \"service_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}\n\
+     }\n"
+    s.p_requests s.p_completed s.p_overloaded s.p_expired s.p_other_rejected
+    s.p_lost s.p_wall s.p_offered_rate s.p_throughput
+    (1e3 *. s.p_slo_budget) s.p_slo_attained (1e3 *. s.p_latency_p50)
+    (1e3 *. s.p_latency_p95) (1e3 *. s.p_latency_p99)
+    (1e3 *. s.p_latency_mean) (1e3 *. s.p_latency_max)
+    (1e3 *. s.p_queue_wait_p50) (1e3 *. s.p_queue_wait_p95)
+    (1e3 *. s.p_queue_wait_p99) (1e3 *. s.p_service_p50)
+    (1e3 *. s.p_service_p95) (1e3 *. s.p_service_p99)
+
+let slo_to_text s =
+  Printf.sprintf
+    "%d requests @ %.1f req/s (open loop) in %.3f s: %d ok, %d overloaded, \
+     %d expired, %d other, %d lost\n\
+     SLO %.1f ms: %.2f%% attained\n\
+     latency ms (from scheduled arrival): p50 %.3f  p95 %.3f  p99 %.3f  max \
+     %.3f\n\
+     queue-wait ms: p50 %.3f  p99 %.3f | service ms: p50 %.3f  p99 %.3f"
+    s.p_requests s.p_offered_rate s.p_wall s.p_completed s.p_overloaded
+    s.p_expired s.p_other_rejected s.p_lost
+    (1e3 *. s.p_slo_budget)
+    (100.0 *. s.p_slo_attained)
+    (1e3 *. s.p_latency_p50) (1e3 *. s.p_latency_p95)
+    (1e3 *. s.p_latency_p99) (1e3 *. s.p_latency_max)
+    (1e3 *. s.p_queue_wait_p50) (1e3 *. s.p_queue_wait_p99)
+    (1e3 *. s.p_service_p50) (1e3 *. s.p_service_p99)

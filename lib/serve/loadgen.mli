@@ -1,11 +1,21 @@
-(** Closed-loop load generator for a {!Server.t}.
+(** Load generators.
 
-    Spawns [concurrency] client domains that each keep one request
-    outstanding (claim id, optionally wait for the paced start slot,
-    submit, await, record).  With [rate] > 0, request [i] does not start
-    before [t0 + i/rate], so a rate above the server's capacity drives it
-    into overload and exercises shedding.  Latency percentiles are
-    client-observed end-to-end times of completed requests. *)
+    {!run} is the closed-loop generator for an in-process {!Server.t}:
+    [concurrency] client domains each keep one request outstanding
+    (claim id, optionally wait for the paced start slot, submit, await,
+    record).  With [rate] > 0, request [i] does not start before
+    [t0 + i/rate], so a rate above the server's capacity drives it into
+    overload and exercises shedding.
+
+    {!run_poisson} is the open-loop generator for wire endpoints (shard
+    or router): arrivals follow a deterministic pre-drawn Poisson
+    schedule and latency is charged from each request's {e scheduled}
+    arrival instant — the coordinated-omission correction, so a stalled
+    fleet cannot hide its stall by slowing the clients down.
+
+    Both report latency split server-side into queue wait vs service
+    time (from the server's phase measurements), because a saturated
+    queue and a slow model are different problems. *)
 
 type summary = {
   requests : int;
@@ -20,6 +30,9 @@ type summary = {
   latency_p99 : float;
   latency_mean : float;
   latency_max : float;
+  queue_wait : Metrics.hsnap;
+      (** server-side submit → batch-dispatch, per request *)
+  service : Metrics.hsnap;  (** server-side compute, per batch *)
 }
 
 val run :
@@ -33,7 +46,64 @@ val run :
   summary
 (** [concurrency] is clamped to [1, 64] (and to [requests]); [rate] is in
     requests/second over the whole run, 0 = unpaced closed loop;
-    [deadline] is the per-request relative deadline in seconds. *)
+    [deadline] is the per-request relative deadline in seconds.  The
+    phase snapshots are read from [server]'s metrics after the run, so
+    they cover everything that server processed. *)
 
 val summary_to_json : summary -> string
 val summary_to_text : summary -> string
+
+(** {2 Open-loop Poisson generation over the wire} *)
+
+type slo_summary = {
+  p_requests : int;
+  p_completed : int;  (** answered with logits *)
+  p_overloaded : int;  (** typed backpressure *)
+  p_expired : int;
+  p_other_rejected : int;  (** invalid / closed / failed / no-model /
+                               unavailable *)
+  p_lost : int;
+      (** scheduled but never answered: the transport died mid-request
+          and there is deliberately no client-side retry — lost acks are
+          what the chaos smoke measures *)
+  p_wall : float;
+  p_offered_rate : float;
+  p_throughput : float;
+  p_slo_budget : float;  (** seconds *)
+  p_slo_attained : float;
+      (** completed-within-budget / scheduled requests — lost and
+          rejected requests count against attainment *)
+  p_latency_p50 : float;  (** from scheduled arrival (open loop) *)
+  p_latency_p95 : float;
+  p_latency_p99 : float;
+  p_latency_mean : float;
+  p_latency_max : float;
+  p_queue_wait_p50 : float;  (** server-reported phase durations *)
+  p_queue_wait_p95 : float;
+  p_queue_wait_p99 : float;
+  p_service_p50 : float;
+  p_service_p95 : float;
+  p_service_p99 : float;
+}
+
+val run_poisson :
+  connect:(unit -> (Shard_client.t, Shard_client.error) result) ->
+  make_input:(int -> Twq_tensor.Tensor.t) ->
+  requests:int ->
+  rate:float ->
+  slo:float ->
+  ?connections:int ->
+  ?seed:int ->
+  ?deadline:float ->
+  unit ->
+  slo_summary
+(** [connect] opens one connection per client thread (reopened after a
+    transport error).  [rate] is the offered Poisson rate in req/s and
+    [slo] the per-request latency budget in seconds, both required;
+    [seed] fixes the arrival schedule.  Request [i] is sent with routing
+    key ["req-<i>"], so a router spreads the run across its ring.
+    @raise Invalid_argument on non-positive [rate]/[slo] or negative
+    [requests]. *)
+
+val slo_to_json : slo_summary -> string
+val slo_to_text : slo_summary -> string

@@ -108,7 +108,44 @@ module Histogram = struct
     r
 
   let name h = h.name
+
+  let observed_max h =
+    Mutex.lock h.mutex;
+    let m = h.max in
+    Mutex.unlock h.mutex;
+    m
 end
+
+(* One consistent view of a histogram for reports that print several
+   quantiles at once (loadgen summaries, daemon stats). *)
+type hsnap = {
+  hcount : int;
+  hmean : float;
+  hp50 : float;
+  hp95 : float;
+  hp99 : float;
+  hmax : float;
+}
+
+let snapshot h =
+  {
+    hcount = Histogram.count h;
+    hmean = Histogram.mean h;
+    hp50 = Histogram.quantile h 0.50;
+    hp95 = Histogram.quantile h 0.95;
+    hp99 = Histogram.quantile h 0.99;
+    hmax = Histogram.observed_max h;
+  }
+
+(* Exact nearest-rank percentile over already-sorted client-side
+   samples — the sharp counterpart to the ≈19%-bucketed histogram
+   quantiles, shared by the load generators. *)
+let percentile_of_sorted sorted q =
+  let n = Array.length sorted in
+  if n = 0 then 0.0
+  else
+    let rank = int_of_float (Float.ceil (q *. float_of_int n)) in
+    sorted.(Stdlib.max 0 (Stdlib.min (n - 1) (rank - 1)))
 
 type t = {
   accepted : Counter.t;

@@ -48,7 +48,28 @@ module Histogram : sig
       the observed maximum; [0.] when empty. *)
 
   val name : t -> string
+
+  val observed_max : t -> float
+  (** Largest value observed so far, in seconds. *)
 end
+
+(** One consistent multi-quantile view of a histogram. *)
+type hsnap = {
+  hcount : int;
+  hmean : float;
+  hp50 : float;
+  hp95 : float;
+  hp99 : float;
+  hmax : float;
+}
+
+val snapshot : Histogram.t -> hsnap
+
+val percentile_of_sorted : float array -> float -> float
+(** [percentile_of_sorted sorted q] is the exact nearest-rank [q]-th
+    percentile of an ascending-sorted sample array ([0.] when empty) —
+    used by the load generators for client-side latencies, where
+    histogram bucketing error is not wanted. *)
 
 (** The fixed metric set of one {!Server.t}. *)
 type t = {

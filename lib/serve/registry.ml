@@ -52,6 +52,7 @@ type t = {
   dir : string;
   mutex : Mutex.t;
   mutable table : (string * entry list) list; (* versions newest-first *)
+  mutable active : (string * int) list; (* name -> pinned serving version *)
   mutable orphans_removed : string list;
   mutable skipped : (string * error) list;
 }
@@ -178,7 +179,15 @@ let open_dir dir =
   | exception Sys_error msg -> Error (Io_error msg)
   | Error e -> Error e
   | Ok (table, orphans_removed, skipped) ->
-      Ok { dir; mutex = Mutex.create (); table; orphans_removed; skipped }
+      Ok
+        {
+          dir;
+          mutex = Mutex.create ();
+          table;
+          active = [];
+          orphans_removed;
+          skipped;
+        }
 
 let orphans_removed t = t.orphans_removed
 let skipped t = t.skipped
@@ -232,6 +241,36 @@ let lookup ?version t name =
       | Some e -> Ok e
       | None -> Error (No_such_model { name; version }))
 
+(* Active-version pointer: the two-phase fleet publish stages new
+   artifacts with [publish] (phase one) without disturbing what is being
+   served, then flips this pointer with [activate] (phase two).  Lookups
+   that should follow the pointer go through [resolve]. *)
+
+let activate t ~name ~version =
+  Mutex.lock t.mutex;
+  let versions = try List.assoc name t.table with Not_found -> [] in
+  let r =
+    match List.find_opt (fun e -> e.version = version) versions with
+    | None ->
+        Error (No_such_model { name; version = Some version })
+    | Some _ ->
+        t.active <- (name, version) :: List.remove_assoc name t.active;
+        Ok ()
+  in
+  Mutex.unlock t.mutex;
+  r
+
+let active_version t name =
+  Mutex.lock t.mutex;
+  let v = List.assoc_opt name t.active in
+  Mutex.unlock t.mutex;
+  v
+
+let resolve t name =
+  match active_version t name with
+  | Some v -> lookup ~version:v t name
+  | None -> lookup t name
+
 let names t =
   Mutex.lock t.mutex;
   let ns =
@@ -250,7 +289,173 @@ let refresh t =
   | Ok (table, orphans, skipped) ->
       Mutex.lock t.mutex;
       t.table <- table;
+      (* An active pointer whose artifact vanished from disk would make
+         every resolve fail; drop it and fall back to newest. *)
+      t.active <-
+        List.filter
+          (fun (name, v) ->
+            match List.assoc_opt name table with
+            | None -> false
+            | Some es -> List.exists (fun e -> e.version = v) es)
+          t.active;
       t.orphans_removed <- t.orphans_removed @ orphans;
       t.skipped <- skipped;
       Mutex.unlock t.mutex;
       Ok ()
+
+(* Fleet-wide publish: stage the artifact on every shard, then flip every
+   shard's active version, rolling back already-flipped shards if any
+   activation fails.  The two phases make the flip atomic at fleet
+   granularity: either every healthy shard ends up serving [version], or
+   every shard is left serving what it served before.
+
+   Failures during phase one abort before any flip, so no rollback is
+   needed; failures during phase two re-activate the old version on the
+   shards that already flipped (shards that had no active version before
+   are left on the new one — there is nothing to return them to, and the
+   report says so). *)
+
+type shard_report = {
+  endpoint : string;
+  previous : int option;  (* active version before the publish *)
+  prepared : bool;
+  activated : bool;
+  rolled_back : bool;
+  detail : string;
+}
+
+type fleet_outcome = {
+  committed : bool;
+  fleet_name : string;
+  fleet_version : int;
+  reports : shard_report list;
+}
+
+let publish_fleet ?(timeout = 30.0) ~endpoints ~name ~version ~input_dims model
+    =
+  if not (valid_name name) then Error (Bad_name name)
+  else if version < 0 then
+    Error (Bad_artifact { file = name; reason = "negative version" })
+  else if
+    Array.length input_dims <> 3 || Array.exists (fun d -> d <= 0) input_dims
+  then
+    Error
+      (Bad_artifact { file = name; reason = "input_dims must be [c;h;w] > 0" })
+  else if endpoints = [] then
+    Error (Bad_artifact { file = name; reason = "empty endpoint list" })
+  else begin
+    let payload = Model.to_string model in
+    let report endpoint previous prepared activated rolled_back detail =
+      { endpoint; previous; prepared; activated; rolled_back; detail }
+    in
+    (* Phase one: stage on every shard.  Each exchange gets a fresh
+       connection so one wedged shard cannot poison another's stream. *)
+    let staged =
+      List.map
+        (fun ep ->
+          match Shard_client.connect ~timeout ep with
+          | Error e ->
+              report ep None false false false (Shard_client.error_to_string e)
+          | Ok c ->
+              Fun.protect
+                ~finally:(fun () -> Shard_client.close c)
+                (fun () ->
+                  let previous =
+                    match Shard_client.model_info c ~name with
+                    | Ok (active, _) -> active
+                    | Error _ -> None
+                  in
+                  match
+                    Shard_client.publish c ~name ~version ~input_dims ~payload
+                  with
+                  | Ok () -> report ep previous true false false "staged"
+                  | Error e ->
+                      report ep previous false false false
+                        (Shard_client.error_to_string e)))
+        endpoints
+    in
+    if List.exists (fun r -> not r.prepared) staged then
+      (* Abort before any flip: every shard keeps serving its previous
+         active version, so the fleet is still consistent. *)
+      Ok
+        {
+          committed = false;
+          fleet_name = name;
+          fleet_version = version;
+          reports = staged;
+        }
+    else begin
+      (* Phase two: flip every shard.  Stop at the first failure and
+         roll the already-flipped shards back to their previous active
+         version. *)
+      let rec flip acc = function
+        | [] -> (true, List.rev acc)
+        | r :: rest -> (
+            match Shard_client.connect ~timeout r.endpoint with
+            | Error e ->
+                ( false,
+                  List.rev_append acc
+                    ({ r with detail = Shard_client.error_to_string e }
+                    :: rest) )
+            | Ok c -> (
+                Fun.protect
+                  ~finally:(fun () -> Shard_client.close c)
+                  (fun () -> Shard_client.activate c ~name ~version)
+                |> function
+                | Ok () ->
+                    flip ({ r with activated = true; detail = "active" } :: acc)
+                      rest
+                | Error e ->
+                    ( false,
+                      List.rev_append acc
+                        ({ r with detail = Shard_client.error_to_string e }
+                        :: rest) )))
+      in
+      let committed, flipped = flip [] staged in
+      let reports =
+        if committed then flipped
+        else
+          List.map
+            (fun r ->
+              if not r.activated then r
+              else
+                match r.previous with
+                | None ->
+                    {
+                      r with
+                      detail = "activated; no previous version to roll back to";
+                    }
+                | Some prev -> (
+                    match Shard_client.connect ~timeout r.endpoint with
+                    | Error e ->
+                        {
+                          r with
+                          detail =
+                            Printf.sprintf "rollback to v%d failed: %s" prev
+                              (Shard_client.error_to_string e);
+                        }
+                    | Ok c -> (
+                        Fun.protect
+                          ~finally:(fun () -> Shard_client.close c)
+                          (fun () ->
+                            Shard_client.activate c ~name ~version:prev)
+                        |> function
+                        | Ok () ->
+                            {
+                              r with
+                              rolled_back = true;
+                              detail = Printf.sprintf "rolled back to v%d" prev;
+                            }
+                        | Error e ->
+                            {
+                              r with
+                              detail =
+                                Printf.sprintf "rollback to v%d failed: %s"
+                                  prev
+                                  (Shard_client.error_to_string e);
+                            })))
+            flipped
+      in
+      Ok { committed; fleet_name = name; fleet_version = version; reports }
+    end
+  end

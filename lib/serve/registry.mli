@@ -53,9 +53,61 @@ val publish :
 val lookup : ?version:int -> t -> string -> (entry, error) result
 (** Current (highest-version) entry for a name, or a pinned version. *)
 
+val activate : t -> name:string -> version:int -> (unit, error) result
+(** Pin the serving version for [name] (phase two of a two-phase
+    publish).  Fails with [No_such_model] if that version is not in the
+    table — activate only what a prior {!publish} staged. *)
+
+val active_version : t -> string -> int option
+(** The pinned serving version, if any. *)
+
+val resolve : t -> string -> (entry, error) result
+(** The entry a server should serve: the pinned active version when one
+    is set, otherwise the newest — so freshly staged (but not yet
+    activated) artifacts never serve early. *)
+
 val names : t -> (string * int list) list
 (** All model names with their available versions, newest first. *)
 
 val refresh : t -> (unit, error) result
 (** Rescan the directory (picking up artifacts published by other
-    processes) and atomically replace the table. *)
+    processes) and atomically replace the table.  Active pointers whose
+    artifact vanished are dropped (falling back to newest). *)
+
+(** {2 Fleet-wide publish}
+
+    Two-phase publish over the wire to a list of shard endpoints: stage
+    the artifact on every shard ({!Shard_client.publish}), then flip
+    every shard's active version ({!Shard_client.activate}).  If any
+    staging fails, nothing is flipped; if any flip fails, shards that
+    already flipped are rolled back to their previous active version.
+    Either way every reachable shard ends the call serving one
+    consistent version. *)
+
+type shard_report = {
+  endpoint : string;
+  previous : int option;  (** active version before the publish *)
+  prepared : bool;  (** phase one (stage) succeeded *)
+  activated : bool;  (** phase two (flip) succeeded *)
+  rolled_back : bool;
+  detail : string;
+}
+
+type fleet_outcome = {
+  committed : bool;  (** every shard is serving [fleet_version] *)
+  fleet_name : string;
+  fleet_version : int;
+  reports : shard_report list;  (** one per endpoint, in input order *)
+}
+
+val publish_fleet :
+  ?timeout:float ->
+  endpoints:string list ->
+  name:string ->
+  version:int ->
+  input_dims:int array ->
+  Model.t ->
+  (fleet_outcome, error) result
+(** [Error _] only for locally-invalid input (bad name/version/dims,
+    empty endpoint list); per-shard failures are reported in the
+    {!fleet_outcome}. *)

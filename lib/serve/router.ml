@@ -1,0 +1,517 @@
+(* Consistent-hash router daemon.
+
+   Ring: every shard endpoint contributes [vnodes] points, each the
+   FNV-1a 64-bit hash of "<endpoint>#<i>", kept in one sorted array.  A
+   key routes to the first point clockwise of its own hash (unsigned
+   comparison, wrapping), and its failover candidates are the distinct
+   endpoints met continuing clockwise — so removing a shard moves only
+   the keys it owned, each to its next distinct neighbour.
+
+   Serving: the router speaks the same Wire protocol as a shard (one
+   accept thread, one handler thread per connection) and proxies [Infer]
+   frames with [Shard_client.infer_raw], so a client cannot tell a
+   router from a shard.  Each handler exchange checks a connection out
+   of the target shard's small pool and returns it on success; any IO
+   error both kills that connection and marks the shard [Dead] so other
+   requests stop queueing behind a corpse.  Inference is idempotent —
+   retrying a request whose shard died mid-flight on the next ring node
+   is safe, and is exactly what keeps a SIGKILLed shard from losing
+   acks in the chaos smoke. *)
+
+type health = Healthy | Backpressured | Dead
+
+let health_label = function
+  | Healthy -> "healthy"
+  | Backpressured -> "backpressured"
+  | Dead -> "dead"
+
+module Ring = struct
+  let fnv_prime = 0x100000001b3L
+  let fnv_basis = 0xcbf29ce484222325L
+
+  let fnv1a64 s =
+    let h = ref fnv_basis in
+    String.iter
+      (fun c ->
+        h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
+      s;
+    !h
+
+  type t = {
+    vnodes : int;
+    eps : string list; (* sorted, distinct *)
+    points : (int64 * string) array; (* sorted by unsigned point *)
+  }
+
+  let build vnodes eps =
+    let points =
+      List.concat_map
+        (fun ep ->
+          List.init vnodes (fun i ->
+              (fnv1a64 (Printf.sprintf "%s#%d" ep i), ep)))
+        eps
+      |> Array.of_list
+    in
+    Array.sort
+      (fun (a, ea) (b, eb) ->
+        let c = Int64.unsigned_compare a b in
+        if c <> 0 then c else compare ea eb)
+      points;
+    { vnodes; eps; points }
+
+  let create ?(vnodes = 64) eps =
+    if vnodes < 1 then invalid_arg "Ring.create: vnodes < 1";
+    build vnodes (List.sort_uniq compare eps)
+
+  let endpoints t = t.eps
+
+  (* Index of the first point with hash >= h (unsigned), wrapping to 0. *)
+  let successor_index t h =
+    let n = Array.length t.points in
+    if n = 0 then -1
+    else begin
+      let lo = ref 0 and hi = ref n in
+      while !lo < !hi do
+        let mid = (!lo + !hi) / 2 in
+        if Int64.unsigned_compare (fst t.points.(mid)) h < 0 then lo := mid + 1
+        else hi := mid
+      done;
+      if !lo = n then 0 else !lo
+    end
+
+  let route t key =
+    let i = successor_index t (fnv1a64 key) in
+    if i < 0 then None else Some (snd t.points.(i))
+
+  let successors t key =
+    let n = Array.length t.points in
+    if n = 0 then []
+    else begin
+      let start = successor_index t (fnv1a64 key) in
+      let want = List.length t.eps in
+      let seen = Hashtbl.create want and order = ref [] in
+      let i = ref 0 in
+      while Hashtbl.length seen < want && !i < n do
+        let ep = snd t.points.((start + !i) mod n) in
+        if not (Hashtbl.mem seen ep) then begin
+          Hashtbl.add seen ep ();
+          order := ep :: !order
+        end;
+        incr i
+      done;
+      List.rev !order
+    end
+
+  let add t ep = build t.vnodes (List.sort_uniq compare (ep :: t.eps))
+  let remove t ep = build t.vnodes (List.filter (( <> ) ep) t.eps)
+end
+
+type config = {
+  vnodes : int;
+  heartbeat_interval : float;
+  connect_timeout : float;
+  pool : int;
+}
+
+let default_config =
+  { vnodes = 64; heartbeat_interval = 0.25; connect_timeout = 10.0; pool = 4 }
+
+type shard = {
+  sh_endpoint : string;
+  sh_mutex : Mutex.t;
+  mutable sh_health : health;
+  mutable sh_pool : Shard_client.t list;
+}
+
+type t = {
+  r_path : string;
+  r_config : config;
+  r_ring : Ring.t;
+  r_shards : (string * shard) list; (* input order *)
+  r_listen : Unix.file_descr;
+  r_mutex : Mutex.t;
+  mutable r_conns : (Unix.file_descr * Thread.t) list;
+  mutable r_accept : Thread.t option;
+  mutable r_heartbeat : Thread.t option;
+  mutable r_accepting : bool;
+  mutable r_draining : bool;
+  mutable r_stopped : bool;
+  c_routed : Metrics.Counter.t;
+  c_failovers : Metrics.Counter.t;
+  c_spills : Metrics.Counter.t;
+  c_unavailable : Metrics.Counter.t;
+  c_unhealthy : Metrics.Counter.t;
+  c_recoveries : Metrics.Counter.t;
+  c_connections : Metrics.Counter.t;
+  c_frames_in : Metrics.Counter.t;
+  c_frames_out : Metrics.Counter.t;
+  c_decode_errors : Metrics.Counter.t;
+}
+
+(* --- health ------------------------------------------------------- *)
+
+let set_health t sh h =
+  Mutex.lock sh.sh_mutex;
+  let old = sh.sh_health in
+  sh.sh_health <- h;
+  Mutex.unlock sh.sh_mutex;
+  if old <> h then begin
+    if h = Dead then Metrics.Counter.incr t.c_unhealthy;
+    if h = Healthy && old = Dead then Metrics.Counter.incr t.c_recoveries
+  end
+
+let get_health sh =
+  Mutex.lock sh.sh_mutex;
+  let h = sh.sh_health in
+  Mutex.unlock sh.sh_mutex;
+  h
+
+(* --- per-shard connection pool ------------------------------------ *)
+
+let checkout t sh =
+  Mutex.lock sh.sh_mutex;
+  let c =
+    match sh.sh_pool with
+    | c :: rest ->
+        sh.sh_pool <- rest;
+        Some c
+    | [] -> None
+  in
+  Mutex.unlock sh.sh_mutex;
+  match c with
+  | Some c -> Ok c
+  | None -> Shard_client.connect ~timeout:t.r_config.connect_timeout sh.sh_endpoint
+
+let checkin t sh c =
+  Mutex.lock sh.sh_mutex;
+  let keep = List.length sh.sh_pool < t.r_config.pool in
+  if keep then sh.sh_pool <- c :: sh.sh_pool;
+  Mutex.unlock sh.sh_mutex;
+  if not keep then Shard_client.close c
+
+let drop_pool sh =
+  Mutex.lock sh.sh_mutex;
+  let pool = sh.sh_pool in
+  sh.sh_pool <- [];
+  Mutex.unlock sh.sh_mutex;
+  List.iter Shard_client.close pool
+
+(* --- infer proxy path --------------------------------------------- *)
+
+(* One attempt against one shard.  [`Final] outcomes are returned to the
+   client as-is; [`Spill] (typed backpressure, drain, missing model)
+   and [`Dead] (transport failure) move on to the next ring node. *)
+let attempt t sh ~deadline ~key ~dims ~data =
+  match checkout t sh with
+  | Error _ ->
+      set_health t sh Dead;
+      `Dead
+  | Ok c -> (
+      match Shard_client.infer_raw ?deadline ~key ~dims ~data c with
+      | Error (Shard_client.Connect _ | Shard_client.Io _
+              | Shard_client.Decode _ | Shard_client.Unexpected_reply _) ->
+          Shard_client.close c;
+          set_health t sh Dead;
+          `Dead
+      | Error (Shard_client.Remote _) ->
+          checkin t sh c;
+          `Spill Wire.Closed
+      | Ok { outcome; _ } -> (
+          checkin t sh c;
+          match outcome with
+          | Wire.Overloaded ->
+              set_health t sh Backpressured;
+              `Spill Wire.Overloaded
+          | Wire.Closed | Wire.No_model | Wire.Unavailable _ ->
+              `Spill outcome
+          | Wire.Logits _ | Wire.Expired | Wire.Invalid _ | Wire.Failed _ ->
+              if get_health sh = Backpressured then set_health t sh Healthy;
+              `Final outcome))
+
+let route_infer t ~deadline ~key ~dims ~data =
+  Metrics.Counter.incr t.c_routed;
+  let candidates = Ring.successors t.r_ring key in
+  (* Live shards first, in ring order; dead-marked shards are kept at
+     the tail as last-resort probes, so a fleet the heartbeat has not
+     re-scanned yet (or has wrongly written off) still gets one chance
+     before the client sees Unavailable.  A successful probe also
+     resurrects the shard ahead of the next heartbeat sweep. *)
+  let live, dead =
+    List.partition
+      (fun ep -> get_health (List.assoc ep t.r_shards) <> Dead)
+      candidates
+  in
+  let rec go best_spill tried = function
+    | [] -> (
+        Metrics.Counter.incr t.c_unavailable;
+        match best_spill with
+        | Some o -> o
+        | None ->
+            Wire.Unavailable
+              (Printf.sprintf "no live shard for key (%d tried)" tried))
+    | ep :: rest -> (
+        let sh = List.assoc ep t.r_shards in
+        match attempt t sh ~deadline ~key ~dims ~data with
+        | `Final o ->
+            if tried > 0 then Metrics.Counter.incr t.c_failovers;
+            if get_health sh = Dead then set_health t sh Healthy;
+            o
+        | `Dead ->
+            Metrics.Counter.incr t.c_failovers;
+            go best_spill (tried + 1) rest
+        | `Spill o ->
+            Metrics.Counter.incr t.c_spills;
+            let best =
+              (* Prefer reporting backpressure over drain/missing
+                 model: it tells the client to back off, not give up. *)
+              match (best_spill, o) with
+              | Some Wire.Overloaded, _ -> Some Wire.Overloaded
+              | _, o -> Some o
+            in
+            go best (tried + 1) rest)
+  in
+  go None 0 (live @ dead)
+
+(* --- wire front-end ----------------------------------------------- *)
+
+let counters t =
+  [
+    ("routed", Metrics.Counter.value t.c_routed);
+    ("failovers", Metrics.Counter.value t.c_failovers);
+    ("spills", Metrics.Counter.value t.c_spills);
+    ("unavailable", Metrics.Counter.value t.c_unavailable);
+    ("unhealthy_transitions", Metrics.Counter.value t.c_unhealthy);
+    ("recoveries", Metrics.Counter.value t.c_recoveries);
+  ]
+
+let shard_health t =
+  List.map (fun (ep, sh) -> (ep, get_health sh)) t.r_shards
+
+let stats_json t =
+  let b = Buffer.create 512 in
+  Buffer.add_string b "{\n  \"shards\": [";
+  List.iteri
+    (fun i (ep, h) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s{\"endpoint\": %S, \"health\": %S}"
+           (if i = 0 then "" else ", ")
+           ep (health_label h)))
+    (shard_health t);
+  Buffer.add_string b "],\n  \"counters\": {";
+  List.iteri
+    (fun i (name, v) ->
+      Buffer.add_string b
+        (Printf.sprintf "%s\"%s\": %d" (if i = 0 then "" else ", ") name v))
+    (counters t);
+  Buffer.add_string b
+    (Printf.sprintf
+       "},\n\
+       \  \"wire\": {\"connections\": %d, \"frames_in\": %d, \"frames_out\": \
+        %d, \"decode_errors\": %d}\n\
+        }\n"
+       (Metrics.Counter.value t.c_connections)
+       (Metrics.Counter.value t.c_frames_in)
+       (Metrics.Counter.value t.c_frames_out)
+       (Metrics.Counter.value t.c_decode_errors));
+  Buffer.contents b
+
+let handle_msg t msg =
+  match msg with
+  | Wire.Infer { key; deadline; dims; data } ->
+      if t.r_draining then Wire.Infer_reply Wire.Closed
+      else Wire.Infer_reply (route_infer t ~deadline ~key ~dims ~data)
+  | Wire.Ping ->
+      let healthy =
+        List.exists (fun (_, h) -> h = Healthy) (shard_health t)
+      in
+      Wire.Pong
+        { healthy; queue_depth = 0; capacity = 0; draining = t.r_draining }
+  | Wire.Stats -> Wire.Stats_reply (stats_json t)
+  | Wire.Drain ->
+      t.r_draining <- true;
+      Wire.Drain_reply
+  | Wire.Publish _ | Wire.Activate _ | Wire.Model_info _ ->
+      Wire.Nack "publish/activate go directly to shard endpoints"
+  | Wire.Infer_reply _ | Wire.Pong _ | Wire.Publish_reply _
+  | Wire.Activate_reply _ | Wire.Model_info_reply _ | Wire.Stats_reply _
+  | Wire.Drain_reply | Wire.Nack _ ->
+      Wire.Nack "router expects requests, not replies"
+
+let unregister_conn t fd =
+  Mutex.lock t.r_mutex;
+  t.r_conns <- List.filter (fun (fd', _) -> fd' != fd) t.r_conns;
+  Mutex.unlock t.r_mutex
+
+let handle_conn t fd =
+  let dec = Wire.decoder () in
+  let rec loop () =
+    match Wire.read_frame fd dec with
+    | exception Unix.Unix_error (_, _, _) -> ()
+    | Error `Eof -> ()
+    | Error (`Error _) -> Metrics.Counter.incr t.c_decode_errors
+    | Ok (id, msg) -> (
+        Metrics.Counter.incr t.c_frames_in;
+        match Wire.write_frame fd ~id (handle_msg t msg) with
+        | () ->
+            Metrics.Counter.incr t.c_frames_out;
+            loop ()
+        | exception Unix.Unix_error (_, _, _) -> ())
+  in
+  loop ();
+  (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+  unregister_conn t fd
+
+let accept_loop t =
+  let rec loop () =
+    if t.r_accepting then
+      match Unix.select [ t.r_listen ] [] [] 0.2 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+      | exception Unix.Unix_error (_, _, _) -> ()
+      | [], _, _ -> loop ()
+      | _ :: _, _, _ -> (
+          match Unix.accept t.r_listen with
+          | exception Unix.Unix_error (_, _, _) -> if t.r_accepting then loop ()
+          | fd, _ ->
+              Metrics.Counter.incr t.c_connections;
+              Mutex.lock t.r_mutex;
+              if t.r_accepting then begin
+                let th = Thread.create (fun () -> handle_conn t fd) () in
+                t.r_conns <- (fd, th) :: t.r_conns;
+                Mutex.unlock t.r_mutex;
+                loop ()
+              end
+              else begin
+                Mutex.unlock t.r_mutex;
+                try Unix.close fd with Unix.Unix_error (_, _, _) -> ()
+              end)
+  in
+  loop ()
+
+(* Health sweep: one fresh short-timeout ping per shard per interval.
+   The ping deliberately bypasses the pool — a pooled connection to a
+   dead shard would just burn the timeout twice. *)
+let heartbeat_loop t =
+  let interval = t.r_config.heartbeat_interval in
+  let timeout = Float.max 0.05 (Float.min t.r_config.connect_timeout 2.0) in
+  while t.r_accepting do
+    List.iter
+      (fun (_, sh) ->
+        if t.r_accepting then
+          match Shard_client.connect ~timeout sh.sh_endpoint with
+          | Error _ ->
+              set_health t sh Dead;
+              drop_pool sh
+          | Ok c ->
+              (match Shard_client.ping c with
+              | Ok (Wire.Pong { healthy = true; draining = false; _ }) ->
+                  (* Keep a Backpressured mark until traffic succeeds;
+                     the ping only proves liveness, not headroom. *)
+                  if get_health sh = Dead then set_health t sh Healthy
+              | Ok _ | Error _ ->
+                  set_health t sh Dead;
+                  drop_pool sh);
+              Shard_client.close c)
+      t.r_shards;
+    (* Sleep in small slices so stop() is prompt. *)
+    let slept = ref 0.0 in
+    while t.r_accepting && !slept < interval do
+      Thread.delay 0.05;
+      slept := !slept +. 0.05
+    done
+  done
+
+let start ?(config = default_config) ~shards ~path () =
+  if shards = [] then Error "router needs at least one shard endpoint"
+  else begin
+    (try if Sys.file_exists path then Unix.unlink path
+     with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+    match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
+    | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+    | fd -> (
+        match
+          Unix.bind fd (Unix.ADDR_UNIX path);
+          Unix.listen fd 64
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+            (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+            Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+        | () ->
+            let t =
+              {
+                r_path = path;
+                r_config = config;
+                r_ring = Ring.create ~vnodes:config.vnodes shards;
+                r_shards =
+                  List.map
+                    (fun ep ->
+                      ( ep,
+                        {
+                          sh_endpoint = ep;
+                          sh_mutex = Mutex.create ();
+                          sh_health = Healthy;
+                          sh_pool = [];
+                        } ))
+                    shards;
+                r_listen = fd;
+                r_mutex = Mutex.create ();
+                r_conns = [];
+                r_accept = None;
+                r_heartbeat = None;
+                r_accepting = true;
+                r_draining = false;
+                r_stopped = false;
+                c_routed = Metrics.Counter.create "routed";
+                c_failovers = Metrics.Counter.create "failovers";
+                c_spills = Metrics.Counter.create "spills";
+                c_unavailable = Metrics.Counter.create "unavailable";
+                c_unhealthy = Metrics.Counter.create "unhealthy_transitions";
+                c_recoveries = Metrics.Counter.create "recoveries";
+                c_connections = Metrics.Counter.create "connections";
+                c_frames_in = Metrics.Counter.create "frames_in";
+                c_frames_out = Metrics.Counter.create "frames_out";
+                c_decode_errors = Metrics.Counter.create "decode_errors";
+              }
+            in
+            t.r_accept <- Some (Thread.create (fun () -> accept_loop t) ());
+            t.r_heartbeat <-
+              Some (Thread.create (fun () -> heartbeat_loop t) ());
+            Ok t)
+  end
+
+let path t = t.r_path
+
+let stop t =
+  Mutex.lock t.r_mutex;
+  let already = t.r_stopped in
+  t.r_stopped <- true;
+  t.r_draining <- true;
+  t.r_accepting <- false;
+  Mutex.unlock t.r_mutex;
+  if not already then begin
+    (match t.r_accept with
+    | Some th ->
+        t.r_accept <- None;
+        Thread.join th
+    | None -> ());
+    (match t.r_heartbeat with
+    | Some th ->
+        t.r_heartbeat <- None;
+        Thread.join th
+    | None -> ());
+    (try Unix.close t.r_listen with Unix.Unix_error (_, _, _) -> ());
+    (try Unix.unlink t.r_path
+     with Unix.Unix_error (_, _, _) | Sys_error _ -> ());
+    Mutex.lock t.r_mutex;
+    let conns = t.r_conns in
+    Mutex.unlock t.r_mutex;
+    List.iter
+      (fun (fd, _) ->
+        try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+        with Unix.Unix_error (_, _, _) -> ())
+      conns;
+    List.iter (fun (_, th) -> Thread.join th) conns;
+    List.iter (fun (_, sh) -> drop_pool sh) t.r_shards
+  end
+
+let wait t =
+  match t.r_accept with Some th -> Thread.join th | None -> ()

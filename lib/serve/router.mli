@@ -1,0 +1,85 @@
+(** Consistent-hash shard router.
+
+    The router is a {!Wire}-speaking daemon that fronts a fixed fleet of
+    shard endpoints.  Each [Infer]'s routing key is hashed onto a ring of
+    virtual nodes (FNV-1a 64-bit, [vnodes] points per shard), so a given
+    key always lands on the same shard while live — and when shards die,
+    only the keys they owned move (to the next distinct shard clockwise
+    on the ring; everything else stays put).
+
+    Health: a heartbeat thread pings every shard each
+    [heartbeat_interval]; a shard that fails its ping (or reports
+    draining) is marked [Dead] and skipped until a later ping succeeds.
+    A shard that answers an infer with typed backpressure ([Overloaded])
+    is marked [Backpressured]; the request spills to the next ring node,
+    and the mark clears on the next successful exchange.  Inference is
+    idempotent, so a request cut off by a dying shard (EOF mid-request)
+    is retried transparently against the next candidate — clients only
+    see [Unavailable] when every candidate is gone. *)
+
+(** The hash ring, exposed for property tests. *)
+module Ring : sig
+  type t
+
+  val create : ?vnodes:int -> string list -> t
+  (** [vnodes] defaults to 64 points per endpoint.  Duplicate endpoints
+      are collapsed; order does not matter. *)
+
+  val endpoints : t -> string list
+  (** Sorted, distinct. *)
+
+  val route : t -> string -> string option
+  (** Owner of a key: the first point clockwise from the key's hash.
+      [None] only for an empty ring. *)
+
+  val successors : t -> string -> string list
+  (** All distinct endpoints in ring order starting at the key's owner —
+      the failover candidate order. *)
+
+  val add : t -> string -> t
+
+  val remove : t -> string -> t
+end
+
+type health = Healthy | Backpressured | Dead
+
+val health_label : health -> string
+
+type config = {
+  vnodes : int;  (** ring points per shard *)
+  heartbeat_interval : float;  (** seconds between ping sweeps *)
+  connect_timeout : float;  (** per-exchange shard socket timeout *)
+  pool : int;  (** idle connections kept per shard *)
+}
+
+val default_config : config
+(** [{ vnodes = 64; heartbeat_interval = 0.25; connect_timeout = 10.;
+      pool = 4 }] *)
+
+type t
+
+val start :
+  ?config:config -> shards:string list -> path:string -> unit ->
+  (t, string) result
+(** Bind the router's own Unix-domain socket at [path] and start the
+    accept and heartbeat threads.  [shards] are the fleet's endpoint
+    socket paths; they do not need to be up yet (the heartbeat will find
+    them). *)
+
+val path : t -> string
+
+val shard_health : t -> (string * health) list
+(** Current view, in [shards] order. *)
+
+val counters : t -> (string * int) list
+(** routed / failovers / spills / unavailable / unhealthy_transitions /
+    recoveries, by name. *)
+
+val stats_json : t -> string
+
+val stop : t -> unit
+(** Graceful: stop accepting, finish in-flight requests, close shard
+    connections.  Idempotent. *)
+
+val wait : t -> unit
+(** Block until {!stop} is called from elsewhere. *)

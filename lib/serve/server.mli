@@ -71,3 +71,53 @@ val config : t -> config
 val shutdown : t -> unit
 (** Graceful drain: close admission, let workers finish every queued
     request, join the worker domains.  Idempotent. *)
+
+val timings : ticket -> (float * float) option
+(** [(queue_wait, service)] phase durations in seconds for a completed
+    ticket that reached compute dispatch; [None] for pending tickets and
+    ones rejected before dispatch.  These are what the daemon reports in
+    {!Wire.Logits}. *)
+
+(** {2 Wire daemon}
+
+    The server exposed on a Unix-domain socket speaking the {!Wire}
+    protocol: one accept thread, one handler thread per connection, so
+    the dynamic batcher coalesces requests across connections.
+
+    The daemon serves one model at a time out of its {!Registry}:
+    [Publish] frames stage artifacts without disturbing serving;
+    [Activate] flips the registry's active pointer and swaps the serving
+    model between batches (restarting the server only when the input
+    dims change).  On startup it serves the newest artifact of the first
+    registered name, pinning that version active — the recovery path for
+    a shard restarted after a crash. *)
+
+type daemon
+
+val listen :
+  ?config:config -> registry:Registry.t -> path:string -> unit ->
+  (daemon, string) result
+(** Bind a Unix-domain socket at [path] (removing a stale socket file
+    first) and start accepting.  [config] applies to the underlying
+    batching server. *)
+
+val daemon_path : daemon -> string
+
+val daemon_draining : daemon -> bool
+
+val daemon_stats_json : daemon -> string
+(** Serving name/version, wire counters (connections, frames in/out,
+    decode errors) and the full server metrics snapshot, as JSON. *)
+
+val stop_daemon : daemon -> unit
+(** Graceful drain: stop accepting, let every in-flight request complete
+    and its reply flush, then shut the server down.  Idempotent. *)
+
+val kill_daemon : daemon -> unit
+(** Abrupt teardown for chaos tests: connections are severed immediately
+    (clients see EOF mid-request, as with a SIGKILLed process), then
+    resources are reclaimed.  Idempotent. *)
+
+val wait_daemon : daemon -> unit
+(** Block until the daemon stops accepting (i.e. until {!stop_daemon} or
+    {!kill_daemon} is called from another thread or a signal handler). *)

@@ -1,0 +1,68 @@
+(** Synchronous client for one fleet endpoint (shard daemon or router)
+    speaking the {!Wire} protocol over a Unix-domain socket.
+
+    One request is outstanding per connection at a time: each call
+    writes a frame and blocks for the matching reply.  Concurrency comes
+    from opening one client per thread — which is also what lets the
+    shard's dynamic batcher coalesce requests across connections.
+
+    Nothing raises across this API: connection failures, IO errors
+    (including receive timeouts), protocol violations and remote [Nack]s
+    all surface as a typed {!error}.  After an [Io] or [Decode] error
+    the connection is dead — {!close} it and reconnect. *)
+
+type error =
+  | Connect of string  (** socket/connect failure *)
+  | Io of string  (** send/receive failure, timeout, EOF *)
+  | Decode of Wire.error  (** peer broke framing *)
+  | Unexpected_reply of string  (** well-formed but wrong message type/id *)
+  | Remote of string  (** peer answered [Nack] or a not-ok reply *)
+
+val error_to_string : error -> string
+
+type t
+
+val connect : ?timeout:float -> string -> (t, error) result
+(** [connect path] opens a Unix-domain stream socket to [path].
+    [timeout] (default 30 s) bounds every subsequent send and receive so
+    a hung peer cannot block the caller forever. *)
+
+val close : t -> unit
+(** Idempotent. *)
+
+val endpoint : t -> string
+
+type infer_reply = { outcome : Wire.outcome; wire_latency : float }
+(** [wire_latency]: request write to reply decode, seconds. *)
+
+val infer :
+  ?deadline:float -> ?key:string -> t -> Twq_tensor.Tensor.t ->
+  (infer_reply, error) result
+(** [key] defaults to [""] (routers hash it; shards ignore it). *)
+
+val infer_raw :
+  ?deadline:float -> key:string -> dims:int array -> data:float array ->
+  t -> (infer_reply, error) result
+(** Forwarding entry point: sends an already-decoded tensor body without
+    rebuilding a tensor (used by the router's proxy path). *)
+
+val ping : t -> (Wire.msg, error) result
+(** Returns the [Pong] message. *)
+
+val publish :
+  t -> name:string -> version:int -> input_dims:int array -> payload:string ->
+  (unit, error) result
+(** Stage an artifact on the peer (phase one of a fleet publish); the
+    peer keeps serving its active version until {!activate}. *)
+
+val activate : t -> name:string -> version:int -> (unit, error) result
+(** Flip the peer's active version (phase two). *)
+
+val model_info : t -> name:string -> (int option * int list, error) result
+(** [(active_version, available_versions)]. *)
+
+val stats : t -> (string, error) result
+(** Peer's stats snapshot as JSON. *)
+
+val drain : t -> (unit, error) result
+(** Ask the peer to drain and stop accepting new work. *)

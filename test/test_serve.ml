@@ -414,6 +414,63 @@ let test_hot_swap_rebuilds_plans () =
       Alcotest.(check bool) "serves v2 bit-identically" true
         (tensor_equal_bits y2 (reference_row e2.Registry.model the_dims x)))
 
+(* Two-phase publish, registry side: [resolve] follows the newest
+   version until one is pinned, staging never shifts a pinned pointer,
+   and [activate] only flips to versions that actually exist. *)
+let test_registry_activate_resolve () =
+  with_registry (fun dir ->
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      ignore (publish_tiny reg ~name:"m" ~version:1 ~seed:11);
+      (match Registry.resolve reg "m" with
+      | Ok e -> Alcotest.(check int) "unpinned resolves newest" 1 e.Registry.version
+      | Error e -> Alcotest.failf "resolve: %s" (Registry.error_to_string e));
+      Alcotest.(check (option int)) "nothing active yet" None
+        (Registry.active_version reg "m");
+      (match Registry.activate reg ~name:"m" ~version:1 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "activate: %s" (Registry.error_to_string e));
+      Alcotest.(check (option int)) "v1 pinned" (Some 1)
+        (Registry.active_version reg "m");
+      (* Staging v2 must not move the pinned pointer (phase one of a
+         fleet publish leaves every shard serving its old version). *)
+      ignore (publish_tiny reg ~name:"m" ~version:2 ~seed:99);
+      (match Registry.resolve reg "m" with
+      | Ok e -> Alcotest.(check int) "staged v2 doesn't serve" 1 e.Registry.version
+      | Error e -> Alcotest.failf "resolve: %s" (Registry.error_to_string e));
+      (* Phase two flips it. *)
+      (match Registry.activate reg ~name:"m" ~version:2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "activate v2: %s" (Registry.error_to_string e));
+      (match Registry.resolve reg "m" with
+      | Ok e -> Alcotest.(check int) "flipped to v2" 2 e.Registry.version
+      | Error e -> Alcotest.failf "resolve: %s" (Registry.error_to_string e));
+      (* Only staged versions may be activated. *)
+      match Registry.activate reg ~name:"m" ~version:7 with
+      | Error (Registry.No_such_model _) -> ()
+      | Error e -> Alcotest.failf "wrong error: %s" (Registry.error_to_string e)
+      | Ok () -> Alcotest.fail "activated a version that was never staged")
+
+let test_registry_refresh_prunes_active () =
+  with_registry (fun dir ->
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      ignore (publish_tiny reg ~name:"m" ~version:1 ~seed:11);
+      ignore (publish_tiny reg ~name:"m" ~version:2 ~seed:99);
+      (match Registry.activate reg ~name:"m" ~version:2 with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "activate: %s" (Registry.error_to_string e));
+      (* Delete the active artifact behind the registry's back; refresh
+         must drop the dangling pointer, and resolve falls back to the
+         newest surviving version instead of erroring. *)
+      Sys.remove (Filename.concat dir "m@v2.twqm");
+      (match Registry.refresh reg with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "refresh: %s" (Registry.error_to_string e));
+      Alcotest.(check (option int)) "dangling pointer pruned" None
+        (Registry.active_version reg "m");
+      match Registry.resolve reg "m" with
+      | Ok e -> Alcotest.(check int) "falls back to v1" 1 e.Registry.version
+      | Error e -> Alcotest.failf "resolve: %s" (Registry.error_to_string e))
+
 let test_registry_rejects_bad_names () =
   with_registry (fun dir ->
       let reg = Result.get_ok (Registry.open_dir dir) in
@@ -503,6 +560,10 @@ let () =
           Alcotest.test_case "hot swap" `Quick test_registry_hot_swap;
           Alcotest.test_case "hot swap rebuilds plans" `Quick
             test_hot_swap_rebuilds_plans;
+          Alcotest.test_case "activate + resolve" `Quick
+            test_registry_activate_resolve;
+          Alcotest.test_case "refresh prunes active" `Quick
+            test_registry_refresh_prunes_active;
           Alcotest.test_case "bad names rejected" `Quick
             test_registry_rejects_bad_names;
         ] );
