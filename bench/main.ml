@@ -17,6 +17,10 @@
      bench/main.exe --json [-o F]   machine-readable {kernel, mean_ns,
                                     stddev} records written to F (default
                                     BENCH_ci.json) — the CI smoke stage.
+     bench/main.exe --filter REGEX  restrict either mode to kernels whose
+                                    name matches REGEX (Str syntax) —
+                                    e.g. `--filter '-micro$'` for just
+                                    the GEMM microkernel rows.
      bench/main.exe --compare [--strict] OLD.json NEW.json
                                     diff two --json outputs; warns on
                                     kernels whose mean regressed by more
@@ -169,6 +173,36 @@ let tap_vs_tile name tap tile =
   [
     (name ^ "-tap", fun () -> Parallel.sequential tap);
     (name ^ "-tile", fun () -> Parallel.sequential tile);
+  ]
+
+(* ------------------- paired microkernel vs naive per-tap GEMM runs *)
+(* ResNet-ish shape (Cin = Cout = 64, 16x16) where the per-tap GEMM
+   dominates: the tap-major driver with the register-tiled Microkernel
+   engine against the naive triple-loop [_ref] oracle.  Both sequential,
+   so the pair isolates the GEMM blocking itself. *)
+
+module WK = Twq.Winograd.Kernels
+
+let kf4_gemm = WK.f32_specialized T.F4
+let ki4_gemm = WK.i32_specialized T.F4
+
+let scale2_f4 =
+  let s = T.bt_scale T.F4 * T.g_scale T.F4 * T.at_scale T.F4 in
+  s * s
+
+let x_gemm = Tensor.rand_gaussian rng [| 1; 64; 16; 16 |] ~mu:0.0 ~sigma:1.0
+let w_gemm = Tensor.rand_gaussian rng [| 64; 64; 3; 3 |] ~mu:0.0 ~sigma:0.3
+
+let xi_gemm =
+  Twq.Itensor.init [| 1; 64; 16; 16 |] (fun _ -> Twq.Rng.int rng 255 - 127)
+
+let wi_gemm =
+  Twq.Itensor.init [| 64; 64; 3; 3 |] (fun _ -> Twq.Rng.int rng 255 - 127)
+
+let micro_vs_naive name micro naive =
+  [
+    (name ^ "-micro", fun () -> Parallel.sequential micro);
+    (name ^ "-naive", fun () -> Parallel.sequential naive);
   ]
 
 (* ---------------------- paired batch-1 vs batch-N serving episodes *)
@@ -335,6 +369,18 @@ let kernels : (string * (unit -> unit)) list =
       (fun () -> ignore (Twq.Quant.Tapwise.forward_int tapwise_layer_par xi_tapwise))
       (fun () ->
         ignore (Twq.Quant.Tapwise.forward_int_ref tapwise_layer_par xi_tapwise))
+  @ micro_vs_naive "wino-f4-fp32"
+      (fun () -> ignore (WK.conv2d_f32 kf4_gemm ~pad:1 ~x:x_gemm ~w:w_gemm))
+      (fun () -> ignore (WK.conv2d_f32_ref kf4_gemm ~pad:1 ~x:x_gemm ~w:w_gemm))
+  @ micro_vs_naive "wino-f4-int8"
+      (fun () ->
+        ignore
+          (WK.conv2d_i32_exact ki4_gemm ~scale2:scale2_f4 ~pad:1 ~x:xi_gemm
+             ~w:wi_gemm))
+      (fun () ->
+        ignore
+          (WK.conv2d_i32_exact_ref ki4_gemm ~scale2:scale2_f4 ~pad:1 ~x:xi_gemm
+             ~w:wi_gemm))
   @ tap_vs_tile "gconv-m4r5-fp32"
       (fun () ->
         ignore (Twq.Winograd.Gconv.conv2d gconv45 ~pad:2 ~x:x_par ~w:w45_par ()))
@@ -385,10 +431,10 @@ let kernels : (string * (unit -> unit)) list =
 
 (* ----------------------------------------------------- bechamel harness *)
 
-let tests =
-  List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
-
-let benchmark () =
+let benchmark kernels =
+  let tests =
+    List.map (fun (name, f) -> Test.make ~name (Staged.stage f)) kernels
+  in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
@@ -460,7 +506,7 @@ let json_escape s =
        (function '"' -> "\\\"" | '\\' -> "\\\\" | c -> String.make 1 c)
        (List.init (String.length s) (String.get s)))
 
-let run_json out_file =
+let run_json kernels out_file =
   Printf.printf "Writing %d kernel timings to %s (TWQ_NUM_DOMAINS=%d)\n%!"
     (List.length kernels) out_file (Parallel.num_domains ());
   let records =
@@ -532,6 +578,8 @@ let tier1 =
     "deploy-forward-planned";
     "serve-wire-roundtrip";
     "router-hash";
+    "wino-f4-fp32-micro";
+    "wino-f4-int8-micro";
   ]
 
 (* Regression gate: prints a table of old-vs-new means, then annotates
@@ -614,14 +662,15 @@ let run_compare ?(strict = false) old_file new_file =
 
 let usage () =
   prerr_endline
-    "usage: bench [--json] [-o|--out FILE] | bench --compare [--strict] \
-     OLD.json NEW.json";
+    "usage: bench [--json] [-o|--out FILE] [--filter REGEX] | bench \
+     --compare [--strict] OLD.json NEW.json";
   exit 2
 
 type mode = Tables | Json | Compare of string * string
 
 let () =
   let strict = ref false in
+  let filter = ref None in
   let rec parse mode out = function
     | [] -> (mode, out)
     | "--json" :: rest -> parse Json out rest
@@ -639,6 +688,12 @@ let () =
     | [ ("-o" | "--out") ] ->
         prerr_endline "bench: -o/--out requires a FILE argument";
         usage ()
+    | "--filter" :: re :: rest ->
+        filter := Some re;
+        parse mode out rest
+    | [ "--filter" ] ->
+        prerr_endline "bench: --filter requires a REGEX argument";
+        usage ()
     | arg :: _ ->
         Printf.eprintf "bench: unknown argument %S\n" arg;
         usage ()
@@ -646,10 +701,32 @@ let () =
   let mode, out_file =
     parse Tables "BENCH_ci.json" (List.tl (Array.to_list Sys.argv))
   in
+  (* Unanchored Str search (Emacs-style syntax: alternation is [\|],
+     groups are [\(...\)]), so `--filter wino-f4` or `--filter
+     '-micro$'` select the rows a developer expects. *)
+  let selected =
+    match !filter with
+    | None -> kernels
+    | Some re ->
+        let rex = Str.regexp re in
+        let sel =
+          List.filter
+            (fun (name, _) ->
+              match Str.search_forward rex name 0 with
+              | _ -> true
+              | exception Not_found -> false)
+            kernels
+        in
+        if sel = [] then begin
+          Printf.eprintf "bench: --filter %S matches no kernels\n" re;
+          exit 2
+        end;
+        sel
+  in
   match mode with
   | Compare (old_f, new_f) -> run_compare ~strict:!strict old_f new_f
-  | Json -> run_json out_file
+  | Json -> run_json selected out_file
   | Tables ->
-      print_all_tables ();
+      if !filter = None then print_all_tables ();
       print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";
-      benchmark ()
+      benchmark selected

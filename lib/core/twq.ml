@@ -21,6 +21,7 @@ module Ops = Twq_tensor.Ops
 module Winograd = struct
   module Transform = Twq_winograd.Transform
   module Kernels = Twq_winograd.Kernels
+  module Microkernel = Twq_winograd.Microkernel
   module Conv = Twq_winograd.Conv
   module Gconv = Twq_winograd.Gconv
   module Generator = Twq_winograd.Generator

@@ -474,6 +474,8 @@ let exec_step t d x s st =
         dd.(i) <- Quantizer.quantize ~bits:8 ~scale xd.(i)
       done
   | S_wino { p; src; dst; _ } ->
+      (* Runs the register-tiled microkernel GEMM path: [p] carries the
+         NR-packed Winograd weight panel from [Tapwise.pack]. *)
       Tapwise.forward_int_into ~epilogue:d.epi.(s) p d.view.(src)
         ~out:d.view.(dst)
   | S_spatial { l; src; dst; _ } ->

@@ -294,6 +294,7 @@ let forward_int_ref l x_int =
    logically distinct buffer — see {!Twq_util.Parallel.Scratch}). *)
 module P = Twq_util.Parallel
 module Kernels = Twq_winograd.Kernels
+module Microkernel = Twq_winograd.Microkernel
 
 let ta_tile = P.Scratch.create_int ()
 let ta_xt = P.Scratch.create_int ()
@@ -311,7 +312,12 @@ let ta_ftmp = P.Scratch.create_float ()
    plan/lowering time removes that per-forward cost entirely. *)
 type packed = {
   layer : layer;
-  u : int array;  (* Winograd weights, tap-major: u[((tap·cin)+ci)·cout + co] *)
+  u : int array;
+      (* Winograd weights, NR-packed for the microkernel:
+         u[tap·cin·cout_p + ((jb·cin + ci)·nr + jr)] with [co = jb·nr+jr];
+         pad lanes [co ≥ cout] are zero. *)
+  nr : int;  (* register block width the panel was packed with *)
+  cout_p : int;  (* cout rounded up to [nr] *)
   sb_flat : float array;
   ws_flat : float array;
   s_from : float;
@@ -338,29 +344,37 @@ let pack l =
         let co = idx / tt and tap = idx mod tt in
         weight_scale l co (tap / t) (tap mod t))
   in
-  let u = Array.make (tt * cin * cout) 0 in
+  (* The packing geometry is captured here so a later config change
+     cannot desync the layout from its consumers in [forward_int_into]. *)
+  let { Microkernel.nr; _ } = Microkernel.config () in
+  let cout_p = Microkernel.round_up cout nr in
+  let ucincp = cin * cout_p in
+  let u = Array.make (tt * ucincp) 0 in
   P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
       let co = idx / cin and ci = idx mod cin in
+      let jb = co / nr and jr = co mod nr in
+      let base = (((jb * cin) + ci) * nr) + jr in
       for tap = 0 to tt - 1 do
-        u.((((tap * cin) + ci) * cout) + co) <-
+        u.((tap * ucincp) + base) <-
           Itensor.get4 l.wq co ci (tap / t) (tap mod t)
       done);
   let s_from = l.s_x /. bt2 in
   let shift_flat =
     Array.init tt (fun tap -> shift_of_ratio (sb_flat.(tap) /. s_from))
   in
-  { layer = l; u; sb_flat; ws_flat; s_from; shift_flat }
+  { layer = l; u; nr; cout_p; sb_flat; ws_flat; s_from; shift_flat }
 
 let packed_layer p = p.layer
 
 (* Production path: the same integer pipeline reformulated tap-major —
-   transform + per-tap requantize each tile once, run one flat int GEMM
-   per tap against the pre-quantized Winograd weights, rescale with
-   [S_BG], back-transform, requantize with [s_y].  Bit-identical to
-   [forward_int_ref] and parallelized over tile blocks.  Writes into the
-   caller-provided [out] and applies [epilogue] in the gather store, so
-   the planner can fuse requant/ReLU/residual-add into this single output
-   pass. *)
+   transform + per-tap requantize each tile once, run one register-tiled
+   int GEMM per tap ({!Twq_winograd.Microkernel}) against the NR-packed
+   pre-quantized Winograd weights, rescale with [S_BG], back-transform,
+   requantize with [s_y].  Integer addition is associative, so the
+   blocked GEMM stays bit-identical to [forward_int_ref]; parallelized
+   over tile blocks.  Writes into the caller-provided [out] and applies
+   [epilogue] in the gather store, so the planner can fuse
+   requant/ReLU/residual-add into this single output pass. *)
 let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
   let l = p.layer in
   let { variant; act_bits; wino_bits; pow2; _ } = l.config in
@@ -390,19 +404,28 @@ let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
   let a_hi = (1 lsl (act_bits - 1)) - 1 in
   let a_lo = -(a_hi + 1) in
   let s_y = l.s_y in
+  let nr = p.nr and cout_p = p.cout_p in
+  let ucincp = cin * cout_p in
+  let { Microkernel.mr; kc; _ } = Microkernel.config () in
   let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
   let tiles_per_img = n_th * n_tw in
   let total = n * tiles_per_img in
-  let tb = max 1 (min 32 (total / (max 1 (4 * P.num_domains ())))) in
+  let tb =
+    Microkernel.round_up
+      (max 1 (min 32 (total / (max 1 (4 * P.num_domains ())))))
+      mr
+  in
+  let tbcin = tb * cin in
   let nblocks = (total + tb - 1) / tb in
   P.parallel_for ~chunk:1 ~lo:0 ~hi:nblocks (fun blk ->
       let b0 = blk * tb in
       let bs = min tb (total - b0) in
+      let bs_p = Microkernel.round_up bs mr in
       let tile = P.Scratch.borrow ta_tile tt in
       let xt = P.Scratch.borrow ta_xt tt in
       let tmp = P.Scratch.borrow ta_tmp tt in
-      let v = P.Scratch.borrow ta_v (tt * tb * cin) in
-      let mo = P.Scratch.borrow ta_mo (tt * tb * cout) in
+      let v = P.Scratch.borrow ta_v (tt * tbcin) in
+      let mo = P.Scratch.borrow ta_mo (tt * tb * cout_p) in
       let yw = P.Scratch.borrow ta_yw tt in
       let yo = P.Scratch.borrow ta_yo (m * m) in
       let ftmp = P.Scratch.borrow ta_ftmp (m * t) in
@@ -412,11 +435,13 @@ let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
         let ni = tidx / tiles_per_img in
         let rest = tidx mod tiles_per_img in
         let th = rest / n_tw and tw = rest mod n_tw in
+        let ib = bidx / mr and ir = bidx mod mr in
         for ci = 0 to cin - 1 do
           Kernels.load_tile_i xd ~h ~w
             ~base:(((ni * cin) + ci) * h * w)
             ~pad ~h0:(th * m) ~w0:(tw * m) ~t tile;
           ki.Kernels.input tile 0 xt 0 tmp;
+          let vbase = (((ib * cin) + ci) * mr) + ir in
           (* Per-tap requant, inlined bit-identically to [requant_tap]:
              calling it here would box the float scales every element. *)
           for tap = 0 to tt - 1 do
@@ -445,28 +470,27 @@ let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
                 if r > w_hi then w_hi else if r < w_lo then w_lo else r
               end
             in
-            v.((((tap * tb) + bidx) * cin) + ci) <- q
+            v.((tap * tbcin) + vbase) <- q
           done
         done
       done;
-      (* One int GEMM per tap (int2b accumulation over input channels). *)
-      Array.fill mo 0 (tt * tb * cout) 0;
-      for tap = 0 to tt - 1 do
-        let vbase = tap * tb * cin
-        and ubase = tap * cin * cout
-        and obase = tap * tb * cout in
-        for bidx = 0 to bs - 1 do
-          let vrow = vbase + (bidx * cin) and orow = obase + (bidx * cout) in
-          for ci = 0 to cin - 1 do
-            let av = v.(vrow + ci) in
-            if av <> 0 then begin
-              let urow = ubase + (ci * cout) in
-              for co = 0 to cout - 1 do
-                mo.(orow + co) <- mo.(orow + co) + (av * u.(urow + co))
-              done
-            end
+      (* Zero the pad rows of a trailing partial block. *)
+      for bidx = bs to bs_p - 1 do
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for tap = 0 to tt - 1 do
+            v.((tap * tbcin) + vbase) <- 0
           done
         done
+      done;
+      (* One register-tiled int GEMM per tap (int2b accumulation over
+         input channels, exact and order-independent). *)
+      Array.fill mo 0 (tt * tb * cout_p) 0;
+      for tap = 0 to tt - 1 do
+        Microkernel.gemm_i32 ~mr ~nr ~kc ~rows_p:bs_p ~cols_p:cout_p ~k:cin
+          ~vp:v ~vo:(tap * tbcin) ~up:u ~uo:(tap * ucincp) ~c:mo
+          ~co:(tap * tb * cout_p) ~cstride:cout_p
       done;
       (* Gather: single S_BG rescale, float back-transform, requantize. *)
       for bidx = 0 to bs - 1 do
@@ -479,7 +503,7 @@ let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
         for co = 0 to cout - 1 do
           for tap = 0 to tt - 1 do
             yw.(tap) <-
-              float_of_int mo.((((tap * tb) + bidx) * cout) + co)
+              float_of_int mo.((((tap * tb) + bidx) * cout_p) + co)
               *. sb_flat.(tap)
               *. ws_flat.((co * tt) + tap)
           done;

@@ -38,12 +38,26 @@ let choose arch policy layer ~batch =
       end
       else { layer; chosen = Operator.Im2col; result = im2col }
 
+(* Per-layer simulator runs are independent and pure, so a full-network
+   sweep can fan out across domains — but only when that can win.  The
+   sweep is allocation-heavy (millions of minor words per network), so
+   every extra domain adds stop-the-world minor-GC synchronizations: on
+   a machine with fewer cores than requested domains, or with too few
+   layers to amortize the dispatch, the parallel sweep measured ~1.7x
+   *slower* than sequential.  Fall back to a plain sequential map in
+   those regimes — the outputs are identical either way — and chunk the
+   dispatch coarsely otherwise so each task carries real work. *)
+let par_sweep f arr =
+  let nd = Twq_util.Parallel.num_domains () in
+  let n = Array.length arr in
+  if nd < 2 || Domain.recommended_domain_count () < 2 || n < 4 * nd then
+    Array.map f arr
+  else Twq_util.Parallel.map_array ~chunk:(max 1 (n / (4 * nd))) f arr
+
 let run arch policy network ~batch =
-  (* Per-layer simulator runs are independent (Operator.run is pure), so a
-     full-network sweep fans out across domains. *)
   let layers =
     Array.to_list
-      (Twq_util.Parallel.map_array
+      (par_sweep
          (fun l -> choose arch policy l ~batch)
          (Array.of_list network.Zoo.layers))
   in
@@ -70,7 +84,7 @@ let winograd_layer_speedup arch variant network ~batch =
   let ratios =
     List.filter_map Fun.id
       (Array.to_list
-         (Twq_util.Parallel.map_array
+         (par_sweep
             (fun l ->
               if Zoo.winograd_eligible l then begin
                 let im2col = Operator.run arch Operator.Im2col l ~batch in

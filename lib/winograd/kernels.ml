@@ -16,7 +16,15 @@
    [tiles × cin] panels, one flat GEMM per tap runs against the
    [cin × cout] transformed weights, and outputs gather back through the
    inverse transform.  All staging lives in per-domain scratch arenas —
-   the tile loop allocates nothing. *)
+   the tile loop allocates nothing.
+
+   The per-tap GEMMs run through [Microkernel]: both operands are packed
+   into register-block panels (tiles MR-packed during scatter, weights
+   NR-packed during the weight transform) and the product is computed by
+   MR×NR accumulator-block kernels under KC cache blocking.  The naive
+   triple-loop drivers are kept verbatim as [conv2d_f32_ref] /
+   [conv2d_i32_exact_ref] oracles; see Microkernel for the ordering
+   contract that keeps the fast path equal to them. *)
 
 module P = Twq_util.Parallel
 module Tensor = Twq_tensor.Tensor
@@ -491,6 +499,7 @@ let fa_v = P.Scratch.create_float ()
 let fa_mo = P.Scratch.create_float ()
 let fa_yw = P.Scratch.create_float ()
 let fa_yo = P.Scratch.create_float ()
+let fa_u = P.Scratch.create_float ()
 let ia_tile = P.Scratch.create_int ()
 let ia_xt = P.Scratch.create_int ()
 let ia_tmp = P.Scratch.create_int ()
@@ -498,6 +507,7 @@ let ia_v = P.Scratch.create_int ()
 let ia_mo = P.Scratch.create_int ()
 let ia_yw = P.Scratch.create_int ()
 let ia_yo = P.Scratch.create_int ()
+let ia_u = P.Scratch.create_int ()
 
 (* Tiles per block: big enough that the per-tap GEMM runs over a panel,
    small enough to keep all domains busy.  Per-tile results do not depend
@@ -506,7 +516,9 @@ let block_of ~total =
   let nd = P.num_domains () in
   max 1 (min 32 (total / (max 1 (4 * nd))))
 
-let conv2d_f32 k ~pad ~x ~w =
+(* Naive triple-loop driver, kept verbatim as the oracle for the
+   microkernel path below. *)
+let conv2d_f32_ref k ~pad ~x ~w =
   let n = Tensor.dim x 0 and cin = Tensor.dim x 1 in
   let h = Tensor.dim x 2 and wd = Tensor.dim x 3 in
   let cout = Tensor.dim w 0 in
@@ -609,7 +621,7 @@ let conv2d_f32 k ~pad ~x ~w =
       done);
   out
 
-let conv2d_i32_exact ?(epilogue = no_epilogue) ?out k ~scale2 ~pad ~x ~w =
+let conv2d_i32_exact_ref ?(epilogue = no_epilogue) ?out k ~scale2 ~pad ~x ~w =
   let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
   let h = Itensor.dim x 2 and wd = Itensor.dim x 3 in
   let cout = Itensor.dim w 0 in
@@ -711,6 +723,269 @@ let conv2d_i32_exact ?(epilogue = no_epilogue) ?out k ~scale2 ~pad ~x ~w =
               (* The Winograd identity guarantees exact divisibility by
                  the squared transform scale; assert rather than
                  truncate. *)
+              assert (raw mod scale2 = 0);
+              epilogue_store epilogue od (orow + dx) (raw / scale2)
+            done
+          done
+        done
+      done);
+  out
+
+(* ---------- microkernel (packed, register-tiled) drivers ---------- *)
+
+(* The fast drivers keep the exact structure of the [_ref] bodies but
+   stage both GEMM operands in register-block panels:
+
+   - weights are NR-packed while they are transformed —
+     [u.(tap·cin·cout_p + ((jb·cin + ci)·nr + jr))] with [co = jb·nr+jr],
+     [cout_p = round_up cout nr], pad lanes zeroed once per call;
+   - tiles are MR-packed during scatter —
+     [v.(tap·tb·cin + ((ib·cin + ci)·mr + ir))] with [bidx = ib·mr+ir],
+     [tb] rounded up to a multiple of MR, pad rows of a trailing partial
+     block zeroed;
+   - per tap, one [Microkernel.gemm_*] call accumulates into the
+     [tb × cout_p] slab of [mo]; gather reads [cout_p]-strided rows and
+     never touches the pad columns.
+
+   [u] itself is borrowed from a per-domain arena instead of allocated
+   per call — the last steady-state allocation of the tap-major path.
+   The configuration is read once per call, so packing and consumption
+   cannot desync even if a test changes it concurrently. *)
+
+let conv2d_f32 k ~pad ~x ~w =
+  let n = Tensor.dim x 0 and cin = Tensor.dim x 1 in
+  let h = Tensor.dim x 2 and wd = Tensor.dim x 3 in
+  let cout = Tensor.dim w 0 in
+  let t = k.tile and m = k.mout in
+  let r = t - m + 1 in
+  if Tensor.dim w 1 <> cin then
+    invalid_arg "Kernels.conv2d_f32: channel mismatch";
+  if Tensor.dim w 2 <> r || Tensor.dim w 3 <> r then
+    invalid_arg "Kernels.conv2d_f32: kernel size mismatch";
+  let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh:r ~kw:r ~stride:1 ~pad in
+  let tt = t * t in
+  let out = Tensor.zeros [| n; cout; ho; wo |] in
+  let od = out.Tensor.data and xd = x.Tensor.data in
+  let { Microkernel.mr; nr; kc } = Microkernel.config () in
+  let cout_p = Microkernel.round_up cout nr in
+  let ucincp = cin * cout_p in
+  (* Transformed weights, NR-packed; borrowed by the caller so all
+     weight-transform workers write into the same panel. *)
+  let u = P.Scratch.borrow fa_u (tt * ucincp) in
+  P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
+      let co = idx / cin and ci = idx mod cin in
+      let f = P.Scratch.borrow fa_tile (r * r) in
+      let wt = P.Scratch.borrow fa_xt tt in
+      let tmp = P.Scratch.borrow fa_tmp (t * r) in
+      Array.blit w.Tensor.data (((co * cin) + ci) * r * r) f 0 (r * r);
+      k.weight f 0 wt 0 tmp;
+      let jb = co / nr and jr = co mod nr in
+      let base = (((jb * cin) + ci) * nr) + jr in
+      for tap = 0 to tt - 1 do
+        u.((tap * ucincp) + base) <- wt.(tap)
+      done);
+  if cout_p > cout then
+    for co = cout to cout_p - 1 do
+      let jb = co / nr and jr = co mod nr in
+      for ci = 0 to cin - 1 do
+        let base = (((jb * cin) + ci) * nr) + jr in
+        for tap = 0 to tt - 1 do
+          u.((tap * ucincp) + base) <- 0.0
+        done
+      done
+    done;
+  let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
+  let tiles_per_img = n_th * n_tw in
+  let total = n * tiles_per_img in
+  let tb = Microkernel.round_up (block_of ~total) mr in
+  let tbcin = tb * cin in
+  let nblocks = (total + tb - 1) / tb in
+  P.parallel_for ~chunk:1 ~lo:0 ~hi:nblocks (fun blk ->
+      let b0 = blk * tb in
+      let bs = min tb (total - b0) in
+      let bs_p = Microkernel.round_up bs mr in
+      let tile = P.Scratch.borrow fa_tile tt in
+      let xt = P.Scratch.borrow fa_xt tt in
+      let tmp = P.Scratch.borrow fa_tmp tt in
+      let v = P.Scratch.borrow fa_v (tt * tbcin) in
+      let mo = P.Scratch.borrow fa_mo (tt * tb * cout_p) in
+      let yw = P.Scratch.borrow fa_yw tt in
+      let yo = P.Scratch.borrow fa_yo (m * m) in
+      (* Scatter: transform each tile and spread its taps across the
+         per-tap MR-packed panels. *)
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          load_tile_f xd ~h ~w:wd
+            ~base:(((ni * cin) + ci) * h * wd)
+            ~pad ~h0:(th * m) ~w0:(tw * m) ~t tile;
+          k.input tile 0 xt 0 tmp;
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for tap = 0 to tt - 1 do
+            v.((tap * tbcin) + vbase) <- xt.(tap)
+          done
+        done
+      done;
+      (* Zero the pad rows of a trailing partial block so their products
+         contribute exact zeros. *)
+      for bidx = bs to bs_p - 1 do
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for tap = 0 to tt - 1 do
+            v.((tap * tbcin) + vbase) <- 0.0
+          done
+        done
+      done;
+      Array.fill mo 0 (tt * tb * cout_p) 0.0;
+      for tap = 0 to tt - 1 do
+        Microkernel.gemm_f32 ~mr ~nr ~kc ~rows_p:bs_p ~cols_p:cout_p ~k:cin
+          ~vp:v ~vo:(tap * tbcin) ~up:u ~uo:(tap * ucincp) ~c:mo
+          ~co:(tap * tb * cout_p) ~cstride:cout_p
+      done;
+      (* Gather: inverse-transform each (tile, co) tap vector, crop. *)
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let h0 = th * m and w0 = tw * m in
+        let rh = min m (ho - h0) and rw = min m (wo - w0) in
+        for co = 0 to cout - 1 do
+          for tap = 0 to tt - 1 do
+            yw.(tap) <- mo.((((tap * tb) + bidx) * cout_p) + co)
+          done;
+          k.output yw 0 yo 0 tmp;
+          for dy = 0 to rh - 1 do
+            let orow = (((((ni * cout) + co) * ho) + h0 + dy) * wo) + w0 in
+            let yrow = dy * m in
+            for dx = 0 to rw - 1 do
+              od.(orow + dx) <- yo.(yrow + dx)
+            done
+          done
+        done
+      done);
+  out
+
+let conv2d_i32_exact ?(epilogue = no_epilogue) ?out k ~scale2 ~pad ~x ~w =
+  let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
+  let h = Itensor.dim x 2 and wd = Itensor.dim x 3 in
+  let cout = Itensor.dim w 0 in
+  let t = k.tile and m = k.mout in
+  let r = t - m + 1 in
+  if Itensor.dim w 1 <> cin then
+    invalid_arg "Kernels.conv2d_i32_exact: channel mismatch";
+  if Itensor.dim w 2 <> r || Itensor.dim w 3 <> r then
+    invalid_arg "Kernels.conv2d_i32_exact: kernel size mismatch";
+  let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh:r ~kw:r ~stride:1 ~pad in
+  let tt = t * t in
+  let out =
+    match out with
+    | None -> Itensor.zeros [| n; cout; ho; wo |]
+    | Some o ->
+        if
+          Itensor.dim o 0 <> n || Itensor.dim o 1 <> cout
+          || Itensor.dim o 2 <> ho || Itensor.dim o 3 <> wo
+        then invalid_arg "Kernels.conv2d_i32_exact: out shape mismatch";
+        o
+  in
+  let od = out.Itensor.data and xd = x.Itensor.data in
+  let { Microkernel.mr; nr; kc } = Microkernel.config () in
+  let cout_p = Microkernel.round_up cout nr in
+  let ucincp = cin * cout_p in
+  let u = P.Scratch.borrow ia_u (tt * ucincp) in
+  P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
+      let co = idx / cin and ci = idx mod cin in
+      let f = P.Scratch.borrow ia_tile (r * r) in
+      let wt = P.Scratch.borrow ia_xt tt in
+      let tmp = P.Scratch.borrow ia_tmp (t * r) in
+      Array.blit w.Itensor.data (((co * cin) + ci) * r * r) f 0 (r * r);
+      k.weight f 0 wt 0 tmp;
+      let jb = co / nr and jr = co mod nr in
+      let base = (((jb * cin) + ci) * nr) + jr in
+      for tap = 0 to tt - 1 do
+        u.((tap * ucincp) + base) <- wt.(tap)
+      done);
+  if cout_p > cout then
+    for co = cout to cout_p - 1 do
+      let jb = co / nr and jr = co mod nr in
+      for ci = 0 to cin - 1 do
+        let base = (((jb * cin) + ci) * nr) + jr in
+        for tap = 0 to tt - 1 do
+          u.((tap * ucincp) + base) <- 0
+        done
+      done
+    done;
+  let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
+  let tiles_per_img = n_th * n_tw in
+  let total = n * tiles_per_img in
+  let tb = Microkernel.round_up (block_of ~total) mr in
+  let tbcin = tb * cin in
+  let nblocks = (total + tb - 1) / tb in
+  P.parallel_for ~chunk:1 ~lo:0 ~hi:nblocks (fun blk ->
+      let b0 = blk * tb in
+      let bs = min tb (total - b0) in
+      let bs_p = Microkernel.round_up bs mr in
+      let tile = P.Scratch.borrow ia_tile tt in
+      let xt = P.Scratch.borrow ia_xt tt in
+      let tmp = P.Scratch.borrow ia_tmp tt in
+      let v = P.Scratch.borrow ia_v (tt * tbcin) in
+      let mo = P.Scratch.borrow ia_mo (tt * tb * cout_p) in
+      let yw = P.Scratch.borrow ia_yw tt in
+      let yo = P.Scratch.borrow ia_yo (m * m) in
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          load_tile_i xd ~h ~w:wd
+            ~base:(((ni * cin) + ci) * h * wd)
+            ~pad ~h0:(th * m) ~w0:(tw * m) ~t tile;
+          k.input tile 0 xt 0 tmp;
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for tap = 0 to tt - 1 do
+            v.((tap * tbcin) + vbase) <- xt.(tap)
+          done
+        done
+      done;
+      for bidx = bs to bs_p - 1 do
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for tap = 0 to tt - 1 do
+            v.((tap * tbcin) + vbase) <- 0
+          done
+        done
+      done;
+      Array.fill mo 0 (tt * tb * cout_p) 0;
+      for tap = 0 to tt - 1 do
+        Microkernel.gemm_i32 ~mr ~nr ~kc ~rows_p:bs_p ~cols_p:cout_p ~k:cin
+          ~vp:v ~vo:(tap * tbcin) ~up:u ~uo:(tap * ucincp) ~c:mo
+          ~co:(tap * tb * cout_p) ~cstride:cout_p
+      done;
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let h0 = th * m and w0 = tw * m in
+        let rh = min m (ho - h0) and rw = min m (wo - w0) in
+        for co = 0 to cout - 1 do
+          for tap = 0 to tt - 1 do
+            yw.(tap) <- mo.((((tap * tb) + bidx) * cout_p) + co)
+          done;
+          k.output yw 0 yo 0 tmp;
+          for dy = 0 to rh - 1 do
+            let orow = (((((ni * cout) + co) * ho) + h0 + dy) * wo) + w0 in
+            let yrow = dy * m in
+            for dx = 0 to rw - 1 do
+              let raw = yo.(yrow + dx) in
               assert (raw mod scale2 = 0);
               epilogue_store epilogue od (orow + dx) (raw / scale2)
             done

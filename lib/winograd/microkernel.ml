@@ -1,0 +1,522 @@
+(* Register-tiled, cache-blocked GEMM microkernels for the per-tap
+   Winograd GEMMs.
+
+   The tap-major drivers reduce every Winograd tap to one
+   [tiles × Cin] · [Cin × Cout] product.  This module supplies the inner
+   engine for those products: MR×NR accumulator-block kernels over
+   *packed* operand panels, plus a KC-blocked driver that keeps one
+   [KC × NR] weight panel L1-resident while it sweeps the tile panels —
+   the same work-group tiling shape as a GPU Winograd kernel's
+   per-work-group [tiles × Cout] block.
+
+   Packed layouts (both panels are padded to full register blocks; pad
+   lanes must be zero so padded outputs stay finite and unread):
+
+   - A (tiles) panels: [ceil(rows/MR)] consecutive panels of [K × MR] —
+     element (k, lane) of panel ib at [ib·K·MR + k·MR + lane].  The
+     microkernel's k-loop then reads one contiguous MR-vector per step.
+   - B (weights) panels: [ceil(cols/NR)] consecutive panels of [K × NR] —
+     element (k, lane) of panel jb at [jb·K·NR + k·NR + lane], so the
+     co-loop streams contiguously instead of striding across a whole
+     [Cout] row per k step.
+   - C: row-major [rows_p × cstride] with [cstride ≥ cols_p]; the
+     MR×NR block at (ib·MR, jb·NR) is updated in place.
+
+   Numerical contract: every C element is a left fold over ascending k —
+   the kernels load the current C value into the accumulator, add
+   products in ascending-k order, and store once.  Splitting K into KC
+   panels therefore does not change the association: the fold simply
+   resumes from the stored partial.  This is exactly the accumulation
+   order of the naive triple loop, so the integer kernels are
+   bit-identical and the float kernels are IEEE-identical up to the sign
+   of zeros (the naive drivers skip products with a zero left operand;
+   the kernels do not, which can only flip a zero's sign for finite
+   inputs). *)
+
+(* ------------------------------------------------------------- config *)
+
+type cfg = { mr : int; nr : int; kc : int }
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let env_int name default lo hi =
+  match Sys.getenv_opt name with
+  | None -> default
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some v -> clamp lo hi v
+      | None -> default)
+
+(* Compiled defaults: a 4×4 accumulator block (the specialized kernels
+   below; 16 float refs that ocamlopt's [eliminate_ref] keeps unboxed)
+   and a 256-deep k panel — one panel covers Cin for every ResNet-style
+   layer, so the fold usually runs in a single pass.  Register blocks
+   other than {1..4}×4 fall back to a generic (slower, still
+   order-preserving) kernel; they exist for experiments via the
+   environment overrides. *)
+let default_cfg =
+  {
+    mr = env_int "TWQ_GEMM_MR" 4 1 8;
+    nr = env_int "TWQ_GEMM_NR" 4 1 8;
+    kc = env_int "TWQ_GEMM_KC" 256 8 4096;
+  }
+
+let current = ref default_cfg
+
+let config () = !current
+
+let set_config ?mr ?nr ?kc () =
+  let c = !current in
+  current :=
+    {
+      mr = (match mr with Some v -> clamp 1 8 v | None -> c.mr);
+      nr = (match nr with Some v -> clamp 1 8 v | None -> c.nr);
+      kc = (match kc with Some v -> clamp 8 4096 v | None -> c.kc);
+    }
+
+let reset_config () = current := default_cfg
+
+let round_up n b = (n + b - 1) / b * b
+
+(* ------------------------------------------------------ float kernels *)
+
+(* [kf_MRx4 v vo u uo kn c o0 cs]: MR×4 block update.  [vo]/[uo] point at
+   the k=0 element of the A/B panel slice, [o0] at C's top-left element
+   of the block, [cs] is C's row stride, [kn] the panel depth. *)
+
+let kf_4x4 (v : float array) vo (u : float array) uo kn (c : float array) o0 cs
+    =
+  let o1 = o0 + cs in
+  let o2 = o1 + cs in
+  let o3 = o2 + cs in
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3))
+  and c10 = ref (Array.unsafe_get c o1)
+  and c11 = ref (Array.unsafe_get c (o1 + 1))
+  and c12 = ref (Array.unsafe_get c (o1 + 2))
+  and c13 = ref (Array.unsafe_get c (o1 + 3))
+  and c20 = ref (Array.unsafe_get c o2)
+  and c21 = ref (Array.unsafe_get c (o2 + 1))
+  and c22 = ref (Array.unsafe_get c (o2 + 2))
+  and c23 = ref (Array.unsafe_get c (o2 + 3))
+  and c30 = ref (Array.unsafe_get c o3)
+  and c31 = ref (Array.unsafe_get c (o3 + 1))
+  and c32 = ref (Array.unsafe_get c (o3 + 2))
+  and c33 = ref (Array.unsafe_get c (o3 + 3)) in
+  for k = 0 to kn - 1 do
+    let a = vo + (k * 4) and b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v a
+    and a1 = Array.unsafe_get v (a + 1)
+    and a2 = Array.unsafe_get v (a + 2)
+    and a3 = Array.unsafe_get v (a + 3) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 +. (a0 *. b0);
+    c01 := !c01 +. (a0 *. b1);
+    c02 := !c02 +. (a0 *. b2);
+    c03 := !c03 +. (a0 *. b3);
+    c10 := !c10 +. (a1 *. b0);
+    c11 := !c11 +. (a1 *. b1);
+    c12 := !c12 +. (a1 *. b2);
+    c13 := !c13 +. (a1 *. b3);
+    c20 := !c20 +. (a2 *. b0);
+    c21 := !c21 +. (a2 *. b1);
+    c22 := !c22 +. (a2 *. b2);
+    c23 := !c23 +. (a2 *. b3);
+    c30 := !c30 +. (a3 *. b0);
+    c31 := !c31 +. (a3 *. b1);
+    c32 := !c32 +. (a3 *. b2);
+    c33 := !c33 +. (a3 *. b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03;
+  Array.unsafe_set c o1 !c10;
+  Array.unsafe_set c (o1 + 1) !c11;
+  Array.unsafe_set c (o1 + 2) !c12;
+  Array.unsafe_set c (o1 + 3) !c13;
+  Array.unsafe_set c o2 !c20;
+  Array.unsafe_set c (o2 + 1) !c21;
+  Array.unsafe_set c (o2 + 2) !c22;
+  Array.unsafe_set c (o2 + 3) !c23;
+  Array.unsafe_set c o3 !c30;
+  Array.unsafe_set c (o3 + 1) !c31;
+  Array.unsafe_set c (o3 + 2) !c32;
+  Array.unsafe_set c (o3 + 3) !c33
+
+let kf_2x4 (v : float array) vo (u : float array) uo kn (c : float array) o0 cs
+    =
+  let o1 = o0 + cs in
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3))
+  and c10 = ref (Array.unsafe_get c o1)
+  and c11 = ref (Array.unsafe_get c (o1 + 1))
+  and c12 = ref (Array.unsafe_get c (o1 + 2))
+  and c13 = ref (Array.unsafe_get c (o1 + 3)) in
+  for k = 0 to kn - 1 do
+    let a = vo + (k * 2) and b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v a and a1 = Array.unsafe_get v (a + 1) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 +. (a0 *. b0);
+    c01 := !c01 +. (a0 *. b1);
+    c02 := !c02 +. (a0 *. b2);
+    c03 := !c03 +. (a0 *. b3);
+    c10 := !c10 +. (a1 *. b0);
+    c11 := !c11 +. (a1 *. b1);
+    c12 := !c12 +. (a1 *. b2);
+    c13 := !c13 +. (a1 *. b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03;
+  Array.unsafe_set c o1 !c10;
+  Array.unsafe_set c (o1 + 1) !c11;
+  Array.unsafe_set c (o1 + 2) !c12;
+  Array.unsafe_set c (o1 + 3) !c13
+
+let kf_1x4 (v : float array) vo (u : float array) uo kn (c : float array) o0
+    _cs =
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3)) in
+  for k = 0 to kn - 1 do
+    let b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v (vo + k) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 +. (a0 *. b0);
+    c01 := !c01 +. (a0 *. b1);
+    c02 := !c02 +. (a0 *. b2);
+    c03 := !c03 +. (a0 *. b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03
+
+let kf_3x4 (v : float array) vo (u : float array) uo kn (c : float array) o0 cs
+    =
+  let o1 = o0 + cs in
+  let o2 = o1 + cs in
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3))
+  and c10 = ref (Array.unsafe_get c o1)
+  and c11 = ref (Array.unsafe_get c (o1 + 1))
+  and c12 = ref (Array.unsafe_get c (o1 + 2))
+  and c13 = ref (Array.unsafe_get c (o1 + 3))
+  and c20 = ref (Array.unsafe_get c o2)
+  and c21 = ref (Array.unsafe_get c (o2 + 1))
+  and c22 = ref (Array.unsafe_get c (o2 + 2))
+  and c23 = ref (Array.unsafe_get c (o2 + 3)) in
+  for k = 0 to kn - 1 do
+    let a = vo + (k * 3) and b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v a
+    and a1 = Array.unsafe_get v (a + 1)
+    and a2 = Array.unsafe_get v (a + 2) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 +. (a0 *. b0);
+    c01 := !c01 +. (a0 *. b1);
+    c02 := !c02 +. (a0 *. b2);
+    c03 := !c03 +. (a0 *. b3);
+    c10 := !c10 +. (a1 *. b0);
+    c11 := !c11 +. (a1 *. b1);
+    c12 := !c12 +. (a1 *. b2);
+    c13 := !c13 +. (a1 *. b3);
+    c20 := !c20 +. (a2 *. b0);
+    c21 := !c21 +. (a2 *. b1);
+    c22 := !c22 +. (a2 *. b2);
+    c23 := !c23 +. (a2 *. b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03;
+  Array.unsafe_set c o1 !c10;
+  Array.unsafe_set c (o1 + 1) !c11;
+  Array.unsafe_set c (o1 + 2) !c12;
+  Array.unsafe_set c (o1 + 3) !c13;
+  Array.unsafe_set c o2 !c20;
+  Array.unsafe_set c (o2 + 1) !c21;
+  Array.unsafe_set c (o2 + 2) !c22;
+  Array.unsafe_set c (o2 + 3) !c23
+
+(* Generic MR×NR fallback for experimental register blocks: C-resident
+   accumulators, same ascending-k fold per element. *)
+let kf_gen ~mr ~nr (v : float array) vo (u : float array) uo kn
+    (c : float array) o0 cs =
+  for k = 0 to kn - 1 do
+    let a = vo + (k * mr) and b = uo + (k * nr) in
+    for i = 0 to mr - 1 do
+      let ai = Array.unsafe_get v (a + i) in
+      let crow = o0 + (i * cs) in
+      for j = 0 to nr - 1 do
+        Array.unsafe_set c (crow + j)
+          (Array.unsafe_get c (crow + j) +. (ai *. Array.unsafe_get u (b + j)))
+      done
+    done
+  done
+
+(* -------------------------------------------------------- int kernels *)
+
+let ki_4x4 (v : int array) vo (u : int array) uo kn (c : int array) o0 cs =
+  let o1 = o0 + cs in
+  let o2 = o1 + cs in
+  let o3 = o2 + cs in
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3))
+  and c10 = ref (Array.unsafe_get c o1)
+  and c11 = ref (Array.unsafe_get c (o1 + 1))
+  and c12 = ref (Array.unsafe_get c (o1 + 2))
+  and c13 = ref (Array.unsafe_get c (o1 + 3))
+  and c20 = ref (Array.unsafe_get c o2)
+  and c21 = ref (Array.unsafe_get c (o2 + 1))
+  and c22 = ref (Array.unsafe_get c (o2 + 2))
+  and c23 = ref (Array.unsafe_get c (o2 + 3))
+  and c30 = ref (Array.unsafe_get c o3)
+  and c31 = ref (Array.unsafe_get c (o3 + 1))
+  and c32 = ref (Array.unsafe_get c (o3 + 2))
+  and c33 = ref (Array.unsafe_get c (o3 + 3)) in
+  for k = 0 to kn - 1 do
+    let a = vo + (k * 4) and b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v a
+    and a1 = Array.unsafe_get v (a + 1)
+    and a2 = Array.unsafe_get v (a + 2)
+    and a3 = Array.unsafe_get v (a + 3) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 + (a0 * b0);
+    c01 := !c01 + (a0 * b1);
+    c02 := !c02 + (a0 * b2);
+    c03 := !c03 + (a0 * b3);
+    c10 := !c10 + (a1 * b0);
+    c11 := !c11 + (a1 * b1);
+    c12 := !c12 + (a1 * b2);
+    c13 := !c13 + (a1 * b3);
+    c20 := !c20 + (a2 * b0);
+    c21 := !c21 + (a2 * b1);
+    c22 := !c22 + (a2 * b2);
+    c23 := !c23 + (a2 * b3);
+    c30 := !c30 + (a3 * b0);
+    c31 := !c31 + (a3 * b1);
+    c32 := !c32 + (a3 * b2);
+    c33 := !c33 + (a3 * b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03;
+  Array.unsafe_set c o1 !c10;
+  Array.unsafe_set c (o1 + 1) !c11;
+  Array.unsafe_set c (o1 + 2) !c12;
+  Array.unsafe_set c (o1 + 3) !c13;
+  Array.unsafe_set c o2 !c20;
+  Array.unsafe_set c (o2 + 1) !c21;
+  Array.unsafe_set c (o2 + 2) !c22;
+  Array.unsafe_set c (o2 + 3) !c23;
+  Array.unsafe_set c o3 !c30;
+  Array.unsafe_set c (o3 + 1) !c31;
+  Array.unsafe_set c (o3 + 2) !c32;
+  Array.unsafe_set c (o3 + 3) !c33
+
+let ki_2x4 (v : int array) vo (u : int array) uo kn (c : int array) o0 cs =
+  let o1 = o0 + cs in
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3))
+  and c10 = ref (Array.unsafe_get c o1)
+  and c11 = ref (Array.unsafe_get c (o1 + 1))
+  and c12 = ref (Array.unsafe_get c (o1 + 2))
+  and c13 = ref (Array.unsafe_get c (o1 + 3)) in
+  for k = 0 to kn - 1 do
+    let a = vo + (k * 2) and b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v a and a1 = Array.unsafe_get v (a + 1) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 + (a0 * b0);
+    c01 := !c01 + (a0 * b1);
+    c02 := !c02 + (a0 * b2);
+    c03 := !c03 + (a0 * b3);
+    c10 := !c10 + (a1 * b0);
+    c11 := !c11 + (a1 * b1);
+    c12 := !c12 + (a1 * b2);
+    c13 := !c13 + (a1 * b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03;
+  Array.unsafe_set c o1 !c10;
+  Array.unsafe_set c (o1 + 1) !c11;
+  Array.unsafe_set c (o1 + 2) !c12;
+  Array.unsafe_set c (o1 + 3) !c13
+
+let ki_1x4 (v : int array) vo (u : int array) uo kn (c : int array) o0 _cs =
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3)) in
+  for k = 0 to kn - 1 do
+    let b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v (vo + k) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 + (a0 * b0);
+    c01 := !c01 + (a0 * b1);
+    c02 := !c02 + (a0 * b2);
+    c03 := !c03 + (a0 * b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03
+
+let ki_3x4 (v : int array) vo (u : int array) uo kn (c : int array) o0 cs =
+  let o1 = o0 + cs in
+  let o2 = o1 + cs in
+  let c00 = ref (Array.unsafe_get c o0)
+  and c01 = ref (Array.unsafe_get c (o0 + 1))
+  and c02 = ref (Array.unsafe_get c (o0 + 2))
+  and c03 = ref (Array.unsafe_get c (o0 + 3))
+  and c10 = ref (Array.unsafe_get c o1)
+  and c11 = ref (Array.unsafe_get c (o1 + 1))
+  and c12 = ref (Array.unsafe_get c (o1 + 2))
+  and c13 = ref (Array.unsafe_get c (o1 + 3))
+  and c20 = ref (Array.unsafe_get c o2)
+  and c21 = ref (Array.unsafe_get c (o2 + 1))
+  and c22 = ref (Array.unsafe_get c (o2 + 2))
+  and c23 = ref (Array.unsafe_get c (o2 + 3)) in
+  for k = 0 to kn - 1 do
+    let a = vo + (k * 3) and b = uo + (k * 4) in
+    let a0 = Array.unsafe_get v a
+    and a1 = Array.unsafe_get v (a + 1)
+    and a2 = Array.unsafe_get v (a + 2) in
+    let b0 = Array.unsafe_get u b
+    and b1 = Array.unsafe_get u (b + 1)
+    and b2 = Array.unsafe_get u (b + 2)
+    and b3 = Array.unsafe_get u (b + 3) in
+    c00 := !c00 + (a0 * b0);
+    c01 := !c01 + (a0 * b1);
+    c02 := !c02 + (a0 * b2);
+    c03 := !c03 + (a0 * b3);
+    c10 := !c10 + (a1 * b0);
+    c11 := !c11 + (a1 * b1);
+    c12 := !c12 + (a1 * b2);
+    c13 := !c13 + (a1 * b3);
+    c20 := !c20 + (a2 * b0);
+    c21 := !c21 + (a2 * b1);
+    c22 := !c22 + (a2 * b2);
+    c23 := !c23 + (a2 * b3)
+  done;
+  Array.unsafe_set c o0 !c00;
+  Array.unsafe_set c (o0 + 1) !c01;
+  Array.unsafe_set c (o0 + 2) !c02;
+  Array.unsafe_set c (o0 + 3) !c03;
+  Array.unsafe_set c o1 !c10;
+  Array.unsafe_set c (o1 + 1) !c11;
+  Array.unsafe_set c (o1 + 2) !c12;
+  Array.unsafe_set c (o1 + 3) !c13;
+  Array.unsafe_set c o2 !c20;
+  Array.unsafe_set c (o2 + 1) !c21;
+  Array.unsafe_set c (o2 + 2) !c22;
+  Array.unsafe_set c (o2 + 3) !c23
+
+let ki_gen ~mr ~nr (v : int array) vo (u : int array) uo kn (c : int array) o0
+    cs =
+  for k = 0 to kn - 1 do
+    let a = vo + (k * mr) and b = uo + (k * nr) in
+    for i = 0 to mr - 1 do
+      let ai = Array.unsafe_get v (a + i) in
+      let crow = o0 + (i * cs) in
+      for j = 0 to nr - 1 do
+        Array.unsafe_set c (crow + j)
+          (Array.unsafe_get c (crow + j) + (ai * Array.unsafe_get u (b + j)))
+      done
+    done
+  done
+
+(* ------------------------------------------------------ blocked driver *)
+
+(* [gemm ~mr ~nr ~kc ~rows_p ~cols_p ~k ...] updates the [rows_p × cols_p]
+   block of C (row stride [cstride]) in place with A·B over the packed
+   panels.  The k dimension is processed in [kc]-deep cache panels: for
+   each panel the [kc × NR] weight sub-panel is swept by every tile
+   panel before the next NR block is touched, so it stays L1-resident
+   across the ib loop.  C carries the partial sums between panels. *)
+
+let gemm_f32 ~mr ~nr ~kc ~rows_p ~cols_p ~k ~(vp : float array) ~vo
+    ~(up : float array) ~uo ~(c : float array) ~co ~cstride =
+  let kern =
+    match (mr, nr) with
+    | 4, 4 -> kf_4x4
+    | 3, 4 -> kf_3x4
+    | 2, 4 -> kf_2x4
+    | 1, 4 -> kf_1x4
+    | _ -> kf_gen ~mr ~nr
+  in
+  let nib = rows_p / mr and njb = cols_p / nr in
+  let k0 = ref 0 in
+  while !k0 < k do
+    let kn = min kc (k - !k0) in
+    for jb = 0 to njb - 1 do
+      let ub = uo + (jb * k * nr) + (!k0 * nr) in
+      let cjb = co + (jb * nr) in
+      for ib = 0 to nib - 1 do
+        let vb = vo + (ib * k * mr) + (!k0 * mr) in
+        kern vp vb up ub kn c (cjb + (ib * mr * cstride)) cstride
+      done
+    done;
+    k0 := !k0 + kn
+  done
+
+let gemm_i32 ~mr ~nr ~kc ~rows_p ~cols_p ~k ~(vp : int array) ~vo
+    ~(up : int array) ~uo ~(c : int array) ~co ~cstride =
+  let kern =
+    match (mr, nr) with
+    | 4, 4 -> ki_4x4
+    | 3, 4 -> ki_3x4
+    | 2, 4 -> ki_2x4
+    | 1, 4 -> ki_1x4
+    | _ -> ki_gen ~mr ~nr
+  in
+  let nib = rows_p / mr and njb = cols_p / nr in
+  let k0 = ref 0 in
+  while !k0 < k do
+    let kn = min kc (k - !k0) in
+    for jb = 0 to njb - 1 do
+      let ub = uo + (jb * k * nr) + (!k0 * nr) in
+      let cjb = co + (jb * nr) in
+      for ib = 0 to nib - 1 do
+        let vb = vo + (ib * k * mr) + (!k0 * mr) in
+        kern vp vb up ub kn c (cjb + (ib * mr * cstride)) cstride
+      done
+    done;
+    k0 := !k0 + kn
+  done

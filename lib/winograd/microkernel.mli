@@ -1,0 +1,79 @@
+(** Register-tiled, cache-blocked GEMM microkernels for the per-tap
+    Winograd GEMMs.
+
+    Operands are *packed* panels, padded to full register blocks:
+
+    - A (tiles): [ceil(rows/MR)] consecutive [K × MR] panels; element
+      [(k, lane)] of panel [ib] lives at [ib·K·MR + k·MR + lane].
+    - B (weights): [ceil(cols/NR)] consecutive [K × NR] panels; element
+      [(k, lane)] of panel [jb] lives at [jb·K·NR + k·NR + lane].
+    - C: row-major with row stride [cstride ≥ cols_p], updated in place.
+
+    Pad lanes of A and B must be zero: the corresponding C elements then
+    compute exact zeros and callers simply never read them.
+
+    Numerical contract: each C element is a left fold over ascending [k]
+    seeded from C's current value, so KC-panel splitting does not change
+    the association. The integer kernels are bit-identical to the naive
+    triple loop; the float kernels are IEEE-identical up to the sign of
+    zeros (the naive drivers skip zero left operands, the kernels do
+    not). *)
+
+type cfg = { mr : int; nr : int; kc : int }
+
+val default_cfg : cfg
+(** Compiled defaults (MR=NR=4, KC=256), overridable at process start
+    via [TWQ_GEMM_MR] / [TWQ_GEMM_NR] / [TWQ_GEMM_KC]. *)
+
+val config : unit -> cfg
+(** Current configuration. Drivers read it once per call, so a
+    mid-call change cannot desync packing from consumption. *)
+
+val set_config : ?mr:int -> ?nr:int -> ?kc:int -> unit -> unit
+(** Override fields of the current configuration (clamped to sane
+    ranges). Intended for tests and experiments; not thread-safe with
+    respect to in-flight convolutions. *)
+
+val reset_config : unit -> unit
+(** Restore [default_cfg]. *)
+
+val round_up : int -> int -> int
+(** [round_up n b] is [n] rounded up to a multiple of [b]. *)
+
+val gemm_f32 :
+  mr:int ->
+  nr:int ->
+  kc:int ->
+  rows_p:int ->
+  cols_p:int ->
+  k:int ->
+  vp:float array ->
+  vo:int ->
+  up:float array ->
+  uo:int ->
+  c:float array ->
+  co:int ->
+  cstride:int ->
+  unit
+(** [gemm_f32 ~mr ~nr ~kc ~rows_p ~cols_p ~k ~vp ~vo ~up ~uo ~c ~co
+    ~cstride] accumulates the [rows_p × cols_p] product of the packed
+    panels at [vp+vo] / [up+uo] into [c] starting at [co]. [rows_p] and
+    [cols_p] must be multiples of [mr] and [nr] respectively. *)
+
+val gemm_i32 :
+  mr:int ->
+  nr:int ->
+  kc:int ->
+  rows_p:int ->
+  cols_p:int ->
+  k:int ->
+  vp:int array ->
+  vo:int ->
+  up:int array ->
+  uo:int ->
+  c:int array ->
+  co:int ->
+  cstride:int ->
+  unit
+(** Integer variant of {!gemm_f32}; exact arithmetic, bit-identical to
+    the naive ascending-[k] triple loop. *)

@@ -12,6 +12,7 @@ module Tensor = Twq_tensor.Tensor
 module Itensor = Twq_tensor.Itensor
 module Transform = Twq_winograd.Transform
 module Kernels = Twq_winograd.Kernels
+module Microkernel = Twq_winograd.Microkernel
 module Conv = Twq_winograd.Conv
 module Gconv = Twq_winograd.Gconv
 module Tapwise = Twq_quant.Tapwise
@@ -183,6 +184,123 @@ let prop_tapwise =
       let want = Tapwise.forward_int_ref l xi in
       Itensor.equal got want)
 
+(* --------------- microkernel GEMM drivers vs naive [_ref] oracles *)
+
+let with_mk_config ~mr ~nr ~kc f =
+  Microkernel.set_config ~mr ~nr ~kc ();
+  Fun.protect ~finally:Microkernel.reset_config f
+
+let scale2_of v =
+  let s = Transform.bt_scale v * Transform.g_scale v * Transform.at_scale v in
+  s * s
+
+(* Edge shapes for the register-tiled path: Cin/Cout deliberately
+   straddle register-block multiples (1..9), images go down to a single
+   tile (hw = 3), and the pool runs with 1 or 4 domains. *)
+let micro_shape_gen =
+  QCheck2.Gen.(
+    tup6 variant_gen (int_range 1 9) (int_range 1 9) (int_range 3 10)
+      (oneofl [ 1; 4 ]) seed_gen)
+
+let prop_micro_f32_edge =
+  QCheck2.Test.make ~count:60
+    ~name:"microkernel conv2d_f32 = naive ref (edge shapes)" micro_shape_gen
+    (fun (v, cin, cout, hw, nd, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let pad = Twq_util.Rng.int rng 2 in
+      let k = Kernels.f32_specialized v in
+      let x =
+        tensor_of_rng rng [| 1; cin; hw; hw + Twq_util.Rng.int rng 3 |]
+      in
+      let wt = tensor_of_rng rng [| cout; cin; 3; 3 |] in
+      let got = with_domains nd (fun () -> Kernels.conv2d_f32 k ~pad ~x ~w:wt) in
+      let want = Kernels.conv2d_f32_ref k ~pad ~x ~w:wt in
+      float_eq got want)
+
+let prop_micro_int_edge =
+  QCheck2.Test.make ~count:60
+    ~name:"microkernel conv2d_i32_exact = naive ref (edge shapes)"
+    micro_shape_gen
+    (fun (v, cin, cout, hw, nd, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let pad = Twq_util.Rng.int rng 2 in
+      let k = Kernels.i32_specialized v in
+      let x =
+        itensor_of_rng rng [| 1; cin; hw; hw + Twq_util.Rng.int rng 3 |]
+      in
+      let wt = itensor_of_rng rng [| cout; cin; 3; 3 |] in
+      let scale2 = scale2_of v in
+      let got =
+        with_domains nd (fun () ->
+            Kernels.conv2d_i32_exact k ~scale2 ~pad ~x ~w:wt)
+      in
+      let want = Kernels.conv2d_i32_exact_ref k ~scale2 ~pad ~x ~w:wt in
+      Itensor.equal got want)
+
+(* Every register-block configuration — the specialized MRx4 kernels,
+   the generic fallback, and KC smaller than Cin (17 channels over
+   kc = 8 forces three k-panels per GEMM, crossing the accumulator
+   load/store seam twice). *)
+let mk_config_sweep =
+  [ (4, 4, 256); (3, 4, 8); (2, 4, 16); (1, 4, 256); (4, 2, 8); (5, 5, 32);
+    (1, 1, 8) ]
+
+let test_micro_config_sweep_int () =
+  let rng = Twq_util.Rng.create 99 in
+  let x = itensor_of_rng rng [| 1; 17; 8; 9 |] in
+  let wt = itensor_of_rng rng [| 7; 17; 3; 3 |] in
+  let k = Kernels.i32_specialized Transform.F4 in
+  let scale2 = scale2_of Transform.F4 in
+  let want = Kernels.conv2d_i32_exact_ref k ~scale2 ~pad:1 ~x ~w:wt in
+  List.iter
+    (fun (mr, nr, kc) ->
+      with_mk_config ~mr ~nr ~kc (fun () ->
+          let got = Kernels.conv2d_i32_exact k ~scale2 ~pad:1 ~x ~w:wt in
+          Alcotest.(check bool)
+            (Printf.sprintf "mr=%d nr=%d kc=%d" mr nr kc)
+            true (Itensor.equal got want)))
+    mk_config_sweep
+
+let test_micro_config_sweep_f32 () =
+  let rng = Twq_util.Rng.create 100 in
+  let x = tensor_of_rng rng [| 1; 17; 8; 9 |] in
+  let wt = tensor_of_rng rng [| 7; 17; 3; 3 |] in
+  let k = Kernels.f32_specialized Transform.F4 in
+  let want = Kernels.conv2d_f32_ref k ~pad:1 ~x ~w:wt in
+  List.iter
+    (fun (mr, nr, kc) ->
+      with_mk_config ~mr ~nr ~kc (fun () ->
+          let got = Kernels.conv2d_f32 k ~pad:1 ~x ~w:wt in
+          Alcotest.(check bool)
+            (Printf.sprintf "mr=%d nr=%d kc=%d" mr nr kc)
+            true (float_eq got want)))
+    mk_config_sweep
+
+(* [Tapwise.pack] captures the packing geometry at pack time; the packed
+   forward must agree with the tile-major oracle under every block
+   configuration (including packing under one config — the oracle does
+   not depend on it). *)
+let test_micro_config_sweep_tapwise () =
+  let rng = Twq_util.Rng.create 101 in
+  let w = Tensor.rand_gaussian rng [| 6; 5; 3; 3 |] ~mu:0.0 ~sigma:0.5 in
+  let samples = [ tensor_of_rng rng [| 1; 5; 10; 10 |] ] in
+  let config = Tapwise.default_config Transform.F4 in
+  let l = Tapwise.calibrate ~config ~w ~sample_inputs:samples ~pad:1 () in
+  let x = tensor_of_rng rng [| 1; 5; 10; 10 |] in
+  let xi =
+    Quantizer.quantize_tensor ~bits:config.Tapwise.act_bits ~scale:l.Tapwise.s_x
+      x
+  in
+  let want = Tapwise.forward_int_ref l xi in
+  List.iter
+    (fun (mr, nr, kc) ->
+      with_mk_config ~mr ~nr ~kc (fun () ->
+          let got = Tapwise.forward_int l xi in
+          Alcotest.(check bool)
+            (Printf.sprintf "mr=%d nr=%d kc=%d" mr nr kc)
+            true (Itensor.equal got want)))
+    mk_config_sweep
+
 (* -------------------------------------------- scratch arena behaviour *)
 
 let test_scratch_reuse () =
@@ -223,11 +341,22 @@ let () =
         prop_conv_int_four_domains;
         prop_gconv;
         prop_tapwise;
+        prop_micro_f32_edge;
+        prop_micro_int_edge;
       ]
   in
   Alcotest.run "kernels"
     [
       ("qcheck", qsuite);
+      ( "microkernel",
+        [
+          Alcotest.test_case "int config sweep = ref" `Quick
+            test_micro_config_sweep_int;
+          Alcotest.test_case "f32 config sweep = ref" `Quick
+            test_micro_config_sweep_f32;
+          Alcotest.test_case "tapwise config sweep = ref" `Quick
+            test_micro_config_sweep_tapwise;
+        ] );
       ( "scratch",
         [
           Alcotest.test_case "borrow reuses and grows" `Quick test_scratch_reuse;
