@@ -489,6 +489,7 @@ let serve_cmd =
   in
   let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"Input RNG seed.") in
   let run dir model_name version config requests rate seed metrics_out listen =
+    ignore (Serve.Fault.install_from_env ());
     match listen with
     | Some path -> (
         let reg = open_registry dir in
@@ -572,12 +573,67 @@ let route_cmd =
       & info [ "stats-out" ] ~docv:"FILE"
           ~doc:"Write the router stats JSON here on exit.")
   in
-  let run listen shards vnodes heartbeat_ms stats_out =
+  let connect_timeout_ms =
+    Arg.(
+      value & opt float 2000.0
+      & info [ "connect-timeout-ms" ]
+          ~doc:"Per-exchange shard socket timeout, milliseconds.")
+  in
+  let breaker_failures =
+    Arg.(
+      value & opt int 5
+      & info [ "breaker-failures" ]
+          ~doc:"Consecutive transport failures that trip a shard's breaker.")
+  in
+  let breaker_cooldown_ms =
+    Arg.(
+      value & opt float 1000.0
+      & info [ "breaker-cooldown-ms" ]
+          ~doc:"Milliseconds a breaker stays open before a half-open probe.")
+  in
+  let retry_attempts =
+    Arg.(
+      value & opt int 3
+      & info [ "retry-attempts" ]
+          ~doc:
+            "Per-request attempt budget, including the first attempt (1 \
+             disables retrying).")
+  in
+  let hedge =
+    Arg.(
+      value & flag
+      & info [ "hedge" ]
+          ~doc:
+            "Race a second shard when the first attempt is slower than the \
+             observed p99 attempt latency.")
+  in
+  let hedge_floor_ms =
+    Arg.(
+      value & opt float 10.0
+      & info [ "hedge-floor-ms" ] ~doc:"Minimum hedge delay, milliseconds.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0 & info [ "seed" ] ~doc:"Retry-jitter RNG seed.")
+  in
+  let run listen shards vnodes heartbeat_ms stats_out connect_timeout_ms
+      breaker_failures breaker_cooldown_ms retry_attempts hedge hedge_floor_ms
+      seed =
+    ignore (Serve.Fault.install_from_env ());
     let config =
       {
         Serve.Router.default_config with
         vnodes;
         heartbeat_interval = heartbeat_ms /. 1e3;
+        connect_timeout = connect_timeout_ms /. 1e3;
+        retry =
+          (if retry_attempts <= 1 then Serve.Retry.no_retry
+           else { Serve.Retry.default with attempts = retry_attempts });
+        breaker_failures;
+        breaker_cooldown = breaker_cooldown_ms /. 1e3;
+        hedge;
+        hedge_floor = hedge_floor_ms /. 1e3;
+        seed;
       }
     in
     match Serve.Router.start ~config ~shards ~path:listen () with
@@ -592,7 +648,10 @@ let route_cmd =
         write_or_print ~label:"stats" stats_out (Serve.Router.stats_json r)
   in
   Cmd.v (Cmd.info "route" ~doc)
-    Term.(const run $ listen $ shards $ vnodes $ heartbeat_ms $ stats_out)
+    Term.(
+      const run $ listen $ shards $ vnodes $ heartbeat_ms $ stats_out
+      $ connect_timeout_ms $ breaker_failures $ breaker_cooldown_ms
+      $ retry_attempts $ hedge $ hedge_floor_ms $ seed)
 
 let stats_cmd =
   let doc = "Fetch the stats JSON from a running shard daemon or router." in
@@ -672,8 +731,26 @@ let loadgen_cmd =
       value & opt int 8
       & info [ "res" ] ~doc:"Input resolution H = W (wire mode).")
   in
+  let deadline_ms =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline-ms" ]
+          ~doc:
+            "Per-request relative deadline carried on the wire, \
+             milliseconds (wire mode).")
+  in
+  let retry_attempts =
+    Arg.(
+      value & opt int 1
+      & info [ "retry-attempts" ]
+          ~doc:
+            "Client-side attempt budget per request, including the first \
+             attempt; 1 disables retrying (wire mode).")
+  in
   let run dir model_name version config requests concurrency rate seed
-      metrics_out summary_out connect slo_ms res =
+      metrics_out summary_out connect slo_ms res deadline_ms retry_attempts =
+    ignore (Serve.Fault.install_from_env ());
     match connect with
     | Some endpoint ->
         let rate = if rate > 0.0 then rate else 100.0 in
@@ -682,11 +759,16 @@ let loadgen_cmd =
           let rng = Rng.create (seed + (31 * i)) in
           STensor.rand_gaussian rng [| 3; res; res |] ~mu:0.0 ~sigma:1.0
         in
+        let retry =
+          if retry_attempts <= 1 then Serve.Retry.no_retry
+          else { Serve.Retry.default with attempts = retry_attempts }
+        in
         let s =
           Serve.Loadgen.run_poisson
             ~connect:(fun () -> Serve.Shard_client.connect endpoint)
             ~make_input ~requests ~rate ~slo:(slo_ms /. 1e3)
-            ~connections:concurrency ~seed ()
+            ~connections:concurrency ~seed ~retry
+            ?deadline:(Option.map (fun b -> b /. 1e3) deadline_ms) ()
         in
         print_endline (Serve.Loadgen.slo_to_text s);
         (match summary_out with
@@ -718,7 +800,7 @@ let loadgen_cmd =
     Term.(
       const run $ registry_dir_arg $ model_name $ version $ server_flags
       $ requests $ concurrency $ rate $ seed $ metrics_out_arg $ summary_out
-      $ connect $ slo_ms $ res)
+      $ connect $ slo_ms $ res $ deadline_ms $ retry_attempts)
 
 let () =
   let doc = "Tap-wise quantized Winograd F4 — paper reproduction driver" in

@@ -16,7 +16,12 @@
 
    [shutdown] closes admission and wakes everyone: subsequent [submit]s
    return [Closed], while consumers keep draining — batch windows close
-   immediately once shut — until the queue is empty, then get [None]. *)
+   immediately once shut — until the queue is empty, then get [None].
+
+   The window deadline runs on the monotonic clock: an NTP step must
+   not wedge a batch window open or fire it early. *)
+
+module Mclock = Twq_util.Mclock
 
 type 'a t = {
   capacity : int;
@@ -77,11 +82,11 @@ let next_batch t =
     None
   end
   else begin
-    let opened = Unix.gettimeofday () in
+    let opened = Mclock.now () in
     let deadline = opened +. t.max_delay in
     let rec wait_window () =
       if Queue.length t.q < t.max_batch && not t.closed then begin
-        let remaining = deadline -. Unix.gettimeofday () in
+        let remaining = deadline -. Mclock.now () in
         if remaining > 0.0 then begin
           Mutex.unlock t.mutex;
           Unix.sleepf (Float.min poll_grain remaining);

@@ -1,0 +1,224 @@
+(* Deterministic fault injection.
+
+   Each rule owns a private splitmix64 stream derived from (seed, rule
+   index), so the verdict for the Nth probe of a given (site, peer)
+   call sequence is a pure function of the seed — the heart of the
+   replayable-chaos guarantee. The module never performs IO itself:
+   call sites enact the verdict (sleep, sever, refuse), so the disabled
+   path costs one Atomic.get per IO operation and nothing else. *)
+
+module Rng = Twq_util.Rng
+
+type site = Connect | Send | Recv | Reply
+
+type kind = Refuse | Stall of float | Drop | Delay of float
+
+type rule = { site : site; peer : string option; kind : kind; prob : float }
+
+type t = {
+  seed : int;
+  ruleset : rule array;
+  streams : Rng.t array; (* one per rule, index-aligned *)
+  mu : Mutex.t;
+  n_refuse : int Atomic.t;
+  n_stall : int Atomic.t;
+  n_drop : int Atomic.t;
+  n_delay : int Atomic.t;
+  trace : (site * string * kind option) Queue.t; (* bounded decision log *)
+}
+
+let trace_cap = 65536
+
+let site_name = function
+  | Connect -> "connect"
+  | Send -> "send"
+  | Recv -> "recv"
+  | Reply -> "reply"
+
+let kind_name = function
+  | Refuse -> "refuse"
+  | Stall _ -> "stall"
+  | Drop -> "drop"
+  | Delay _ -> "delay"
+
+(* ---------- spec parsing ---------- *)
+
+let site_of_string = function
+  | "connect" -> Some Connect
+  | "send" -> Some Send
+  | "recv" -> Some Recv
+  | "reply" -> Some Reply
+  | _ -> None
+
+let split_on_first ch s =
+  match String.index_opt s ch with
+  | None -> None
+  | Some i ->
+      Some (String.sub s 0 i, String.sub s (i + 1) (String.length s - i - 1))
+
+let parse_entry entry =
+  let fail fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  match split_on_first ':' entry with
+  | None -> fail "rule %S: expected site:kind=prob" entry
+  | Some (lhs, rhs) -> (
+      let site_str, peer =
+        match split_on_first '[' lhs with
+        | Some (s, rest) when String.length rest > 0 && rest.[String.length rest - 1] = ']' ->
+            (s, Some (String.sub rest 0 (String.length rest - 1)))
+        | _ -> (lhs, None)
+      in
+      match site_of_string site_str with
+      | None -> fail "rule %S: unknown site %S" entry site_str
+      | Some site -> (
+          match split_on_first '=' rhs with
+          | None -> fail "rule %S: expected kind=prob" entry
+          | Some (kind_str, prob_str) -> (
+              let prob_str, dur =
+                match split_on_first '@' prob_str with
+                | None -> (prob_str, 0.1)
+                | Some (p, ms) -> (
+                    match float_of_string_opt ms with
+                    | Some v when v >= 0.0 -> (p, v /. 1000.0)
+                    | _ -> (p, Float.nan))
+              in
+              if Float.is_nan dur then
+                fail "rule %S: bad duration after '@'" entry
+              else
+                match float_of_string_opt prob_str with
+                | None -> fail "rule %S: bad probability %S" entry prob_str
+                | Some prob when prob < 0.0 || prob > 1.0 ->
+                    fail "rule %S: probability %g not in [0,1]" entry prob
+                | Some prob -> (
+                    match kind_str with
+                    | "refuse" -> Ok { site; peer; kind = Refuse; prob }
+                    | "drop" -> Ok { site; peer; kind = Drop; prob }
+                    | "stall" -> Ok { site; peer; kind = Stall dur; prob }
+                    | "delay" -> Ok { site; peer; kind = Delay dur; prob }
+                    | k -> fail "rule %S: unknown kind %S" entry k))))
+
+let parse spec =
+  let entries =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if entries = [] then Error "empty fault spec"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | e :: rest -> (
+          match parse_entry e with
+          | Ok r -> go (r :: acc) rest
+          | Error _ as err -> err)
+    in
+    go [] entries
+
+(* ---------- plan construction ---------- *)
+
+let create ?(seed = 0) rule_list =
+  let ruleset = Array.of_list rule_list in
+  (* Distinct odd multipliers keep per-rule streams independent even
+     for adjacent seeds; splitmix64 init in Rng.create does the rest. *)
+  let streams =
+    Array.mapi (fun i _ -> Rng.create (seed + ((i + 1) * 0x9e3779b1))) ruleset
+  in
+  {
+    seed;
+    ruleset;
+    streams;
+    mu = Mutex.create ();
+    n_refuse = Atomic.make 0;
+    n_stall = Atomic.make 0;
+    n_drop = Atomic.make 0;
+    n_delay = Atomic.make 0;
+    trace = Queue.create ();
+  }
+
+let of_spec ?seed spec =
+  match parse spec with
+  | Error _ as e -> e
+  | Ok rules -> Ok (create ?seed rules)
+
+let seed t = t.seed
+let rules t = Array.to_list t.ruleset
+
+let peer_matches rule peer =
+  match rule.peer with
+  | None -> true
+  | Some needle ->
+      let nl = String.length needle and pl = String.length peer in
+      nl = 0
+      ||
+      let rec scan i =
+        i + nl <= pl && (String.sub peer i nl = needle || scan (i + 1))
+      in
+      scan 0
+
+let count t kind =
+  let c =
+    match kind with
+    | Refuse -> t.n_refuse
+    | Stall _ -> t.n_stall
+    | Drop -> t.n_drop
+    | Delay _ -> t.n_delay
+  in
+  Atomic.incr c
+
+let decide t site ~peer =
+  Mutex.lock t.mu;
+  let verdict = ref None in
+  Array.iteri
+    (fun i r ->
+      if !verdict = None && r.site = site && peer_matches r peer then
+        if Rng.float t.streams.(i) 1.0 < r.prob then verdict := Some r.kind)
+    t.ruleset;
+  if Queue.length t.trace < trace_cap then
+    Queue.push (site, peer, !verdict) t.trace;
+  Mutex.unlock t.mu;
+  (match !verdict with Some k -> count t k | None -> ());
+  !verdict
+
+let counts t =
+  [
+    ("refuse", Atomic.get t.n_refuse);
+    ("stall", Atomic.get t.n_stall);
+    ("drop", Atomic.get t.n_drop);
+    ("delay", Atomic.get t.n_delay);
+  ]
+
+let log t =
+  Mutex.lock t.mu;
+  let l = List.of_seq (Queue.to_seq t.trace) in
+  Mutex.unlock t.mu;
+  l
+
+(* ---------- global hook ---------- *)
+
+let hook : t option Atomic.t = Atomic.make None
+
+let arm t = Atomic.set hook (Some t)
+let disarm () = Atomic.set hook None
+let active () = Atomic.get hook
+
+let probe site ~peer =
+  match Atomic.get hook with None -> None | Some t -> decide t site ~peer
+
+let install_from_env () =
+  match Sys.getenv_opt "TWQ_FAULT_SPEC" with
+  | None -> None
+  | Some spec -> (
+      let seed =
+        match Sys.getenv_opt "TWQ_FAULT_SEED" with
+        | None -> 0
+        | Some s -> (
+            match int_of_string_opt s with
+            | Some n -> n
+            | None ->
+                invalid_arg
+                  (Printf.sprintf "TWQ_FAULT_SEED: not an integer: %S" s))
+      in
+      match of_spec ~seed spec with
+      | Ok t ->
+          arm t;
+          Some t
+      | Error msg -> invalid_arg (Printf.sprintf "TWQ_FAULT_SPEC: %s" msg))

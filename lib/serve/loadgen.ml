@@ -22,6 +22,7 @@
 
 module Tensor = Twq_tensor.Tensor
 module Rng = Twq_util.Rng
+module Mclock = Twq_util.Mclock
 
 type summary = {
   requests : int;
@@ -52,7 +53,7 @@ let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
   and rejected_overload = Atomic.make 0
   and deadline_expired = Atomic.make 0
   and other = Atomic.make 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   let client () =
     let lat = ref [] in
     let rec loop () =
@@ -60,15 +61,15 @@ let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
       if i < requests then begin
         if rate > 0.0 then begin
           let slot = t0 +. (float_of_int i /. rate) in
-          let wait = slot -. Unix.gettimeofday () in
+          let wait = slot -. Mclock.now () in
           if wait > 0.0 then Unix.sleepf wait
         end;
         let x = make_input i in
-        let sub = Unix.gettimeofday () in
+        let sub = Mclock.now () in
         (match Server.infer ?deadline server x with
         | Server.Output _ ->
             Atomic.incr completed;
-            lat := (Unix.gettimeofday () -. sub) :: !lat
+            lat := Mclock.elapsed sub :: !lat
         | Server.Rejected_overload -> Atomic.incr rejected_overload
         | Server.Deadline_expired -> Atomic.incr deadline_expired
         | Server.Rejected_invalid _ | Server.Rejected_closed
@@ -82,7 +83,7 @@ let run ~server ~make_input ~requests ?(concurrency = 4) ?(rate = 0.0)
   in
   let clients = List.init concurrency (fun _ -> Domain.spawn client) in
   let latencies = List.concat_map Domain.join clients in
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Mclock.elapsed t0 in
   let lat = Array.of_list latencies in
   Array.sort compare lat;
   let n_ok = Atomic.get completed in
@@ -161,6 +162,10 @@ type slo_summary = {
   p_expired : int;
   p_other_rejected : int; (* invalid / closed / failed / no-model / unavailable *)
   p_lost : int; (* scheduled but never answered (transport death) *)
+  p_retries : int; (* client-side resends granted by the retry policy *)
+  p_budget_violations : int;
+  (* Logits replies whose server-reported queue wait alone exceeded the
+     request's deadline budget — the shard should have expired them *)
   p_wall : float;
   p_offered_rate : float;
   p_throughput : float;
@@ -189,10 +194,12 @@ type client_tally = {
   mutable k_expired : int;
   mutable k_other : int;
   mutable k_lost : int;
+  mutable k_retries : int;
+  mutable k_violations : int;
 }
 
 let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
-    ?(seed = 0x9e3779b9) ?deadline () =
+    ?(seed = 0x9e3779b9) ?(retry = Retry.no_retry) ?deadline () =
   if requests < 0 then invalid_arg "Loadgen.run_poisson: requests < 0";
   if rate <= 0.0 then invalid_arg "Loadgen.run_poisson: rate <= 0";
   if slo <= 0.0 then invalid_arg "Loadgen.run_poisson: slo <= 0";
@@ -209,7 +216,7 @@ let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
     schedule.(i) <- !t
   done;
   let next = Atomic.make 0 in
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   let client () =
     let k =
       {
@@ -222,6 +229,8 @@ let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
         k_expired = 0;
         k_other = 0;
         k_lost = 0;
+        k_retries = 0;
+        k_violations = 0;
       }
     in
     let conn = ref (Result.to_option (connect ())) in
@@ -229,39 +238,65 @@ let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
       let i = Atomic.fetch_and_add next 1 in
       if i < requests then begin
         let scheduled = t0 +. schedule.(i) in
-        let wait = scheduled -. Unix.gettimeofday () in
+        let wait = scheduled -. Mclock.now () in
         if wait > 0.0 then Thread.delay wait;
         let x = make_input i in
-        (if !conn = None then conn := Result.to_option (connect ()));
-        (match !conn with
-        | None -> k.k_lost <- k.k_lost + 1
-        | Some c -> (
-            match
-              Shard_client.infer ?deadline ~key:(Printf.sprintf "req-%d" i) c x
-            with
-            | Error _ ->
-                (* No reply for this request: it is lost, and the
-                   connection is in an unknown state.  No client-side
-                   retry — masking a lost ack here would hide exactly
-                   what the chaos smoke exists to measure. *)
-                Shard_client.close c;
-                conn := None;
-                k.k_lost <- k.k_lost + 1
-            | Ok { outcome; _ } -> (
-                let done_at = Unix.gettimeofday () in
-                match outcome with
-                | Wire.Logits { queue_wait; service; _ } ->
-                    let lat = done_at -. scheduled in
-                    k.k_completed <- k.k_completed + 1;
-                    if lat <= slo then k.k_in_budget <- k.k_in_budget + 1;
-                    k.k_lat <- lat :: k.k_lat;
-                    k.k_qw <- queue_wait :: k.k_qw;
-                    k.k_sv <- service :: k.k_sv
-                | Wire.Overloaded -> k.k_overloaded <- k.k_overloaded + 1
-                | Wire.Expired -> k.k_expired <- k.k_expired + 1
-                | Wire.Invalid _ | Wire.Closed | Wire.Failed _
-                | Wire.No_model | Wire.Unavailable _ ->
-                    k.k_other <- k.k_other + 1)));
+        (* One send per granted attempt.  The default policy is a single
+           attempt and NO retry: a transport death then counts as a lost
+           ack, which is exactly what the chaos smoke measures.  With an
+           explicit retry policy (inference is idempotent) a resend
+           consumes budget and is tallied, so retries are visible in the
+           report instead of silently masking faults. *)
+        let budget = Retry.start ~seed:(seed + i) retry in
+        let rec send () =
+          (if !conn = None then conn := Result.to_option (connect ()));
+          match !conn with
+          | None -> ( match Retry.next budget with
+            | Some sleep ->
+                k.k_retries <- k.k_retries + 1;
+                Thread.delay sleep;
+                send ()
+            | None -> k.k_lost <- k.k_lost + 1)
+          | Some c -> (
+              match
+                Shard_client.infer ?deadline
+                  ~key:(Printf.sprintf "req-%d" i)
+                  c x
+              with
+              | Error _ -> (
+                  (* No reply: the connection is in an unknown state. *)
+                  Shard_client.close c;
+                  conn := None;
+                  match Retry.next budget with
+                  | Some sleep ->
+                      k.k_retries <- k.k_retries + 1;
+                      Thread.delay sleep;
+                      send ()
+                  | None -> k.k_lost <- k.k_lost + 1)
+              | Ok { outcome; _ } -> (
+                  let done_at = Mclock.now () in
+                  match outcome with
+                  | Wire.Logits { queue_wait; service; _ } ->
+                      let lat = done_at -. scheduled in
+                      k.k_completed <- k.k_completed + 1;
+                      if lat <= slo then k.k_in_budget <- k.k_in_budget + 1;
+                      (match deadline with
+                      | Some b when queue_wait > b ->
+                          (* The shard served work whose budget its own
+                             queue had already spent — deadline
+                             enforcement failed somewhere. *)
+                          k.k_violations <- k.k_violations + 1
+                      | _ -> ());
+                      k.k_lat <- lat :: k.k_lat;
+                      k.k_qw <- queue_wait :: k.k_qw;
+                      k.k_sv <- service :: k.k_sv
+                  | Wire.Overloaded -> k.k_overloaded <- k.k_overloaded + 1
+                  | Wire.Expired -> k.k_expired <- k.k_expired + 1
+                  | Wire.Invalid _ | Wire.Closed | Wire.Failed _
+                  | Wire.No_model | Wire.Unavailable _ ->
+                      k.k_other <- k.k_other + 1))
+        in
+        send ();
         loop ()
       end
     in
@@ -280,7 +315,7 @@ let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
   in
   let threads = List.init connections (fun _ -> Thread.create wrapped ()) in
   List.iter Thread.join threads;
-  let wall = Unix.gettimeofday () -. t0 in
+  let wall = Mclock.elapsed t0 in
   let ks = !results in
   let sum f = List.fold_left (fun acc k -> acc + f k) 0 ks in
   let sorted f =
@@ -300,6 +335,8 @@ let run_poisson ~connect ~make_input ~requests ~rate ~slo ?(connections = 4)
     p_expired = sum (fun k -> k.k_expired);
     p_other_rejected = sum (fun k -> k.k_other);
     p_lost = sum (fun k -> k.k_lost);
+    p_retries = sum (fun k -> k.k_retries);
+    p_budget_violations = sum (fun k -> k.k_violations);
     p_wall = wall;
     p_offered_rate = rate;
     p_throughput = (if wall > 0.0 then float_of_int completed /. wall else 0.0);
@@ -332,6 +369,8 @@ let slo_to_json s =
     \  \"expired\": %d,\n\
     \  \"other_rejected\": %d,\n\
     \  \"lost\": %d,\n\
+    \  \"retries\": %d,\n\
+    \  \"budget_violations\": %d,\n\
     \  \"wall_s\": %.6f,\n\
     \  \"offered_rps\": %.2f,\n\
     \  \"throughput_rps\": %.2f,\n\
@@ -343,7 +382,8 @@ let slo_to_json s =
     \  \"service_ms\": {\"p50\": %.4f, \"p95\": %.4f, \"p99\": %.4f}\n\
      }\n"
     s.p_requests s.p_completed s.p_overloaded s.p_expired s.p_other_rejected
-    s.p_lost s.p_wall s.p_offered_rate s.p_throughput
+    s.p_lost s.p_retries s.p_budget_violations s.p_wall s.p_offered_rate
+    s.p_throughput
     (1e3 *. s.p_slo_budget) s.p_slo_attained (1e3 *. s.p_latency_p50)
     (1e3 *. s.p_latency_p95) (1e3 *. s.p_latency_p99)
     (1e3 *. s.p_latency_mean) (1e3 *. s.p_latency_max)
@@ -354,13 +394,13 @@ let slo_to_json s =
 let slo_to_text s =
   Printf.sprintf
     "%d requests @ %.1f req/s (open loop) in %.3f s: %d ok, %d overloaded, \
-     %d expired, %d other, %d lost\n\
+     %d expired, %d other, %d lost, %d retries, %d budget violations\n\
      SLO %.1f ms: %.2f%% attained\n\
      latency ms (from scheduled arrival): p50 %.3f  p95 %.3f  p99 %.3f  max \
      %.3f\n\
      queue-wait ms: p50 %.3f  p99 %.3f | service ms: p50 %.3f  p99 %.3f"
     s.p_requests s.p_offered_rate s.p_wall s.p_completed s.p_overloaded
-    s.p_expired s.p_other_rejected s.p_lost
+    s.p_expired s.p_other_rejected s.p_lost s.p_retries s.p_budget_violations
     (1e3 *. s.p_slo_budget)
     (100.0 *. s.p_slo_attained)
     (1e3 *. s.p_latency_p50) (1e3 *. s.p_latency_p95)

@@ -63,9 +63,16 @@ type slo_summary = {
   p_other_rejected : int;  (** invalid / closed / failed / no-model /
                                unavailable *)
   p_lost : int;
-      (** scheduled but never answered: the transport died mid-request
-          and there is deliberately no client-side retry — lost acks are
-          what the chaos smoke measures *)
+      (** scheduled but never answered after exhausting the retry
+          policy (default: a single attempt, no retry — lost acks are
+          what the chaos smoke measures) *)
+  p_retries : int;
+      (** client-side resends granted by the retry policy; always 0
+          under the default {!Retry.no_retry} *)
+  p_budget_violations : int;
+      (** Logits replies whose server-reported queue wait alone
+          exceeded the request's deadline budget — nonzero means
+          deadline enforcement failed somewhere in the fleet *)
   p_wall : float;
   p_offered_rate : float;
   p_throughput : float;
@@ -94,14 +101,19 @@ val run_poisson :
   slo:float ->
   ?connections:int ->
   ?seed:int ->
+  ?retry:Retry.policy ->
   ?deadline:float ->
   unit ->
   slo_summary
 (** [connect] opens one connection per client thread (reopened after a
     transport error).  [rate] is the offered Poisson rate in req/s and
     [slo] the per-request latency budget in seconds, both required;
-    [seed] fixes the arrival schedule.  Request [i] is sent with routing
-    key ["req-<i>"], so a router spreads the run across its ring.
+    [seed] fixes the arrival schedule and the retry jitter.  [retry]
+    (default {!Retry.no_retry}) grants client-side resends after
+    transport failures; each resend is tallied in [p_retries] rather
+    than silently masking faults, and latency stays charged to the
+    original scheduled arrival.  Request [i] is sent with routing key
+    ["req-<i>"], so a router spreads the run across its ring.
     @raise Invalid_argument on non-positive [rate]/[slo] or negative
     [requests]. *)
 

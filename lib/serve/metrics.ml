@@ -152,6 +152,7 @@ type t = {
   completed : Counter.t;
   rejected_overload : Counter.t;
   deadline_expired : Counter.t;
+  deadline_rejected : Counter.t;
   rejected_invalid : Counter.t;
   rejected_closed : Counter.t;
   failed : Counter.t;
@@ -174,6 +175,7 @@ let create () =
     completed = Counter.create "completed";
     rejected_overload = Counter.create "rejected_overload";
     deadline_expired = Counter.create "deadline_expired";
+    deadline_rejected = Counter.create "deadline_rejected";
     rejected_invalid = Counter.create "rejected_invalid";
     rejected_closed = Counter.create "rejected_closed";
     failed = Counter.create "failed";
@@ -193,7 +195,8 @@ let create () =
 let counters m =
   [
     m.accepted; m.completed; m.rejected_overload; m.deadline_expired;
-    m.rejected_invalid; m.rejected_closed; m.failed; m.batches; m.images;
+    m.deadline_rejected; m.rejected_invalid; m.rejected_closed; m.failed;
+    m.batches; m.images;
     m.alloc_minor_words; m.alloc_major_words;
   ]
 

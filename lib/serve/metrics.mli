@@ -77,6 +77,9 @@ type t = {
   completed : Counter.t;
   rejected_overload : Counter.t;
   deadline_expired : Counter.t;
+  deadline_rejected : Counter.t;
+      (** subset of [deadline_expired]: budget already spent at
+          admission, rejected before queueing *)
   rejected_invalid : Counter.t;
   rejected_closed : Counter.t;
   failed : Counter.t;

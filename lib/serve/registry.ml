@@ -331,8 +331,33 @@ type fleet_outcome = {
   reports : shard_report list;
 }
 
-let publish_fleet ?(timeout = 30.0) ~endpoints ~name ~version ~input_dims model
-    =
+(* Transport-class failures (connect refused, IO cut mid-frame, framing
+   lost) are worth retrying on a jittered budget — the two-phase flip
+   is idempotent per shard, staging the same artifact twice is a no-op.
+   Protocol-level refusals (Remote nack, protocol confusion) are not:
+   the peer answered; asking again will not change its mind. *)
+let transport_error = function
+  | Shard_client.Connect _ | Shard_client.Io _ | Shard_client.Decode _ -> true
+  | Shard_client.Remote _ | Shard_client.Unexpected_reply _ -> false
+
+let with_retry ~policy ~seed ~err f =
+  let budget = Retry.start ~seed policy in
+  let rec go () =
+    match f () with
+    | Ok _ as ok -> ok
+    | Error e as failure -> (
+        if not (transport_error (err e)) then failure
+        else
+          match Retry.next budget with
+          | Some sleep ->
+              Unix.sleepf sleep;
+              go ()
+          | None -> failure)
+  in
+  go ()
+
+let publish_fleet ?(timeout = 30.0) ?(retry = Retry.default) ?(seed = 0)
+    ~endpoints ~name ~version ~input_dims model =
   if not (valid_name name) then Error (Bad_name name)
   else if version < 0 then
     Error (Bad_artifact { file = name; reason = "negative version" })
@@ -349,29 +374,36 @@ let publish_fleet ?(timeout = 30.0) ~endpoints ~name ~version ~input_dims model
       { endpoint; previous; prepared; activated; rolled_back; detail }
     in
     (* Phase one: stage on every shard.  Each exchange gets a fresh
-       connection so one wedged shard cannot poison another's stream. *)
+       connection so one wedged shard cannot poison another's stream;
+       transport failures are retried on the attempt budget (staging is
+       idempotent), with a distinct jitter stream per endpoint. *)
     let staged =
-      List.map
-        (fun ep ->
-          match Shard_client.connect ~timeout ep with
-          | Error e ->
-              report ep None false false false (Shard_client.error_to_string e)
-          | Ok c ->
-              Fun.protect
-                ~finally:(fun () -> Shard_client.close c)
-                (fun () ->
-                  let previous =
-                    match Shard_client.model_info c ~name with
-                    | Ok (active, _) -> active
-                    | Error _ -> None
-                  in
-                  match
-                    Shard_client.publish c ~name ~version ~input_dims ~payload
-                  with
-                  | Ok () -> report ep previous true false false "staged"
-                  | Error e ->
-                      report ep previous false false false
-                        (Shard_client.error_to_string e)))
+      List.mapi
+        (fun i ep ->
+          let stage () =
+            match Shard_client.connect ~timeout ep with
+            | Error e -> Error (None, e)
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Shard_client.close c)
+                  (fun () ->
+                    let previous =
+                      match Shard_client.model_info c ~name with
+                      | Ok (active, _) -> active
+                      | Error _ -> None
+                    in
+                    match
+                      Shard_client.publish c ~name ~version ~input_dims
+                        ~payload
+                    with
+                    | Ok () -> Ok previous
+                    | Error e -> Error (previous, e))
+          in
+          match with_retry ~policy:retry ~seed:(seed + i) ~err:snd stage with
+          | Ok previous -> report ep previous true false false "staged"
+          | Error (previous, e) ->
+              report ep previous false false false
+                (Shard_client.error_to_string e))
         endpoints
     in
     if List.exists (fun r -> not r.prepared) staged then
@@ -385,33 +417,35 @@ let publish_fleet ?(timeout = 30.0) ~endpoints ~name ~version ~input_dims model
           reports = staged;
         }
     else begin
-      (* Phase two: flip every shard.  Stop at the first failure and
-         roll the already-flipped shards back to their previous active
-         version. *)
-      let rec flip acc = function
+      (* Phase two: flip every shard.  Activation is idempotent too, so
+         transport failures get the same retry budget; stop at the
+         first definitive failure and roll the already-flipped shards
+         back to their previous active version. *)
+      let activate_ep i ep =
+        with_retry ~policy:retry ~seed:(seed + i + List.length endpoints)
+          ~err:Fun.id (fun () ->
+            match Shard_client.connect ~timeout ep with
+            | Error e -> Error e
+            | Ok c ->
+                Fun.protect
+                  ~finally:(fun () -> Shard_client.close c)
+                  (fun () -> Shard_client.activate c ~name ~version))
+      in
+      let rec flip i acc = function
         | [] -> (true, List.rev acc)
         | r :: rest -> (
-            match Shard_client.connect ~timeout r.endpoint with
+            match activate_ep i r.endpoint with
+            | Ok () ->
+                flip (i + 1)
+                  ({ r with activated = true; detail = "active" } :: acc)
+                  rest
             | Error e ->
                 ( false,
                   List.rev_append acc
                     ({ r with detail = Shard_client.error_to_string e }
-                    :: rest) )
-            | Ok c -> (
-                Fun.protect
-                  ~finally:(fun () -> Shard_client.close c)
-                  (fun () -> Shard_client.activate c ~name ~version)
-                |> function
-                | Ok () ->
-                    flip ({ r with activated = true; detail = "active" } :: acc)
-                      rest
-                | Error e ->
-                    ( false,
-                      List.rev_append acc
-                        ({ r with detail = Shard_client.error_to_string e }
-                        :: rest) )))
+                    :: rest) ))
       in
-      let committed, flipped = flip [] staged in
+      let committed, flipped = flip 0 [] staged in
       let reports =
         if committed then flipped
         else
@@ -426,34 +460,32 @@ let publish_fleet ?(timeout = 30.0) ~endpoints ~name ~version ~input_dims model
                       detail = "activated; no previous version to roll back to";
                     }
                 | Some prev -> (
-                    match Shard_client.connect ~timeout r.endpoint with
+                    let roll () =
+                      match Shard_client.connect ~timeout r.endpoint with
+                      | Error e -> Error e
+                      | Ok c ->
+                          Fun.protect
+                            ~finally:(fun () -> Shard_client.close c)
+                            (fun () ->
+                              Shard_client.activate c ~name ~version:prev)
+                    in
+                    match
+                      with_retry ~policy:retry ~seed:(seed + 0x5bd1) ~err:Fun.id
+                        roll
+                    with
+                    | Ok () ->
+                        {
+                          r with
+                          rolled_back = true;
+                          detail = Printf.sprintf "rolled back to v%d" prev;
+                        }
                     | Error e ->
                         {
                           r with
                           detail =
                             Printf.sprintf "rollback to v%d failed: %s" prev
                               (Shard_client.error_to_string e);
-                        }
-                    | Ok c -> (
-                        Fun.protect
-                          ~finally:(fun () -> Shard_client.close c)
-                          (fun () ->
-                            Shard_client.activate c ~name ~version:prev)
-                        |> function
-                        | Ok () ->
-                            {
-                              r with
-                              rolled_back = true;
-                              detail = Printf.sprintf "rolled back to v%d" prev;
-                            }
-                        | Error e ->
-                            {
-                              r with
-                              detail =
-                                Printf.sprintf "rollback to v%d failed: %s"
-                                  prev
-                                  (Shard_client.error_to_string e);
-                            })))
+                        }))
             flipped
       in
       Ok { committed; fleet_name = name; fleet_version = version; reports }

@@ -102,6 +102,8 @@ type fleet_outcome = {
 
 val publish_fleet :
   ?timeout:float ->
+  ?retry:Retry.policy ->
+  ?seed:int ->
   endpoints:string list ->
   name:string ->
   version:int ->
@@ -110,4 +112,9 @@ val publish_fleet :
   (fleet_outcome, error) result
 (** [Error _] only for locally-invalid input (bad name/version/dims,
     empty endpoint list); per-shard failures are reported in the
-    {!fleet_outcome}. *)
+    {!fleet_outcome}.  Transport-class failures (refused connect, IO
+    cut, framing lost) during staging, activation and rollback are
+    retried per endpoint on [retry] (default {!Retry.default}) with
+    jitter seeded by [seed] — both phases are idempotent per shard, so
+    a retried exchange can only converge, never double-apply.
+    Protocol-level refusals are definitive and never retried. *)

@@ -1,0 +1,34 @@
+module Rng = Twq_util.Rng
+
+type policy = { attempts : int; base : float; cap : float }
+
+let default = { attempts = 3; base = 0.025; cap = 1.0 }
+let no_retry = { attempts = 1; base = 0.0; cap = 0.0 }
+
+type t = {
+  policy : policy;
+  rng : Rng.t;
+  mutable used : int;
+  mutable prev : float; (* last granted sleep, feeds the jitter window *)
+}
+
+let start ?(seed = 0) policy =
+  { policy; rng = Rng.create seed; used = 1; prev = policy.base }
+
+let next t =
+  if t.used >= t.policy.attempts then None
+  else begin
+    t.used <- t.used + 1;
+    (* Decorrelated jitter: uniform in [base, 3*prev], clamped to cap.
+       Degenerates to 0 when base = cap = 0 (no_retry never gets here). *)
+    let hi = Float.max t.policy.base (3.0 *. t.prev) in
+    let span = hi -. t.policy.base in
+    let sleep =
+      Float.min t.policy.cap
+        (t.policy.base +. (if span > 0.0 then Rng.float t.rng span else 0.0))
+    in
+    t.prev <- sleep;
+    Some sleep
+  end
+
+let used t = t.used

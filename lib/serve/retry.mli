@@ -1,0 +1,36 @@
+(** Per-request retry budgets with exponential backoff and decorrelated
+    jitter.
+
+    A [policy] caps the total number of attempts a request may consume
+    across all shards; a [t] is one request's live budget. Sleeps follow
+    the "decorrelated jitter" scheme: each backoff is drawn uniformly
+    from [[base, 3 * previous]] and clamped to [cap], which spreads
+    synchronized retry storms apart while still growing roughly
+    exponentially. Draws come from a seeded {!Twq_util.Rng} stream, so a
+    replayed request makes the same backoff choices. *)
+
+type policy = {
+  attempts : int;  (** total attempts allowed, including the first *)
+  base : float;  (** minimum backoff, seconds *)
+  cap : float;  (** maximum backoff, seconds *)
+}
+
+val default : policy
+(** 3 attempts, 25 ms base, 1 s cap. *)
+
+val no_retry : policy
+(** A single attempt — disables retrying without special-casing. *)
+
+type t
+
+val start : ?seed:int -> policy -> t
+(** A fresh budget for one request; the first attempt is implicitly
+    spent. Equal seeds yield equal backoff sequences. *)
+
+val next : t -> float option
+(** After a failed attempt: [Some sleep] grants another attempt after
+    sleeping [sleep] seconds; [None] means the budget is exhausted.
+    Never sleeps itself. *)
+
+val used : t -> int
+(** Attempts consumed so far (at least 1). *)

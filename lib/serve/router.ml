@@ -16,7 +16,19 @@
    requests stop queueing behind a corpse.  Inference is idempotent —
    retrying a request whose shard died mid-flight on the next ring node
    is safe, and is exactly what keeps a SIGKILLed shard from losing
-   acks in the chaos smoke. *)
+   acks in the chaos smoke.
+
+   Resilience (PR 8): every forward consults a per-shard circuit
+   breaker (closed → open after K consecutive transport failures →
+   half-open probe after a cooldown), each request carries a retry
+   budget with decorrelated-jitter backoff instead of one transparent
+   retry, the relative deadline is re-derived from the monotonic clock
+   before every hop so shards never batch work whose budget upstream
+   queueing already spent, and (opt-in) a hedge races a second shard
+   after a p99-derived delay.  All timing is [Mclock]; the wall clock
+   appears nowhere on the request path. *)
+
+module Mclock = Twq_util.Mclock
 
 type health = Healthy | Backpressured | Dead
 
@@ -29,13 +41,26 @@ module Ring = struct
   let fnv_prime = 0x100000001b3L
   let fnv_basis = 0xcbf29ce484222325L
 
+  (* murmur3's fmix64 finalizer.  Raw FNV-1a has weak avalanche on the
+     trailing bytes of short, near-identical strings — the 64 vnode
+     names "<endpoint>#0".."<endpoint>#63" differ only in their suffix,
+     so without this their points cluster into one tight arc per
+     endpoint and a single shard can own essentially the whole key
+     space (observed: one shard owning 20/20 test keys). *)
+  let mix64 h =
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xff51afd7ed558ccdL in
+    let h = Int64.logxor h (Int64.shift_right_logical h 33) in
+    let h = Int64.mul h 0xc4ceb9fe1a85ec53L in
+    Int64.logxor h (Int64.shift_right_logical h 33)
+
   let fnv1a64 s =
     let h = ref fnv_basis in
     String.iter
       (fun c ->
         h := Int64.mul (Int64.logxor !h (Int64.of_int (Char.code c))) fnv_prime)
       s;
-    !h
+    mix64 !h
 
   type t = {
     vnodes : int;
@@ -106,19 +131,146 @@ module Ring = struct
   let remove t ep = build t.vnodes (List.filter (( <> ) ep) t.eps)
 end
 
+(* Per-shard circuit breaker.  Closed counts consecutive transport
+   failures and trips at K; Open rejects everything until [cooldown]
+   has elapsed, then grants exactly one probe (Half_open); the probe's
+   verdict closes or re-opens the breaker.  A probe that never reports
+   back (lost thread, dropped reply) re-arms after another cooldown, so
+   a silent probe cannot wedge the breaker shut forever.  Callers pass
+   [now] explicitly (monotonic seconds) so the state machine is unit-
+   testable without sleeping. *)
+module Breaker = struct
+  type state = Closed | Open | Half_open
+
+  let state_label = function
+    | Closed -> "closed"
+    | Open -> "open"
+    | Half_open -> "half-open"
+
+  type t = {
+    failures : int; (* K consecutive failures to trip *)
+    cooldown : float; (* seconds open before a probe *)
+    mu : Mutex.t;
+    mutable st : state;
+    mutable consecutive : int;
+    mutable since : float; (* entered Open / probe granted *)
+  }
+
+  let create ?(failures = 5) ?(cooldown = 1.0) () =
+    if failures < 1 then invalid_arg "Breaker.create: failures < 1";
+    if cooldown < 0.0 then invalid_arg "Breaker.create: cooldown < 0";
+    {
+      failures;
+      cooldown;
+      mu = Mutex.create ();
+      st = Closed;
+      consecutive = 0;
+      since = 0.0;
+    }
+
+  let state t =
+    Mutex.lock t.mu;
+    let s = t.st in
+    Mutex.unlock t.mu;
+    s
+
+  let admit t ~now =
+    Mutex.lock t.mu;
+    let v =
+      match t.st with
+      | Closed -> `Yes
+      | Open ->
+          if now -. t.since >= t.cooldown then begin
+            t.st <- Half_open;
+            t.since <- now;
+            `Probe
+          end
+          else `No
+      | Half_open ->
+          if now -. t.since >= t.cooldown then begin
+            (* The previous probe went silent; grant another. *)
+            t.since <- now;
+            `Probe
+          end
+          else `No
+    in
+    Mutex.unlock t.mu;
+    v
+
+  let success t =
+    Mutex.lock t.mu;
+    let r =
+      match t.st with
+      | Closed ->
+          t.consecutive <- 0;
+          `Stayed
+      | Half_open ->
+          t.st <- Closed;
+          t.consecutive <- 0;
+          `Closed_now
+      | Open ->
+          (* A straggler from before the trip; only a probe may close. *)
+          `Stayed
+    in
+    Mutex.unlock t.mu;
+    r
+
+  let failure t ~now =
+    Mutex.lock t.mu;
+    let r =
+      match t.st with
+      | Closed ->
+          t.consecutive <- t.consecutive + 1;
+          if t.consecutive >= t.failures then begin
+            t.st <- Open;
+            t.since <- now;
+            `Opened
+          end
+          else `Stayed
+      | Half_open ->
+          t.st <- Open;
+          t.since <- now;
+          `Opened
+      | Open -> `Stayed
+    in
+    Mutex.unlock t.mu;
+    r
+end
+
 type config = {
   vnodes : int;
   heartbeat_interval : float;
   connect_timeout : float;
   pool : int;
+  retry : Retry.policy; (* per-request attempt budget *)
+  breaker_failures : int; (* K consecutive failures to trip *)
+  breaker_cooldown : float; (* seconds open before half-open probe *)
+  hedge : bool; (* race a second shard on slow requests *)
+  hedge_floor : float; (* minimum hedge delay, seconds *)
+  seed : int; (* retry-jitter seed *)
 }
 
 let default_config =
-  { vnodes = 64; heartbeat_interval = 0.25; connect_timeout = 10.0; pool = 4 }
+  {
+    vnodes = 64;
+    heartbeat_interval = 0.25;
+    (* 2 s, not 10: the data path's connect timeout must stay within
+       the same order as the heartbeat, or a black-holed endpoint
+       wedges handler threads long after the sweep called it dead. *)
+    connect_timeout = 2.0;
+    pool = 4;
+    retry = Retry.default;
+    breaker_failures = 5;
+    breaker_cooldown = 1.0;
+    hedge = false;
+    hedge_floor = 0.01;
+    seed = 0;
+  }
 
 type shard = {
   sh_endpoint : string;
   sh_mutex : Mutex.t;
+  sh_breaker : Breaker.t;
   mutable sh_health : health;
   mutable sh_pool : Shard_client.t list;
 }
@@ -136,12 +288,21 @@ type t = {
   mutable r_accepting : bool;
   mutable r_draining : bool;
   mutable r_stopped : bool;
+  r_reqseq : int Atomic.t; (* per-request retry-jitter streams *)
+  h_attempt_latency : Metrics.Histogram.t; (* feeds the hedge delay *)
   c_routed : Metrics.Counter.t;
   c_failovers : Metrics.Counter.t;
   c_spills : Metrics.Counter.t;
   c_unavailable : Metrics.Counter.t;
   c_unhealthy : Metrics.Counter.t;
   c_recoveries : Metrics.Counter.t;
+  c_retries : Metrics.Counter.t;
+  c_hedges : Metrics.Counter.t;
+  c_hedge_wins : Metrics.Counter.t;
+  c_breaker_opens : Metrics.Counter.t;
+  c_breaker_probes : Metrics.Counter.t;
+  c_breaker_closes : Metrics.Counter.t;
+  c_deadline_rejected : Metrics.Counter.t;
   c_connections : Metrics.Counter.t;
   c_frames_in : Metrics.Counter.t;
   c_frames_out : Metrics.Counter.t;
@@ -184,7 +345,9 @@ let checkout t sh =
 
 let checkin t sh c =
   Mutex.lock sh.sh_mutex;
-  let keep = List.length sh.sh_pool < t.r_config.pool in
+  (* After stop, hedge losers may still be completing; close rather
+     than repopulate a pool nobody will drain again. *)
+  let keep = t.r_accepting && List.length sh.sh_pool < t.r_config.pool in
   if keep then sh.sh_pool <- c :: sh.sh_pool;
   Mutex.unlock sh.sh_mutex;
   if not keep then Shard_client.close c
@@ -198,12 +361,26 @@ let drop_pool sh =
 
 (* --- infer proxy path --------------------------------------------- *)
 
+let breaker_failure t sh =
+  match Breaker.failure sh.sh_breaker ~now:(Mclock.now ()) with
+  | `Opened -> Metrics.Counter.incr t.c_breaker_opens
+  | `Stayed -> ()
+
+let breaker_success t sh =
+  match Breaker.success sh.sh_breaker with
+  | `Closed_now -> Metrics.Counter.incr t.c_breaker_closes
+  | `Stayed -> ()
+
 (* One attempt against one shard.  [`Final] outcomes are returned to the
    client as-is; [`Spill] (typed backpressure, drain, missing model)
-   and [`Dead] (transport failure) move on to the next ring node. *)
+   and [`Dead] (transport failure) move on to the next ring node.
+   Transport failures feed the shard's breaker; any typed reply —
+   including backpressure — proves the transport works and feeds
+   success. *)
 let attempt t sh ~deadline ~key ~dims ~data =
   match checkout t sh with
   | Error _ ->
+      breaker_failure t sh;
       set_health t sh Dead;
       `Dead
   | Ok c -> (
@@ -211,13 +388,17 @@ let attempt t sh ~deadline ~key ~dims ~data =
       | Error (Shard_client.Connect _ | Shard_client.Io _
               | Shard_client.Decode _ | Shard_client.Unexpected_reply _) ->
           Shard_client.close c;
+          breaker_failure t sh;
           set_health t sh Dead;
           `Dead
       | Error (Shard_client.Remote _) ->
           checkin t sh c;
+          breaker_success t sh;
           `Spill Wire.Closed
-      | Ok { outcome; _ } -> (
+      | Ok { outcome; wire_latency } -> (
           checkin t sh c;
+          breaker_success t sh;
+          Metrics.Histogram.observe t.h_attempt_latency wire_latency;
           match outcome with
           | Wire.Overloaded ->
               set_health t sh Backpressured;
@@ -228,49 +409,218 @@ let attempt t sh ~deadline ~key ~dims ~data =
               if get_health sh = Backpressured then set_health t sh Healthy;
               `Final outcome))
 
+(* Hedge delay: p99 of observed attempt latency once there is enough
+   signal, never below the configured floor. *)
+let hedge_delay t =
+  if Metrics.Histogram.count t.h_attempt_latency >= 20 then
+    Float.max t.r_config.hedge_floor
+      (Metrics.Histogram.quantile t.h_attempt_latency 0.99)
+  else t.r_config.hedge_floor
+
+(* Race two shards for one request: launch [a]; if it has not answered
+   within the hedge delay, launch [b]; first [`Final] wins.  The loser
+   is not cancelled (blocking IO cannot be) — it runs to completion on
+   its thread, its verdict still feeds health and breaker state, and
+   only its reply is discarded.  Returns the winning outcome, or the
+   non-final verdicts seen so far so the caller's retry walk can take
+   over. *)
+let hedged_pair t ~remaining ~key ~dims ~data a b =
+  let mu = Mutex.create () in
+  let final = ref None in
+  let nonfinal = ref [] in
+  let finished = ref 0 in
+  let launch ~second ep =
+    ignore
+      (Thread.create
+         (fun () ->
+           let sh = List.assoc ep t.r_shards in
+           let r = attempt t sh ~deadline:(remaining ()) ~key ~dims ~data in
+           Mutex.lock mu;
+           incr finished;
+           (match r with
+           | `Final o -> if !final = None then final := Some (o, ep, second)
+           | (`Dead | `Spill _) as v -> nonfinal := v :: !nonfinal);
+           Mutex.unlock mu)
+         ())
+  in
+  let poll () =
+    Mutex.lock mu;
+    let s = (!final, !finished) in
+    Mutex.unlock mu;
+    s
+  in
+  launch ~second:false a;
+  let delay = hedge_delay t in
+  let t0 = Mclock.now () in
+  let rec wait_primary () =
+    match poll () with
+    | (Some _, _ | _, 1) -> ()
+    | _ ->
+        if Mclock.elapsed t0 < delay then begin
+          Thread.delay 0.0005;
+          wait_primary ()
+        end
+  in
+  wait_primary ();
+  let hedged =
+    match poll () with
+    | None, 0 ->
+        (* Primary still in flight past the delay: hedge. *)
+        Metrics.Counter.incr t.c_hedges;
+        launch ~second:true b;
+        true
+    | _ -> false
+  in
+  let want = if hedged then 2 else 1 in
+  let rec wait_any () =
+    match poll () with
+    | Some _, _ -> ()
+    | None, n when n >= want -> ()
+    | _ ->
+        Thread.delay 0.0005;
+        wait_any ()
+  in
+  wait_any ();
+  Mutex.lock mu;
+  let result = (!final, !nonfinal) in
+  Mutex.unlock mu;
+  match result with
+  | Some (o, ep, second), _ ->
+      if second then Metrics.Counter.incr t.c_hedge_wins;
+      `Won (o, ep)
+  | None, seen -> `Lost seen
+
 let route_infer t ~deadline ~key ~dims ~data =
   Metrics.Counter.incr t.c_routed;
+  let t0 = Mclock.now () in
+  (* The wire deadline is a relative budget; re-derive what is left of
+     it before every hop so elapsed routing/backoff time is deducted
+     rather than silently granted again downstream. *)
+  let remaining () =
+    match deadline with None -> None | Some b -> Some (b -. Mclock.elapsed t0)
+  in
+  let expired () =
+    match remaining () with Some r -> r <= 0.0 | None -> false
+  in
   let candidates = Ring.successors t.r_ring key in
   (* Live shards first, in ring order; dead-marked shards are kept at
      the tail as last-resort probes, so a fleet the heartbeat has not
      re-scanned yet (or has wrongly written off) still gets one chance
      before the client sees Unavailable.  A successful probe also
      resurrects the shard ahead of the next heartbeat sweep. *)
-  let live, dead =
-    List.partition
-      (fun ep -> get_health (List.assoc ep t.r_shards) <> Dead)
-      candidates
+  let order () =
+    let live, dead =
+      List.partition
+        (fun ep -> get_health (List.assoc ep t.r_shards) <> Dead)
+        candidates
+    in
+    live @ dead
   in
-  let rec go best_spill tried = function
-    | [] -> (
-        Metrics.Counter.incr t.c_unavailable;
-        match best_spill with
-        | Some o -> o
-        | None ->
-            Wire.Unavailable
-              (Printf.sprintf "no live shard for key (%d tried)" tried))
-    | ep :: rest -> (
-        let sh = List.assoc ep t.r_shards in
-        match attempt t sh ~deadline ~key ~dims ~data with
-        | `Final o ->
-            if tried > 0 then Metrics.Counter.incr t.c_failovers;
-            if get_health sh = Dead then set_health t sh Healthy;
-            o
-        | `Dead ->
-            Metrics.Counter.incr t.c_failovers;
-            go best_spill (tried + 1) rest
-        | `Spill o ->
-            Metrics.Counter.incr t.c_spills;
-            let best =
-              (* Prefer reporting backpressure over drain/missing
-                 model: it tells the client to back off, not give up. *)
-              match (best_spill, o) with
-              | Some Wire.Overloaded, _ -> Some Wire.Overloaded
-              | _, o -> Some o
-            in
-            go best (tried + 1) rest)
+  let retry =
+    Retry.start
+      ~seed:(t.r_config.seed + Atomic.fetch_and_add t.r_reqseq 1)
+      t.r_config.retry
   in
-  go None 0 (live @ dead)
+  (* Every attempt after the first draws on the retry budget and pays
+     its jittered backoff (clipped to the remaining deadline). *)
+  let first = ref true in
+  let grant () =
+    if !first then begin
+      first := false;
+      true
+    end
+    else
+      match Retry.next retry with
+      | None -> false
+      | Some sleep ->
+          Metrics.Counter.incr t.c_retries;
+          let sleep =
+            match remaining () with
+            | Some r -> Float.min sleep (Float.max 0.0 (r -. 0.001))
+            | None -> sleep
+          in
+          if sleep > 0.0 then Thread.delay sleep;
+          true
+  in
+  let best = ref None in
+  let tried = ref 0 in
+  let merge o =
+    (* Prefer reporting backpressure over drain/missing model: it tells
+       the client to back off, not give up. *)
+    best :=
+      (match (!best, o) with
+      | Some Wire.Overloaded, _ -> Some Wire.Overloaded
+      | _, o -> Some o)
+  in
+  let fail o =
+    incr tried;
+    match o with
+    | `Dead -> Metrics.Counter.incr t.c_failovers
+    | `Spill o ->
+        Metrics.Counter.incr t.c_spills;
+        merge o
+  in
+  let unavailable () =
+    Metrics.Counter.incr t.c_unavailable;
+    match !best with
+    | Some o -> o
+    | None ->
+        Wire.Unavailable
+          (Printf.sprintf "no live shard for key (%d tried)" !tried)
+  in
+  let deadline_spent () =
+    Metrics.Counter.incr t.c_deadline_rejected;
+    Wire.Expired
+  in
+  let finalize sh o =
+    if !tried > 0 then Metrics.Counter.incr t.c_failovers;
+    if get_health sh = Dead then set_health t sh Healthy;
+    o
+  in
+  (* One pass over the candidates; [`Blocked] = breaker rejected every
+     shard without a single attempt, [`Budget] = retry budget ran dry. *)
+  let rec walk made = function
+    | [] -> if made then `Again else `Blocked
+    | ep :: rest ->
+        if expired () then `Done (deadline_spent ())
+        else begin
+          let sh = List.assoc ep t.r_shards in
+          match Breaker.admit sh.sh_breaker ~now:(Mclock.now ()) with
+          | `No -> walk made rest
+          | (`Yes | `Probe) as adm ->
+              if not (grant ()) then `Budget
+              else begin
+                if adm = `Probe then
+                  Metrics.Counter.incr t.c_breaker_probes;
+                match attempt t sh ~deadline:(remaining ()) ~key ~dims ~data with
+                | `Final o -> `Done (finalize sh o)
+                | (`Dead | `Spill _) as v ->
+                    fail v;
+                    walk true rest
+              end
+        end
+  in
+  let rec cycle () =
+    match walk false (order ()) with
+    | `Done o -> o
+    | `Budget | `Blocked -> unavailable ()
+    | `Again ->
+        (* Something was attempted and everything failed; the budget
+           decides whether another sweep is worth it. *)
+        cycle ()
+  in
+  if expired () then deadline_spent ()
+  else if t.r_config.hedge then begin
+    match order () with
+    | a :: b :: _ when grant () -> (
+        match hedged_pair t ~remaining ~key ~dims ~data a b with
+        | `Won (o, winner) -> finalize (List.assoc winner t.r_shards) o
+        | `Lost seen ->
+            List.iter fail seen;
+            cycle ())
+    | _ -> cycle ()
+  end
+  else cycle ()
 
 (* --- wire front-end ----------------------------------------------- *)
 
@@ -282,21 +632,33 @@ let counters t =
     ("unavailable", Metrics.Counter.value t.c_unavailable);
     ("unhealthy_transitions", Metrics.Counter.value t.c_unhealthy);
     ("recoveries", Metrics.Counter.value t.c_recoveries);
+    ("retries", Metrics.Counter.value t.c_retries);
+    ("hedges", Metrics.Counter.value t.c_hedges);
+    ("hedge_wins", Metrics.Counter.value t.c_hedge_wins);
+    ("breaker_opens", Metrics.Counter.value t.c_breaker_opens);
+    ("breaker_probes", Metrics.Counter.value t.c_breaker_probes);
+    ("breaker_closes", Metrics.Counter.value t.c_breaker_closes);
+    ("deadline_rejected", Metrics.Counter.value t.c_deadline_rejected);
   ]
 
 let shard_health t =
   List.map (fun (ep, sh) -> (ep, get_health sh)) t.r_shards
 
+let breakers t =
+  List.map (fun (ep, sh) -> (ep, Breaker.state sh.sh_breaker)) t.r_shards
+
 let stats_json t =
   let b = Buffer.create 512 in
   Buffer.add_string b "{\n  \"shards\": [";
   List.iteri
-    (fun i (ep, h) ->
+    (fun i (ep, sh) ->
       Buffer.add_string b
-        (Printf.sprintf "%s{\"endpoint\": %S, \"health\": %S}"
+        (Printf.sprintf "%s{\"endpoint\": %S, \"health\": %S, \"breaker\": %S}"
            (if i = 0 then "" else ", ")
-           ep (health_label h)))
-    (shard_health t);
+           ep
+           (health_label (get_health sh))
+           (Breaker.state_label (Breaker.state sh.sh_breaker))))
+    t.r_shards;
   Buffer.add_string b "],\n  \"counters\": {";
   List.iteri
     (fun i (name, v) ->
@@ -389,16 +751,25 @@ let accept_loop t =
 
 (* Health sweep: one fresh short-timeout ping per shard per interval.
    The ping deliberately bypasses the pool — a pooled connection to a
-   dead shard would just burn the timeout twice. *)
+   dead shard would just burn the timeout twice.  The ping's own
+   timeout is capped by the sweep interval, never the data path's
+   connect timeout: one black-holed endpoint must not stall the whole
+   sweep.  Ping failures feed the shard's circuit breaker (a Dead
+   shard stops receiving traffic, so traffic alone could never
+   accumulate K failures); ping successes restore health only — the
+   open → half-open → closed sequence stays traffic-driven. *)
 let heartbeat_loop t =
   let interval = t.r_config.heartbeat_interval in
-  let timeout = Float.max 0.05 (Float.min t.r_config.connect_timeout 2.0) in
+  let timeout =
+    Float.max 0.05 (Float.min t.r_config.connect_timeout interval)
+  in
   while t.r_accepting do
     List.iter
       (fun (_, sh) ->
         if t.r_accepting then
           match Shard_client.connect ~timeout sh.sh_endpoint with
           | Error _ ->
+              breaker_failure t sh;
               set_health t sh Dead;
               drop_pool sh
           | Ok c ->
@@ -408,15 +779,16 @@ let heartbeat_loop t =
                      the ping only proves liveness, not headroom. *)
                   if get_health sh = Dead then set_health t sh Healthy
               | Ok _ | Error _ ->
+                  breaker_failure t sh;
                   set_health t sh Dead;
                   drop_pool sh);
               Shard_client.close c)
       t.r_shards;
-    (* Sleep in small slices so stop() is prompt. *)
-    let slept = ref 0.0 in
-    while t.r_accepting && !slept < interval do
-      Thread.delay 0.05;
-      slept := !slept +. 0.05
+    (* Sleep in small slices (monotonic accounting) so stop() is
+       prompt. *)
+    let t0 = Mclock.now () in
+    while t.r_accepting && Mclock.elapsed t0 < interval do
+      Thread.delay 0.05
     done
   done
 
@@ -448,6 +820,9 @@ let start ?(config = default_config) ~shards ~path () =
                         {
                           sh_endpoint = ep;
                           sh_mutex = Mutex.create ();
+                          sh_breaker =
+                            Breaker.create ~failures:config.breaker_failures
+                              ~cooldown:config.breaker_cooldown ();
                           sh_health = Healthy;
                           sh_pool = [];
                         } ))
@@ -460,12 +835,22 @@ let start ?(config = default_config) ~shards ~path () =
                 r_accepting = true;
                 r_draining = false;
                 r_stopped = false;
+                r_reqseq = Atomic.make 0;
+                h_attempt_latency = Metrics.Histogram.create "attempt_latency";
                 c_routed = Metrics.Counter.create "routed";
                 c_failovers = Metrics.Counter.create "failovers";
                 c_spills = Metrics.Counter.create "spills";
                 c_unavailable = Metrics.Counter.create "unavailable";
                 c_unhealthy = Metrics.Counter.create "unhealthy_transitions";
                 c_recoveries = Metrics.Counter.create "recoveries";
+                c_retries = Metrics.Counter.create "retries";
+                c_hedges = Metrics.Counter.create "hedges";
+                c_hedge_wins = Metrics.Counter.create "hedge_wins";
+                c_breaker_opens = Metrics.Counter.create "breaker_opens";
+                c_breaker_probes = Metrics.Counter.create "breaker_probes";
+                c_breaker_closes = Metrics.Counter.create "breaker_closes";
+                c_deadline_rejected =
+                  Metrics.Counter.create "deadline_rejected";
                 c_connections = Metrics.Counter.create "connections";
                 c_frames_in = Metrics.Counter.create "frames_in";
                 c_frames_out = Metrics.Counter.create "frames_out";

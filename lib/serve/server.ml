@@ -23,6 +23,7 @@
 
 module Tensor = Twq_tensor.Tensor
 module Parallel = Twq_util.Parallel
+module Mclock = Twq_util.Mclock
 
 type config = {
   max_batch : int;
@@ -81,7 +82,10 @@ type t = {
   stop_mutex : Mutex.t;
 }
 
-let now = Unix.gettimeofday
+(* All ticket timestamps are differences of monotonic readings; a wall
+   clock stepped by NTP mid-request would corrupt deadlines and the
+   latency histograms. *)
+let now = Mclock.now
 
 let complete t ticket outcome =
   (match outcome with
@@ -255,6 +259,12 @@ let submit ?deadline t x =
       (Rejected_invalid
          (Printf.sprintf "input shape %s, expected %dx%dx%d" got
             t.input_dims.(0) t.input_dims.(1) t.input_dims.(2)))
+  end
+  else if (match rel with Some r -> r <= 0.0 | None -> false) then begin
+    (* The budget arrived already spent (upstream queueing ate it all);
+       reject at admission instead of batching doomed work. *)
+    Metrics.Counter.incr t.metrics.Metrics.deadline_rejected;
+    complete t ticket Deadline_expired
   end
   else begin
     Metrics.Counter.incr t.metrics.Metrics.accepted;
@@ -526,6 +536,19 @@ let unregister_conn d fd =
   d.d_conns <- List.filter (fun (fd', _) -> fd' != fd) d.d_conns;
   Mutex.unlock d.d_mutex
 
+(* Injected mid-frame drop on the reply path: half the encoded reply,
+   then the connection dies.  The client's CRC/length checks must turn
+   this into a typed Io/Decode error — never a wrong answer. *)
+let write_reply_partial fd frame =
+  let len = String.length frame / 2 in
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd frame off (len - off) in
+      go (off + n)
+  in
+  (try go 0 with Unix.Unix_error _ -> ());
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
 let handle_conn d fd =
   let dec = Wire.decoder () in
   let rec loop () =
@@ -538,11 +561,23 @@ let handle_conn d fd =
         Metrics.Counter.incr d.dc_decode_errors
     | Ok (id, msg) -> (
         Metrics.Counter.incr d.dc_frames_in;
-        match Wire.write_frame fd ~id (handle_msg d msg) with
-        | () ->
-            Metrics.Counter.incr d.dc_frames_out;
-            loop ()
-        | exception Unix.Unix_error (_, _, _) -> ())
+        let reply = handle_msg d msg in
+        (* The request has already executed; faults here lose only the
+           ack, which is the scenario retry/hedging must not double-
+           execute around. *)
+        match Fault.probe Fault.Reply ~peer:d.d_path with
+        | Some Fault.Refuse -> (
+            try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ())
+        | Some Fault.Drop -> write_reply_partial fd (Wire.encode ~id reply)
+        | fault -> (
+            (match fault with
+            | Some (Fault.Stall dur | Fault.Delay dur) -> Unix.sleepf dur
+            | _ -> ());
+            match Wire.write_frame fd ~id reply with
+            | () ->
+                Metrics.Counter.incr d.dc_frames_out;
+                loop ()
+            | exception Unix.Unix_error (_, _, _) -> ()))
   in
   loop ();
   (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());

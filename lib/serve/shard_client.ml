@@ -9,9 +9,17 @@
 
    Sockets carry send/receive timeouts so a wedged peer turns into a
    typed [Io] error instead of a hung caller; SIGPIPE is disabled
-   process-wide on first connect so a dead peer turns into EPIPE. *)
+   process-wide on first connect so a dead peer turns into EPIPE.
+
+   Every IO step consults the [Fault] hook (one Atomic.get when
+   disarmed): connects can be refused or severed, sends and receives
+   can stall, and a [drop] at the send site writes half the encoded
+   frame before closing — the worst case for a framed protocol, which
+   the peer's CRC/length checks must absorb as a decode error rather
+   than a wrong answer. *)
 
 module Tensor = Twq_tensor.Tensor
+module Mclock = Twq_util.Mclock
 
 type error =
   | Connect of string
@@ -42,29 +50,45 @@ let ignore_sigpipe =
 
 let connect ?(timeout = 30.0) path =
   Lazy.force ignore_sigpipe;
-  match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
-  | exception Unix.Unix_error (e, _, _) ->
-      Error (Connect (Unix.error_message e))
-  | fd -> (
-      match
-        if timeout > 0.0 then begin
-          Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
-          Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
-        end;
-        Unix.connect fd (Unix.ADDR_UNIX path)
-      with
-      | () ->
-          Ok
-            {
-              endpoint = path;
-              fd;
-              dec = Wire.decoder ();
-              next_id = 1L;
-              closed = false;
-            }
+  let fault = Fault.probe Fault.Connect ~peer:path in
+  (match fault with
+  | Some (Fault.Stall d | Fault.Delay d) -> Unix.sleepf d
+  | _ -> ());
+  match fault with
+  | Some Fault.Refuse -> Error (Connect (path ^ ": injected refusal"))
+  | _ -> (
+      match Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 with
       | exception Unix.Unix_error (e, _, _) ->
-          (try Unix.close fd with Unix.Unix_error _ -> ());
-          Error (Connect (Printf.sprintf "%s: %s" path (Unix.error_message e))))
+          Error (Connect (Unix.error_message e))
+      | fd -> (
+          match
+            if timeout > 0.0 then begin
+              Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+              Unix.setsockopt_float fd Unix.SO_SNDTIMEO timeout
+            end;
+            Unix.connect fd (Unix.ADDR_UNIX path)
+          with
+          | () ->
+              (* Injected drop at the connect site: the handshake worked
+                 but the link is already dead — like a peer that accepts
+                 and immediately resets.  The first roundtrip gets EPIPE. *)
+              (match fault with
+              | Some Fault.Drop -> (
+                  try Unix.shutdown fd Unix.SHUTDOWN_ALL
+                  with Unix.Unix_error _ -> ())
+              | _ -> ());
+              Ok
+                {
+                  endpoint = path;
+                  fd;
+                  dec = Wire.decoder ();
+                  next_id = 1L;
+                  closed = false;
+                }
+          | exception Unix.Unix_error (e, _, _) ->
+              (try Unix.close fd with Unix.Unix_error _ -> ());
+              Error
+                (Connect (Printf.sprintf "%s: %s" path (Unix.error_message e)))))
 
 let close t =
   if not t.closed then begin
@@ -74,6 +98,17 @@ let close t =
 
 let endpoint t = t.endpoint
 
+(* Write `len` bytes of an encoded frame, used by the injected
+   mid-frame drop: half a frame on the wire, then the socket dies. *)
+let write_partial fd frame len =
+  let rec go off =
+    if off < len then
+      let n = Unix.write_substring fd frame off (len - off) in
+      go (off + n)
+  in
+  (try go 0 with Unix.Unix_error _ -> ());
+  try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ()
+
 (* One request/reply exchange.  Any IO failure leaves the stream in an
    unknown state, so the caller must treat the connection as dead. *)
 let roundtrip t msg =
@@ -81,29 +116,51 @@ let roundtrip t msg =
   else begin
     let id = t.next_id in
     t.next_id <- Int64.add id 1L;
-    match
-      Wire.write_frame t.fd ~id msg;
-      Wire.read_frame t.fd t.dec
-    with
-    | exception Unix.Unix_error (e, _, _) -> Error (Io (Unix.error_message e))
-    | Error `Eof -> Error (Io "peer closed the connection")
-    | Error (`Error e) -> Error (Decode e)
-    | Ok (rid, reply) ->
-        if rid <> id then
-          Error
-            (Unexpected_reply
-               (Printf.sprintf "reply id %Ld for request %Ld" rid id))
-        else Ok reply
+    match Fault.probe Fault.Send ~peer:t.endpoint with
+    | Some Fault.Refuse ->
+        (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+        Error (Io "injected send refusal")
+    | Some Fault.Drop ->
+        let frame = Wire.encode ~id msg in
+        write_partial t.fd frame (String.length frame / 2);
+        Error (Io "injected mid-frame drop")
+    | fault -> (
+        (match fault with
+        | Some (Fault.Stall d | Fault.Delay d) -> Unix.sleepf d
+        | _ -> ());
+        match
+          Wire.write_frame t.fd ~id msg;
+          (match Fault.probe Fault.Recv ~peer:t.endpoint with
+          | Some (Fault.Stall d | Fault.Delay d) -> Unix.sleepf d
+          | Some (Fault.Drop | Fault.Refuse) ->
+              (* The request is already on the wire; losing the read half
+                 here is exactly a lost ack. *)
+              (try Unix.shutdown t.fd Unix.SHUTDOWN_ALL
+               with Unix.Unix_error _ -> ());
+              raise (Unix.Unix_error (Unix.ECONNRESET, "recv", "injected"))
+          | None -> ());
+          Wire.read_frame t.fd t.dec
+        with
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Io (Unix.error_message e))
+        | Error `Eof -> Error (Io "peer closed the connection")
+        | Error (`Error e) -> Error (Decode e)
+        | Ok (rid, reply) ->
+            if rid <> id then
+              Error
+                (Unexpected_reply
+                   (Printf.sprintf "reply id %Ld for request %Ld" rid id))
+            else Ok reply)
   end
 
 type infer_reply = { outcome : Wire.outcome; wire_latency : float }
 
 let infer_raw ?deadline ~key ~dims ~data t =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Mclock.now () in
   match roundtrip t (Wire.Infer { key; deadline; dims; data }) with
   | Error _ as e -> e
   | Ok (Wire.Infer_reply outcome) ->
-      Ok { outcome; wire_latency = Unix.gettimeofday () -. t0 }
+      Ok { outcome; wire_latency = Mclock.elapsed t0 }
   | Ok (Wire.Nack m) -> Error (Remote m)
   | Ok _ -> Error (Unexpected_reply "infer expected Infer_reply")
 

@@ -1,0 +1,5 @@
+external now : unit -> (float[@unboxed])
+  = "twq_mclock_now" "twq_mclock_now_unboxed"
+[@@noalloc]
+
+let elapsed t0 = now () -. t0

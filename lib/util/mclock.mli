@@ -1,0 +1,16 @@
+(** Monotonic clock.
+
+    [now ()] is CLOCK_MONOTONIC in seconds from an arbitrary epoch:
+    readings are only meaningful as differences, never as calendar
+    time.  Unlike [Unix.gettimeofday], it cannot jump backwards or leap
+    forwards when NTP steps the system clock, which makes it the only
+    correct time base for batch windows, deadlines, backoff timers and
+    breaker cooldowns.  The binding is a C stub ([@@noalloc], unboxed
+    float return), so a reading costs about as much as a function
+    call. *)
+
+val now : unit -> float
+(** Monotonic seconds since an arbitrary process-independent epoch. *)
+
+val elapsed : float -> float
+(** [elapsed t0] is [now () -. t0]. *)

@@ -1,0 +1,48 @@
+/* Monotonic clock for the serving stack.
+
+   OCaml 5.1's Unix library has no clock_gettime binding, and the fleet
+   must never time batch windows, deadlines or breaker cooldowns off the
+   wall clock (an NTP step would wedge or prematurely fire them), so this
+   is the one tiny C stub in the tree: CLOCK_MONOTONIC seconds as an
+   unboxed float. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+#if defined(_WIN32)
+#include <windows.h>
+
+double twq_mclock_now_unboxed(value unit)
+{
+  (void)unit;
+  LARGE_INTEGER freq, count;
+  QueryPerformanceFrequency(&freq);
+  QueryPerformanceCounter(&count);
+  return (double)count.QuadPart / (double)freq.QuadPart;
+}
+
+#else
+#include <time.h>
+#include <sys/time.h>
+
+double twq_mclock_now_unboxed(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return (double)ts.tv_sec + (double)ts.tv_nsec * 1e-9;
+#endif
+  /* No monotonic clock on this platform: degrade to wall time rather
+     than fail — callers only ever subtract two readings. */
+  struct timeval tv;
+  gettimeofday(&tv, NULL);
+  return (double)tv.tv_sec + (double)tv.tv_usec * 1e-6;
+}
+
+#endif
+
+CAMLprim value twq_mclock_now(value unit)
+{
+  return caml_copy_double(twq_mclock_now_unboxed(unit));
+}

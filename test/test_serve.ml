@@ -263,6 +263,44 @@ let test_batcher_delay_window () =
   Domain.join d;
   Batcher.shutdown b
 
+let test_batcher_close_submit_race () =
+  (* Producers hammer submit while shutdown lands mid-stream: every
+     submit must return a typed verdict (never raise, never block
+     forever), and every Accepted item must be delivered by next_batch
+     before it returns None — accepted work is never silently dropped. *)
+  for trial = 0 to 7 do
+    let b = Batcher.create ~capacity:64 ~max_batch:8 ~max_delay:0.0 () in
+    let accepted = Atomic.make 0 in
+    let drained = Atomic.make 0 in
+    let consumer =
+      Domain.spawn (fun () ->
+          let rec go () =
+            match Batcher.next_batch b with
+            | Some (l, _) ->
+                ignore (Atomic.fetch_and_add drained (List.length l));
+                go ()
+            | None -> ()
+          in
+          go ())
+    in
+    let producers =
+      List.init 4 (fun p ->
+          Domain.spawn (fun () ->
+              for i = 0 to 63 do
+                match Batcher.submit b ((p * 1000) + i) with
+                | Batcher.Accepted -> Atomic.incr accepted
+                | Batcher.Overloaded | Batcher.Closed -> ()
+              done))
+    in
+    Unix.sleepf 0.002;
+    Batcher.shutdown b;
+    List.iter Domain.join producers;
+    Domain.join consumer;
+    Alcotest.(check int)
+      (Printf.sprintf "trial %d: accepted = drained" trial)
+      (Atomic.get accepted) (Atomic.get drained)
+  done
+
 (* ------------------------------------------------------------- registry *)
 
 let publish_tiny reg ~name ~version ~seed =
@@ -549,6 +587,8 @@ let () =
         [
           Alcotest.test_case "fifo + bounds" `Quick test_batcher_fifo_and_bounds;
           Alcotest.test_case "delay window" `Quick test_batcher_delay_window;
+          Alcotest.test_case "close/submit race" `Quick
+            test_batcher_close_submit_race;
         ] );
       ( "registry",
         [
