@@ -199,6 +199,23 @@ let xi_gemm =
 let wi_gemm =
   Twq.Itensor.init [| 64; 64; 3; 3 |] (fun _ -> Twq.Rng.int rng 255 - 127)
 
+(* F(6,3) big-tile exact integer pair: the RNS per-modulus engine (CRT
+   reconstruction fused into the gather) against the full-range exact
+   direct path on the same tensors.  Both sequential; the pair prices
+   what the residue decomposition costs in software (on hardware it is
+   what makes the F6 accumulator width feasible at all). *)
+let ki6_gemm = WK.i32_specialized T.F6
+
+let scale2_f6 =
+  let s = T.bt_scale T.F6 * T.g_scale T.F6 * T.at_scale T.F6 in
+  s * s
+
+let rns_plan_f6 =
+  let module Rns = Twq.Winograd.Rns in
+  match Rns.suggest_basis ~m:6 ~r:3 ~cin:64 () with
+  | Ok basis -> Rns.plan_exn ~m:6 ~r:3 ~basis ~cin:64 ()
+  | Error e -> failwith (Rns.error_to_string e)
+
 let micro_vs_naive name micro naive =
   [
     (name ^ "-micro", fun () -> Parallel.sequential micro);
@@ -381,6 +398,20 @@ let kernels : (string * (unit -> unit)) list =
         ignore
           (WK.conv2d_i32_exact_ref ki4_gemm ~scale2:scale2_f4 ~pad:1 ~x:xi_gemm
              ~w:wi_gemm))
+  @ [
+      ( "wino-f6-rns-crt",
+        fun () ->
+          Parallel.sequential (fun () ->
+              ignore
+                (Twq.Winograd.Rns.conv2d rns_plan_f6 ~pad:1 ~x:xi_gemm
+                   ~w:wi_gemm ())) );
+      ( "wino-f6-rns-direct",
+        fun () ->
+          Parallel.sequential (fun () ->
+              ignore
+                (WK.conv2d_i32_exact ki6_gemm ~scale2:scale2_f6 ~pad:1
+                   ~x:xi_gemm ~w:wi_gemm)) );
+    ]
   @ tap_vs_tile "gconv-m4r5-fp32"
       (fun () ->
         ignore (Twq.Winograd.Gconv.conv2d gconv45 ~pad:2 ~x:x_par ~w:w45_par ()))
@@ -580,6 +611,8 @@ let tier1 =
     "router-hash";
     "wino-f4-fp32-micro";
     "wino-f4-int8-micro";
+    "wino-f6-rns-crt";
+    "wino-f6-rns-direct";
   ]
 
 (* Regression gate: prints a table of old-vs-new means, then annotates

@@ -802,6 +802,111 @@ let loadgen_cmd =
       $ requests $ concurrency $ rate $ seed $ metrics_out_arg $ summary_out
       $ connect $ slo_ms $ res $ deadline_ms $ retry_attempts)
 
+let rns_cmd =
+  let doc =
+    "Plan (and optionally self-check) the residue-number-system integer \
+     Winograd backend: validate a modulus basis against the worst-case \
+     dynamic range of F(m,r) and report the range proof."
+  in
+  let m_arg =
+    Arg.(value & opt int 6 & info [ "m" ] ~docv:"M" ~doc:"Output tile size.")
+  in
+  let r_arg =
+    Arg.(value & opt int 3 & info [ "r" ] ~docv:"R" ~doc:"Kernel size (odd).")
+  in
+  let cin_arg =
+    Arg.(value & opt int 64 & info [ "cin" ] ~doc:"Input channels to prove for.")
+  in
+  let xmax_arg =
+    Arg.(value & opt int 128 & info [ "xmax" ] ~doc:"Max |input| value.")
+  in
+  let wmax_arg =
+    Arg.(value & opt int 128 & info [ "wmax" ] ~doc:"Max |weight| value.")
+  in
+  let basis_arg =
+    Arg.(
+      value
+      & opt (some (list int)) None
+      & info [ "basis" ] ~docv:"P1,P2,.."
+          ~doc:"Comma-separated coprime moduli (default: suggest one).")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Run one random convolution through the planned backend and \
+             verify it bit-exact against the direct integer convolution.")
+  in
+  let run m r cin xmax wmax basis check =
+    let module Rns = Twq_winograd.Rns in
+    let module Itensor = Twq_tensor.Itensor in
+    let fail e =
+      Printf.eprintf "rejected: %s\n" (Rns.error_to_string e);
+      exit 1
+    in
+    let basis =
+      match basis with
+      | Some b -> b
+      | None -> (
+          match Rns.suggest_basis ~m ~r ~cin ~xmax ~wmax () with
+          | Ok b ->
+              Printf.printf "suggested basis: [%s]\n"
+                (String.concat "; " (List.map string_of_int b));
+              b
+          | Error e -> fail e)
+    in
+    match Rns.plan ~m ~r ~basis ~cin ~xmax ~wmax () with
+    | Error e -> fail e
+    | Ok plan ->
+        print_endline (Rns.describe plan);
+        if check then begin
+          let rng = Twq_util.Rng.create 20260808 in
+          let ci = min cin 8 and co = 8 and hw = 3 * m in
+          let rand_it shape lim =
+            Itensor.init shape (fun _ ->
+                Twq_util.Rng.int rng ((2 * lim) + 1) - lim)
+          in
+          let x = rand_it [| 1; ci; hw; hw |] xmax in
+          let w = rand_it [| co; ci; r; r |] wmax in
+          let got = Rns.conv2d plan ~pad:(r / 2) ~x ~w () in
+          let want =
+            let h = Itensor.dim x 2 and wd = Itensor.dim x 3 in
+            let pad = r / 2 in
+            Itensor.init
+              [| 1; co; h + (2 * pad) - r + 1; wd + (2 * pad) - r + 1 |]
+              (fun idx ->
+                let acc = ref 0 in
+                for c = 0 to ci - 1 do
+                  for ki = 0 to r - 1 do
+                    for kj = 0 to r - 1 do
+                      let hi = idx.(2) + ki - pad and wi = idx.(3) + kj - pad in
+                      if hi >= 0 && hi < h && wi >= 0 && wi < wd then
+                        acc :=
+                          !acc
+                          + Itensor.get4 x 0 c hi wi
+                            * Itensor.get4 w idx.(1) c ki kj
+                    done
+                  done
+                done;
+                !acc)
+          in
+          if Itensor.equal got want then
+            Printf.printf
+              "self-check: OK — bit-exact vs direct integer conv \
+               (%dx%d image, %d->%d channels)\n"
+              hw hw ci co
+          else begin
+            Printf.eprintf "self-check: MISMATCH\n";
+            exit 1
+          end
+        end
+  in
+  Cmd.v (Cmd.info "rns" ~doc)
+    Term.(
+      const run $ m_arg $ r_arg $ cin_arg $ xmax_arg $ wmax_arg $ basis_arg
+      $ check_arg)
+
 let () =
   let doc = "Tap-wise quantized Winograd F4 — paper reproduction driver" in
   let info = Cmd.info "twq" ~version:"1.0.0" ~doc in
@@ -810,5 +915,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; layers_cmd; train_cmd; publish_cmd;
-            serve_cmd; loadgen_cmd; route_cmd; stats_cmd;
+            serve_cmd; loadgen_cmd; route_cmd; stats_cmd; rns_cmd;
           ]))

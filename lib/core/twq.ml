@@ -10,6 +10,7 @@ module Stats = Twq_util.Stats
 module Interval = Twq_util.Interval
 module Table = Twq_util.Table
 module Parallel = Twq_util.Parallel
+module Modint = Twq_util.Modint
 module Crc32 = Twq_util.Crc32
 module Checkpoint = Twq_util.Checkpoint
 
@@ -25,6 +26,7 @@ module Winograd = struct
   module Conv = Twq_winograd.Conv
   module Gconv = Twq_winograd.Gconv
   module Generator = Twq_winograd.Generator
+  module Rns = Twq_winograd.Rns
   module Pinv = Twq_winograd.Pinv
 end
 

@@ -69,4 +69,56 @@ let run ?(fast = false) () =
     explore Engine.Weight "weight (G f G^T)";
     explore Engine.Output "output (A^T Y A)"
   end;
+  (* Software conv-engine comparison: the tap-wise quantized engines next
+     to the exact F(6,3) RNS backend, on the same tensors — accuracy is
+     rms noise vs the FP32 direct conv, cost is per-tap GEMM passes per
+     conv (RNS pays one pass per modulus; wall-clock lives in the
+     wino-f6-rns-crt/-direct bench rows, since experiment output must be
+     byte-identical across TWQ_NUM_DOMAINS). *)
+  let module Tensor = Twq_tensor.Tensor in
+  let module Rng = Twq_util.Rng in
+  let module Tapwise = Twq_quant.Tapwise in
+  let module Rns = Twq_winograd.Rns in
+  let rng = Rng.create 7020 in
+  let chans = if fast then 2 else 8 in
+  let hw = if fast then 12 else 24 in
+  let x = Tensor.rand_gaussian rng [| 1; chans; hw; hw |] ~mu:0.0 ~sigma:1.0 in
+  let w = Tensor.rand_gaussian rng [| chans; chans; 3; 3 |] ~mu:0.0 ~sigma:0.3 in
+  let tapwise_noise variant =
+    let layer =
+      Tapwise.calibrate ~config:(Tapwise.default_config variant) ~w
+        ~sample_inputs:[ x ] ~pad:1 ()
+    in
+    Tapwise.quantization_noise layer x ~w
+  in
+  let rns_plan =
+    let basis =
+      match Rns.suggest_basis ~m:6 ~r:3 ~cin:chans () with
+      | Ok b -> b
+      | Error e -> failwith (Rns.error_to_string e)
+    in
+    Rns.plan_exn ~m:6 ~r:3 ~basis ~cin:chans ()
+  in
+  let taps variant =
+    let t = Transform.m variant + 2 in
+    t * t
+  in
+  let tbl =
+    Table.create ~title:"Software conv engines — tap-wise vs exact RNS"
+      [ "engine"; "tile"; "rms noise vs fp32"; "tap GEMMs/conv" ]
+  in
+  let add name tile noise passes =
+    Table.add_row tbl
+      [ name; tile; Printf.sprintf "%.4f" noise; string_of_int passes ]
+  in
+  add "fp32 winograd (oracle)" "F4" 0.0 (taps Transform.F4);
+  add "int8 tap-wise" "F4" (tapwise_noise Transform.F4) (taps Transform.F4);
+  add "int8 tap-wise" "F6" (tapwise_noise Transform.F6) (taps Transform.F6);
+  add "int8 RNS exact" "F6"
+    (Twq_quant.Error_analysis.rns_noise ~bits:8 ~m:6 ~r:3 ~x ~w)
+    (taps Transform.F6 * Array.length (Rns.basis rns_plan));
+  Buffer.add_string buf (Table.render tbl);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (Rns.describe rns_plan);
+  Buffer.add_char buf '\n';
   Buffer.contents buf

@@ -139,3 +139,22 @@ let winograd_error ~bits ~variant ~strategy w =
     done
   done;
   relative_error ~original ~quantized
+
+(* ------------------------------------------------- RNS end-to-end noise *)
+
+(* Relative RMS of int8-in / int8-weight convolution through the exact
+   RNS Winograd backend against the FP32 direct convolution.  The RNS
+   engine is bit-exact, so whatever noise remains is pure input/weight
+   quantization — independent of tile size, unlike the tap-wise rows it
+   sits next to in the experiments tables. *)
+let rns_noise ~bits ~m ~r ~x ~w =
+  let module Ops = Twq_tensor.Ops in
+  let sx = Quantizer.scale_for ~bits ~max_abs:(Tensor.max_abs x) in
+  let sw = Quantizer.scale_for ~bits ~max_abs:(Tensor.max_abs w) in
+  let xi = Quantizer.quantize_tensor ~bits ~scale:sx x in
+  let wi = Quantizer.quantize_tensor ~bits ~scale:sw w in
+  let yi = Twq_winograd.Conv.conv2d_int_rns ~m ~r ~pad:1 ~x:xi ~w:wi () in
+  let y = Quantizer.dequantize_tensor ~scale:(sx *. sw) yi in
+  let reference = Ops.conv2d ~stride:1 ~pad:1 ~x ~w () in
+  let err = Tensor.sub reference y in
+  sqrt (Tensor.sumsq err /. Float.max 1e-30 (Tensor.sumsq reference))

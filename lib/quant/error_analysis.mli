@@ -32,3 +32,18 @@ val winograd_error :
   float
 (** Relative error (measured in the spatial domain, after pseudo-inverse
     back-transform) of quantizing in the Winograd domain. *)
+
+val rns_noise :
+  bits:int ->
+  m:int ->
+  r:int ->
+  x:Twq_tensor.Tensor.t ->
+  w:Twq_tensor.Tensor.t ->
+  float
+(** Relative RMS error of an end-to-end integer convolution through the
+    exact RNS backend ({!Twq_winograd.Rns}) with [bits]-bit symmetric
+    input/weight quantization, measured against the FP32 direct
+    convolution.  Because the RNS engine is bit-exact, the residual noise
+    is pure input/weight quantization — the same for F(2,3), F(4,3) and
+    F(6,3) — which is the point of the comparison rows in the
+    experiments tables. *)

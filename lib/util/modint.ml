@@ -1,0 +1,142 @@
+(* Scalar modular arithmetic for the RNS Winograd backend.
+
+   Everything here is native-int only.  The caps below are what make that
+   sound: with p ≤ 2^13 every digit-recurrence product is < 2^26, and with
+   Π pᵢ ≤ 2^61 the final mixed-radix Horner value (always < Π pᵢ) never
+   approaches max_int, so no intermediate can wrap. *)
+
+let max_modulus = 8191 (* 2^13 - 1 *)
+let max_moduli = 8
+let max_product = 1 lsl 61
+
+let rec gcd a b = if b = 0 then a else gcd b (a mod b)
+
+let rec egcd a b =
+  if b = 0 then (a, 1, 0)
+  else
+    let g, s, t = egcd b (a mod b) in
+    (g, t, s - (a / b * t))
+
+let coprime a b = gcd a b = 1
+
+let[@inline] reduce v p =
+  let r = v mod p in
+  if r < 0 then r + p else r
+
+let inv a p =
+  let g, s, _ = egcd (reduce a p) p in
+  if g <> 1 then None else Some (reduce s p)
+
+module Crt = struct
+  type t = {
+    moduli : int array;
+    product : int;
+    half : int;
+    (* inv_prefix.(i) = (Π_{j<i} p_j)⁻¹ mod p_i  (1 for i = 0) *)
+    inv_prefix : int array;
+    (* pref_mod.(i).(j) = (Π_{l<j} p_l) mod p_i, for j < i *)
+    pref_mod : int array array;
+  }
+
+  let make basis =
+    let k = Array.length basis in
+    if k = 0 then Error "Modint.Crt.make: empty basis"
+    else if k > max_moduli then
+      Error
+        (Printf.sprintf "Modint.Crt.make: %d moduli exceed the maximum of %d"
+           k max_moduli)
+    else begin
+      let bad = ref None in
+      Array.iteri
+        (fun i p ->
+          if !bad = None && (p < 2 || p > max_modulus) then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "Modint.Crt.make: modulus %d (index %d) outside [2, %d]" p
+                   i max_modulus))
+        basis;
+      for i = 0 to k - 1 do
+        for j = i + 1 to k - 1 do
+          if !bad = None && not (coprime basis.(i) basis.(j)) then
+            bad :=
+              Some
+                (Printf.sprintf
+                   "Modint.Crt.make: moduli %d and %d share a factor %d"
+                   basis.(i) basis.(j)
+                   (gcd basis.(i) basis.(j)))
+        done
+      done;
+      match !bad with
+      | Some msg -> Error msg
+      | None ->
+          let product = ref 1 and overflow = ref false in
+          Array.iter
+            (fun p ->
+              if !product > max_product / p then overflow := true
+              else product := !product * p)
+            basis;
+          if !overflow then
+            Error
+              (Printf.sprintf
+                 "Modint.Crt.make: basis product exceeds the 2^61 cap")
+          else begin
+            let inv_prefix =
+              Array.mapi
+                (fun i p ->
+                  let pref = ref 1 in
+                  for j = 0 to i - 1 do
+                    pref := !pref * basis.(j) mod p
+                  done;
+                  (* pairwise coprimality makes the prefix invertible *)
+                  match inv !pref p with Some v -> v | None -> assert false)
+                basis
+            in
+            let pref_mod =
+              Array.mapi
+                (fun i p ->
+                  Array.init i (fun j ->
+                      let pref = ref 1 in
+                      for l = 0 to j - 1 do
+                        pref := !pref * basis.(l) mod p
+                      done;
+                      !pref))
+                basis
+            in
+            Ok
+              {
+                moduli = Array.copy basis;
+                product = !product;
+                half = !product / 2;
+                inv_prefix;
+                pref_mod;
+              }
+          end
+    end
+
+  let moduli t = Array.copy t.moduli
+  let product t = t.product
+  let residues t v = Array.map (fun p -> reduce v p) t.moduli
+
+  (* Garner: recover the mixed-radix digits d_i < p_i of the value
+     x = d_0 + p_0·(d_1 + p_1·(d_2 + …)) from its residues, then evaluate
+     by Horner and center.  Digit arithmetic stays < p² < 2^26; the Horner
+     value is < Π pᵢ ≤ 2^61 throughout. *)
+  let reconstruct t ?digits rs =
+    let k = Array.length t.moduli in
+    let d = match digits with Some d -> d | None -> Array.make k 0 in
+    for i = 0 to k - 1 do
+      let p = t.moduli.(i) in
+      let pref = t.pref_mod.(i) in
+      let acc = ref 0 in
+      for j = 0 to i - 1 do
+        acc := (!acc + (d.(j) * pref.(j))) mod p
+      done;
+      d.(i) <- reduce (rs.(i) - !acc) p * t.inv_prefix.(i) mod p
+    done;
+    let v = ref d.(k - 1) in
+    for i = k - 2 downto 0 do
+      v := (!v * t.moduli.(i)) + d.(i)
+    done;
+    if !v > t.half then !v - t.product else !v
+end

@@ -1,0 +1,70 @@
+(** Exact modular arithmetic and Chinese-remainder reconstruction for the
+    residue-number-system (RNS) Winograd backend.
+
+    The RNS backend computes the scaled integer Winograd sandwich
+    independently in each modulus of a small pairwise-coprime basis
+    (e.g. 251/241/239) and recovers the exact integer result by CRT.
+    This module provides the scalar pieces: residue reduction, modular
+    inverses, and a precomputed mixed-radix (Garner) reconstruction that
+    uses only native-int arithmetic — no big integers anywhere.
+
+    All moduli are restricted to [2 ≤ p ≤ ]{!max_modulus}[ ] (residues fit
+    int16, and every intermediate of the digit recurrence stays far below
+    [max_int]) and basis products to {!max_product} (so the final Horner
+    evaluation of the mixed-radix digits cannot overflow). *)
+
+val max_modulus : int
+(** Largest accepted modulus, [2^13 - 1 = 8191]: residues fit int16 and
+    [p²] products leave ample headroom in native ints. *)
+
+val max_moduli : int
+(** Largest accepted basis size (8). *)
+
+val max_product : int
+(** Largest accepted basis product, [2^61]: the mixed-radix Horner value
+    stays below it, so centering and accumulation never overflow. *)
+
+val gcd : int -> int -> int
+(** Greatest common divisor of two non-negative ints. *)
+
+val egcd : int -> int -> int * int * int
+(** [egcd a b = (g, s, t)] with [a·s + b·t = g = gcd a b]. *)
+
+val coprime : int -> int -> bool
+
+val reduce : int -> int -> int
+(** [reduce v p] is [v mod p] normalized into [\[0, p)], for any sign of
+    [v]. [p ≥ 1]. *)
+
+val inv : int -> int -> int option
+(** [inv a p] is the multiplicative inverse of [a] in [ℤ_p] (in
+    [\[0, p)]), or [None] when [gcd a p ≠ 1]. *)
+
+module Crt : sig
+  type t
+
+  val make : int array -> (t, string) result
+  (** Validate a basis and precompute the Garner tables. Rejects (with a
+      human-readable reason): empty basis, more than {!max_moduli}
+      moduli, a modulus outside [\[2, ]{!max_modulus}[\]], a non-coprime
+      pair, and a product exceeding {!max_product}. *)
+
+  val moduli : t -> int array
+  (** The basis, in the order given to {!make} (a fresh copy). *)
+
+  val product : t -> int
+  (** [Π pᵢ] — the dynamic range; values in
+      [(-product/2, product/2\]] reconstruct exactly. *)
+
+  val residues : t -> int -> int array
+  (** Forward map: the residue vector (each in [\[0, pᵢ)]) of a signed
+      value. Allocates; meant for tests and staging, not hot loops. *)
+
+  val reconstruct : t -> ?digits:int array -> int array -> int
+  (** [reconstruct t rs] maps a residue vector (each [rs.(i)] in
+      [\[0, pᵢ)]) back to the unique centered representative in
+      [(-product/2, product/2\]] via Garner's mixed-radix algorithm.
+      [digits] is optional scratch of length ≥ the basis size; passing it
+      makes the call allocation-free (per-domain arenas in the conv
+      driver). *)
+end

@@ -12,6 +12,24 @@ let rec gcd a b = if b = 0 then a else gcd b (a mod b)
 
 let check x = if abs x > limit then raise Overflow else x
 
+(* Native-int products/sums that refuse to wrap.  [make] only bounds the
+   *normalized* result, so cross products of two in-range rationals (up to
+   limit² = 2^80) could silently wrap before normalization without these
+   guards — exactly what synthesizing big tiles like F(6,3)/F(8,3)
+   exercises. *)
+let checked_mul a b =
+  if a = 0 || b = 0 then 0
+  else if a = min_int || b = min_int then raise Overflow
+    (* [abs min_int] wraps to [min_int]; the quotient test below would
+       miss it *)
+  else if abs a > max_int / abs b then raise Overflow
+  else a * b
+
+let checked_add a b =
+  if (b > 0 && a > max_int - b) || (b < 0 && a < min_int - b) then
+    raise Overflow
+  else a + b
+
 let make num den =
   if den = 0 then raise Division_by_zero;
   if num = 0 then { num = 0; den = 1 }
@@ -31,13 +49,21 @@ let minus_one = { num = -1; den = 1 }
 let num r = r.num
 let den r = r.den
 
-let add a b = make ((a.num * b.den) + (b.num * a.den)) (a.den * b.den)
-let sub a b = make ((a.num * b.den) - (b.num * a.den)) (a.den * b.den)
-let mul a b = make (a.num * b.num) (a.den * b.den)
+let add a b =
+  make
+    (checked_add (checked_mul a.num b.den) (checked_mul b.num a.den))
+    (checked_mul a.den b.den)
+
+let sub a b =
+  make
+    (checked_add (checked_mul a.num b.den) (- checked_mul b.num a.den))
+    (checked_mul a.den b.den)
+
+let mul a b = make (checked_mul a.num b.num) (checked_mul a.den b.den)
 
 let div a b =
   if b.num = 0 then raise Division_by_zero;
-  make (a.num * b.den) (a.den * b.num)
+  make (checked_mul a.num b.den) (checked_mul a.den b.num)
 
 let neg a = { a with num = -a.num }
 let abs a = { a with num = Stdlib.abs a.num }
@@ -46,7 +72,8 @@ let inv a =
   if a.num = 0 then raise Division_by_zero;
   make a.den a.num
 
-let compare a b = Stdlib.compare (a.num * b.den) (b.num * a.den)
+let compare a b =
+  Stdlib.compare (checked_mul a.num b.den) (checked_mul b.num a.den)
 let equal a b = a.num = b.num && a.den = b.den
 let sign a = Stdlib.compare a.num 0
 

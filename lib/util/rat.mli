@@ -26,6 +26,14 @@ val minus_one : t
 val num : t -> int
 val den : t -> int
 
+val checked_mul : int -> int -> int
+(** Native-int product that raises {!Overflow} instead of wrapping — the
+    primitive behind the arithmetic below and behind the worst-case range
+    proofs of the RNS backend. *)
+
+val checked_add : int -> int -> int
+(** Native-int sum that raises {!Overflow} instead of wrapping. *)
+
 val add : t -> t -> t
 val sub : t -> t -> t
 val mul : t -> t -> t

@@ -90,6 +90,57 @@ let pinv_left m =
   in
   mul gram_inv mt
 
+exception Lift_overflow of string
+
+(* Common-denominator lift: s·M with s = lcm of every entry denominator.
+   Both the lcm fold and the per-entry rescale refuse to wrap and name
+   the offending entry — F(6,3)/F(8,3) synthesis is exactly where silent
+   native-int wrap-around would otherwise corrupt the integer matrices. *)
+
+let rec gcd_int a b = if b = 0 then a else gcd_int b (a mod b)
+
+let common_denominator m =
+  let s = ref 1 in
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j x ->
+          let d = Rat.den x in
+          let g = gcd_int !s d in
+          match Rat.checked_mul (!s / g) d with
+          | v -> s := v
+          | exception Rat.Overflow ->
+              raise
+                (Lift_overflow
+                   (Printf.sprintf
+                      "Rmat.common_denominator: lcm of denominators \
+                       overflows at entry (%d,%d) = %s"
+                      i j (Rat.to_string x))))
+        row)
+    m;
+  !s
+
+let lift_common_denominator m =
+  let s = common_denominator m in
+  let lifted =
+    Array.mapi
+      (fun i row ->
+        Array.mapi
+          (fun j x ->
+            match Rat.checked_mul (Rat.num x) (s / Rat.den x) with
+            | v -> v
+            | exception Rat.Overflow ->
+                raise
+                  (Lift_overflow
+                     (Printf.sprintf
+                        "Rmat.lift_common_denominator: entry (%d,%d) = %s \
+                         overflows at scale %d"
+                        i j (Rat.to_string x) s)))
+          row)
+      m
+  in
+  (s, lifted)
+
 let to_float m = Array.map (Array.map Rat.to_float) m
 
 let pp ppf m =

@@ -27,5 +27,20 @@ val pinv_left : t -> t
 (** Moore–Penrose pseudo-inverse [(AᵀA)⁻¹Aᵀ] of a full-column-rank matrix;
     satisfies [pinv_left a * a = I]. @raise Failure if rank-deficient. *)
 
+exception Lift_overflow of string
+(** Raised by the lift helpers below; the message names the offending
+    entry [(row,col)] and its value. *)
+
+val common_denominator : t -> int
+(** Least common multiple of all entry denominators, overflow-checked.
+    @raise Lift_overflow if the lcm exceeds the native-int range. *)
+
+val lift_common_denominator : t -> int * int array array
+(** [(s, s·M)] — scale the matrix to integers by its common denominator
+    [s] (the lift the RNS backend applies to generated [Bᵀ]/[G]/[Aᵀ]
+    before reducing into each modulus).  Every rescaled entry is
+    overflow-checked.
+    @raise Lift_overflow naming the entry that cannot be represented. *)
+
 val to_float : t -> float array array
 val pp : Format.formatter -> t -> unit

@@ -190,6 +190,32 @@ let conv2d_int_bit_true ~variant ?(pad = 0) ~x ~w () =
   let scale2 = total_scale * total_scale in
   Kernels.conv2d_i32_exact (Kernels.i32_specialized variant) ~scale2 ~pad ~x ~w
 
+(* Exact integer convolution through the RNS backend: plan the basis for
+   the actual channel count and value ranges (or accept a caller-built
+   plan), then run the per-modulus tap-major engine. *)
+let conv2d_int_rns ?plan ~m ~r ?basis ?(pad = 0) ~x ~w () =
+  let cin = Itensor.dim x 1 in
+  if Itensor.dim w 1 <> cin then
+    invalid_arg "Conv.conv2d_int_rns: channel mismatch";
+  let max_abs a = Array.fold_left (fun acc v -> max acc (abs v)) 1 a in
+  let p =
+    match plan with
+    | Some p -> p
+    | None ->
+        let xmax = max_abs x.Itensor.data
+        and wmax = max_abs w.Itensor.data in
+        let basis =
+          match basis with
+          | Some b -> b
+          | None -> (
+              match Rns.suggest_basis ~m ~r ~cin ~xmax ~wmax () with
+              | Ok b -> b
+              | Error e -> raise (Rns.Rns_error e))
+        in
+        Rns.plan_exn ~m ~r ~basis ~cin ~xmax ~wmax ()
+  in
+  Rns.conv2d p ~pad ~x ~w ()
+
 let max_abs_error ~variant ~x ~w =
   let direct = Ops.conv2d ~stride:1 ~pad:1 ~x ~w () in
   let wino = conv2d ~variant ~pad:1 ~x ~w () in

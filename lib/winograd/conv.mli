@@ -27,6 +27,25 @@ val conv2d_int_bit_true : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.
 val conv2d_int_bit_true_ref : variant:Transform.variant -> ?pad:int -> x:Twq_tensor.Itensor.t -> w:Twq_tensor.Itensor.t -> unit -> Twq_tensor.Itensor.t
 (** Tile-major integer reference via {!Transform.int_sandwich}. *)
 
+val conv2d_int_rns :
+  ?plan:Rns.plan ->
+  m:int ->
+  r:int ->
+  ?basis:int list ->
+  ?pad:int ->
+  x:Twq_tensor.Itensor.t ->
+  w:Twq_tensor.Itensor.t ->
+  unit ->
+  Twq_tensor.Itensor.t
+(** Exact integer Winograd convolution through the {!Rns} backend for an
+    arbitrary generated [F(m,r)] — including big tiles (F(6,3)) whose
+    scaled dynamic range exceeds what the bit-true path above can carry.
+    With no [plan], one is synthesized for the tensors' actual value
+    ranges and channel count, using [basis] if given or
+    {!Rns.suggest_basis} otherwise.  Bit-identical to the direct integer
+    convolution.
+    @raise Rns.Rns_error on basis/range rejection. *)
+
 val tiles_along : variant:Transform.variant -> int -> int
 (** Number of Winograd tiles covering a spatial extent. *)
 

@@ -60,13 +60,17 @@ let make ~points ~m ~r =
           if j < Array.length p then p.(j) else Rat.zero
         end)
   in
-  (* G: Vandermonde rows scaled by 1/N_i, N_i = Π_{k≠i}(a_k − a_i). *)
+  (* G: Vandermonde rows scaled by 1/N_i with N_i = Π_{k≠i}(a_i − a_k)
+     = M_i(a_i), the Lagrange normalizer.  The factor order matters: with
+     an odd finite-point count the n−2 sign flips of the reversed product
+     no longer cancel, which silently negated every finite tap of G for
+     even point counts (caught by the k ≤ 8 conv1d identity qcheck). *)
   let g =
     Rmat.make n r (fun i j ->
         if i < n - 1 then begin
           let n_i = ref Rat.one in
           Array.iteri
-            (fun k a -> if k <> i then n_i := Rat.mul !n_i (Rat.sub a points.(i)))
+            (fun k a -> if k <> i then n_i := Rat.mul !n_i (Rat.sub points.(i) a))
             points;
           Rat.div (rat_pow points.(i) j) !n_i
         end

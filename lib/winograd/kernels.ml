@@ -460,6 +460,36 @@ let f32_of_mats ~bt ~g ~at =
   let r = Array.length g.(0) in
   make ~t ~m ~r ~bt:(plan_step bt) ~g:(plan_step g) ~at:(plan_step at)
 
+(* Integer analogue of [plan_step]: exact arithmetic, so the sparse plan
+   is unconditionally bit-identical to the dense sandwich. *)
+let plan_step_i (mat : int array array) : int step =
+  let rows = Array.length mat in
+  let idx =
+    Array.map
+      (fun row ->
+        let l = ref [] in
+        Array.iteri (fun k c -> if c <> 0 then l := k :: !l) row;
+        Array.of_list (List.rev !l))
+      mat
+  in
+  let coef =
+    Array.map2 (fun row ix -> Array.map (fun k -> row.(k)) ix) mat idx
+  in
+  fun s o st d q dt ->
+    for i = 0 to rows - 1 do
+      let ix = idx.(i) and cf = coef.(i) in
+      let acc = ref 0 in
+      for k = 0 to Array.length ix - 1 do
+        acc := !acc + (cf.(k) * s.(o + (ix.(k) * st)))
+      done;
+      d.(q + (i * dt)) <- !acc
+    done
+
+let i32_of_mats ~bt ~g ~at =
+  let t = Array.length bt and m = Array.length at in
+  let r = Array.length g.(0) in
+  make ~t ~m ~r ~bt:(plan_step_i bt) ~g:(plan_step_i g) ~at:(plan_step_i at)
+
 (* ---------- tap-major convolution drivers ---------- *)
 
 let load_tile_f (xd : float array) ~h ~w ~base ~pad ~h0 ~w0 ~t dst =

@@ -79,6 +79,16 @@ val f32_of_mats :
     zero signs) to the [Ops.matmul] sandwich with the same matrices — used
     by {!Gconv} for generated [F(m,r)] instances. *)
 
+val i32_of_mats :
+  bt:int array array ->
+  g:int array array ->
+  at:int array array ->
+  int kernel
+(** Integer analogue of {!f32_of_mats}: compile arbitrary *integer*
+    transform matrices into sparse straight-line plans.  Exact arithmetic
+    — used by {!Rns} both for the common-denominator-lifted matrices and
+    for their per-modulus residue reductions. *)
+
 val load_tile_f :
   float array ->
   h:int ->
@@ -106,6 +116,12 @@ val load_tile_i :
   t:int ->
   int array ->
   unit
+
+val block_of : total:int -> int
+(** Tiles per scheduling block used by the packed drivers: big enough
+    that each per-tap GEMM runs over a panel, small enough to keep all
+    domains busy.  Exposed for drivers built outside this module
+    ({!Rns}); per-tile results never depend on the grouping. *)
 
 val conv2d_f32 :
   float kernel ->

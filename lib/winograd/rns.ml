@@ -1,0 +1,485 @@
+(* Residue-number-system integer Winograd backend.
+
+   Structure mirrors [Kernels.conv2d_i32_exact] — NR-packed transformed
+   weights, MR-packed scattered tiles, one packed [Microkernel.gemm_i32]
+   per tap — except that every panel holds *residues*: the exact lifted
+   transforms run once per tile/filter and are reduced into [0, p) for
+   each modulus while being packed, the per-tap GEMMs run once per
+   (tap, modulus) with lazy reduction (the plan proves Cin·p² fits), the
+   output transform runs on residues with Aᵀ mod p, and the gather loop
+   Garner-reconstructs the centered scaled output, divides the lift
+   denominator off exactly, and applies the fused epilogue.  The
+   full-range value exists only as one scalar per output pixel — never
+   as a tensor.
+
+   Soundness: all panel arithmetic is congruent mod p to the exact
+   scaled sandwich Y = (Aᵀ_int · (Σ_ci V_int ⊙ U_int) · A_int), an
+   integer equal to (β·γ·α)²·y by the Winograd identity.  The plan-time
+   range proof guarantees Π pᵢ ≥ 2·|Y|+1, so CRT recovers Y exactly and
+   the divide-off is exact — the backend is bit-identical to the direct
+   integer convolution or it raises; it cannot be silently wrong. *)
+
+module P = Twq_util.Parallel
+module Rat = Twq_util.Rat
+module Rmat = Twq_util.Rmat
+module Modint = Twq_util.Modint
+module Itensor = Twq_tensor.Itensor
+module Shape = Twq_tensor.Shape
+
+type error =
+  | Bad_basis of string
+  | Insufficient_range of { bound : int; required : int; product : int }
+  | Lift_overflow of string
+  | Accumulator_overflow of string
+  | Out_of_range of string
+
+exception Rns_error of error
+
+let error_to_string = function
+  | Bad_basis msg -> "bad basis: " ^ msg
+  | Insufficient_range { bound; required; product } ->
+      Printf.sprintf
+        "insufficient basis range: worst-case |Y| = %d needs product >= %d \
+         but basis product is %d"
+        bound required product
+  | Lift_overflow msg -> "lift overflow: " ^ msg
+  | Accumulator_overflow msg -> "accumulator overflow: " ^ msg
+  | Out_of_range msg -> "out of range: " ^ msg
+
+let () =
+  Printexc.register_printer (function
+    | Rns_error e -> Some ("Rns.Rns_error: " ^ error_to_string e)
+    | _ -> None)
+
+type plan = {
+  gen : Generator.t;
+  tile_ : int;
+  mout : int;
+  rr : int;
+  basis_ : int array;
+  crt : Modint.Crt.t;
+  scales : int * int * int; (* bt, g, at lift denominators *)
+  denom_ : int;
+  bound_ : int;
+  required_ : int;
+  cin_max : int;
+  xmax : int;
+  wmax : int;
+  ker_int : int Kernels.kernel; (* exact lifted transforms *)
+  out_k : int Kernels.kernel array; (* per modulus: transforms mod p *)
+}
+
+let default_basis = [ 251; 241; 239 ]
+
+(* Everything an exact intermediate may reach must stay well under
+   max_int; 2^61 leaves a 2x slack over the proven bounds. *)
+let guard = 1 lsl 61
+
+type analysis = {
+  a_gen : Generator.t;
+  bt_i : int array array;
+  g_i : int array array;
+  at_i : int array array;
+  a_scales : int * int * int;
+  a_denom : int;
+  a_bound : int;
+  a_required : int;
+}
+
+let max_row_l1 mat =
+  Array.fold_left
+    (fun acc row -> max acc (Array.fold_left (fun a c -> a + abs c) 0 row))
+    0 mat
+
+let analyze ?points ~m ~r ~cin ~xmax ~wmax () =
+  let points =
+    match points with
+    | Some p -> p
+    | None -> Generator.lavin_points (m + r - 2)
+  in
+  let gen = Generator.make ~points ~m ~r in
+  match
+    let bs, bt_i = Rmat.lift_common_denominator gen.Generator.bt in
+    let gs, g_i = Rmat.lift_common_denominator gen.Generator.g in
+    let ats, at_i = Rmat.lift_common_denominator gen.Generator.at in
+    (bs, bt_i, gs, g_i, ats, at_i)
+  with
+  | exception Rmat.Lift_overflow msg -> Error (Lift_overflow msg)
+  | bs, bt_i, gs, g_i, ats, at_i -> (
+      match
+        let total = Rat.checked_mul (Rat.checked_mul bs gs) ats in
+        let denom = Rat.checked_mul total total in
+        (* |y| ≤ cin·r²·xmax·wmax for the true convolution, so the scaled
+           integer output is bounded by denom times that. *)
+        let conv_bound =
+          Rat.checked_mul
+            (Rat.checked_mul cin (r * r))
+            (Rat.checked_mul xmax wmax)
+        in
+        let bound = Rat.checked_mul denom conv_bound in
+        let required = Rat.checked_add (Rat.checked_mul 2 bound) 1 in
+        (* The exact lifted input/weight transforms run in native ints
+           before reduction; bound them by the lifted row L1 norms. *)
+        let bt_l1 = max_row_l1 bt_i and g_l1 = max_row_l1 g_i in
+        let in_peak = Rat.checked_mul xmax (Rat.checked_mul bt_l1 bt_l1) in
+        let w_peak = Rat.checked_mul wmax (Rat.checked_mul g_l1 g_l1) in
+        (denom, bound, required, in_peak, w_peak)
+      with
+      | exception Rat.Overflow ->
+          Error
+            (Accumulator_overflow
+               "worst-case scaled accumulator exceeds the native integer \
+                range for this F(m,r)/cin/value-range configuration")
+      | denom, bound, required, in_peak, w_peak ->
+          if required > Modint.max_product then
+            Error
+              (Accumulator_overflow
+                 (Printf.sprintf
+                    "required basis product %d exceeds the %d \
+                     reconstruction cap"
+                    required Modint.max_product))
+          else if in_peak > guard || w_peak > guard then
+            Error
+              (Accumulator_overflow
+                 "exact lifted transform output exceeds the native \
+                  integer range")
+          else
+            Ok
+              {
+                a_gen = gen;
+                bt_i;
+                g_i;
+                at_i;
+                a_scales = (bs, gs, ats);
+                a_denom = denom;
+                a_bound = bound;
+                a_required = required;
+              })
+
+let plan ?points ~m ~r ~basis ~cin ?(xmax = 128) ?(wmax = 128) () =
+  if cin < 1 then invalid_arg "Rns.plan: cin must be positive";
+  if xmax < 1 || wmax < 1 then
+    invalid_arg "Rns.plan: value ranges must be positive";
+  match analyze ?points ~m ~r ~cin ~xmax ~wmax () with
+  | Error e -> Error e
+  | Ok a -> (
+      let basis_ = Array.of_list basis in
+      match Modint.Crt.make basis_ with
+      | Error msg -> Error (Bad_basis msg)
+      | Ok crt ->
+          let product = Modint.Crt.product crt in
+          if product < a.a_required then
+            Error
+              (Insufficient_range
+                 {
+                   bound = a.a_bound;
+                   required = a.a_required;
+                   product;
+                 })
+          else begin
+            let pmax = Array.fold_left max 2 basis_ in
+            if cin > guard / (pmax * pmax) then
+              Error
+                (Accumulator_overflow
+                   (Printf.sprintf
+                      "lazy per-modulus GEMM accumulator cin*p^2 \
+                       overflows for cin = %d, p = %d"
+                      cin pmax))
+            else begin
+              let red p = Array.map (Array.map (fun c -> Modint.reduce c p)) in
+              let out_k =
+                Array.map
+                  (fun p ->
+                    Kernels.i32_of_mats ~bt:(red p a.bt_i) ~g:(red p a.g_i)
+                      ~at:(red p a.at_i))
+                  basis_
+              in
+              Ok
+                {
+                  gen = a.a_gen;
+                  tile_ = m + r - 1;
+                  mout = m;
+                  rr = r;
+                  basis_;
+                  crt;
+                  scales = a.a_scales;
+                  denom_ = a.a_denom;
+                  bound_ = a.a_bound;
+                  required_ = a.a_required;
+                  cin_max = cin;
+                  xmax;
+                  wmax;
+                  ker_int =
+                    Kernels.i32_of_mats ~bt:a.bt_i ~g:a.g_i ~at:a.at_i;
+                  out_k;
+                }
+            end
+          end)
+
+let plan_exn ?points ~m ~r ~basis ~cin ?xmax ?wmax () =
+  match plan ?points ~m ~r ~basis ~cin ?xmax ?wmax () with
+  | Ok p -> p
+  | Error e -> raise (Rns_error e)
+
+(* Fixed ladders: prefixes of descending 8-bit primes first (residues fit
+   int8 datapaths), then of 13-bit primes for ranges 8-bit products can't
+   reach. *)
+let eight_bit_primes = [ 251; 241; 239; 233; 229; 227; 223 ]
+let thirteen_bit_primes = [ 8191; 8179; 8171; 8167; 8161; 8147 ]
+
+let rec take n = function
+  | x :: tl when n > 0 -> x :: take (n - 1) tl
+  | _ -> []
+
+let suggest_basis ?points ~m ~r ~cin ?(xmax = 128) ?(wmax = 128) () =
+  match analyze ?points ~m ~r ~cin ~xmax ~wmax () with
+  | Error e -> Error e
+  | Ok a ->
+      let candidates =
+        List.concat_map
+          (fun pool ->
+            List.init
+              (List.length pool - 1)
+              (fun i -> take (i + 2) pool))
+          [ eight_bit_primes; thirteen_bit_primes ]
+      in
+      let fits basis =
+        match Modint.Crt.make (Array.of_list basis) with
+        | Error _ -> false
+        | Ok crt -> Modint.Crt.product crt >= a.a_required
+      in
+      (match List.find_opt fits candidates with
+      | Some basis -> Ok basis
+      | None ->
+          Error
+            (Insufficient_range
+               {
+                 bound = a.a_bound;
+                 required = a.a_required;
+                 product =
+                   (match
+                      Modint.Crt.make
+                        (Array.of_list
+                           (take Modint.max_moduli thirteen_bit_primes))
+                    with
+                   | Ok crt -> Modint.Crt.product crt
+                   | Error _ -> 0);
+               }))
+
+let m p = p.mout
+let r p = p.rr
+let tile p = p.tile_
+let basis p = Array.copy p.basis_
+let denom p = p.denom_
+let bound p = p.bound_
+let required p = p.required_
+let product p = Modint.Crt.product p.crt
+
+let describe p =
+  let bs, gs, ats = p.scales in
+  let prod = product p in
+  Printf.sprintf
+    "F(%d,%d) RNS plan: tile %dx%d, lift scales bt=%d g=%d at=%d (denom \
+     %d), basis [%s] (%d moduli, product %d), |Y| bound %d, required %d, \
+     margin x%.2f, proven for cin<=%d |x|<=%d |w|<=%d"
+    p.mout p.rr p.tile_ p.tile_ bs gs ats p.denom_
+    (String.concat "; " (Array.to_list (Array.map string_of_int p.basis_)))
+    (Array.length p.basis_) prod p.bound_ p.required_
+    (float_of_int prod /. float_of_int p.required_)
+    p.cin_max p.xmax p.wmax
+
+(* ---------- per-modulus tap-major driver ---------- *)
+
+(* One arena per logically distinct buffer, as in Kernels. *)
+let ra_tile = P.Scratch.create_int ()
+let ra_xt = P.Scratch.create_int ()
+let ra_tmp = P.Scratch.create_int ()
+let ra_v = P.Scratch.create_int ()
+let ra_mo = P.Scratch.create_int ()
+let ra_yw = P.Scratch.create_int ()
+let ra_yo = P.Scratch.create_int ()
+let ra_u = P.Scratch.create_int ()
+let ra_res = P.Scratch.create_int ()
+let ra_dig = P.Scratch.create_int ()
+
+let check_range name data limit =
+  let n = Array.length data in
+  let bad = ref (-1) in
+  for i = 0 to n - 1 do
+    if !bad < 0 && abs data.(i) > limit then bad := i
+  done;
+  if !bad >= 0 then
+    raise
+      (Rns_error
+         (Out_of_range
+            (Printf.sprintf
+               "Rns.conv2d: %s value %d at flat index %d exceeds the \
+                planned |%s| <= %d"
+               name
+               data.(!bad)
+               !bad name limit)))
+
+let conv2d p ?(epilogue = Kernels.no_epilogue) ?out ?(pad = 0) ~x ~w () =
+  let n = Itensor.dim x 0 and cin = Itensor.dim x 1 in
+  let h = Itensor.dim x 2 and wd = Itensor.dim x 3 in
+  let cout = Itensor.dim w 0 in
+  let t = p.tile_ and m = p.mout in
+  let r = p.rr in
+  if Itensor.dim w 1 <> cin then
+    invalid_arg "Rns.conv2d: channel mismatch";
+  if Itensor.dim w 2 <> r || Itensor.dim w 3 <> r then
+    invalid_arg "Rns.conv2d: kernel size mismatch";
+  if cin > p.cin_max then
+    raise
+      (Rns_error
+         (Out_of_range
+            (Printf.sprintf
+               "Rns.conv2d: %d input channels but the range proof covers \
+                only %d"
+               cin p.cin_max)));
+  check_range "x" x.Itensor.data p.xmax;
+  check_range "w" w.Itensor.data p.wmax;
+  let ho, wo = Shape.conv2d_out ~h ~w:wd ~kh:r ~kw:r ~stride:1 ~pad in
+  let tt = t * t in
+  let out =
+    match out with
+    | None -> Itensor.zeros [| n; cout; ho; wo |]
+    | Some o ->
+        if
+          Itensor.dim o 0 <> n || Itensor.dim o 1 <> cout
+          || Itensor.dim o 2 <> ho || Itensor.dim o 3 <> wo
+        then invalid_arg "Rns.conv2d: out shape mismatch";
+        o
+  in
+  let od = out.Itensor.data and xd = x.Itensor.data in
+  let basis = p.basis_ and nmod = Array.length p.basis_ in
+  let denom = p.denom_ in
+  let { Microkernel.mr; nr; kc } = Microkernel.config () in
+  let cout_p = Microkernel.round_up cout nr in
+  let ucincp = cin * cout_p in
+  (* Transformed weights: exact lifted transform once per (co, ci), then
+     residues NR-packed per modulus — u.((q·tt + tap)·ucincp + base). *)
+  let u = P.Scratch.borrow ra_u (nmod * tt * ucincp) in
+  P.parallel_for ~lo:0 ~hi:(cout * cin) (fun idx ->
+      let co = idx / cin and ci = idx mod cin in
+      let f = P.Scratch.borrow ra_tile (r * r) in
+      let wt = P.Scratch.borrow ra_xt tt in
+      let tmp = P.Scratch.borrow ra_tmp (t * r) in
+      Array.blit w.Itensor.data (((co * cin) + ci) * r * r) f 0 (r * r);
+      p.ker_int.Kernels.weight f 0 wt 0 tmp;
+      let jb = co / nr and jr = co mod nr in
+      let base = (((jb * cin) + ci) * nr) + jr in
+      for q = 0 to nmod - 1 do
+        let pq = basis.(q) in
+        for tap = 0 to tt - 1 do
+          u.((((q * tt) + tap) * ucincp) + base) <- Modint.reduce wt.(tap) pq
+        done
+      done);
+  (* Zero pad lanes (zero is a valid residue in every modulus). *)
+  if cout_p > cout then
+    for co = cout to cout_p - 1 do
+      let jb = co / nr and jr = co mod nr in
+      for ci = 0 to cin - 1 do
+        let base = (((jb * cin) + ci) * nr) + jr in
+        for qt = 0 to (nmod * tt) - 1 do
+          u.((qt * ucincp) + base) <- 0
+        done
+      done
+    done;
+  let n_th = (ho + m - 1) / m and n_tw = (wo + m - 1) / m in
+  let tiles_per_img = n_th * n_tw in
+  let total = n * tiles_per_img in
+  let tb = Microkernel.round_up (Kernels.block_of ~total) mr in
+  let tbcin = tb * cin in
+  let nblocks = (total + tb - 1) / tb in
+  P.parallel_for ~chunk:1 ~lo:0 ~hi:nblocks (fun blk ->
+      let b0 = blk * tb in
+      let bs = min tb (total - b0) in
+      let bs_p = Microkernel.round_up bs mr in
+      let tile = P.Scratch.borrow ra_tile tt in
+      let xt = P.Scratch.borrow ra_xt tt in
+      let tmp = P.Scratch.borrow ra_tmp tt in
+      let v = P.Scratch.borrow ra_v (nmod * tt * tbcin) in
+      let mo = P.Scratch.borrow ra_mo (nmod * tt * tb * cout_p) in
+      let yw = P.Scratch.borrow ra_yw tt in
+      let yo = P.Scratch.borrow ra_yo (nmod * m * m) in
+      let res = P.Scratch.borrow ra_res nmod in
+      let dig = P.Scratch.borrow ra_dig nmod in
+      (* Scatter: exact lifted input transform once per (tile, ci), taps
+         reduced into the per-(modulus, tap) MR-packed panels. *)
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          Kernels.load_tile_i xd ~h ~w:wd
+            ~base:(((ni * cin) + ci) * h * wd)
+            ~pad ~h0:(th * m) ~w0:(tw * m) ~t tile;
+          p.ker_int.Kernels.input tile 0 xt 0 tmp;
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for q = 0 to nmod - 1 do
+            let pq = basis.(q) in
+            for tap = 0 to tt - 1 do
+              v.((((q * tt) + tap) * tbcin) + vbase) <-
+                Modint.reduce xt.(tap) pq
+            done
+          done
+        done
+      done;
+      (* Zero the pad rows of a trailing partial block. *)
+      for bidx = bs to bs_p - 1 do
+        let ib = bidx / mr and ir = bidx mod mr in
+        for ci = 0 to cin - 1 do
+          let vbase = (((ib * cin) + ci) * mr) + ir in
+          for qt = 0 to (nmod * tt) - 1 do
+            v.((qt * tbcin) + vbase) <- 0
+          done
+        done
+      done;
+      Array.fill mo 0 (nmod * tt * tb * cout_p) 0;
+      (* One packed GEMM per (modulus, tap); residues accumulate lazily
+         (the plan proved cin·p² fits a native int). *)
+      for qt = 0 to (nmod * tt) - 1 do
+        Microkernel.gemm_i32 ~mr ~nr ~kc ~rows_p:bs_p ~cols_p:cout_p ~k:cin
+          ~vp:v ~vo:(qt * tbcin) ~up:u ~uo:(qt * ucincp) ~c:mo
+          ~co:(qt * tb * cout_p) ~cstride:cout_p
+      done;
+      (* Gather: per-modulus output transform on residues, then one CRT
+         reconstruction + denominator divide-off per output pixel, fused
+         with the epilogue. *)
+      let mm = m * m in
+      for bidx = 0 to bs - 1 do
+        let tidx = b0 + bidx in
+        let ni = tidx / tiles_per_img in
+        let rest = tidx mod tiles_per_img in
+        let th = rest / n_tw and tw = rest mod n_tw in
+        let h0 = th * m and w0 = tw * m in
+        let rh = min m (ho - h0) and rw = min m (wo - w0) in
+        for co = 0 to cout - 1 do
+          for q = 0 to nmod - 1 do
+            let pq = basis.(q) in
+            for tap = 0 to tt - 1 do
+              yw.(tap) <-
+                mo.(((((q * tt) + tap) * tb) + bidx) * cout_p + co) mod pq
+            done;
+            p.out_k.(q).Kernels.output yw 0 yo (q * mm) tmp
+          done;
+          for dy = 0 to rh - 1 do
+            let orow = (((((ni * cout) + co) * ho) + h0 + dy) * wo) + w0 in
+            let yrow = dy * m in
+            for dx = 0 to rw - 1 do
+              for q = 0 to nmod - 1 do
+                res.(q) <- yo.((q * mm) + yrow + dx) mod basis.(q)
+              done;
+              let raw = Modint.Crt.reconstruct p.crt ~digits:dig res in
+              (* The Winograd identity guarantees Y = denom·y exactly;
+                 assert rather than truncate. *)
+              assert (raw mod denom = 0);
+              Kernels.epilogue_store epilogue od (orow + dx) (raw / denom)
+            done
+          done
+        done
+      done);
+  out

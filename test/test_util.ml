@@ -312,6 +312,155 @@ let test_table_too_many_cells () =
   Alcotest.check_raises "too many" (Invalid_argument "Table.add_row: too many cells")
     (fun () -> Twq_util.Table.add_row t [ "1"; "2" ])
 
+(* --------------------------------------------------- checked Rat overflow *)
+
+let test_rat_checked_scalars () =
+  Alcotest.(check int) "checked_mul" 6 (Rat.checked_mul 2 3);
+  Alcotest.(check int) "checked_mul by zero" 0 (Rat.checked_mul 0 max_int);
+  Alcotest.(check int) "checked_add" 5 (Rat.checked_add 2 3);
+  Alcotest.check_raises "mul wraps" Rat.Overflow (fun () ->
+      ignore (Rat.checked_mul max_int 2));
+  Alcotest.check_raises "mul wraps negative" Rat.Overflow (fun () ->
+      ignore (Rat.checked_mul min_int 2));
+  Alcotest.check_raises "add wraps" Rat.Overflow (fun () ->
+      ignore (Rat.checked_add max_int 1));
+  Alcotest.check_raises "add wraps negative" Rat.Overflow (fun () ->
+      ignore (Rat.checked_add min_int (-1)))
+
+let test_rat_arith_overflow () =
+  let big = Rat.of_int (1 lsl 40) in
+  Alcotest.check_raises "mul of huge rats" Rat.Overflow (fun () ->
+      ignore (Rat.mul big big));
+  Alcotest.check_raises "add with huge denominators" Rat.Overflow (fun () ->
+      ignore (Rat.add (Rat.make 1 (1 lsl 35)) (Rat.make 1 ((1 lsl 35) - 1))))
+
+(* --------------------------------------------- common-denominator lift *)
+
+(* F(6,3) from the Lavin points is exactly where PR 9's RNS backend runs
+   the lift; pin the scales so a synthesis change cannot silently shift
+   the range proof. *)
+let lift_roundtrip m =
+  let s, lifted = Rmat.lift_common_denominator m in
+  Alcotest.(check int) "lcm matches" s (Rmat.common_denominator m);
+  Array.iteri
+    (fun i row ->
+      Array.iteri
+        (fun j v ->
+          Alcotest.check rat
+            (Printf.sprintf "entry (%d,%d) round-trips" i j)
+            m.(i).(j) (Rat.make v s))
+        row)
+    lifted
+
+let test_rmat_lift_f6 () =
+  let gen =
+    Twq_winograd.Generator.make ~points:(Twq_winograd.Generator.lavin_points 7)
+      ~m:6 ~r:3
+  in
+  Alcotest.(check int) "bt scale" 4 (Rmat.common_denominator gen.Twq_winograd.Generator.bt);
+  Alcotest.(check int) "g scale" 90 (Rmat.common_denominator gen.Twq_winograd.Generator.g);
+  Alcotest.(check int) "at scale" 32 (Rmat.common_denominator gen.Twq_winograd.Generator.at);
+  lift_roundtrip gen.Twq_winograd.Generator.bt;
+  lift_roundtrip gen.Twq_winograd.Generator.g;
+  lift_roundtrip gen.Twq_winograd.Generator.at
+
+let test_rmat_lift_f8 () =
+  let gen =
+    Twq_winograd.Generator.make ~points:(Twq_winograd.Generator.lavin_points 9)
+      ~m:8 ~r:3
+  in
+  lift_roundtrip gen.Twq_winograd.Generator.bt;
+  lift_roundtrip gen.Twq_winograd.Generator.g;
+  lift_roundtrip gen.Twq_winograd.Generator.at
+
+let test_rmat_lift_overflow_names_entry () =
+  let row = [| Rat.make 1 (1 lsl 25); Rat.make 1 14348907; Rat.make 1 48828125 |] in
+  Alcotest.check_raises "lcm overflow names entry"
+    (Rmat.Lift_overflow
+       "Rmat.common_denominator: lcm of denominators overflows at entry \
+        (0,2) = 1/48828125")
+    (fun () -> ignore (Rmat.common_denominator [| row |]));
+  let big = 1 lsl 40 in
+  Alcotest.check_raises "rescale overflow names entry"
+    (Rmat.Lift_overflow
+       (Printf.sprintf
+          "Rmat.lift_common_denominator: entry (0,1) = %d overflows at \
+           scale %d"
+          big big))
+    (fun () ->
+      ignore
+        (Rmat.lift_common_denominator [| [| Rat.make 1 big; Rat.of_int big |] |]))
+
+(* --------------------------------------------------------------- modint *)
+
+let prop_modint_reduce =
+  QCheck.Test.make ~name:"reduce lands in [0,p) and is congruent" ~count:200
+    QCheck.(pair (int_range (-1000000) 1000000) (int_range 2 8191))
+    (fun (v, p) ->
+      let r = Modint.reduce v p in
+      0 <= r && r < p && (v - r) mod p = 0)
+
+let test_modint_inv () =
+  List.iter
+    (fun (a, p) ->
+      match Modint.inv a p with
+      | Some b -> Alcotest.(check int) (Printf.sprintf "%d * inv %d mod %d" a a p) 1 (a * b mod p)
+      | None -> Alcotest.fail "expected invertible")
+    [ (3, 251); (100, 8191); (250, 251); (7, 240) ];
+  Alcotest.(check bool) "non-coprime has no inverse" true
+    (Modint.inv 10 15 = None);
+  Alcotest.(check bool) "zero has no inverse" true (Modint.inv 0 251 = None)
+
+let test_modint_crt_rejections () =
+  let expect_err basis =
+    match Modint.Crt.make basis with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.fail "expected Crt.make rejection"
+  in
+  expect_err [||];
+  expect_err (Array.make 9 2);
+  expect_err [| 251; 0 |];
+  expect_err [| 251; 8192 |];
+  expect_err [| 251; 502 |];
+  (* 8 near-2^13 primes: pairwise coprime but the product tops 2^61. *)
+  expect_err [| 8191; 8179; 8171; 8167; 8161; 8147; 8123; 8111 |]
+
+let prop_modint_crt_roundtrip =
+  QCheck.Test.make ~name:"Garner reconstruction round-trips" ~count:300
+    QCheck.(
+      pair
+        (oneofl
+           [
+             [| 251; 241; 239 |];
+             [| 8191; 8179; 8171 |];
+             [| 2; 3; 5; 7; 11; 13 |];
+             [| 8191 |];
+           ])
+        (int_range (-1000000000) 1000000000))
+    (fun (basis, x) ->
+      match Modint.Crt.make basis with
+      | Error _ -> false
+      | Ok crt ->
+          let p = Modint.Crt.product crt in
+          (* center x into the representable window *)
+          let x = x mod ((p / 2) + 1) in
+          Modint.Crt.reconstruct crt (Modint.Crt.residues crt x) = x)
+
+let test_modint_crt_extremes () =
+  match Modint.Crt.make [| 251; 241; 239 |] with
+  | Error e -> Alcotest.fail e
+  | Ok crt ->
+      let p = Modint.Crt.product crt in
+      Alcotest.(check int) "product" (251 * 241 * 239) p;
+      List.iter
+        (fun x ->
+          Alcotest.(check int)
+            (Printf.sprintf "x = %d" x)
+            x
+            (Modint.Crt.reconstruct crt ~digits:(Array.make 3 0)
+               (Modint.Crt.residues crt x)))
+        [ 0; 1; -1; p / 2; -(p / 2); (p / 2) - 1; 1 - (p / 2) ]
+
 let () =
   let qt = QCheck_alcotest.to_alcotest ~rand:(Random.State.make [| 20260705 |]) in
   Alcotest.run "twq_util"
@@ -328,6 +477,8 @@ let () =
           qt prop_rat_add_inverse;
           qt prop_rat_distributive;
           qt prop_rat_float_consistent;
+          Alcotest.test_case "checked scalars" `Quick test_rat_checked_scalars;
+          Alcotest.test_case "arith overflow" `Quick test_rat_arith_overflow;
         ] );
       ( "rmat",
         [
@@ -337,6 +488,18 @@ let () =
           Alcotest.test_case "pivoting" `Quick test_rmat_inverse_needs_pivoting;
           Alcotest.test_case "pinv left" `Quick test_rmat_pinv_left;
           Alcotest.test_case "transpose" `Quick test_rmat_transpose;
+          Alcotest.test_case "lift F(6,3)" `Quick test_rmat_lift_f6;
+          Alcotest.test_case "lift F(8,3)" `Quick test_rmat_lift_f8;
+          Alcotest.test_case "lift overflow names entry" `Quick
+            test_rmat_lift_overflow_names_entry;
+        ] );
+      ( "modint",
+        [
+          qt prop_modint_reduce;
+          Alcotest.test_case "modular inverse" `Quick test_modint_inv;
+          Alcotest.test_case "crt rejections" `Quick test_modint_crt_rejections;
+          qt prop_modint_crt_roundtrip;
+          Alcotest.test_case "crt extremes" `Quick test_modint_crt_extremes;
         ] );
       ( "rng",
         [

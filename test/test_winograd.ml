@@ -249,6 +249,26 @@ let prop_generator_identity_random_points =
       let t = Generator.make ~points ~m:4 ~r:3 in
       Generator.fp_error_probe t ~seed ~trials:20 < 1e-8)
 
+(* The `lavin_points` coverage gap: the identity was only probed at a few
+   fixed (m, r) pairs, never property-tested across the point-progression
+   prefixes the generator actually serves.  Exercise every k up to 8
+   (F(2,3)..F(7,3), i.e. half-integer points included) against the direct
+   1-D convolution. *)
+let prop_lavin_points_conv1d_identity =
+  QCheck.Test.make ~count:40
+    ~name:"lavin-point conv1d identity for every prefix k <= 8"
+    QCheck.(pair (int_range 0 100000) (int_range 3 8))
+    (fun (seed, k) ->
+      let r = 3 in
+      let m = k + 2 - r in
+      let t = Generator.make ~points:(Generator.lavin_points k) ~m ~r in
+      let rng = Rng.create seed in
+      let d = Array.init (m + r - 1) (fun _ -> Rng.float rng 2.0 -. 1.0) in
+      let g = Array.init r (fun _ -> Rng.float rng 2.0 -. 1.0) in
+      let direct = Generator.conv1d_reference t d g in
+      let wino = Generator.conv1d t d g in
+      Array.for_all2 (fun a b -> Float.abs (a -. b) < 1e-6) direct wino)
+
 let test_generator_rejects_even_r () =
   Alcotest.check_raises "even r"
     (Invalid_argument "Generator.make: even kernel sizes are not supported")
@@ -468,6 +488,7 @@ let () =
           Alcotest.test_case "reproduces paper F4" `Quick test_generator_reproduces_f4_exactly;
           Alcotest.test_case "identity across F(m,r)" `Quick test_generator_identity_various_fm;
           qt prop_generator_identity_random_points;
+          qt prop_lavin_points_conv1d_identity;
           Alcotest.test_case "rejects bad input" `Quick test_generator_rejects_bad_input;
           Alcotest.test_case "rejects even r" `Quick test_generator_rejects_even_r;
           Alcotest.test_case "lavin points" `Quick test_lavin_points;
