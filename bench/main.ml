@@ -17,10 +17,17 @@
      bench/main.exe --json [-o F]   machine-readable {kernel, mean_ns,
                                     stddev} records written to F (default
                                     BENCH_ci.json) — the CI smoke stage.
-     bench/main.exe --filter REGEX  restrict either mode to kernels whose
-                                    name matches REGEX (Str syntax) —
+     bench/main.exe --filter RE[,RE...]
+                                    restrict any mode to kernels whose
+                                    name matches one of the comma-
+                                    separated regexes (Str syntax) —
                                     e.g. `--filter '-micro$'` for just
-                                    the GEMM microkernel rows.
+                                    the GEMM microkernel rows, or
+                                    `--filter 'sparse,dense'` for the
+                                    pruned-execution pairs.
+     bench/main.exe --list          print the selected kernel names, one
+                                    per line, and exit — for discovering
+                                    what --filter can match.
      bench/main.exe --compare [--strict] OLD.json NEW.json
                                     diff two --json outputs; warns on
                                     kernels whose mean regressed by more
@@ -222,6 +229,50 @@ let micro_vs_naive name micro naive =
     (name ^ "-naive", fun () -> Parallel.sequential naive);
   ]
 
+(* --------------------- paired sparse vs dense pruned per-tap GEMMs *)
+(* The compressed-panel driver against the register-tiled dense GEMM on
+   the same pruned packed panels — one tap of the ResNet-ish 64x64
+   workload above (k = cin = 64, 64 output columns, 192 tile rows).  The
+   B panel is pruned to the target density before packing, so the pair
+   isolates exactly what skipping exact zeros buys at that density; the
+   -dense row doubles as the guard that the dense path's numbers are
+   untouched by the sparse machinery. *)
+
+module MK = Twq.Winograd.Microkernel
+
+let gemm_k = 64
+let gemm_cols = 64
+
+let sparse_gemm_pair density tag =
+  let cfg = MK.config () in
+  let mr = cfg.MK.mr and nr = cfg.MK.nr and kc = cfg.MK.kc in
+  let gemm_rows_p = 48 * mr in
+  let cols_p = MK.round_up gemm_cols nr in
+  let r = Twq.Rng.create (4242 + int_of_float (100.0 *. density)) in
+  let vp =
+    Array.init (gemm_rows_p * gemm_k) (fun _ -> Twq.Rng.int r 255 - 127)
+  in
+  let up =
+    Array.init (cols_p * gemm_k) (fun i ->
+        let jb = i / (gemm_k * nr) and jr = i mod nr in
+        if jb * nr + jr >= gemm_cols then 0 (* pad lane *)
+        else if Twq.Rng.float r 1.0 < density then
+          1 + Twq.Rng.int r 126 (* nonzero by construction *)
+        else 0)
+  in
+  let sp = MK.compress_panel ~nr ~k:gemm_k ~cols:gemm_cols up ~uo:0 in
+  let c = Array.make (gemm_rows_p * cols_p) 0 in
+  [
+    ( Printf.sprintf "tapwise-gemm-sparse-%s" tag,
+      fun () ->
+        MK.gemm_i32_sparse ~mr ~rows_p:gemm_rows_p ~sp ~vp ~vo:0 ~c ~co:0
+          ~cstride:cols_p );
+    ( Printf.sprintf "tapwise-gemm-dense-%s" tag,
+      fun () ->
+        MK.gemm_i32 ~mr ~nr ~kc ~rows_p:gemm_rows_p ~cols_p ~k:gemm_k ~vp
+          ~vo:0 ~up ~uo:0 ~c ~co:0 ~cstride:cols_p );
+  ]
+
 (* ---------------------- paired batch-1 vs batch-N serving episodes *)
 (* One full closed-loop serving episode (server up, 24 requests through
    the dynamic batcher, graceful drain) per run.  The batch-1/batch-8
@@ -279,6 +330,31 @@ let deploy_net =
 
 let deploy_input =
   Tensor.rand_gaussian (Twq.Rng.create 43) [| 2; 3; 12; 12 |] ~mu:0.0 ~sigma:1.0
+
+(* ------------- paired sparse vs dense pruned end-to-end inference *)
+(* The same deterministic magnitude prune of the serving ResNet-20,
+   packed once with the compressed-panel driver enabled (threshold 1.0:
+   every tap below full density goes sparse) and once with it disabled
+   (threshold 0.0: the byte-for-byte dense path).  Identical weights,
+   bit-identical logits — the pair prices the execution strategy
+   alone. *)
+
+let prune_packed ~threshold ~density graph =
+  let t0 = MK.sparse_threshold () in
+  MK.set_sparse_threshold threshold;
+  Fun.protect
+    ~finally:(fun () -> MK.set_sparse_threshold t0)
+    (fun () -> Twq.Nn.Int_graph.prune graph ~density)
+
+let sparse_graph_pair density tag =
+  let sparse = prune_packed ~threshold:1.0 ~density serve_graph in
+  let dense = prune_packed ~threshold:0.0 ~density serve_graph in
+  [
+    ( Printf.sprintf "intgraph-resnet20-sparse-%s" tag,
+      fun () -> ignore (Twq.Nn.Int_graph.run sparse plan_input) );
+    ( Printf.sprintf "intgraph-resnet20-dense-%s" tag,
+      fun () -> ignore (Twq.Nn.Int_graph.run dense plan_input) );
+  ]
 
 (* One (name, thunk) per kernel; feeds both the Bechamel pass and the
    JSON timing pass. *)
@@ -434,6 +510,13 @@ let kernels : (string * (unit -> unit)) list =
       ( "deploy-forward-interp",
         fun () -> ignore (Twq.Nn.Deploy.forward_ref deploy_net deploy_input) );
     ]
+  (* Sparse-vs-dense execution of pruned weights, at the per-tap GEMM
+     and at the end-to-end pruned-ResNet-20 level, at 30% and 50%
+     density. *)
+  @ sparse_gemm_pair 0.3 "d30"
+  @ sparse_gemm_pair 0.5 "d50"
+  @ sparse_graph_pair 0.3 "d30"
+  @ sparse_graph_pair 0.5 "d50"
   (* Fleet serving hot paths: one full wire frame encode+decode of a
      shard-sized inference request, and the router's per-request ring
      walk over a fleet-sized ring. *)
@@ -613,6 +696,13 @@ let tier1 =
     "wino-f4-int8-micro";
     "wino-f6-rns-crt";
     "wino-f6-rns-direct";
+    (* Sparse/dense pairs gate together: the -sparse row guards the
+       compressed-panel driver, the -dense row guards that the dense
+       path stayed untouched. *)
+    "tapwise-gemm-sparse-d30";
+    "tapwise-gemm-dense-d30";
+    "intgraph-resnet20-sparse-d30";
+    "intgraph-resnet20-dense-d30";
   ]
 
 (* Regression gate: prints a table of old-vs-new means, then annotates
@@ -695,11 +785,12 @@ let run_compare ?(strict = false) old_file new_file =
 
 let usage () =
   prerr_endline
-    "usage: bench [--json] [-o|--out FILE] [--filter REGEX] | bench \
-     --compare [--strict] OLD.json NEW.json";
+    "usage: bench [--json] [-o|--out FILE] [--filter RE[,RE...]] | bench \
+     --list [--filter RE[,RE...]] | bench --compare [--strict] OLD.json \
+     NEW.json";
   exit 2
 
-type mode = Tables | Json | Compare of string * string
+type mode = Tables | Json | List | Compare of string * string
 
 let () =
   let strict = ref false in
@@ -707,6 +798,7 @@ let () =
   let rec parse mode out = function
     | [] -> (mode, out)
     | "--json" :: rest -> parse Json out rest
+    | "--list" :: rest -> parse List out rest
     | "--strict" :: rest ->
         strict := true;
         parse mode out rest
@@ -736,18 +828,31 @@ let () =
   in
   (* Unanchored Str search (Emacs-style syntax: alternation is [\|],
      groups are [\(...\)]), so `--filter wino-f4` or `--filter
-     '-micro$'` select the rows a developer expects. *)
+     '-micro$'` select the rows a developer expects.  A comma splits
+     the argument into independent regexes, any of which selects a row:
+     `--filter '-micro$,-sparse-,-dense-'` picks both GEMM families
+     without wrestling Str's escaped alternation. *)
   let selected =
     match !filter with
     | None -> kernels
     | Some re ->
-        let rex = Str.regexp re in
+        let rexes =
+          List.filter_map
+            (fun s -> if s = "" then None else Some (Str.regexp s))
+            (String.split_on_char ',' re)
+        in
+        if rexes = [] then begin
+          Printf.eprintf "bench: --filter %S has no non-empty regexes\n" re;
+          exit 2
+        end;
+        let matches name rex =
+          match Str.search_forward rex name 0 with
+          | _ -> true
+          | exception Not_found -> false
+        in
         let sel =
           List.filter
-            (fun (name, _) ->
-              match Str.search_forward rex name 0 with
-              | _ -> true
-              | exception Not_found -> false)
+            (fun (name, _) -> List.exists (matches name) rexes)
             kernels
         in
         if sel = [] then begin
@@ -759,6 +864,7 @@ let () =
   match mode with
   | Compare (old_f, new_f) -> run_compare ~strict:!strict old_f new_f
   | Json -> run_json selected out_file
+  | List -> List.iter (fun (name, _) -> print_endline name) selected
   | Tables ->
       if !filter = None then print_all_tables ();
       print_endline "==== Bechamel micro-benchmarks (one per table/figure) ====";

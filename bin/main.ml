@@ -374,6 +374,227 @@ let publish_cmd =
       const run $ registry_dir_arg $ name_arg $ version $ arch $ res $ width_div
       $ classes $ seed $ fleet)
 
+let prune_cmd =
+  let doc =
+    "Magnitude-prune a quantized model's Winograd-domain weights to a \
+     target density (Pruning.prune_quantized per tap-wise layer) and \
+     publish the pruned artifact — into a registry directory, or with \
+     --fleet onto every listed shard daemon.  The source model is an \
+     existing registry artifact (--from) or a freshly built one (same \
+     flags as publish).  Re-packing the pruned graph takes the per-tap \
+     sparse/dense execution decision against TWQ_SPARSE_THRESHOLD, so \
+     anything serving the artifact runs the compressed-panel GEMMs on \
+     the taps that earned them."
+  in
+  let name_arg =
+    Arg.(value & opt string "tiny-pruned" & info [ "name" ] ~doc:"Published model name.")
+  in
+  let version =
+    Arg.(value & opt int 1 & info [ "model-version" ] ~doc:"Published model version.")
+  in
+  let arch =
+    Arg.(value & opt string "resnet20" & info [ "arch" ] ~doc:"resnet20 or vgg.")
+  in
+  let res =
+    Arg.(value & opt int 8 & info [ "res" ] ~doc:"Input resolution (H = W).")
+  in
+  let width_div =
+    Arg.(value & opt int 2 & info [ "width-div" ] ~doc:"Channel width divisor.")
+  in
+  let classes = Arg.(value & opt int 10 & info [ "classes" ] ~doc:"Classes.") in
+  let seed = Arg.(value & opt int 7 & info [ "seed" ] ~doc:"Weight RNG seed.") in
+  let density =
+    Arg.(
+      value & opt float 0.3
+      & info [ "density" ] ~docv:"D"
+          ~doc:"Nonzero fraction to keep in the Winograd domain, in (0, 1].")
+  in
+  let from =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "from" ] ~docv:"NAME"
+          ~doc:"Prune an existing registry artifact instead of building one.")
+  in
+  let from_version =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "from-version" ] ~doc:"Source artifact version (default: latest).")
+  in
+  let fleet =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "fleet" ] ~docv:"SOCK,..."
+          ~doc:
+            "Comma-separated shard daemon sockets: stage the pruned \
+             artifact on every shard, then flip all their active versions \
+             (two-phase; rolls back on partial failure).")
+  in
+  let check =
+    Arg.(
+      value & opt int 0
+      & info [ "check" ] ~docv:"N"
+          ~doc:
+            "After publishing, serve the pruned artifact from a \
+             throwaway daemon and assert N random wire inferences are \
+             bit-identical to dense in-process execution of the same \
+             pruned weights (exit 1 on any mismatch).")
+  in
+  let run dir name version arch res width_div classes seed density from
+      from_version fleet check =
+    let ig, input_dims =
+      match from with
+      | Some src -> (
+          let reg = open_registry dir in
+          let entry =
+            or_die ~what:"lookup"
+              (Serve.Registry.lookup ?version:from_version reg src)
+          in
+          match entry.Serve.Registry.model with
+          | Serve.Model.Graph ig -> (ig, entry.Serve.Registry.input_dims)
+          | Serve.Model.Net _ ->
+              Printf.eprintf
+                "prune: %s is a float net artifact; only integer graphs \
+                 carry Winograd-domain weights\n"
+                src;
+              exit 2)
+      | None ->
+          ( build_graph_model ~arch ~res ~width_div ~classes ~seed,
+            [| 3; res; res |] )
+    in
+    let before = Twq_nn.Int_graph.winograd_density ig in
+    let pruned =
+      try Twq_nn.Int_graph.prune ig ~density
+      with Invalid_argument m ->
+        Printf.eprintf "prune: %s\n" m;
+        exit 2
+    in
+    let after = Twq_nn.Int_graph.winograd_density pruned in
+    let sparse, total = Twq_nn.Int_graph.wino_sparsity pruned in
+    let model = Serve.Model.Graph pruned in
+    (match fleet with
+    | None ->
+        let reg = open_registry dir in
+        let entry =
+          or_die ~what:"publish"
+            (Serve.Registry.publish reg ~name ~version ~input_dims model)
+        in
+        Printf.printf "published %s v%d to %s, crc %08x\n"
+          entry.Serve.Registry.name entry.Serve.Registry.version dir
+          entry.Serve.Registry.crc
+    | Some endpoints ->
+        let outcome =
+          or_die ~what:"fleet publish"
+            (Serve.Registry.publish_fleet ~endpoints ~name ~version
+               ~input_dims model)
+        in
+        List.iter
+          (fun r ->
+            Printf.printf "  %-30s staged=%b active=%b rolled_back=%b  %s\n"
+              r.Serve.Registry.endpoint r.Serve.Registry.prepared
+              r.Serve.Registry.activated r.Serve.Registry.rolled_back
+              r.Serve.Registry.detail)
+          outcome.Serve.Registry.reports;
+        if not outcome.Serve.Registry.committed then begin
+          Printf.eprintf "fleet publish did NOT commit (rolled back)\n";
+          exit 1
+        end);
+    Printf.printf
+      "winograd density %.3f -> %.3f (requested %.2f), sparse taps %d/%d \
+       at threshold %.2f\n"
+      before after density sparse total
+      (Twq_winograd.Microkernel.sparse_threshold ());
+    if check > 0 then begin
+      (* Dense oracle: the same deterministic prune re-packed with the
+         compressed-panel driver disabled. *)
+      let t0 = Twq_winograd.Microkernel.sparse_threshold () in
+      Twq_winograd.Microkernel.set_sparse_threshold 0.0;
+      let dense = Serve.Model.Graph (Twq_nn.Int_graph.prune ig ~density) in
+      Twq_winograd.Microkernel.set_sparse_threshold t0;
+      let tmp = Filename.temp_file "twq_prune_check" "" in
+      Sys.remove tmp;
+      Unix.mkdir tmp 0o700;
+      let sock = Filename.temp_file "twq_prune_check" ".sock" in
+      Sys.remove sock;
+      Fun.protect
+        ~finally:(fun () ->
+          if Sys.file_exists sock then Sys.remove sock;
+          if Sys.file_exists tmp then begin
+            Array.iter
+              (fun f -> Sys.remove (Filename.concat tmp f))
+              (Sys.readdir tmp);
+            Unix.rmdir tmp
+          end)
+        (fun () ->
+          let creg = or_die ~what:"check registry" (Serve.Registry.open_dir tmp) in
+          ignore
+            (or_die ~what:"check publish"
+               (Serve.Registry.publish creg ~name ~version ~input_dims model));
+          match Serve.Server.listen ~registry:creg ~path:sock () with
+          | Error e ->
+              Printf.eprintf "check: listen: %s\n" e;
+              exit 1
+          | Ok d ->
+              Fun.protect
+                ~finally:(fun () -> Serve.Server.stop_daemon d)
+                (fun () ->
+                  let c =
+                    match Serve.Shard_client.connect sock with
+                    | Ok c -> c
+                    | Error e ->
+                        Printf.eprintf "check: connect: %s\n"
+                          (Serve.Shard_client.error_to_string e);
+                        exit 1
+                  in
+                  Fun.protect
+                    ~finally:(fun () -> Serve.Shard_client.close c)
+                    (fun () ->
+                      let rng = Twq_util.Rng.create 99 in
+                      let nchw = Array.append [| 1 |] input_dims in
+                      for i = 1 to check do
+                        let x =
+                          STensor.rand_gaussian rng input_dims ~mu:0.0
+                            ~sigma:1.0
+                        in
+                        let x1 = STensor.zeros nchw in
+                        Array.blit x.STensor.data 0 x1.STensor.data 0
+                          (Array.length x.STensor.data);
+                        let y = Serve.Model.run_batch dense x1 in
+                        let classes = STensor.dim y 1 in
+                        let expect = Array.sub y.STensor.data 0 classes in
+                        match Serve.Shard_client.infer c x with
+                        | Ok { outcome = Serve.Wire.Logits { data; _ }; _ } ->
+                            if data <> expect then begin
+                              Printf.eprintf
+                                "check: inference %d/%d differs from dense \
+                                 execution\n"
+                                i check;
+                              exit 1
+                            end
+                        | Ok _ ->
+                            Printf.eprintf
+                              "check: inference %d/%d got a non-logits reply\n"
+                              i check;
+                            exit 1
+                        | Error e ->
+                            Printf.eprintf "check: infer: %s\n"
+                              (Serve.Shard_client.error_to_string e);
+                            exit 1
+                      done;
+                      Printf.printf
+                        "check ok: %d served inferences bit-identical to \
+                         dense execution\n"
+                        check)))
+    end
+  in
+  Cmd.v (Cmd.info "prune" ~doc)
+    Term.(
+      const run $ registry_dir_arg $ name_arg $ version $ arch $ res
+      $ width_div $ classes $ seed $ density $ from $ from_version $ fleet
+      $ check)
+
 let server_flags =
   let max_batch =
     Arg.(value & opt int 8 & info [ "max-batch" ] ~doc:"Batch size cap.")
@@ -915,5 +1136,5 @@ let () =
        (Cmd.group info
           [
             list_cmd; run_cmd; trace_cmd; layers_cmd; train_cmd; publish_cmd;
-            serve_cmd; loadgen_cmd; route_cmd; stats_cmd; rns_cmd;
+            prune_cmd; serve_cmd; loadgen_cmd; route_cmd; stats_cmd; rns_cmd;
           ]))

@@ -314,6 +314,43 @@ let spatial_layer_count t =
     (fun a n -> match n.iop with ISpatial _ -> a + 1 | _ -> a)
     0 t.inodes
 
+(* ------------------------------------------------------------- pruning *)
+
+module Pruning = Twq_quant.Pruning
+
+(* Winograd-domain magnitude pruning over the whole graph: every
+   tap-wise layer's quantized Winograd weights go through
+   [Pruning.prune_quantized] at the requested density, then the graph
+   is re-made so lowering re-packs the panels — which is where the
+   per-tap sparse/dense execution decision is taken from the pruned
+   zeros.  Spatial layers and the float head are untouched. *)
+let prune t ~density =
+  let inodes =
+    Array.map
+      (fun n ->
+        match n.iop with
+        | IWino l -> { n with iop = IWino (Pruning.prune_layer l ~density) }
+        | _ -> n)
+      t.inodes
+  in
+  make inodes t.out
+
+let winograd_density t =
+  let nz = ref 0 and total = ref 0 in
+  Array.iter
+    (fun n ->
+      match n.iop with
+      | IWino l ->
+          let d = l.Tapwise.wq.Itensor.data in
+          Array.iter (fun v -> if v <> 0 then incr nz) d;
+          total := !total + Array.length d
+      | _ -> ())
+    t.inodes;
+  if !total = 0 then 1.0 else float_of_int !nz /. float_of_int !total
+
+let wino_sparsity t =
+  match t.plans with Some c -> Plan.wino_sparsity c | None -> (0, 0)
+
 (* --------------------------------------------------------------- file I/O *)
 
 module Serialize = Twq_quant.Serialize

@@ -52,6 +52,24 @@ val noise_vs_float : t -> Graph.t -> Twq_tensor.Tensor.t -> float
 val winograd_layer_count : t -> int
 val spatial_layer_count : t -> int
 
+(** {2 Winograd-domain pruning} *)
+
+val prune : t -> density:float -> t
+(** Magnitude-prune every tap-wise layer's quantized Winograd weights
+    to the given nonzero fraction ([Pruning.prune_quantized], per
+    layer) and re-make the graph, so lowering re-packs the panels and
+    re-takes the per-tap sparse/dense execution decision from the
+    pruned zeros.  Spatial layers and the float head are untouched.
+    @raise Invalid_argument if [density] is outside (0, 1]. *)
+
+val winograd_density : t -> float
+(** Aggregate nonzero fraction over all tap-wise layers' quantized
+    Winograd weights (1.0 if there are none). *)
+
+val wino_sparsity : t -> int * int
+(** [Plan.wino_sparsity] of the graph's plan cache; [(0, 0)] for
+    graphs without plans. *)
+
 (** {2 File I/O} *)
 
 val to_string : t -> string

@@ -652,6 +652,19 @@ let cached_shapes c =
   Mutex.unlock c.mutex;
   s
 
+(* Per-tap sparse/dense decisions are frozen into the packed layers at
+   lowering time; summing them over the program reports what a compiled
+   plan will actually execute. *)
+let wino_sparsity c =
+  Array.fold_left
+    (fun (sparse, total) { prim; _ } ->
+      match prim with
+      | P_wino p ->
+          ( sparse + Tapwise.sparse_tap_count p,
+            total + Array.length (Tapwise.tap_densities p) )
+      | _ -> (sparse, total))
+    (0, 0) c.program.pnodes
+
 let run c x =
   if Tensor.rank x <> 4 then invalid_arg "Plan.run: input must be NCHW";
   execute (plan c ~input_shape:x.Tensor.shape) x

@@ -113,3 +113,9 @@ val run : cache -> Tensor.t -> Tensor.t
 (** [plan] + [execute] for the input's own shape. *)
 
 val cached_shapes : cache -> int array list
+
+val wino_sparsity : cache -> int * int
+(** [(sparse, total)] tap counts over the program's packed Winograd
+    layers: how many taps will execute through the compressed-panel
+    GEMM driver versus the total number of taps.  The split was decided
+    per tap at lowering time against [Microkernel.sparse_threshold]. *)

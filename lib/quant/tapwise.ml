@@ -318,6 +318,11 @@ type packed = {
          pad lanes [co ≥ cout] are zero. *)
   nr : int;  (* register block width the panel was packed with *)
   cout_p : int;  (* cout rounded up to [nr] *)
+  sparse : Microkernel.sparse option array;
+      (* Per-tap compressed panel, present iff the tap's measured
+         density fell below [Microkernel.sparse_threshold] at pack
+         time.  [None] taps run the dense driver unchanged. *)
+  tap_density : float array;  (* measured nonzero fraction per tap *)
   sb_flat : float array;
   ws_flat : float array;
   s_from : float;
@@ -362,9 +367,45 @@ let pack l =
   let shift_flat =
     Array.init tt (fun tap -> shift_of_ratio (sb_flat.(tap) /. s_from))
   in
-  { layer = l; u; nr; cout_p; sb_flat; ws_flat; s_from; shift_flat }
+  (* Sparse/dense is decided here, per tap, against the process-wide
+     threshold: density is measured on the packed panel (pad lanes are
+     zero and excluded from the denominator), and a tap below the
+     cutoff keeps its compressed form for [forward_int_into].  With the
+     threshold at 0.0 every tap stays [None] and execution is the dense
+     path, byte for byte. *)
+  let thresh = Microkernel.sparse_threshold () in
+  let denom = float_of_int (max 1 (cin * cout)) in
+  let tap_density = Array.make tt 1.0 in
+  let sparse =
+    Array.init tt (fun tap ->
+        let sp =
+          Microkernel.compress_panel ~nr ~k:cin ~cols:cout_p u
+            ~uo:(tap * ucincp)
+        in
+        let d = float_of_int (Microkernel.sparse_nnz sp) /. denom in
+        tap_density.(tap) <- d;
+        if d < thresh then Some sp else None)
+  in
+  {
+    layer = l;
+    u;
+    nr;
+    cout_p;
+    sparse;
+    tap_density;
+    sb_flat;
+    ws_flat;
+    s_from;
+    shift_flat;
+  }
 
 let packed_layer p = p.layer
+let tap_densities p = Array.copy p.tap_density
+
+let sparse_tap_count p =
+  Array.fold_left
+    (fun acc s -> match s with Some _ -> acc + 1 | None -> acc)
+    0 p.sparse
 
 (* Production path: the same integer pipeline reformulated tap-major —
    transform + per-tap requantize each tile once, run one register-tiled
@@ -485,12 +526,21 @@ let forward_int_into ?(epilogue = Kernels.no_epilogue) p x_int ~out =
         done
       done;
       (* One register-tiled int GEMM per tap (int2b accumulation over
-         input channels, exact and order-independent). *)
+         input channels, exact and order-independent).  Taps whose
+         packed panel came out below the sparse threshold run the
+         compressed-column driver — bit-identical, it only skips exact
+         zeros. *)
       Array.fill mo 0 (tt * tb * cout_p) 0;
       for tap = 0 to tt - 1 do
-        Microkernel.gemm_i32 ~mr ~nr ~kc ~rows_p:bs_p ~cols_p:cout_p ~k:cin
-          ~vp:v ~vo:(tap * tbcin) ~up:u ~uo:(tap * ucincp) ~c:mo
-          ~co:(tap * tb * cout_p) ~cstride:cout_p
+        match p.sparse.(tap) with
+        | Some sp ->
+            Microkernel.gemm_i32_sparse ~mr ~rows_p:bs_p ~sp ~vp:v
+              ~vo:(tap * tbcin) ~c:mo ~co:(tap * tb * cout_p)
+              ~cstride:cout_p
+        | None ->
+            Microkernel.gemm_i32 ~mr ~nr ~kc ~rows_p:bs_p ~cols_p:cout_p
+              ~k:cin ~vp:v ~vo:(tap * tbcin) ~up:u ~uo:(tap * ucincp) ~c:mo
+              ~co:(tap * tb * cout_p) ~cstride:cout_p
       done;
       (* Gather: single S_BG rescale, float back-transform, requantize. *)
       for bidx = 0 to bs - 1 do

@@ -86,9 +86,23 @@ type packed
     time removes the per-forward weight-panel rebuild. *)
 
 val pack : layer -> packed
+(** Besides packing the weight panel, [pack] measures each tap's
+    nonzero density and — for taps strictly below
+    [Microkernel.sparse_threshold ()] — keeps a compressed-column form
+    of the panel, so [forward_int_into] runs those taps through the
+    sparse GEMM driver (bit-identical; it only skips exact zeros).
+    The decision is frozen at pack time. *)
 
 val packed_layer : packed -> layer
 (** The underlying layer (scales, bias, config). *)
+
+val tap_densities : packed -> float array
+(** Measured per-tap nonzero fraction of the packed weight panel
+    ([t² ] entries, pad lanes excluded). *)
+
+val sparse_tap_count : packed -> int
+(** Number of taps that will execute through the compressed-panel
+    driver. *)
 
 val forward_int_into :
   ?epilogue:Twq_winograd.Kernels.epilogue ->

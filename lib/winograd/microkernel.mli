@@ -23,7 +23,10 @@ type cfg = { mr : int; nr : int; kc : int }
 
 val default_cfg : cfg
 (** Compiled defaults (MR=NR=4, KC=256), overridable at process start
-    via [TWQ_GEMM_MR] / [TWQ_GEMM_NR] / [TWQ_GEMM_KC]. *)
+    via [TWQ_GEMM_MR] / [TWQ_GEMM_NR] / [TWQ_GEMM_KC]. A malformed or
+    non-positive override raises [Invalid_argument] naming the variable
+    and the offending value (fail fast at module initialization);
+    positive values outside the supported range are clamped. *)
 
 val config : unit -> cfg
 (** Current configuration. Drivers read it once per call, so a
@@ -35,7 +38,19 @@ val set_config : ?mr:int -> ?nr:int -> ?kc:int -> unit -> unit
     respect to in-flight convolutions. *)
 
 val reset_config : unit -> unit
-(** Restore [default_cfg]. *)
+(** Restore [default_cfg] and the default sparse threshold. *)
+
+val sparse_threshold : unit -> float
+(** Density cutoff for the compressed-panel path: a tap whose weight
+    panel density is strictly below this is packed compressed (see
+    {!compress_panel}) by [Tapwise.pack]. Default 0.5, overridable at
+    process start via [TWQ_SPARSE_THRESHOLD]; malformed or
+    out-of-[0, 1] values raise [Invalid_argument] naming the variable
+    and value. 0.0 disables the sparse path entirely. *)
+
+val set_sparse_threshold : float -> unit
+(** Override the sparse/dense cutoff. Raises [Invalid_argument] outside
+    [0, 1]. Only affects packs performed after the call. *)
 
 val round_up : int -> int -> int
 (** [round_up n b] is [n] rounded up to a multiple of [b]. *)
@@ -77,3 +92,45 @@ val gemm_i32 :
   unit
 (** Integer variant of {!gemm_f32}; exact arithmetic, bit-identical to
     the naive ascending-[k] triple loop. *)
+
+(** {1 Compressed panels for pruned taps}
+
+    Block-compressed form of one tap's B panel at the measured-optimal
+    granularity: per output column, the ascending list of nonzero k
+    rows with their values (compressed sparse columns — the degenerate
+    1×1 block of the block-compressed family; larger blocks are never
+    all-zero under unstructured magnitude pruning at useful densities).
+    Execution skips zero entries only, so the integer result is
+    bit-identical to dense execution of the same weights. *)
+
+type sparse = {
+  sp_k : int;  (** logical panel depth (Cin) *)
+  sp_cols : int;  (** packed column count (Cout rounded up to NR) *)
+  sp_off : int array;  (** [cols+1] CSC offsets into [sp_idx]/[sp_val] *)
+  sp_idx : int array;  (** nonzero k rows, ascending per column *)
+  sp_val : int array;  (** matching weight values *)
+}
+
+val compress_panel : nr:int -> k:int -> cols:int -> int array -> uo:int -> sparse
+(** [compress_panel ~nr ~k ~cols up ~uo] compresses the NR-packed
+    [k × cols] B panel starting at [up.(uo)]. Padded columns (all-zero
+    by the packing contract) come out empty. *)
+
+val sparse_nnz : sparse -> int
+(** Number of stored nonzero entries. *)
+
+val gemm_i32_sparse :
+  mr:int ->
+  rows_p:int ->
+  sp:sparse ->
+  vp:int array ->
+  vo:int ->
+  c:int array ->
+  co:int ->
+  cstride:int ->
+  unit
+(** [gemm_i32_sparse ~mr ~rows_p ~sp ~vp ~vo ~c ~co ~cstride]
+    accumulates the [rows_p × sp.sp_cols] product of the packed A
+    panels at [vp+vo] and the compressed B panel into [c] at [co] (row
+    stride [cstride]). [rows_p] must be a multiple of [mr]. Bit-identical
+    to {!gemm_i32} on the panel [sp] was compressed from. *)

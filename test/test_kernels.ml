@@ -237,13 +237,13 @@ let prop_micro_int_edge =
       let want = Kernels.conv2d_i32_exact_ref k ~scale2 ~pad ~x ~w:wt in
       Itensor.equal got want)
 
-(* Every register-block configuration — the specialized MRx4 kernels,
-   the generic fallback, and KC smaller than Cin (17 channels over
-   kc = 8 forces three k-panels per GEMM, crossing the accumulator
+(* Every register-block configuration — the specialized MRx4 and MRx8
+   kernels, the generic fallback, and KC smaller than Cin (17 channels
+   over kc = 8 forces three k-panels per GEMM, crossing the accumulator
    load/store seam twice). *)
 let mk_config_sweep =
   [ (4, 4, 256); (3, 4, 8); (2, 4, 16); (1, 4, 256); (4, 2, 8); (5, 5, 32);
-    (1, 1, 8) ]
+    (1, 1, 8); (4, 8, 256); (3, 8, 8); (2, 8, 16); (1, 8, 256) ]
 
 let test_micro_config_sweep_int () =
   let rng = Twq_util.Rng.create 99 in
@@ -301,6 +301,131 @@ let test_micro_config_sweep_tapwise () =
             true (Itensor.equal got want)))
     mk_config_sweep
 
+(* --------------------- compressed-panel sparse GEMM vs dense driver *)
+
+module Pruning = Twq_quant.Pruning
+
+let with_sparse_threshold t f =
+  Microkernel.set_sparse_threshold t;
+  Fun.protect ~finally:Microkernel.reset_config f
+
+(* Driver-level bit-identity: a random NR-packed B panel at a random
+   density, compressed, must accumulate exactly what the dense driver
+   accumulates — including into a pre-seeded C with a row stride wider
+   than the panel. *)
+let sparse_gemm_gen =
+  QCheck2.Gen.(
+    tup6 (int_range 1 5)
+      (oneofl [ 1; 2; 4; 8 ])
+      (int_range 1 40) (int_range 1 24)
+      (oneofl [ 0.0; 0.1; 0.3; 0.5; 0.9 ])
+      seed_gen)
+
+let prop_sparse_gemm =
+  QCheck2.Test.make ~count:100
+    ~name:"gemm_i32_sparse = gemm_i32 on the compressed panel"
+    sparse_gemm_gen
+    (fun (mr, nr, k, cols, density, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let rows = 1 + Twq_util.Rng.int rng 40 in
+      let kc = 8 + Twq_util.Rng.int rng 64 in
+      let rows_p = Microkernel.round_up rows mr in
+      let cols_p = Microkernel.round_up cols nr in
+      let vp =
+        Array.init (rows_p * k) (fun _ -> Twq_util.Rng.int rng 255 - 127)
+      in
+      let up = Array.make (cols_p * k) 0 in
+      for j = 0 to cols - 1 do
+        let jb = j / nr and jr = j mod nr in
+        for kk = 0 to k - 1 do
+          if Twq_util.Rng.float rng 1.0 < density then
+            up.((((jb * k) + kk) * nr) + jr) <-
+              (let m = 1 + Twq_util.Rng.int rng 126 in
+               if Twq_util.Rng.bool rng then m else -m)
+        done
+      done;
+      let cstride = cols_p + 3 in
+      let c0 =
+        Array.init (rows_p * cstride) (fun _ -> Twq_util.Rng.int rng 1000 - 500)
+      in
+      let cd = Array.copy c0 and cs = Array.copy c0 in
+      Microkernel.gemm_i32 ~mr ~nr ~kc ~rows_p ~cols_p ~k ~vp ~vo:0 ~up ~uo:0
+        ~c:cd ~co:0 ~cstride;
+      let sp = Microkernel.compress_panel ~nr ~k ~cols:cols_p up ~uo:0 in
+      Microkernel.gemm_i32_sparse ~mr ~rows_p ~sp ~vp ~vo:0 ~c:cs ~co:0
+        ~cstride;
+      cd = cs)
+
+(* Layer-level bit-identity: prune a calibrated layer in the Winograd
+   domain, then the sparse-selected forward (any threshold, 1 or 4
+   domains) must equal the all-dense forward of the same pruned
+   weights. *)
+let prop_tapwise_sparse =
+  QCheck2.Test.make ~count:25
+    ~name:"sparse tapwise forward = dense forward of pruned weights"
+    QCheck2.Gen.(
+      tup5 variant_gen
+        (oneofl [ 0.1; 0.3; 0.5 ])
+        (oneofl [ 0.25; 0.5; 1.0 ])
+        (oneofl [ 1; 4 ])
+        seed_gen)
+    (fun (v, density, thresh, nd, seed) ->
+      let rng = Twq_util.Rng.create seed in
+      let cin = 1 + Twq_util.Rng.int rng 5
+      and cout = 1 + Twq_util.Rng.int rng 6 in
+      let h = 6 + Twq_util.Rng.int rng 6 and wd = 6 + Twq_util.Rng.int rng 6 in
+      let w = Tensor.rand_gaussian rng [| cout; cin; 3; 3 |] ~mu:0.0 ~sigma:0.5 in
+      let samples = [ tensor_of_rng rng [| 1; cin; h; wd |] ] in
+      let config = Tapwise.default_config v in
+      let l = Tapwise.calibrate ~config ~w ~sample_inputs:samples ~pad:1 () in
+      let l = Pruning.prune_layer l ~density in
+      let x = tensor_of_rng rng [| 1; cin; h; wd |] in
+      let xi =
+        Quantizer.quantize_tensor ~bits:config.Tapwise.act_bits
+          ~scale:l.Tapwise.s_x x
+      in
+      let dense =
+        with_sparse_threshold 0.0 (fun () -> Tapwise.forward_int l xi)
+      in
+      let got =
+        with_sparse_threshold thresh (fun () ->
+            with_domains nd (fun () -> Tapwise.forward_int l xi))
+      in
+      Itensor.equal got dense)
+
+(* The selection itself: after pruning to a low density, packing under
+   a permissive threshold must route taps through the compressed path,
+   and the measured densities must average out near the request. *)
+let test_sparse_taps_selected () =
+  let rng = Twq_util.Rng.create 47 in
+  let w = Tensor.rand_gaussian rng [| 8; 8; 3; 3 |] ~mu:0.0 ~sigma:0.5 in
+  let samples = [ tensor_of_rng rng [| 1; 8; 12; 12 |] ] in
+  let config = Tapwise.default_config Transform.F4 in
+  let l = Tapwise.calibrate ~config ~w ~sample_inputs:samples ~pad:1 () in
+  let l = Pruning.prune_layer l ~density:0.3 in
+  with_sparse_threshold 0.5 (fun () ->
+      let p = Tapwise.pack l in
+      let d = Tapwise.tap_densities p in
+      let mean = Array.fold_left ( +. ) 0.0 d /. float_of_int (Array.length d) in
+      Alcotest.(check bool) "sparse taps engaged" true
+        (Tapwise.sparse_tap_count p > 0);
+      Alcotest.(check bool) "mean density near request" true
+        (Float.abs (mean -. 0.3) < 0.05));
+  with_sparse_threshold 0.0 (fun () ->
+      let p = Tapwise.pack l in
+      Alcotest.(check int) "threshold 0 disables sparse" 0
+        (Tapwise.sparse_tap_count p))
+
+let test_sparse_threshold_invalid () =
+  Alcotest.check_raises "above 1"
+    (Invalid_argument
+       "Microkernel.set_sparse_threshold: 1.5 must be in [0, 1]") (fun () ->
+      Microkernel.set_sparse_threshold 1.5);
+  Alcotest.check_raises "negative"
+    (Invalid_argument
+       "Microkernel.set_sparse_threshold: -0.1 must be in [0, 1]") (fun () ->
+      Microkernel.set_sparse_threshold (-0.1))
+
 (* -------------------------------------------- scratch arena behaviour *)
 
 let test_scratch_reuse () =
@@ -343,6 +468,8 @@ let () =
         prop_tapwise;
         prop_micro_f32_edge;
         prop_micro_int_edge;
+        prop_sparse_gemm;
+        prop_tapwise_sparse;
       ]
   in
   Alcotest.run "kernels"
@@ -356,6 +483,13 @@ let () =
             test_micro_config_sweep_f32;
           Alcotest.test_case "tapwise config sweep = ref" `Quick
             test_micro_config_sweep_tapwise;
+        ] );
+      ( "sparse",
+        [
+          Alcotest.test_case "pack selects sparse taps" `Quick
+            test_sparse_taps_selected;
+          Alcotest.test_case "threshold bounds" `Quick
+            test_sparse_threshold_invalid;
         ] );
       ( "scratch",
         [

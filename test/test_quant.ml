@@ -305,9 +305,74 @@ let test_pruning_full_density_identity () =
 
 let test_pruning_invalid_density () =
   let w = Itensor.of_array [| 2 |] [| 1; 2 |] in
-  Alcotest.check_raises "zero"
-    (Invalid_argument "Pruning.prune_quantized: density must be in (0, 1]")
-    (fun () -> ignore (Pruning.prune_quantized ~density:0.0 w))
+  let invalid =
+    Invalid_argument "Pruning.prune_quantized: density must be in (0, 1]"
+  in
+  Alcotest.check_raises "zero" invalid (fun () ->
+      ignore (Pruning.prune_quantized ~density:0.0 w));
+  Alcotest.check_raises "negative" invalid (fun () ->
+      ignore (Pruning.prune_quantized ~density:(-0.5) w));
+  Alcotest.check_raises "above one" invalid (fun () ->
+      ignore (Pruning.prune_quantized ~density:1.5 w))
+
+let test_pruning_tie_budget_exact () =
+  (* Every magnitude identical: the threshold is a pure tie, and the
+     tie budget must land the kept count exactly on round(d·n), chosen
+     in index order. *)
+  let n = 10 in
+  let w = Itensor.init [| n |] (fun _ -> 5) in
+  List.iter
+    (fun d ->
+      let pruned = Pruning.prune_quantized ~density:d w in
+      let kept =
+        Array.fold_left
+          (fun a v -> if v <> 0 then a + 1 else a)
+          0 pruned.Itensor.data
+      in
+      let expected = int_of_float (Float.round (d *. float_of_int n)) in
+      Alcotest.(check int) (Printf.sprintf "density %.2f" d) expected kept;
+      (* Index-order tie resolution: the survivors are a prefix. *)
+      Array.iteri
+        (fun i v ->
+          Alcotest.(check int)
+            (Printf.sprintf "slot %d" i)
+            (if i < expected then 5 else 0)
+            v)
+        pruned.Itensor.data)
+    [ 0.3; 0.5; 0.75 ]
+
+let test_pruning_idempotent () =
+  let rng = Rng.create 22 in
+  let w = Itensor.init [| 3; 5; 6; 6 |] (fun _ -> Rng.int rng 255 - 127) in
+  List.iter
+    (fun d ->
+      let once = Pruning.prune_quantized ~density:d w in
+      let twice = Pruning.prune_quantized ~density:d once in
+      Alcotest.(check (array int))
+        (Printf.sprintf "density %.2f" d)
+        once.Itensor.data twice.Itensor.data)
+    [ 0.8; 0.5; 0.2 ]
+
+let test_pruning_density_macs_consistent () =
+  let config = Tapwise.default_config Transform.F4 in
+  let layer, _, _ = calibrated config ~seed:31 ~cin:4 ~cout:4 ~h:12 ~w:12 in
+  List.iter
+    (fun d ->
+      let pl = Pruning.prune_layer layer ~density:d in
+      let measured = Pruning.density pl.Tapwise.wq in
+      let macs = Pruning.effective_macs_fraction pl in
+      Alcotest.(check (float 1e-12))
+        (Printf.sprintf "macs fraction = density at %.2f" d)
+        measured macs;
+      (* The realized density can exceed the request only by the
+         rounding of the kept count (half an element); pre-existing
+         quantization zeros can push it arbitrarily lower. *)
+      let slack = 0.5 /. float_of_int (Itensor.numel pl.Tapwise.wq) in
+      Alcotest.(check bool)
+        (Printf.sprintf "measured %.4f <= requested %.2f (+rounding)" measured d)
+        true
+        (measured <= d +. slack +. 1e-9))
+    [ 1.0; 0.5; 0.3 ]
 
 let test_pruning_layer_noise_monotone () =
   let config = Tapwise.default_config Transform.F4 in
@@ -519,6 +584,10 @@ let () =
           Alcotest.test_case "keeps largest" `Quick test_pruning_keeps_largest;
           Alcotest.test_case "full density" `Quick test_pruning_full_density_identity;
           Alcotest.test_case "invalid density" `Quick test_pruning_invalid_density;
+          Alcotest.test_case "tie budget exact" `Quick test_pruning_tie_budget_exact;
+          Alcotest.test_case "idempotent" `Quick test_pruning_idempotent;
+          Alcotest.test_case "density = macs fraction" `Quick
+            test_pruning_density_macs_consistent;
           Alcotest.test_case "noise monotone" `Quick test_pruning_layer_noise_monotone;
         ] );
       ( "serialize",

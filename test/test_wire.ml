@@ -13,6 +13,7 @@ module Model = Twq_serve.Model
 module Registry = Twq_serve.Registry
 module Server = Twq_serve.Server
 module Shard_client = Twq_serve.Shard_client
+module Microkernel = Twq_winograd.Microkernel
 
 (* ------------------------------------------------------------- gens *)
 
@@ -445,6 +446,70 @@ let test_kill_daemon_severs () =
           Shard_client.close c2;
           Alcotest.fail "connected to killed daemon")
 
+let test_daemon_sparse_bit_identical () =
+  (* Sparse Winograd execution served over the wire is bit-identical to
+     dense execution of the same pruned weights.  The registry keeps the
+     in-memory model it was published with, so we pack the published
+     graph under a permissive sparse threshold (guaranteeing compressed
+     panels are actually in play) and compute the reference from an
+     identical deterministic prune packed with sparsity disabled. *)
+  let dir = tmp_dir "twq_wire_sp" in
+  let sock = Filename.temp_file "twq_wire_sp" ".sock" in
+  Sys.remove sock;
+  Fun.protect
+    ~finally:(fun () ->
+      Microkernel.reset_config ();
+      rm_rf dir;
+      if Sys.file_exists sock then Sys.remove sock)
+    (fun () ->
+      let res = 8 in
+      let dims = [| 3; res; res |] in
+      let rng = Rng.create 17 in
+      let g = Twq_nn.Passes.fold_bn (Twq_nn.Gmodels.resnet20 ~rng ~width_div:4 ()) in
+      let cal = Tensor.rand_gaussian rng [| 2; 3; res; res |] ~mu:0.0 ~sigma:1.0 in
+      let ig = Twq_nn.Int_graph.quantize g ~calibration:cal () in
+      Microkernel.set_sparse_threshold 0.0;
+      let dense = Model.Graph (Twq_nn.Int_graph.prune ig ~density:0.3) in
+      Microkernel.set_sparse_threshold 0.9;
+      let sparse_ig = Twq_nn.Int_graph.prune ig ~density:0.3 in
+      let sparse_taps, total_taps = Twq_nn.Int_graph.wino_sparsity sparse_ig in
+      Alcotest.(check bool)
+        (Printf.sprintf "sparse taps selected (%d/%d)" sparse_taps total_taps)
+        true (sparse_taps > 0);
+      let reg = Result.get_ok (Registry.open_dir dir) in
+      (match
+         Registry.publish reg ~name:"rn20s" ~version:1 ~input_dims:dims
+           (Model.Graph sparse_ig)
+       with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "publish: %s" (Registry.error_to_string e));
+      match Server.listen ~registry:reg ~path:sock () with
+      | Error e -> Alcotest.failf "listen: %s" e
+      | Ok d ->
+          Fun.protect
+            ~finally:(fun () -> Server.stop_daemon d)
+            (fun () ->
+              let c = connect sock in
+              Fun.protect
+                ~finally:(fun () -> Shard_client.close c)
+                (fun () ->
+                  QCheck.Test.check_exn
+                    (QCheck.Test.make
+                       ~name:"wire sparse infer == dense run_batch" ~count:15
+                       QCheck.(make Gen.(int_bound 100_000))
+                       (fun seed ->
+                         let rng = Rng.create seed in
+                         let x =
+                           Tensor.rand_gaussian rng dims ~mu:0.0 ~sigma:1.0
+                         in
+                         match Shard_client.infer c x with
+                         | Ok { outcome = Wire.Logits { data; _ }; _ } ->
+                             farr_eq data (reference_row dense dims x)
+                         | Ok _ -> QCheck.Test.fail_reportf "non-logits outcome"
+                         | Error e ->
+                             QCheck.Test.fail_reportf "%s"
+                               (Shard_client.error_to_string e))))))
+
 let () =
   Alcotest.run "wire"
     [
@@ -472,5 +537,7 @@ let () =
             test_daemon_rejects_garbage;
           Alcotest.test_case "kill severs connections" `Quick
             test_kill_daemon_severs;
+          Alcotest.test_case "sparse wire infer bit-identical" `Quick
+            test_daemon_sparse_bit_identical;
         ] );
     ]
